@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation: approximate aggregation (paper Sec. V-B future work).
+ *
+ * "An alternative way to resolve bank-conflict would be to simply
+ * ignore conflicted banks, essentially approximating the aggregation
+ * operation. We leave it to future work."
+ *
+ * This bench implements it: the AGU is capped at R conflict-resolution
+ * rounds per NIT entry and the overflow neighbors are dropped. We
+ * report (a) cycle/energy savings from the AU simulator and (b) the
+ * functional output divergence of a PointNet++-style module when the
+ * same neighbors are dropped from the real computation.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "hwsim/agg_unit.hpp"
+#include "neighbor/kdtree.hpp"
+#include "tensor/ops.hpp"
+
+using namespace mesorasi;
+using namespace mesorasi::bench;
+
+int
+main()
+{
+    std::cout << "Ablation — approximate aggregation (cap AGU rounds, "
+                 "drop conflicted neighbors)\n";
+
+    // Real NITs and PFT from PointNet++ (c)'s first module.
+    auto run = runNetwork(core::zoo::pointnetppClassification());
+    const auto &nit = run.delayed.nits[0];
+    const auto &io = run.delayed.ios[0];
+
+    // Rebuild the module's PFT functionally so we can measure output
+    // divergence under dropped neighbors.
+    core::NetworkExecutor exec(run.cfg, 1);
+    geom::PointCloud cloud = inputFor(run.cfg);
+    tensor::Tensor coords(static_cast<int32_t>(cloud.size()), 3);
+    for (size_t i = 0; i < cloud.size(); ++i) {
+        coords(static_cast<int32_t>(i), 0) = cloud[i].x;
+        coords(static_cast<int32_t>(i), 1) = cloud[i].y;
+        coords(static_cast<int32_t>(i), 2) = cloud[i].z;
+    }
+    tensor::Tensor pft = exec.module(0).mlp().forward(coords);
+
+    auto aggregateWith = [&](const neighbor::NeighborIndexTable &table) {
+        tensor::Tensor out(table.size(), pft.cols());
+        for (int32_t c = 0; c < table.size(); ++c) {
+            const auto &entry = table[c];
+            tensor::Tensor g = tensor::gatherRows(pft, entry.neighbors);
+            tensor::Tensor red = tensor::maxReduceRows(g);
+            for (int32_t d = 0; d < pft.cols(); ++d)
+                out(c, d) = red(0, d) - pft(entry.centroid, d);
+        }
+        return out;
+    };
+    tensor::Tensor exact = aggregateWith(nit);
+
+    hwsim::AuConfig base_cfg;
+    hwsim::AggregationUnit exact_au(base_cfg, hwsim::NpuConfig{},
+                                    hwsim::EnergyConfig{});
+    hwsim::AuStats exact_stats = exact_au.aggregate(nit, io.nIn, io.mOut);
+
+    Table t("Round cap vs cycles / energy / dropped / output error",
+            {"Max rounds", "Cycles", "vs exact", "Energy (uJ)",
+             "Dropped", "max|out - exact|"});
+    t.addRow({"unbounded", std::to_string(exact_stats.cycles), "1.00x",
+              fmt(exact_stats.energyMj * 1e3, 1), "0.0%", "0"});
+    for (int32_t cap : {4, 3, 2, 1}) {
+        hwsim::AuConfig cfg = base_cfg;
+        cfg.maxRoundsPerEntry = cap;
+        hwsim::AggregationUnit au(cfg, hwsim::NpuConfig{},
+                                  hwsim::EnergyConfig{});
+        hwsim::AuStats s = au.aggregate(nit, io.nIn, io.mOut);
+        auto capped = hwsim::applyRoundCap(nit, base_cfg.pftBanks, cap);
+        tensor::Tensor approx = aggregateWith(capped);
+        t.addRow({std::to_string(cap), std::to_string(s.cycles),
+                  fmtX(static_cast<double>(s.cycles) /
+                       exact_stats.cycles),
+                  fmt(s.energyMj * 1e3, 1),
+                  fmtPct(static_cast<double>(s.droppedNeighbors) /
+                         std::max<int64_t>(1, s.totalNeighbors)),
+                  fmt(exact.maxAbsDiff(approx), 3)});
+    }
+    t.print();
+    std::cout << "Takeaway: capping at 2-3 rounds trims the conflict\n"
+                 "tail for a small output perturbation; a 1-round cap\n"
+                 "drops a large neighbor fraction — quantifying the\n"
+                 "trade-off the paper deferred to future work.\n";
+    return 0;
+}

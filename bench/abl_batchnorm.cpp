@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Ablation: nonlinearity choice and the distributivity approximation
+ * (paper Sec. VII-B: accuracy loss "is more significant when the
+ * non-linear layers use batch normalization, which perturbs the
+ * distributive property ... more than ReLU").
+ *
+ * Measures the delayed-vs-original divergence of a two-layer module
+ * MLP under: identity (exact), ReLU, and BatchNorm+ReLU.
+ */
+#include <cmath>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+
+using namespace mesorasi;
+using tensor::Tensor;
+
+namespace {
+
+enum class Nl
+{
+    None,
+    Relu,
+    BnRelu,
+};
+
+/** Two-layer MLP with the chosen nonlinearity after each layer. */
+struct TwoLayer
+{
+    Tensor w1, w2;
+    Tensor gamma1, beta1, mean1, var1;
+    Tensor gamma2, beta2, mean2, var2;
+    Nl nl;
+
+    TwoLayer(Rng &rng, int32_t in, int32_t h, int32_t out, Nl nl_)
+        : w1(tensor::kaimingNormal(rng, in, h)),
+          w2(tensor::kaimingNormal(rng, h, out)),
+          gamma1(tensor::uniform(rng, 1, h, 0.8f, 1.2f)),
+          beta1(tensor::uniform(rng, 1, h, -0.1f, 0.1f)),
+          mean1(tensor::uniform(rng, 1, h, -0.2f, 0.2f)),
+          var1(tensor::uniform(rng, 1, h, 0.5f, 1.5f)),
+          gamma2(tensor::uniform(rng, 1, out, 0.8f, 1.2f)),
+          beta2(tensor::uniform(rng, 1, out, -0.1f, 0.1f)),
+          mean2(tensor::uniform(rng, 1, out, -0.2f, 0.2f)),
+          var2(tensor::uniform(rng, 1, out, 0.5f, 1.5f)),
+          nl(nl_)
+    {
+    }
+
+    Tensor
+    forward(const Tensor &x) const
+    {
+        Tensor h = tensor::matmul(x, w1);
+        apply(h, gamma1, beta1, mean1, var1);
+        Tensor y = tensor::matmul(h, w2);
+        apply(y, gamma2, beta2, mean2, var2);
+        return y;
+    }
+
+  private:
+    void
+    apply(Tensor &x, const Tensor &g, const Tensor &b, const Tensor &m,
+          const Tensor &v) const
+    {
+        if (nl == Nl::BnRelu)
+            tensor::batchNormInPlace(x, g, b, m, v);
+        if (nl != Nl::None)
+            tensor::reluInPlace(x);
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Ablation — nonlinearity vs the delayed-aggregation "
+                 "approximation (two-layer module MLP)\n";
+
+    Rng data_rng(1);
+    const int32_t n = 512, k = 16, groups = 64;
+    Tensor points = tensor::uniform(data_rng, n, 3, -1.0f, 1.0f);
+
+    // Random neighborhoods (distinct indices per group).
+    std::vector<std::vector<int32_t>> nbrs(groups);
+    std::vector<int32_t> cents(groups);
+    for (int32_t g = 0; g < groups; ++g) {
+        cents[g] = static_cast<int32_t>(data_rng.uniformInt(0, n - 1));
+        nbrs[g] = data_rng.sampleWithoutReplacement(n, k);
+    }
+
+    Table t("Output divergence, original vs delayed",
+            {"Nonlinearity", "max abs diff", "relative (RMS)"});
+    for (auto [nl, name] :
+         {std::pair<Nl, const char *>{Nl::None, "identity (no bias)"},
+          {Nl::Relu, "ReLU"},
+          {Nl::BnRelu, "BatchNorm + ReLU"}}) {
+        Rng wrng(7);
+        TwoLayer mlp(wrng, 3, 32, 48, nl);
+
+        if (nl == Nl::BnRelu) {
+            // BN statistics are fitted to the ORIGINAL pipeline's data
+            // distribution — the aggregated NFM rows (differences).
+            // Reusing them on raw points is exactly the mismatch that
+            // makes weight transfer fail hardest with BN (Sec. VII-B).
+            Tensor all_nfm(groups * k, 3);
+            for (int32_t g = 0; g < groups; ++g)
+                for (int32_t j = 0; j < k; ++j)
+                    for (int32_t d = 0; d < 3; ++d)
+                        all_nfm(g * k + j, d) =
+                            points(nbrs[g][j], d) - points(cents[g], d);
+            Tensor pre1 = tensor::matmul(all_nfm, mlp.w1);
+            for (int32_t c = 0; c < pre1.cols(); ++c) {
+                double m = 0, v = 0;
+                for (int32_t r = 0; r < pre1.rows(); ++r)
+                    m += pre1(r, c);
+                m /= pre1.rows();
+                for (int32_t r = 0; r < pre1.rows(); ++r)
+                    v += (pre1(r, c) - m) * (pre1(r, c) - m);
+                v /= pre1.rows();
+                mlp.mean1(0, c) = static_cast<float>(m);
+                mlp.var1(0, c) = static_cast<float>(v);
+            }
+        }
+
+        // Original: MLP on normalized neighbors, then group max.
+        Tensor orig(groups, 48);
+        for (int32_t g = 0; g < groups; ++g) {
+            Tensor nfm(k, 3);
+            for (int32_t j = 0; j < k; ++j)
+                for (int32_t d = 0; d < 3; ++d)
+                    nfm(j, d) = points(nbrs[g][j], d) -
+                                points(cents[g], d);
+            Tensor feat = mlp.forward(nfm);
+            Tensor red = tensor::maxReduceRows(feat);
+            for (int32_t d = 0; d < 48; ++d)
+                orig(g, d) = red(0, d);
+        }
+
+        // Delayed: PFT on raw points, gather, max, subtract centroid.
+        Tensor pft = mlp.forward(points);
+        Tensor delayed(groups, 48);
+        for (int32_t g = 0; g < groups; ++g) {
+            Tensor gathered = tensor::gatherRows(pft, nbrs[g]);
+            Tensor red = tensor::maxReduceRows(gathered);
+            for (int32_t d = 0; d < 48; ++d)
+                delayed(g, d) = red(0, d) - pft(cents[g], d);
+        }
+
+        float diff = orig.maxAbsDiff(delayed);
+        float rms = orig.frobeniusNorm() /
+                    std::sqrt(static_cast<float>(orig.numel()));
+        t.addRow({name, fmt(diff, 4),
+                  rms > 0 ? fmt(diff / rms, 3) : "0"});
+    }
+    t.print();
+    std::cout
+        << "Identity is exactly distributive (0 divergence); any\n"
+           "nonlinearity makes delayed-aggregation approximate. At\n"
+           "inference BN is affine (fixed stats), so its one-shot\n"
+           "divergence is comparable to ReLU's; the paper's stronger\n"
+           "BN sensitivity (Sec. VII-B) appears when *training-time*\n"
+           "batch statistics are fitted to aggregated NFM rows and\n"
+           "then reused on raw points — both observations argue for\n"
+           "retraining from scratch rather than weight transfer,\n"
+           "which is what recovers accuracy in Fig. 16.\n";
+    return 0;
+}

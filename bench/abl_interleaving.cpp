@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation: PFT bank interleaving and point ordering (paper Sec. V-B:
+ * "we empirically find that an LSB-interleaving reduces bank
+ * conflicts").
+ *
+ * Sweeps the interleaving function (LSB mod-B vs high-bits) and the
+ * input point ordering (Morton scan order vs random shuffle) and
+ * reports the AU conflict statistics for PointNet++ (c)'s first-module
+ * NIT. High-bit interleaving is emulated by remapping indices before
+ * the AU sees them; random ordering by permuting the cloud.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "hwsim/agg_unit.hpp"
+
+using namespace mesorasi;
+using namespace mesorasi::bench;
+
+namespace {
+
+/** Remap indices so that bank(idx) = high bits instead of low bits. */
+neighbor::NeighborIndexTable
+highBitRemap(const neighbor::NeighborIndexTable &nit, int32_t rows,
+             int32_t banks)
+{
+    // bank = idx / rowsPerBank under high-bit interleaving; emulate by
+    // permuting indices so (permuted % banks) == (idx / rowsPerBank).
+    int32_t rows_per_bank = (rows + banks - 1) / banks;
+    auto permute = [&](int32_t idx) {
+        int32_t bank = idx / rows_per_bank;
+        int32_t offset = idx % rows_per_bank;
+        return offset * banks + bank;
+    };
+    neighbor::NeighborIndexTable out(nit.maxK());
+    for (const auto &e : nit.entries()) {
+        neighbor::NitEntry ne;
+        ne.centroid = permute(e.centroid);
+        for (int32_t n : e.neighbors)
+            ne.neighbors.push_back(permute(n));
+        out.add(std::move(ne));
+    }
+    return out;
+}
+
+/** Apply a pseudo-random permutation to all indices (random order). */
+neighbor::NeighborIndexTable
+shuffleRemap(const neighbor::NeighborIndexTable &nit, int32_t rows)
+{
+    Rng rng(99);
+    std::vector<int32_t> perm(rows);
+    for (int32_t i = 0; i < rows; ++i)
+        perm[i] = i;
+    rng.shuffle(perm);
+    neighbor::NeighborIndexTable out(nit.maxK());
+    for (const auto &e : nit.entries()) {
+        neighbor::NitEntry ne;
+        ne.centroid = perm[e.centroid];
+        for (int32_t n : e.neighbors)
+            ne.neighbors.push_back(perm[n]);
+        out.add(std::move(ne));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Ablation — bank interleaving x point ordering "
+                 "(PointNet++ (c), module 1 NIT)\n";
+    auto run = runNetwork(core::zoo::pointnetppClassification());
+    const auto &nit = run.delayed.nits[0];
+    const auto &io = run.delayed.ios[0];
+
+    hwsim::AggregationUnit au(hwsim::AuConfig{}, hwsim::NpuConfig{},
+                              hwsim::EnergyConfig{});
+
+    Table t("AU conflict behaviour",
+            {"Configuration", "Conflict rounds", "Slowdown vs ideal",
+             "Cycles"});
+    auto row = [&](const std::string &name,
+                   const neighbor::NeighborIndexTable &table) {
+        hwsim::AuStats s = au.aggregate(table, io.nIn, io.mOut);
+        t.addRow({name, fmtPct(s.conflictFraction),
+                  fmtX(s.slowdownVsIdeal), std::to_string(s.cycles)});
+    };
+    row("LSB interleave, scan (Morton) order", nit);
+    row("LSB interleave, random point order",
+        shuffleRemap(nit, io.nIn));
+    row("high-bit interleave, scan order",
+        highBitRemap(nit, io.nIn, hwsim::AuConfig{}.pftBanks));
+    t.print();
+    std::cout << "Expected: LSB interleaving on scan-ordered data wins\n"
+                 "— spatially close neighbors have consecutive indices,\n"
+                 "which LSB spreads across banks; high-bit interleaving\n"
+                 "sends whole neighborhoods to one bank and serializes.\n";
+    return 0;
+}

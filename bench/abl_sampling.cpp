@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: centroid sampling strategy (paper Sec. VI, baseline
+ * optimization #3 — farthest-point sampling replaced by random
+ * sampling "with little accuracy loss").
+ *
+ * Compares FPS, random, and voxel-grid sampling on host cost, spatial
+ * coverage (minimum pairwise distance), and the neighborhood-coverage
+ * fraction (how many input points end up inside at least one group).
+ */
+#include <chrono>
+#include <iostream>
+#include <set>
+
+#include "common/table.hpp"
+#include "geom/datasets.hpp"
+#include "geom/sampling.hpp"
+#include "neighbor/kdtree.hpp"
+#include "neighbor/points_view.hpp"
+
+using namespace mesorasi;
+
+int
+main()
+{
+    std::cout << "Ablation — centroid sampling strategies "
+                 "(1024-point ModelNet-style clouds, 512 centroids, "
+                 "K=32)\n";
+    geom::ModelNetSim sim(5, 1024);
+    Rng rng(6);
+
+    Table t("Sampler comparison (averaged over 8 clouds)",
+            {"Sampler", "Host time (ms)", "Min pairwise dist",
+             "Coverage"});
+
+    for (const std::string &name : {std::string("fps"),
+                                    std::string("random"),
+                                    std::string("voxel")}) {
+        double ms = 0.0, mind = 0.0, coverage = 0.0;
+        for (int trial = 0; trial < 8; ++trial) {
+            geom::PointCloud cloud = sim.sample(trial % 40).cloud;
+            auto t0 = std::chrono::steady_clock::now();
+            std::vector<int32_t> idx;
+            if (name == "fps") {
+                idx = geom::farthestPointSample(cloud, 512);
+            } else if (name == "random") {
+                idx = geom::randomSample(rng, cloud, 512);
+            } else {
+                idx = geom::voxelGridSample(cloud, 0.09f);
+                if (static_cast<int32_t>(idx.size()) > 512)
+                    idx.resize(512);
+            }
+            auto t1 = std::chrono::steady_clock::now();
+            ms += std::chrono::duration<double, std::milli>(t1 - t0)
+                      .count();
+            mind += geom::minPairwiseDistance(cloud, idx);
+
+            // Coverage: fraction of input points inside some group.
+            neighbor::FlatPoints flat(cloud);
+            neighbor::KdTree tree(flat.view());
+            auto nit = tree.knnTable(idx, 32);
+            std::set<int32_t> covered;
+            for (const auto &e : nit.entries())
+                covered.insert(e.neighbors.begin(), e.neighbors.end());
+            coverage += static_cast<double>(covered.size()) /
+                        cloud.size();
+        }
+        t.addRow({name, fmt(ms / 8, 3), fmt(mind / 8, 4),
+                  fmtPct(coverage / 8)});
+    }
+    t.print();
+    std::cout << "Expected: FPS gives the best spread but costs O(N*S)\n"
+                 "host time; random sampling is nearly free with only\n"
+                 "slightly worse coverage — the trade the paper's\n"
+                 "optimized baseline makes.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+#include "bench_common.hpp"
+
+namespace mesorasi::bench {
+
+geom::PointCloud
+inputFor(const core::NetworkConfig &cfg, uint64_t seed)
+{
+    switch (cfg.task) {
+      case core::Task::Segmentation: {
+        geom::ShapeNetSim sim(seed, cfg.numInputPoints);
+        return sim.sample(0).cloud;
+      }
+      case core::Task::Detection: {
+        geom::KittiSim sim(seed);
+        auto frame = sim.frame(4, 2, 1);
+        auto frustums = sim.frustums(frame, cfg.numInputPoints);
+        MESO_CHECK(!frustums.empty(), "no frustums generated");
+        return frustums.front();
+      }
+      case core::Task::Classification:
+      default: {
+        geom::ModelNetSim sim(seed, cfg.numInputPoints);
+        return sim.sample(0).cloud;
+      }
+    }
+}
+
+NetRun
+runNetwork(const core::NetworkConfig &cfg, bool needLtd, uint64_t seed)
+{
+    NetRun out;
+    out.cfg = cfg;
+    core::NetworkExecutor exec(cfg, /*weightSeed=*/1);
+    geom::PointCloud cloud = inputFor(cfg, seed);
+    out.original = exec.run(cloud, core::PipelineKind::Original, seed);
+    out.delayed = exec.run(cloud, core::PipelineKind::Delayed, seed);
+    if (needLtd)
+        out.ltd = exec.run(cloud, core::PipelineKind::LtdDelayed, seed);
+    return out;
+}
+
+std::vector<NetRun>
+runAll(const std::vector<core::NetworkConfig> &cfgs, bool needLtd,
+       uint64_t seed)
+{
+    std::vector<NetRun> out;
+    out.reserve(cfgs.size());
+    for (const auto &cfg : cfgs)
+        out.push_back(runNetwork(cfg, needLtd, seed));
+    return out;
+}
+
+std::string
+shortName(const std::string &networkName)
+{
+    return networkName;
+}
+
+} // namespace mesorasi::bench

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench binary regenerates one table/figure from the paper's
+ * evaluation: it executes the real networks on synthetic datasets,
+ * simulates the SoC, and prints our measured rows next to the paper's
+ * reported numbers.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/networks.hpp"
+#include "geom/datasets.hpp"
+#include "hwsim/soc.hpp"
+
+namespace mesorasi::bench {
+
+/** Build the right synthetic input for a network (ModelNet-style for
+ *  classification, ShapeNet-style for segmentation, a KITTI frustum
+ *  for detection). */
+geom::PointCloud inputFor(const core::NetworkConfig &cfg,
+                          uint64_t seed = 11);
+
+/** One network executed under the pipelines a bench needs. */
+struct NetRun
+{
+    core::NetworkConfig cfg;
+    core::RunResult original;
+    core::RunResult delayed;
+    core::RunResult ltd; ///< filled only when requested
+};
+
+/** Execute a network under original+delayed (and optionally ltd). */
+NetRun runNetwork(const core::NetworkConfig &cfg, bool needLtd = false,
+                  uint64_t seed = 11);
+
+/** Execute every network of a list. */
+std::vector<NetRun> runAll(const std::vector<core::NetworkConfig> &cfgs,
+                           bool needLtd = false, uint64_t seed = 11);
+
+/** Short display name matching the paper's figure labels. */
+std::string shortName(const std::string &networkName);
+
+} // namespace mesorasi::bench

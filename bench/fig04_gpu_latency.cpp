@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fig. 4: end-to-end latency of the five characterized networks on the
+ * mobile GPU (original algorithms, everything on the GPU).
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace mesorasi;
+using namespace mesorasi::bench;
+
+int
+main()
+{
+    std::cout << "Fig. 4 — network latency on the mobile GPU "
+                 "(original algorithm, GPU-only)\n";
+    hwsim::Soc soc(hwsim::SocConfig::defaultTx2());
+    const double paper_ms[] = {71.1, 132.9, 744.8, 5200.8, 141.4};
+
+    Table t("Latency (simulated TX2-class GPU vs. paper-measured TX2)",
+            {"Network", "Ours (ms)", "Paper (ms)", "Ours/Paper"});
+    int i = 0;
+    for (auto &run : runAll(core::zoo::characterizationNetworks())) {
+        auto r = soc.simulate(run.original, hwsim::Mapping::gpuOnly());
+        t.addRow({run.cfg.name, fmt(r.totalMs, 1), fmt(paper_ms[i], 1),
+                  fmtX(r.totalMs / paper_ms[i])});
+        ++i;
+    }
+    t.print();
+    std::cout << "Expected shape: DGCNN (s) slowest by an order of\n"
+                 "magnitude; all networks far from real-time.\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 6: distribution of the number of neighborhoods each point
+ * occurs in, for PointNet++ and DGCNN over multiple inputs.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/analysis.hpp"
+
+using namespace mesorasi;
+using namespace mesorasi::bench;
+
+namespace {
+
+void
+report(const core::NetworkConfig &cfg, int numInputs)
+{
+    core::NetworkExecutor exec(cfg, 1);
+    Histogram hist;
+    for (int i = 0; i < numInputs; ++i) {
+        geom::PointCloud cloud = inputFor(cfg, 100 + i);
+        auto run = exec.run(cloud, core::PipelineKind::Delayed, 7);
+        Histogram h = core::neighborhoodOccupancy(run.nits);
+        for (const auto &[k, c] : h.entries())
+            hist.add(k, c);
+    }
+    Table t(cfg.name + " — neighborhoods each point occurs in (" +
+                std::to_string(numInputs) + " inputs)",
+            {"Statistic", "Value"});
+    t.addRow({"mean", fmt(hist.keyMean(), 1)});
+    t.addRow({"median", fmt(static_cast<double>(hist.keyPercentile(0.5)),
+                            0)});
+    t.addRow({"p90", fmt(static_cast<double>(hist.keyPercentile(0.9)),
+                         0)});
+    t.addRow({"max", fmt(static_cast<double>(hist.keyPercentile(1.0)),
+                         0)});
+    t.print();
+
+    // Coarse histogram rows (the figure's x-axis buckets).
+    Table b("occupancy histogram", {"occurs in #nbhds", "#points"});
+    int64_t bucket_lo = 0;
+    uint64_t acc = 0;
+    for (const auto &[k, c] : hist.entries()) {
+        while (k >= bucket_lo + 10) {
+            if (acc > 0)
+                b.addRow({std::to_string(bucket_lo) + "-" +
+                              std::to_string(bucket_lo + 9),
+                          std::to_string(acc)});
+            acc = 0;
+            bucket_lo += 10;
+        }
+        acc += c;
+    }
+    if (acc > 0)
+        b.addRow({std::to_string(bucket_lo) + "+", std::to_string(acc)});
+    b.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Fig. 6 — neighborhood-occupancy distributions\n"
+                 "(paper: PointNet++ points mostly occur in >30\n"
+                 "neighborhoods; DGCNN in ~20)\n";
+    report(core::zoo::pointnetppClassification(), 8);
+    report(core::zoo::dgcnnClassification(), 4);
+    return 0;
+}

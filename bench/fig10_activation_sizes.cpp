@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 10: distribution of per-layer MLP output sizes with and without
+ * delayed-aggregation (the paper's violin plot, rendered as summary
+ * statistics per network).
+ */
+#include <algorithm>
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/analysis.hpp"
+
+using namespace mesorasi;
+using namespace mesorasi::bench;
+
+int
+main()
+{
+    std::cout << "Fig. 10 — MLP layer-output size distribution\n";
+    Table t("Layer output sizes (min / median / max per network)",
+            {"Network", "Orig min", "Orig med", "Orig max", "Del min",
+             "Del med", "Del max"});
+    for (const auto &cfg : core::zoo::characterizationNetworks()) {
+        core::NetworkExecutor exec(cfg, 1);
+        auto so = core::layerOutputSizes(exec.analyticTrace(
+            core::PipelineKind::Original, cfg.numInputPoints));
+        auto sd = core::layerOutputSizes(exec.analyticTrace(
+            core::PipelineKind::Delayed, cfg.numInputPoints));
+        auto stats = [](std::vector<int64_t> v) {
+            std::sort(v.begin(), v.end());
+            return std::array<int64_t, 3>{{v.front(), v[v.size() / 2],
+                                           v.back()}};
+        };
+        auto o = stats(so);
+        auto d = stats(sd);
+        t.addRow({cfg.name, fmtBytes(static_cast<double>(o[0])),
+                  fmtBytes(static_cast<double>(o[1])),
+                  fmtBytes(static_cast<double>(o[2])),
+                  fmtBytes(static_cast<double>(d[0])),
+                  fmtBytes(static_cast<double>(d[1])),
+                  fmtBytes(static_cast<double>(d[2]))});
+    }
+    t.print();
+    std::cout << "Paper shape: multi-MB activations (up to 32 MB) in\n"
+                 "the original algorithm shrink to the sub-MB range —\n"
+                 "small enough to buffer on-chip.\n";
+    return 0;
+}

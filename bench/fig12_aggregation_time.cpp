@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 12: absolute and relative aggregation time in the original vs
+ * delayed algorithms across the five characterized networks.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace mesorasi;
+using namespace mesorasi::bench;
+
+int
+main()
+{
+    std::cout << "Fig. 12 — aggregation time grows under "
+                 "delayed-aggregation (GPU)\n";
+    hwsim::Soc soc(hwsim::SocConfig::defaultTx2());
+
+    Table t("Aggregation time, absolute and share of total",
+            {"Network", "Orig (ms)", "Orig (%)", "Delayed (ms)",
+             "Delayed (%)"});
+    std::vector<double> orig_rel, del_rel;
+    for (auto &run : runAll(core::zoo::characterizationNetworks())) {
+        auto ro = soc.simulate(run.original, hwsim::Mapping::gpuOnly());
+        auto rd =
+            soc.simulate(run.delayed, hwsim::Mapping::gpuOnly(true));
+        double o_pct =
+            ro.phases.aggregationMs / ro.phases.serialTotal();
+        double d_pct =
+            rd.phases.aggregationMs / rd.phases.serialTotal();
+        orig_rel.push_back(o_pct);
+        del_rel.push_back(d_pct);
+        t.addRow({run.cfg.name, fmt(ro.phases.aggregationMs, 2),
+                  fmtPct(o_pct), fmt(rd.phases.aggregationMs, 2),
+                  fmtPct(d_pct)});
+    }
+    t.addRow({"AVERAGE", "-", fmtPct(mean(orig_rel)), "-",
+              fmtPct(mean(del_rel))});
+    t.print();
+    std::cout << "Paper: average aggregation share grows from ~3% to\n"
+                 "~24% — it gathers Mout-dimensional features from a\n"
+                 "working set that no longer fits the L1.\n";
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fig. 16: accuracy of networks trained with delayed-aggregation vs
+ * the originals.
+ *
+ * Two reproductions of the paper's claim:
+ *  1. Approximation study — per-module output divergence between the
+ *     pipelines with shared (untrained) weights: exact for single-layer
+ *     modules and max-reduction, small bounded error otherwise.
+ *  2. Training study — mini point-cloud classifiers trained from
+ *     scratch under both pipelines on the synthetic shape dataset reach
+ *     comparable accuracy (the paper's "accuracy loss is recovered by
+ *     retraining" mechanism). Full-scale ModelNet40 training is out of
+ *     scope without the datasets; see DESIGN.md.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "train/mini_net.hpp"
+
+using namespace mesorasi;
+using namespace mesorasi::bench;
+
+namespace {
+
+void
+approximationStudy()
+{
+    Table t("Pipeline output divergence (shared untrained weights)",
+            {"Network", "max|orig-delayed|", "rel. to output norm"});
+    for (const auto &cfg : core::zoo::allNetworks()) {
+        NetRun run = runNetwork(cfg);
+        float diff =
+            run.original.logits.maxAbsDiff(run.delayed.logits);
+        float norm = run.original.logits.frobeniusNorm() /
+                     std::sqrt(static_cast<float>(
+                         std::max<int64_t>(1,
+                                           run.original.logits.numel())));
+        t.addRow({cfg.name, fmt(diff, 3),
+                  norm > 0 ? fmt(diff / norm, 3) : "0"});
+    }
+    t.print();
+}
+
+void
+trainingStudy()
+{
+    train::MiniNetConfig cfg;
+    cfg.numPoints = 192;
+    cfg.numCentroids = 48;
+    cfg.k = 8;
+    cfg.numClasses = 8;
+    cfg.lr = 0.06f;
+    auto train_set = train::makeShapeDataset(21, cfg.numClasses, 16,
+                                             cfg.numPoints);
+    auto test_set = train::makeShapeDataset(22, cfg.numClasses, 8,
+                                            cfg.numPoints);
+
+    Table t("Mini-network accuracy, trained from scratch (8 shape "
+            "classes, chance = 12.5%)",
+            {"Pipeline", "Train acc", "Test acc"});
+    for (auto kind : {core::PipelineKind::Original,
+                      core::PipelineKind::Delayed}) {
+        train::MiniPointNet net(cfg, kind, 31);
+        Rng rng(32);
+        for (int epoch = 0; epoch < 80; ++epoch)
+            net.trainEpoch(train_set, rng);
+        t.addRow({core::pipelineName(kind),
+                  fmtPct(net.evaluate(train_set)),
+                  fmtPct(net.evaluate(test_set))});
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Fig. 16 — accuracy: original vs delayed-aggregation\n";
+
+    Table paper("Paper-reported accuracies (reference)",
+                {"Network", "Original", "Mesorasi"});
+    const char *names[] = {"PointNet++ (c)", "PointNet++ (s)",
+                           "DGCNN (c)",      "DGCNN (s)",
+                           "F-PointNet",     "LDGCNN",
+                           "DensePoint"};
+    const double orig[] = {90.8, 84.0, 91.5, 84.9, 71.3, 92.9, 92.6};
+    const double meso[] = {89.9, 84.0, 91.5, 84.2, 72.5, 92.3, 93.2};
+    for (int i = 0; i < 7; ++i)
+        paper.addRow({names[i], fmt(orig[i], 1) + "%",
+                      fmt(meso[i], 1) + "%"});
+    paper.print();
+
+    approximationStudy();
+    trainingStudy();
+
+    std::cout << "Shape to check: single-MLP-layer networks diverge by\n"
+                 "~0 before any retraining; multi-layer ones diverge\n"
+                 "modestly, and training from scratch under the delayed\n"
+                 "pipeline reaches accuracy comparable to the original\n"
+                 "(paper: -0.9% to +1.2% across the zoo).\n";
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrate libraries: host
+ * performance of neighbor search, tensor ops, pipelines, and the AU
+ * simulator itself. These are engineering benchmarks of *this*
+ * implementation, complementing the figure-reproduction benches.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/networks.hpp"
+#include "geom/sampling.hpp"
+#include "geom/shapes.hpp"
+#include "hwsim/agg_unit.hpp"
+#include "neighbor/brute_force.hpp"
+#include "neighbor/kdtree.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace mesorasi;
+
+geom::PointCloud
+cloudOf(int n)
+{
+    Rng rng(1);
+    geom::ShapeParams p{n, 0.0f, -1};
+    return geom::makeTorus(rng, p, {}, 0.7f, 0.25f);
+}
+
+void
+BM_KdTreeBuild(benchmark::State &state)
+{
+    auto cloud = cloudOf(static_cast<int>(state.range(0)));
+    neighbor::FlatPoints flat(cloud);
+    for (auto _ : state) {
+        neighbor::KdTree tree(flat.view());
+        benchmark::DoNotOptimize(tree.numNodes());
+    }
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void
+BM_KdTreeKnn(benchmark::State &state)
+{
+    auto cloud = cloudOf(static_cast<int>(state.range(0)));
+    neighbor::FlatPoints flat(cloud);
+    neighbor::KdTree tree(flat.view());
+    std::vector<int32_t> queries;
+    for (int i = 0; i < state.range(0); i += 4)
+        queries.push_back(i);
+    for (auto _ : state) {
+        auto nit = tree.knnTable(queries, 32);
+        benchmark::DoNotOptimize(nit.size());
+    }
+}
+BENCHMARK(BM_KdTreeKnn)->Arg(1024)->Arg(4096);
+
+void
+BM_BruteForceKnn(benchmark::State &state)
+{
+    auto cloud = cloudOf(static_cast<int>(state.range(0)));
+    neighbor::FlatPoints flat(cloud);
+    std::vector<int32_t> queries;
+    for (int i = 0; i < state.range(0); i += 4)
+        queries.push_back(i);
+    for (auto _ : state) {
+        auto nit = neighbor::knnBruteForce(flat.view(), queries, 32);
+        benchmark::DoNotOptimize(nit.size());
+    }
+}
+BENCHMARK(BM_BruteForceKnn)->Arg(1024);
+
+void
+BM_Fps(benchmark::State &state)
+{
+    auto cloud = cloudOf(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto idx = geom::farthestPointSample(cloud, 512);
+        benchmark::DoNotOptimize(idx.size());
+    }
+}
+BENCHMARK(BM_Fps)->Arg(2048)->Arg(8192);
+
+void
+BM_Matmul(benchmark::State &state)
+{
+    Rng rng(2);
+    int n = static_cast<int>(state.range(0));
+    tensor::Tensor a = tensor::uniform(rng, n, 64, -1, 1);
+    tensor::Tensor b = tensor::uniform(rng, 64, 128, -1, 1);
+    for (auto _ : state) {
+        tensor::Tensor c = tensor::matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * int64_t(n) * 64 * 128);
+}
+BENCHMARK(BM_Matmul)->Arg(1024)->Arg(16384);
+
+void
+BM_PipelineModule(benchmark::State &state)
+{
+    bool delayed = state.range(0) != 0;
+    Rng wrng(3);
+    core::ModuleConfig cfg;
+    cfg.name = "m";
+    cfg.numCentroids = 512;
+    cfg.k = 32;
+    cfg.search = core::SearchKind::Knn;
+    cfg.mlpWidths = {64, 64, 128};
+    core::ModuleExecutor ex(cfg, 3, wrng);
+
+    auto cloud = cloudOf(1024);
+    core::ModuleState in;
+    in.coords = tensor::Tensor(1024, 3);
+    for (int i = 0; i < 1024; ++i) {
+        in.coords(i, 0) = cloud[i].x;
+        in.coords(i, 1) = cloud[i].y;
+        in.coords(i, 2) = cloud[i].z;
+    }
+    in.features = in.coords;
+
+    for (auto _ : state) {
+        Rng srng(4);
+        auto r = ex.run(in,
+                        delayed ? core::PipelineKind::Delayed
+                                : core::PipelineKind::Original,
+                        srng);
+        benchmark::DoNotOptimize(r.out.features.data());
+    }
+}
+BENCHMARK(BM_PipelineModule)->Arg(0)->Arg(1);
+
+void
+BM_AuSimulate(benchmark::State &state)
+{
+    Rng rng(5);
+    neighbor::NeighborIndexTable nit(32);
+    for (int i = 0; i < 512; ++i) {
+        neighbor::NitEntry e;
+        e.centroid = static_cast<int32_t>(rng.uniformInt(0, 1023));
+        e.neighbors = rng.sampleWithoutReplacement(1024, 32);
+        nit.add(std::move(e));
+    }
+    hwsim::AggregationUnit au(hwsim::AuConfig{}, hwsim::NpuConfig{},
+                              hwsim::EnergyConfig{});
+    for (auto _ : state) {
+        auto s = au.aggregate(nit, 1024, 128);
+        benchmark::DoNotOptimize(s.cycles);
+    }
+}
+BENCHMARK(BM_AuSimulate);
+
+} // namespace
+
+BENCHMARK_MAIN();

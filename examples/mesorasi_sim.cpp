@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Command-line SoC simulator: pick a network, a pipeline, and a system
+ * configuration; get the simulated latency/energy report. Optionally
+ * load your own point cloud (.xyz or .ply) instead of the synthetic
+ * dataset input.
+ *
+ * Usage:
+ *   mesorasi_sim [--network NAME] [--system SYS] [--input FILE]
+ *                [--sa-size N] [--pft-kb N] [--nit-kb N] [--list]
+ *
+ *   NAME: pointnet++c | pointnet++s | dgcnnc | dgcnns | fpointnet |
+ *         ldgcnn | densepoint          (default: pointnet++c)
+ *   SYS:  gpu | baseline | sw | hw | hw+nse   (default: hw)
+ */
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "common/table.hpp"
+#include "core/networks.hpp"
+#include "geom/datasets.hpp"
+#include "geom/io.hpp"
+#include "geom/sampling.hpp"
+#include "hwsim/soc.hpp"
+
+using namespace mesorasi;
+
+namespace {
+
+std::map<std::string, core::NetworkConfig>
+networkTable()
+{
+    return {
+        {"pointnet++c", core::zoo::pointnetppClassification()},
+        {"pointnet++s", core::zoo::pointnetppSegmentation()},
+        {"dgcnnc", core::zoo::dgcnnClassification()},
+        {"dgcnns", core::zoo::dgcnnSegmentation()},
+        {"fpointnet", core::zoo::fPointNet()},
+        {"ldgcnn", core::zoo::ldgcnn()},
+        {"densepoint", core::zoo::densePoint()},
+    };
+}
+
+geom::PointCloud
+defaultInput(const core::NetworkConfig &cfg)
+{
+    if (cfg.task == core::Task::Segmentation) {
+        geom::ShapeNetSim sim(11, cfg.numInputPoints);
+        return sim.sample(0).cloud;
+    }
+    geom::ModelNetSim sim(11, cfg.numInputPoints);
+    return sim.sample(0).cloud;
+}
+
+/** Resample an arbitrary cloud to the network's input size. */
+geom::PointCloud
+fitToNetwork(geom::PointCloud cloud, int32_t n)
+{
+    MESO_REQUIRE(!cloud.empty(), "input cloud is empty");
+    Rng rng(1);
+    std::vector<int32_t> idx;
+    int32_t sz = static_cast<int32_t>(cloud.size());
+    if (sz >= n) {
+        idx = rng.sampleWithoutReplacement(sz, n);
+    } else {
+        for (int32_t i = 0; i < sz; ++i)
+            idx.push_back(i);
+        while (static_cast<int32_t>(idx.size()) < n)
+            idx.push_back(static_cast<int32_t>(rng.uniformInt(0, sz - 1)));
+    }
+    geom::PointCloud out = cloud.select(idx);
+    out.normalizeToUnitSphere();
+    return geom::mortonOrder(out);
+}
+
+int
+usage()
+{
+    std::cout <<
+        "usage: mesorasi_sim [--network NAME] [--system SYS]\n"
+        "                    [--input FILE.xyz|FILE.ply]\n"
+        "                    [--sa-size N] [--pft-kb N] [--nit-kb N]\n"
+        "                    [--list]\n"
+        "systems: gpu baseline sw hw hw+nse\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string network = "pointnet++c";
+    std::string system = "hw";
+    std::string input;
+    hwsim::SocConfig soc_cfg = hwsim::SocConfig::defaultTx2();
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char * {
+            MESO_REQUIRE(i + 1 < argc, "missing value for " << argv[i]);
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--network")) {
+            network = next();
+        } else if (!std::strcmp(argv[i], "--system")) {
+            system = next();
+        } else if (!std::strcmp(argv[i], "--input")) {
+            input = next();
+        } else if (!std::strcmp(argv[i], "--sa-size")) {
+            soc_cfg.npu.systolicRows = soc_cfg.npu.systolicCols =
+                std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--pft-kb")) {
+            soc_cfg.au.pftBufferBytes = std::atoi(next()) * 1024;
+        } else if (!std::strcmp(argv[i], "--nit-kb")) {
+            soc_cfg.au.nitBufferBytes = std::atoi(next()) * 1024;
+        } else if (!std::strcmp(argv[i], "--list")) {
+            for (const auto &[name, cfg] : networkTable())
+                std::cout << name << "  (" << cfg.name << ", "
+                          << cfg.numInputPoints << " pts)\n";
+            return 0;
+        } else {
+            return usage();
+        }
+    }
+
+    auto nets = networkTable();
+    auto it = nets.find(network);
+    if (it == nets.end()) {
+        std::cerr << "unknown network '" << network << "'\n";
+        return usage();
+    }
+    const core::NetworkConfig &cfg = it->second;
+
+    hwsim::Mapping mapping;
+    core::PipelineKind kind = core::PipelineKind::Delayed;
+    if (system == "gpu") {
+        mapping = hwsim::Mapping::gpuOnly();
+        kind = core::PipelineKind::Original;
+    } else if (system == "baseline") {
+        mapping = hwsim::Mapping::baselineGpuNpu();
+        kind = core::PipelineKind::Original;
+    } else if (system == "sw") {
+        mapping = hwsim::Mapping::mesorasiSw();
+    } else if (system == "hw") {
+        mapping = hwsim::Mapping::mesorasiHw();
+    } else if (system == "hw+nse") {
+        mapping = hwsim::Mapping::mesorasiHw().withNse();
+    } else {
+        std::cerr << "unknown system '" << system << "'\n";
+        return usage();
+    }
+
+    geom::PointCloud cloud;
+    if (input.empty()) {
+        cloud = defaultInput(cfg);
+    } else if (input.size() > 4 &&
+               input.substr(input.size() - 4) == ".ply") {
+        cloud = fitToNetwork(geom::readPlyFile(input),
+                             cfg.numInputPoints);
+    } else {
+        cloud = fitToNetwork(geom::readXyzFile(input),
+                             cfg.numInputPoints);
+    }
+
+    core::NetworkExecutor exec(cfg, /*weightSeed=*/1);
+    auto run = exec.run(cloud, kind, /*runSeed=*/7);
+    hwsim::Soc soc(soc_cfg);
+    auto rep = soc.simulate(run, mapping);
+
+    Table t(cfg.name + " on " + rep.mapping, {"Metric", "Value"});
+    t.addRow({"latency", fmt(rep.totalMs, 3) + " ms"});
+    t.addRow({"neighbor search", fmt(rep.phases.searchMs, 3) + " ms"});
+    t.addRow({"feature computation",
+              fmt(rep.phases.featureMs, 3) + " ms"});
+    t.addRow({"aggregation", fmt(rep.phases.aggregationMs, 3) + " ms"});
+    t.addRow({"others", fmt(rep.phases.otherMs, 3) + " ms"});
+    t.addRow({"energy", fmt(rep.totalEnergyMj(), 2) + " mJ"});
+    t.addRow({"DRAM traffic",
+              fmtBytes(static_cast<double>(rep.dramBytes))});
+    if (rep.auStats.cycles > 0) {
+        t.addRow({"AU cycles", std::to_string(rep.auStats.cycles)});
+        t.addRow({"AU bank-conflict rounds",
+                  fmtPct(rep.auStats.conflictFraction)});
+    }
+    t.print();
+    return 0;
+}

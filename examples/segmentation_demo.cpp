@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Part segmentation on the synthetic ShapeNet-style dataset: run
+ * PointNet++ (s) (set-abstraction encoder + feature-propagation
+ * decoder) under both pipelines, check that they predict consistent
+ * per-point labels, and compare SoC executions.
+ */
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/networks.hpp"
+#include "geom/datasets.hpp"
+#include "hwsim/soc.hpp"
+
+using namespace mesorasi;
+
+int
+main()
+{
+    std::cout << "Part-segmentation demo (synthetic ShapeNet-style "
+                 "dataset + PointNet++ (s))\n";
+
+    core::NetworkConfig cfg = core::zoo::pointnetppSegmentation();
+    geom::ShapeNetSim sim(9, cfg.numInputPoints);
+    auto sample = sim.sample(2); // a mug-like category
+    std::cout << "input: " << sample.cloud.size() << " points, "
+              << sample.numParts << " ground-truth parts\n";
+
+    core::NetworkExecutor exec(cfg, /*weightSeed=*/1);
+    auto orig = exec.run(sample.cloud, core::PipelineKind::Original, 5);
+    auto delayed =
+        exec.run(sample.cloud, core::PipelineKind::Delayed, 5);
+
+    // Per-point label agreement between the pipelines: even before any
+    // training, both compute (approximately) the same function, so the
+    // argmax labels should mostly coincide.
+    int32_t agree = 0;
+    for (int32_t r = 0; r < orig.logits.rows(); ++r) {
+        int32_t a = 0, b = 0;
+        for (int32_t c = 1; c < orig.logits.cols(); ++c) {
+            if (orig.logits(r, c) > orig.logits(r, a))
+                a = c;
+            if (delayed.logits(r, c) > delayed.logits(r, b))
+                b = c;
+        }
+        agree += a == b;
+    }
+    std::cout << "per-point argmax agreement (orig vs delayed): "
+              << fmtPct(static_cast<double>(agree) / orig.logits.rows())
+              << "\n";
+
+    hwsim::Soc soc(hwsim::SocConfig::defaultTx2());
+    Table t("Simulated execution", {"System", "Latency (ms)",
+                                    "N (ms)", "F (ms)", "A (ms)",
+                                    "Energy (mJ)"});
+    auto row = [&](const core::RunResult &r, hwsim::Mapping m) {
+        auto rep = soc.simulate(r, m);
+        t.addRow({rep.mapping, fmt(rep.totalMs, 2),
+                  fmt(rep.phases.searchMs, 2),
+                  fmt(rep.phases.featureMs, 2),
+                  fmt(rep.phases.aggregationMs, 2),
+                  fmt(rep.totalEnergyMj(), 1)});
+    };
+    row(orig, hwsim::Mapping::gpuOnly());
+    row(orig, hwsim::Mapping::baselineGpuNpu());
+    row(delayed, hwsim::Mapping::mesorasiSw());
+    row(delayed, hwsim::Mapping::mesorasiHw());
+    t.print();
+    std::cout << "Note the decoder (feature propagation) keeps the\n"
+                 "segmentation head per-point: the whole cloud gets a\n"
+                 "label, unlike classification's single vector.\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Training demo: train the mini point-cloud classifier from scratch
+ * under the original and delayed-aggregation pipelines on the synthetic
+ * shape dataset, reproducing the mechanism behind the paper's Fig. 16
+ * (training absorbs the delayed-aggregation approximation).
+ */
+#include <iostream>
+
+#include "common/table.hpp"
+#include "train/mini_net.hpp"
+
+using namespace mesorasi;
+
+int
+main()
+{
+    std::cout << "Training demo: 8-class shape classification "
+                 "(chance = 12.5%)\n";
+
+    train::MiniNetConfig cfg;
+    cfg.numPoints = 192;
+    cfg.numCentroids = 48;
+    cfg.k = 8;
+    cfg.numClasses = 8;
+    cfg.lr = 0.06f;
+
+    auto train_set =
+        train::makeShapeDataset(100, cfg.numClasses, 16, cfg.numPoints);
+    auto test_set =
+        train::makeShapeDataset(200, cfg.numClasses, 8, cfg.numPoints);
+    std::cout << "train: " << train_set.size()
+              << " clouds, test: " << test_set.size() << " clouds\n";
+
+    Table t("Accuracy after each training stage",
+            {"Epoch", "orig loss", "orig test acc", "delayed loss",
+             "delayed test acc"});
+
+    train::MiniPointNet orig(cfg, core::PipelineKind::Original, 31);
+    train::MiniPointNet delayed(cfg, core::PipelineKind::Delayed, 31);
+    Rng r1(32), r2(32);
+
+    for (int epoch = 1; epoch <= 60; ++epoch) {
+        double lo = orig.trainEpoch(train_set, r1);
+        double ld = delayed.trainEpoch(train_set, r2);
+        if (epoch % 10 == 0) {
+            t.addRow({std::to_string(epoch), fmt(lo, 3),
+                      fmtPct(orig.evaluate(test_set)), fmt(ld, 3),
+                      fmtPct(delayed.evaluate(test_set))});
+        }
+    }
+    t.print();
+    std::cout << "Expected: both pipelines converge to comparable\n"
+                 "accuracy — delayed-aggregation's approximation is\n"
+                 "absorbed when the network is trained from scratch\n"
+                 "(paper Fig. 16: within -0.9% to +1.2%).\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Runtime-check macros used across the library.
+ *
+ * Following the gem5 convention, we distinguish between conditions that
+ * indicate a library bug (MESO_CHECK, analogous to panic) and conditions
+ * caused by invalid user input (MESO_REQUIRE, analogous to fatal). Both
+ * throw exceptions so tests can assert on failure behaviour instead of
+ * aborting the process.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mesorasi {
+
+/** Thrown when an internal invariant is violated (a library bug). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown when user-supplied arguments or configuration are invalid. */
+class UsageError : public std::runtime_error
+{
+  public:
+    explicit UsageError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+throwInternal(const char *cond, const char *file, int line,
+              const std::string &msg)
+{
+    std::ostringstream os;
+    os << "internal check failed: (" << cond << ") at " << file << ":"
+       << line;
+    if (!msg.empty())
+        os << ": " << msg;
+    throw InternalError(os.str());
+}
+
+[[noreturn]] inline void
+throwUsage(const char *cond, const char *file, int line,
+           const std::string &msg)
+{
+    std::ostringstream os;
+    os << "requirement failed: (" << cond << ") at " << file << ":" << line;
+    if (!msg.empty())
+        os << ": " << msg;
+    throw UsageError(os.str());
+}
+
+} // namespace detail
+
+/** Assert an internal invariant; throws InternalError on failure. */
+#define MESO_CHECK(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream meso_os_;                                    \
+            meso_os_ << "" __VA_ARGS__;                                     \
+            ::mesorasi::detail::throwInternal(#cond, __FILE__, __LINE__,    \
+                                              meso_os_.str());              \
+        }                                                                   \
+    } while (0)
+
+/** Validate user input; throws UsageError on failure. */
+#define MESO_REQUIRE(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream meso_os_;                                    \
+            meso_os_ << "" __VA_ARGS__;                                     \
+            ::mesorasi::detail::throwUsage(#cond, __FILE__, __LINE__,       \
+                                           meso_os_.str());                 \
+        }                                                                   \
+    } while (0)
+
+} // namespace mesorasi

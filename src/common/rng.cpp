@@ -1,0 +1,66 @@
+#include "common/rng.hpp"
+
+#include "common/check.hpp"
+
+namespace mesorasi {
+
+float
+Rng::uniform(float lo, float hi)
+{
+    std::uniform_real_distribution<float> d(lo, hi);
+    return d(engine_);
+}
+
+double
+Rng::uniformDouble(double lo, double hi)
+{
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    MESO_CHECK(lo <= hi, "uniformInt with lo=" << lo << " hi=" << hi);
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+}
+
+float
+Rng::gaussian(float mean, float stddev)
+{
+    std::normal_distribution<float> d(mean, stddev);
+    return d(engine_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+}
+
+std::vector<int32_t>
+Rng::sampleWithoutReplacement(int32_t n, int32_t k)
+{
+    MESO_REQUIRE(k >= 0 && k <= n,
+                 "cannot draw " << k << " distinct samples from " << n);
+    std::vector<int32_t> all(n);
+    for (int32_t i = 0; i < n; ++i)
+        all[i] = i;
+    // Partial Fisher-Yates: only the first k positions are needed.
+    for (int32_t i = 0; i < k; ++i) {
+        int32_t j = static_cast<int32_t>(uniformInt(i, n - 1));
+        std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(engine_());
+}
+
+} // namespace mesorasi

@@ -1,0 +1,126 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mesorasi {
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    Summary s;
+    s.count = xs.size();
+    if (xs.empty())
+        return s;
+
+    std::vector<double> sorted(xs);
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+
+    double sum = 0.0;
+    for (double x : sorted)
+        sum += x;
+    s.mean = sum / sorted.size();
+
+    double sq = 0.0;
+    for (double x : sorted)
+        sq += (x - s.mean) * (x - s.mean);
+    s.stddev = sorted.size() > 1 ? std::sqrt(sq / (sorted.size() - 1)) : 0.0;
+
+    s.median = percentile(sorted, 50.0);
+    s.p25 = percentile(sorted, 25.0);
+    s.p75 = percentile(sorted, 75.0);
+    return s;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / xs.size();
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    MESO_REQUIRE(!xs.empty(), "geomean of empty sample");
+    double logsum = 0.0;
+    for (double x : xs) {
+        MESO_REQUIRE(x > 0.0, "geomean requires positive values, got " << x);
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / xs.size());
+}
+
+double
+percentile(std::vector<double> xs, double q)
+{
+    MESO_REQUIRE(!xs.empty(), "percentile of empty sample");
+    MESO_REQUIRE(q >= 0.0 && q <= 100.0, "percentile q=" << q);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double pos = q / 100.0 * (xs.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = pos - lo;
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+void
+Histogram::add(int64_t key, uint64_t weight)
+{
+    counts_[key] += weight;
+    total_ += weight;
+}
+
+uint64_t
+Histogram::count(int64_t key) const
+{
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<int64_t, uint64_t>>
+Histogram::entries() const
+{
+    return {counts_.begin(), counts_.end()};
+}
+
+double
+Histogram::keyMean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &[k, c] : counts_)
+        acc += static_cast<double>(k) * static_cast<double>(c);
+    return acc / static_cast<double>(total_);
+}
+
+int64_t
+Histogram::keyPercentile(double fraction) const
+{
+    MESO_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+                 "fraction=" << fraction);
+    if (total_ == 0)
+        return 0;
+    uint64_t threshold =
+        static_cast<uint64_t>(fraction * static_cast<double>(total_));
+    uint64_t acc = 0;
+    for (const auto &[k, c] : counts_) {
+        acc += c;
+        if (acc >= threshold)
+            return k;
+    }
+    return counts_.rbegin()->first;
+}
+
+} // namespace mesorasi

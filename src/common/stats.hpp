@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lightweight descriptive statistics used by analyses and benches.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mesorasi {
+
+/** Summary statistics over a sample of doubles. */
+struct Summary
+{
+    size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double median = 0.0;
+    double p25 = 0.0;
+    double p75 = 0.0;
+};
+
+/** Compute summary statistics; an empty sample yields a zero Summary. */
+Summary summarize(const std::vector<double> &xs);
+
+/** Geometric mean; requires strictly positive inputs. */
+double geomean(const std::vector<double> &xs);
+
+/** Arithmetic mean; an empty sample yields 0. */
+double mean(const std::vector<double> &xs);
+
+/** Linear interpolated percentile, q in [0, 100]. */
+double percentile(std::vector<double> xs, double q);
+
+/**
+ * Integer-bucket histogram: counts occurrences of integer keys. Used e.g.
+ * for the Fig. 6 neighborhood-occupancy distribution.
+ */
+class Histogram
+{
+  public:
+    /** Record one observation of @p key. */
+    void add(int64_t key, uint64_t weight = 1);
+
+    /** Count recorded for @p key (0 if never observed). */
+    uint64_t count(int64_t key) const;
+
+    /** Total observations across all keys. */
+    uint64_t total() const { return total_; }
+
+    /** Sorted (key, count) pairs. */
+    std::vector<std::pair<int64_t, uint64_t>> entries() const;
+
+    /** Mean of the key distribution, weighted by count. */
+    double keyMean() const;
+
+    /** Smallest key with cumulative count >= fraction * total. */
+    int64_t keyPercentile(double fraction) const;
+
+  private:
+    std::map<int64_t, uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace mesorasi

@@ -1,0 +1,107 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/check.hpp"
+
+namespace mesorasi {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    MESO_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    MESO_REQUIRE(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, expected "
+                            << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    size_t total = 1;
+    for (size_t w : widths)
+        total += w + 3;
+
+    os << "\n" << title_ << "\n" << std::string(total, '-') << "\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << " " << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    os << std::string(total, '-') << "\n";
+}
+
+void
+Table::print() const
+{
+    print(std::cout);
+}
+
+std::string
+fmt(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtX(double v, int digits)
+{
+    return fmt(v, digits) + "x";
+}
+
+std::string
+fmtPct(double fraction, int digits)
+{
+    return fmt(fraction * 100.0, digits) + "%";
+}
+
+std::string
+fmtBytes(double bytes)
+{
+    const char *suffix[] = {"B", "KB", "MB", "GB", "TB"};
+    int i = 0;
+    while (std::abs(bytes) >= 1024.0 && i < 4) {
+        bytes /= 1024.0;
+        ++i;
+    }
+    return fmt(bytes, i == 0 ? 0 : 2) + " " + suffix[i];
+}
+
+std::string
+fmtCount(double count)
+{
+    const char *suffix[] = {"", "K", "M", "G", "T"};
+    int i = 0;
+    while (std::abs(count) >= 1000.0 && i < 4) {
+        count /= 1000.0;
+        ++i;
+    }
+    return fmt(count, i == 0 ? 0 : 2) + suffix[i];
+}
+
+} // namespace mesorasi

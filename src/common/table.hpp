@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to print
+ * paper-style result tables (one per figure/table in the evaluation).
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mesorasi {
+
+/**
+ * Column-aligned ASCII table. Rows are added as vectors of cells; cells
+ * are formatted by the caller (use fmt() helpers below).
+ */
+class Table
+{
+  public:
+    /** Create a table with the given title and column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to stdout. */
+    void print() const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits decimal places. */
+std::string fmt(double v, int digits = 2);
+
+/** Format a double as a multiplier, e.g. "1.62x". */
+std::string fmtX(double v, int digits = 2);
+
+/** Format a fraction as a percentage, e.g. 0.511 -> "51.1%". */
+std::string fmtPct(double fraction, int digits = 1);
+
+/** Format a byte count with a binary suffix (KB/MB/GB). */
+std::string fmtBytes(double bytes);
+
+/** Format a count with engineering suffix (K/M/G). */
+std::string fmtCount(double count);
+
+} // namespace mesorasi

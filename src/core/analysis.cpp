@@ -1,0 +1,79 @@
+#include "core/analysis.hpp"
+
+#include <map>
+
+#include "common/check.hpp"
+
+namespace mesorasi::core {
+
+Histogram
+neighborhoodOccupancy(
+    const std::vector<neighbor::NeighborIndexTable> &nits)
+{
+    Histogram hist;
+    for (const auto &nit : nits) {
+        std::map<int32_t, int64_t> counts;
+        for (const auto &entry : nit.entries())
+            for (int32_t n : entry.neighbors)
+                counts[n] += 1;
+        for (const auto &[point, occ] : counts)
+            hist.add(occ);
+    }
+    return hist;
+}
+
+int64_t
+featureMacs(const NetworkTrace &trace)
+{
+    int64_t acc = 0;
+    for (const auto &m : trace.modules)
+        for (const auto &op : m.ops)
+            if (op.kind == OpKind::MlpLayer)
+                acc += op.macs;
+    return acc;
+}
+
+double
+macReduction(const NetworkTrace &original, const NetworkTrace &delayed)
+{
+    int64_t orig = featureMacs(original);
+    int64_t del = featureMacs(delayed);
+    MESO_REQUIRE(orig > 0, "original trace has no MLP MACs");
+    return 1.0 - static_cast<double>(del) / static_cast<double>(orig);
+}
+
+std::vector<int64_t>
+layerOutputSizes(const NetworkTrace &trace)
+{
+    std::vector<int64_t> out;
+    for (const auto &m : trace.modules)
+        for (const auto &op : m.ops)
+            if (op.kind == OpKind::MlpLayer)
+                out.push_back(op.rows * op.outDim *
+                              static_cast<int64_t>(sizeof(float)));
+    return out;
+}
+
+int64_t
+cnnMacs(const std::string &model, int64_t numPixels)
+{
+    // Published MAC counts at the nominal input resolution; convolutional
+    // cost scales linearly with pixel count (fully-connected tails do
+    // not, but are a small fraction for these models).
+    struct CnnSpec
+    {
+        int64_t macs;
+        int64_t pixels;
+    };
+    static const std::map<std::string, CnnSpec> specs = {
+        {"alexnet", {700'000'000, 227 * 227}},     // @ 227x227
+        {"resnet50", {4'100'000'000, 224 * 224}},  // @ 224x224
+        {"yolov2", {17'500'000'000, 416 * 416}},   // @ 416x416
+    };
+    auto it = specs.find(model);
+    MESO_REQUIRE(it != specs.end(), "unknown CNN '" << model << "'");
+    return static_cast<int64_t>(static_cast<double>(it->second.macs) *
+                                numPixels / it->second.pixels);
+}
+
+} // namespace mesorasi::core

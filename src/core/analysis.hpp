@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Workload analyses for the characterization figures (Figs. 6, 7, 9, 10).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/network.hpp"
+
+namespace mesorasi::core {
+
+/**
+ * Fig. 6: distribution of the number of neighborhoods each input point
+ * occurs in, accumulated over the NITs of every module of one run.
+ */
+Histogram neighborhoodOccupancy(
+    const std::vector<neighbor::NeighborIndexTable> &nits);
+
+/** MAC operations of a feature-computation phase (MLP layers only). */
+int64_t featureMacs(const NetworkTrace &trace);
+
+/** Fig. 9: fractional MLP MAC reduction of delayed vs original. */
+double macReduction(const NetworkTrace &original,
+                    const NetworkTrace &delayed);
+
+/** Fig. 10: per-layer output sizes in bytes, one entry per MLP layer. */
+std::vector<int64_t> layerOutputSizes(const NetworkTrace &trace);
+
+/**
+ * Fig. 7: MAC count of a conventional CNN processing an input with
+ * roughly the same number of pixels as the point cloud has points.
+ * Returns MACs for a named classic CNN ("resnet50", "alexnet",
+ * "yolov2") scaled from its nominal input to @p numPixels.
+ */
+int64_t cnnMacs(const std::string &model, int64_t numPixels);
+
+} // namespace mesorasi::core

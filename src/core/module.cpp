@@ -1,0 +1,27 @@
+#include "core/module.hpp"
+
+namespace mesorasi::core {
+
+void
+ModuleConfig::validate() const
+{
+    MESO_REQUIRE(!mlpWidths.empty(), "module '" << name << "' has no MLP");
+    for (int32_t w : mlpWidths)
+        MESO_REQUIRE(w > 0, "module '" << name << "' has a zero-width "
+                                       << "MLP layer");
+    if (search != SearchKind::Global)
+        MESO_REQUIRE(k > 0, "module '" << name << "' has k=" << k);
+    if (search == SearchKind::Ball)
+        MESO_REQUIRE(radius > 0.0f,
+                     "module '" << name << "' has radius=" << radius);
+    if (aggregation == AggregationKind::ConcatCentroidDifference) {
+        // The exact delayed decomposition of the concat form relies on
+        // the first (and only) layer being the one that is split; see
+        // DelayedPipeline for the math.
+        MESO_REQUIRE(mlpWidths.size() == 1,
+                     "module '" << name << "': ConcatCentroidDifference "
+                     "requires a single-layer MLP (EdgeConv style)");
+    }
+}
+
+} // namespace mesorasi::core

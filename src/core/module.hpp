@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Point-cloud module description.
+ *
+ * A module is the point-cloud analogue of a convolution layer (paper
+ * Sec. III-A): it maps an Nin x Min point cloud to an Nout x Mout one via
+ * neighbor search (N), aggregation (A), and feature computation (F).
+ * ModuleConfig captures everything both execution pipelines and the
+ * hardware simulator need to know about one module.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mesorasi::core {
+
+/** How neighbors are found. */
+enum class SearchKind
+{
+    Knn,    ///< exact k nearest neighbors
+    Ball,   ///< radius query with a cap of k, padded (PointNet++ style)
+    Global, ///< one centroid aggregates the entire input (global module)
+};
+
+/** Which space the neighbor search runs in. */
+enum class SearchSpace
+{
+    Coords,   ///< original 3-D coordinates (PointNet++, F-PointNet)
+    Features, ///< current feature space (DGCNN's dynamic graph)
+};
+
+/** How centroids are chosen. */
+enum class SamplingKind
+{
+    All,            ///< every input point is a centroid (Nout == Nin)
+    Random,         ///< uniform subset (the paper's optimized baseline)
+    FarthestPoint,  ///< classic FPS
+};
+
+/** How a neighbor is normalized against its centroid (A). */
+enum class AggregationKind
+{
+    /** NFM row = feature(neighbor) - feature(centroid). Paper Eq. 1. */
+    Difference,
+    /**
+     * NFM row = [feature(centroid) | feature(neighbor)-feature(centroid)]
+     * (DGCNN EdgeConv). Restricted to single-layer MLPs, where the
+     * delayed form decomposes exactly (see DelayedPipeline).
+     */
+    ConcatCentroidDifference,
+};
+
+/** Configuration of one N-A-F module. */
+struct ModuleConfig
+{
+    std::string name;
+
+    /** Number of centroids; <= 0 means "all input points". */
+    int32_t numCentroids = 0;
+
+    /** Neighbors per centroid (K). For Global modules this is ignored
+     *  and the whole input forms one group. */
+    int32_t k = 32;
+
+    SearchKind search = SearchKind::Knn;
+    SearchSpace space = SearchSpace::Coords;
+    SamplingKind sampling = SamplingKind::Random;
+    AggregationKind aggregation = AggregationKind::Difference;
+
+    /** Ball-query radius (only for SearchKind::Ball). */
+    float radius = 0.2f;
+
+    /** MLP layer output widths, e.g. {64, 64, 128}. Input width is
+     *  derived from the incoming feature dimension (and doubled for
+     *  ConcatCentroidDifference). */
+    std::vector<int32_t> mlpWidths;
+
+    /** Output feature dim of this module. */
+    int32_t
+    outDim() const
+    {
+        MESO_REQUIRE(!mlpWidths.empty(), "module has no MLP layers");
+        return mlpWidths.back();
+    }
+
+    /** Effective MLP input width given the incoming feature dim. */
+    int32_t
+    mlpInDim(int32_t featureDim) const
+    {
+        return aggregation == AggregationKind::ConcatCentroidDifference
+                   ? 2 * featureDim
+                   : featureDim;
+    }
+
+    /** Centroid count given the incoming point count. */
+    int32_t
+    centroids(int32_t numInputPoints) const
+    {
+        if (search == SearchKind::Global)
+            return 1;
+        return numCentroids > 0 ? numCentroids : numInputPoints;
+    }
+
+    /** Group size given the incoming point count. */
+    int32_t
+    groupSize(int32_t numInputPoints) const
+    {
+        return search == SearchKind::Global ? numInputPoints : k;
+    }
+
+    /** Validate internal consistency; throws UsageError if broken. */
+    void validate() const;
+};
+
+/**
+ * A feature-propagation (interpolation) module, used by segmentation
+ * networks to upsample coarse features back onto dense points via
+ * inverse-distance weighted 3-NN interpolation followed by a per-point
+ * MLP (the "three_interpolate" kernel the paper's baseline optimizes).
+ */
+struct InterpModuleConfig
+{
+    std::string name;
+    int32_t numNeighbors = 3;
+    std::vector<int32_t> mlpWidths;
+
+    int32_t
+    outDim() const
+    {
+        MESO_REQUIRE(!mlpWidths.empty(), "interp module has no MLP");
+        return mlpWidths.back();
+    }
+};
+
+} // namespace mesorasi::core

@@ -1,0 +1,254 @@
+#include "core/networks.hpp"
+
+namespace mesorasi::core::zoo {
+
+namespace {
+
+/** Shorthand for an N-A-F module. */
+ModuleConfig
+saModule(const std::string &name, int32_t centroids, int32_t k,
+         float radius, std::vector<int32_t> widths)
+{
+    ModuleConfig m;
+    m.name = name;
+    m.numCentroids = centroids;
+    m.k = k;
+    m.search = SearchKind::Ball;
+    m.space = SearchSpace::Coords;
+    m.sampling = SamplingKind::Random;
+    m.aggregation = AggregationKind::Difference;
+    m.radius = radius;
+    m.mlpWidths = std::move(widths);
+    return m;
+}
+
+/** Global set-abstraction module (one group over all points). */
+ModuleConfig
+globalModule(const std::string &name, std::vector<int32_t> widths)
+{
+    ModuleConfig m;
+    m.name = name;
+    m.search = SearchKind::Global;
+    m.mlpWidths = std::move(widths);
+    return m;
+}
+
+/** EdgeConv module: k-NN in feature space, concat aggregation,
+ *  single-layer MLP, all points kept. */
+ModuleConfig
+edgeConv(const std::string &name, int32_t k, int32_t width)
+{
+    ModuleConfig m;
+    m.name = name;
+    m.numCentroids = 0; // all points
+    m.k = k;
+    m.search = SearchKind::Knn;
+    m.space = SearchSpace::Features;
+    m.sampling = SamplingKind::All;
+    m.aggregation = AggregationKind::ConcatCentroidDifference;
+    m.mlpWidths = {width};
+    return m;
+}
+
+InterpModuleConfig
+fpModule(const std::string &name, std::vector<int32_t> widths)
+{
+    InterpModuleConfig m;
+    m.name = name;
+    m.mlpWidths = std::move(widths);
+    return m;
+}
+
+} // namespace
+
+NetworkConfig
+pointnetppClassification()
+{
+    NetworkConfig net;
+    net.name = "PointNet++ (c)";
+    net.task = Task::Classification;
+    net.numInputPoints = 1024;
+    net.numClasses = 40;
+    net.modules = {
+        saModule("sa1", 512, 32, 0.2f, {64, 64, 128}),
+        saModule("sa2", 128, 64, 0.4f, {128, 128, 256}),
+        globalModule("sa3", {256, 512, 1024}),
+    };
+    net.headWidths = {512, 256};
+    return net;
+}
+
+NetworkConfig
+pointnetppSegmentation()
+{
+    NetworkConfig net;
+    net.name = "PointNet++ (s)";
+    net.task = Task::Segmentation;
+    net.numInputPoints = 2048;
+    net.numClasses = 50;
+    net.modules = {
+        saModule("sa1", 512, 32, 0.2f, {64, 64, 128}),
+        saModule("sa2", 128, 64, 0.4f, {128, 128, 256}),
+        globalModule("sa3", {256, 512, 1024}),
+    };
+    net.interpModules = {
+        fpModule("fp1", {256, 256}),
+        fpModule("fp2", {256, 128}),
+        fpModule("fp3", {128, 128, 128}),
+    };
+    net.headWidths = {128};
+    return net;
+}
+
+NetworkConfig
+dgcnnClassification()
+{
+    NetworkConfig net;
+    net.name = "DGCNN (c)";
+    net.task = Task::Classification;
+    net.numInputPoints = 1024;
+    net.numClasses = 40;
+    net.modules = {
+        edgeConv("ec1", 20, 64),
+        edgeConv("ec2", 20, 64),
+        edgeConv("ec3", 20, 128),
+        edgeConv("ec4", 20, 256),
+    };
+    net.concatModuleOutputs = true;
+    net.globalMlpWidths = {1024};
+    net.headWidths = {512, 256};
+    return net;
+}
+
+NetworkConfig
+dgcnnSegmentation()
+{
+    NetworkConfig net;
+    net.name = "DGCNN (s)";
+    net.task = Task::Segmentation;
+    net.numInputPoints = 2048;
+    net.numClasses = 50;
+    net.modules = {
+        edgeConv("ec1", 30, 64),
+        edgeConv("ec2", 30, 64),
+        edgeConv("ec3", 30, 64),
+    };
+    net.concatModuleOutputs = true;
+    net.globalMlpWidths = {1024};
+    net.headWidths = {256, 256, 128};
+    return net;
+}
+
+NetworkConfig
+fPointNet()
+{
+    NetworkConfig net;
+    net.name = "F-PointNet";
+    net.task = Task::Detection;
+    net.numInputPoints = 1024;
+    net.numClasses = 2; // foreground mask
+    // Instance segmentation: the paper notes F-PointNet's neighbor
+    // searches mostly return 128 neighbors (Sec. VII-D).
+    net.modules = {
+        saModule("sa1", 512, 128, 0.4f, {64, 64, 128}),
+        saModule("sa2", 128, 128, 0.8f, {128, 128, 256}),
+        globalModule("sa3", {256, 512, 1024}),
+    };
+    net.interpModules = {
+        fpModule("fp1", {256, 256}),
+        fpModule("fp2", {256, 128}),
+        fpModule("fp3", {128, 128}),
+    };
+    net.headWidths = {128};
+    // T-Net and box-estimation branches (global PointNets).
+    net.stage2Modules = {
+        globalModule("tnet", {128, 256, 512}),
+        globalModule("boxnet", {128, 128, 256, 512}),
+    };
+    net.stage2HeadWidths = {512, 256};
+    // Center (3) + heading bins (2x12) + size templates (4x8) = 59.
+    net.stage2Outputs = 59;
+    return net;
+}
+
+NetworkConfig
+ldgcnn()
+{
+    NetworkConfig net;
+    net.name = "LDGCNN";
+    net.task = Task::Classification;
+    net.numInputPoints = 1024;
+    net.numClasses = 40;
+    // Linked inputs: each EdgeConv consumes the concatenation of the
+    // raw coordinates and every previous module's features.
+    net.linkedInputs = true;
+    net.modules = {
+        edgeConv("ec1", 20, 64),
+        edgeConv("ec2", 20, 64),
+        edgeConv("ec3", 20, 64),
+        edgeConv("ec4", 20, 128),
+    };
+    net.concatModuleOutputs = true;
+    net.globalMlpWidths = {1024};
+    net.headWidths = {512, 256};
+    return net;
+}
+
+NetworkConfig
+densePoint()
+{
+    NetworkConfig net;
+    net.name = "DensePoint";
+    net.task = Task::Classification;
+    net.numInputPoints = 1024;
+    net.numClasses = 40;
+    net.linkedInputs = true;
+
+    // PPool downsampling stage followed by densely-linked narrow PConv
+    // modules (growth rate 24), then a second pool and a global module.
+    ModuleConfig ppool1 = saModule("ppool1", 512, 24, 0.25f, {64});
+    ModuleConfig ppool2 = saModule("ppool2", 128, 16, 0.4f, {128});
+    auto pconv = [&](const std::string &name) {
+        ModuleConfig m = saModule(name, 0, 16, 0.3f, {24});
+        m.sampling = SamplingKind::All;
+        m.search = SearchKind::Knn;
+        return m;
+    };
+    net.modules = {
+        ppool1,
+        pconv("pconv1"),
+        pconv("pconv2"),
+        pconv("pconv3"),
+        pconv("pconv4"),
+        ppool2,
+        globalModule("gpool", {512}),
+    };
+    net.headWidths = {256, 128};
+    return net;
+}
+
+std::vector<NetworkConfig>
+characterizationNetworks()
+{
+    return {
+        pointnetppClassification(), pointnetppSegmentation(),
+        dgcnnClassification(),      dgcnnSegmentation(),
+        fPointNet(),
+    };
+}
+
+std::vector<NetworkConfig>
+allNetworks()
+{
+    return {
+        pointnetppClassification(),
+        pointnetppSegmentation(),
+        dgcnnClassification(),
+        dgcnnSegmentation(),
+        fPointNet(),
+        ldgcnn(),
+        densePoint(),
+    };
+}
+
+} // namespace mesorasi::core::zoo

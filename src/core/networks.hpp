@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The evaluation network zoo (paper Table I).
+ *
+ * Seven networks spanning classification (PointNet++, DGCNN, LDGCNN,
+ * DensePoint), segmentation (PointNet++, DGCNN), and detection
+ * (F-PointNet). Configurations follow the published architectures with
+ * the paper's software-baseline optimizations already applied (random
+ * sampling instead of FPS, Sec. VI).
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace mesorasi::core::zoo {
+
+/** PointNet++ (c): 3 set-abstraction modules, ModelNet40. */
+NetworkConfig pointnetppClassification();
+
+/** PointNet++ (s): SA encoder + FP decoder, ShapeNet parts. */
+NetworkConfig pointnetppSegmentation();
+
+/** DGCNN (c): 4 EdgeConv modules with dynamic feature-space graphs. */
+NetworkConfig dgcnnClassification();
+
+/** DGCNN (s): 3 EdgeConv modules + per-point head. */
+NetworkConfig dgcnnSegmentation();
+
+/** F-PointNet: frustum segmentation + T-Net + box estimation, KITTI. */
+NetworkConfig fPointNet();
+
+/** LDGCNN: linked DGCNN with hierarchical skip concatenation. */
+NetworkConfig ldgcnn();
+
+/** DensePoint: densely-connected narrow single-layer modules. */
+NetworkConfig densePoint();
+
+/** The five networks profiled in the characterization (Figs. 4-12). */
+std::vector<NetworkConfig> characterizationNetworks();
+
+/** All seven evaluation networks (Figs. 16-20). */
+std::vector<NetworkConfig> allNetworks();
+
+} // namespace mesorasi::core::zoo

@@ -1,0 +1,526 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/sampling.hpp"
+#include "neighbor/kdtree.hpp"
+#include "tensor/ops.hpp"
+
+namespace mesorasi::core {
+
+using tensor::Tensor;
+
+const char *
+pipelineName(PipelineKind kind)
+{
+    switch (kind) {
+      case PipelineKind::Original: return "original";
+      case PipelineKind::Delayed: return "delayed";
+      case PipelineKind::LtdDelayed: return "ltd-delayed";
+    }
+    return "?";
+}
+
+ModuleExecutor::ModuleExecutor(ModuleConfig cfg, int32_t inFeatureDim,
+                               Rng &weightRng, nn::Activation act)
+    : cfg_(std::move(cfg)), inFeatureDim_(inFeatureDim)
+{
+    cfg_.validate();
+    MESO_REQUIRE(inFeatureDim > 0, "module '" << cfg_.name
+                                              << "': bad input dim");
+    std::vector<int32_t> dims;
+    dims.push_back(cfg_.mlpInDim(inFeatureDim));
+    for (int32_t w : cfg_.mlpWidths)
+        dims.push_back(w);
+    mlp_ = nn::Mlp(weightRng, dims, act);
+}
+
+std::vector<int32_t>
+ModuleExecutor::sampleCentroids(const ModuleState &in,
+                                Rng &samplerRng) const
+{
+    int32_t n = in.numPoints();
+    int32_t want = cfg_.centroids(n);
+    MESO_REQUIRE(want <= n, "module '" << cfg_.name << "': " << want
+                                       << " centroids from " << n
+                                       << " points");
+    if (cfg_.search == SearchKind::Global) {
+        return {0}; // single pseudo-centroid; unused by aggregation
+    }
+    if (want == n || cfg_.sampling == SamplingKind::All) {
+        std::vector<int32_t> all(n);
+        for (int32_t i = 0; i < n; ++i)
+            all[i] = i;
+        if (want == n)
+            return all;
+    }
+    std::vector<int32_t> picked;
+    if (cfg_.sampling == SamplingKind::FarthestPoint) {
+        geom::PointCloud cloud;
+        for (int32_t i = 0; i < n; ++i)
+            cloud.add({in.coords(i, 0), in.coords(i, 1), in.coords(i, 2)});
+        picked = geom::farthestPointSample(cloud, want);
+    } else {
+        picked = samplerRng.sampleWithoutReplacement(n, want);
+    }
+    // Keep centroids in ascending index order so the input's spatial
+    // (scan/Morton) ordering survives downsampling — real gather-based
+    // implementations behave the same way, and the AU's LSB bank
+    // interleaving relies on it (Sec. V-B).
+    std::sort(picked.begin(), picked.end());
+    return picked;
+}
+
+neighbor::NeighborIndexTable
+ModuleExecutor::search(const ModuleState &in,
+                       const std::vector<int32_t> &centroids) const
+{
+    if (cfg_.search == SearchKind::Global) {
+        neighbor::NeighborIndexTable nit(in.numPoints());
+        neighbor::NitEntry entry;
+        entry.centroid = 0;
+        entry.neighbors.resize(in.numPoints());
+        for (int32_t i = 0; i < in.numPoints(); ++i)
+            entry.neighbors[i] = i;
+        nit.add(std::move(entry));
+        return nit;
+    }
+
+    const Tensor &space = cfg_.space == SearchSpace::Coords ? in.coords
+                                                            : in.features;
+    neighbor::PointsView view(space.data(), space.rows(), space.cols());
+    neighbor::KdTree tree(view);
+    if (cfg_.search == SearchKind::Knn)
+        return tree.knnTable(centroids, cfg_.k);
+    return tree.ballTable(centroids, cfg_.radius, cfg_.k);
+}
+
+ModuleIo
+ModuleExecutor::analyticIo(int32_t nIn, int32_t mIn,
+                           int32_t nOutOverride) const
+{
+    ModuleIo io;
+    io.name = cfg_.name;
+    io.nIn = nIn;
+    io.mIn = mIn;
+    io.nOut = nOutOverride > 0 && cfg_.search != SearchKind::Global
+                  ? nOutOverride
+                  : cfg_.centroids(nIn);
+    io.mOut = cfg_.outDim();
+    io.k = cfg_.groupSize(nIn);
+    io.searchDim = cfg_.space == SearchSpace::Coords ? 3 : mIn;
+    io.mlpWidths = cfg_.mlpWidths;
+    io.mlpInDim = cfg_.mlpInDim(mIn);
+    return io;
+}
+
+ModuleTrace
+ModuleExecutor::analyticTrace(PipelineKind kind, int32_t nIn, int32_t mIn,
+                              int32_t nOutOverride) const
+{
+    ModuleIo io = analyticIo(nIn, mIn, nOutOverride);
+    ModuleTrace mt;
+    mt.name = cfg_.name;
+
+    bool global = cfg_.search == SearchKind::Global;
+
+    if (!global) {
+        mt.ops.push_back(makeSamplingOp(
+            nIn, io.nOut, cfg_.sampling == SamplingKind::FarthestPoint,
+            cfg_.name + ".sample"));
+        mt.ops.push_back(makeSearchOp(io.nOut, nIn, io.k, io.searchDim,
+                                      cfg_.name + ".search",
+                                      cfg_.search == SearchKind::Knn));
+    }
+
+    auto emitMlp = [&](int64_t rows, int64_t inDim,
+                       const std::string &tag) {
+        int64_t d = inDim;
+        for (size_t l = 0; l < cfg_.mlpWidths.size(); ++l) {
+            mt.ops.push_back(makeMlpOp(
+                rows, d, cfg_.mlpWidths[l],
+                cfg_.name + tag + ".mlp" + std::to_string(l)));
+            d = cfg_.mlpWidths[l];
+        }
+    };
+
+    if (global) {
+        // Global modules have no neighbor search or aggregation under
+        // either pipeline: MLP over all points, then one reduction.
+        emitMlp(nIn, mIn, "");
+        mt.ops.push_back(
+            makeReduceOp(1, nIn, io.mOut, cfg_.name + ".reduce"));
+        return mt;
+    }
+
+    int64_t groupedRows = static_cast<int64_t>(io.nOut) * io.k;
+
+    switch (kind) {
+      case PipelineKind::Original:
+        // A gathers (and normalizes) neighbors from the *input* features.
+        mt.ops.push_back(makeAggregateOp(io.nOut, io.k, mIn, nIn,
+                                         cfg_.name + ".aggregate"));
+        emitMlp(groupedRows, io.mlpInDim, "");
+        mt.ops.push_back(makeReduceOp(io.nOut, io.k, io.mOut,
+                                      cfg_.name + ".reduce"));
+        break;
+
+      case PipelineKind::Delayed:
+        if (cfg_.aggregation == AggregationKind::ConcatCentroidDifference) {
+            // The first (only) layer splits into the neighbor path W_d
+            // and the centroid path W_c - W_d, both applied per input
+            // point (see runDelayed for the algebra).
+            mt.ops.push_back(makeMlpOp(nIn, mIn, cfg_.mlpWidths[0],
+                                       cfg_.name + ".pft_d"));
+            mt.ops.push_back(makeMlpOp(nIn, mIn, cfg_.mlpWidths[0],
+                                       cfg_.name + ".pft_c"));
+        } else {
+            emitMlp(nIn, mIn, ".pft");
+        }
+        // A gathers from the PFT (Nin x Mout) and fuses the reduction
+        // and the centroid subtraction (max-before-subtract).
+        mt.ops.push_back(makeAggregateOp(io.nOut, io.k, io.mOut, nIn,
+                                         cfg_.name + ".aggregate"));
+        break;
+
+      case PipelineKind::LtdDelayed:
+        // Only the first matrix product is hoisted.
+        mt.ops.push_back(makeMlpOp(nIn, io.mlpInDim == mIn ? mIn : mIn,
+                                   cfg_.mlpWidths[0],
+                                   cfg_.name + ".pft1"));
+        if (cfg_.aggregation ==
+            AggregationKind::ConcatCentroidDifference) {
+            mt.ops.push_back(makeMlpOp(nIn, mIn, cfg_.mlpWidths[0],
+                                       cfg_.name + ".pft1_c"));
+        }
+        mt.ops.push_back(makeAggregateOp(io.nOut, io.k, cfg_.mlpWidths[0],
+                                         nIn, cfg_.name + ".aggregate"));
+        {
+            // Remaining layers still run on grouped rows.
+            int64_t d = cfg_.mlpWidths[0];
+            for (size_t l = 1; l < cfg_.mlpWidths.size(); ++l) {
+                mt.ops.push_back(makeMlpOp(
+                    groupedRows, d, cfg_.mlpWidths[l],
+                    cfg_.name + ".mlp" + std::to_string(l)));
+                d = cfg_.mlpWidths[l];
+            }
+        }
+        mt.ops.push_back(makeReduceOp(io.nOut, io.k, io.mOut,
+                                      cfg_.name + ".reduce"));
+        break;
+    }
+    return mt;
+}
+
+ModuleResult
+ModuleExecutor::prologue(const ModuleState &in, Rng &samplerRng) const
+{
+    MESO_REQUIRE(in.featureDim() == inFeatureDim_,
+                 "module '" << cfg_.name << "' expects dim "
+                            << inFeatureDim_ << ", got "
+                            << in.featureDim());
+    ModuleResult res;
+    res.centroidIdx = sampleCentroids(in, samplerRng);
+    res.nit = search(in, res.centroidIdx);
+    res.io = analyticIo(in.numPoints(), in.featureDim());
+    return res;
+}
+
+namespace {
+
+/** Output coordinates: the centroids' xyz (or the origin for Global). */
+Tensor
+centroidCoords(const ModuleState &in, const std::vector<int32_t> &idx,
+               bool global)
+{
+    if (global)
+        return Tensor(1, 3);
+    std::vector<int32_t> rows(idx.begin(), idx.end());
+    return tensor::gatherRows(in.coords, rows);
+}
+
+} // namespace
+
+ModuleResult
+ModuleExecutor::runOriginal(const ModuleState &in, Rng &samplerRng) const
+{
+    ModuleResult res = prologue(in, samplerRng);
+    bool global = cfg_.search == SearchKind::Global;
+    res.trace = analyticTrace(PipelineKind::Original, in.numPoints(),
+                              in.featureDim());
+
+    if (global) {
+        Tensor feat = mlp_.forward(in.features);
+        res.out.features = tensor::maxReduceRows(feat);
+        res.out.coords = centroidCoords(in, res.centroidIdx, true);
+        return res;
+    }
+
+    int32_t nOut = res.nit.size();
+    int32_t k = cfg_.k;
+    Tensor out(nOut, cfg_.outDim());
+
+    // Batch all NFMs into one (Nout*K) x In matrix so the shared MLP
+    // runs as a single matrix product — exactly how the GPU/NPU sees it.
+    Tensor batched(nOut * k, cfg_.mlpInDim(in.featureDim()));
+    int32_t m = in.featureDim();
+    for (int32_t c = 0; c < nOut; ++c) {
+        const auto &entry = res.nit[c];
+        const float *cf = in.features.row(entry.centroid);
+        for (int32_t j = 0; j < k; ++j) {
+            const float *nf = in.features.row(entry.neighbors[j]);
+            float *row = batched.row(c * k + j);
+            if (cfg_.aggregation ==
+                AggregationKind::ConcatCentroidDifference) {
+                for (int32_t d = 0; d < m; ++d) {
+                    row[d] = cf[d];
+                    row[m + d] = nf[d] - cf[d];
+                }
+            } else {
+                for (int32_t d = 0; d < m; ++d)
+                    row[d] = nf[d] - cf[d];
+            }
+        }
+    }
+
+    Tensor feat = mlp_.forward(batched);
+    for (int32_t c = 0; c < nOut; ++c) {
+        std::vector<int32_t> rows(k);
+        for (int32_t j = 0; j < k; ++j)
+            rows[j] = c * k + j;
+        Tensor reduced = tensor::maxReduceRows(feat, rows);
+        std::copy(reduced.row(0), reduced.row(0) + cfg_.outDim(),
+                  out.row(c));
+    }
+
+    res.out.features = std::move(out);
+    res.out.coords = centroidCoords(in, res.centroidIdx, false);
+    return res;
+}
+
+ModuleResult
+ModuleExecutor::runDelayed(const ModuleState &in, Rng &samplerRng) const
+{
+    ModuleResult res = prologue(in, samplerRng);
+    bool global = cfg_.search == SearchKind::Global;
+    res.trace = analyticTrace(PipelineKind::Delayed, in.numPoints(),
+                              in.featureDim());
+
+    if (global) {
+        Tensor feat = mlp_.forward(in.features);
+        res.out.features = tensor::maxReduceRows(feat);
+        res.out.coords = centroidCoords(in, res.centroidIdx, true);
+        return res;
+    }
+
+    int32_t nOut = res.nit.size();
+    int32_t mOut = cfg_.outDim();
+    Tensor out(nOut, mOut);
+
+    if (cfg_.aggregation == AggregationKind::ConcatCentroidDifference) {
+        // Single-layer EdgeConv:
+        //   out_i = max_j act(x_i W_c + (x_j - x_i) W_d + b)
+        // With P_j = x_j W_d and Q_i = x_i (W_c - W_d) + b:
+        //   out_i = act(max_j P_j + Q_i)
+        // which is exact because act (ReLU) is monotone and commutes
+        // with max, and the affine Q_i term is constant within a group.
+        const nn::Linear &l0 = mlp_.layer(0);
+        int32_t m = in.featureDim();
+        int32_t h = l0.outDim();
+        Tensor wc(m, h), wd(m, h);
+        for (int32_t r = 0; r < m; ++r)
+            for (int32_t c = 0; c < h; ++c) {
+                wc(r, c) = l0.weight()(r, c);
+                wd(r, c) = l0.weight()(m + r, c);
+            }
+        Tensor p = tensor::matmul(in.features, wd);      // Nin x H
+        Tensor wcd(m, h);
+        for (int32_t r = 0; r < m; ++r)
+            for (int32_t c = 0; c < h; ++c)
+                wcd(r, c) = wc(r, c) - wd(r, c);
+        Tensor q = tensor::matmul(in.features, wcd);     // Nin x H
+        if (l0.hasBias())
+            tensor::addBiasInPlace(q, l0.bias());
+
+        for (int32_t c = 0; c < nOut; ++c) {
+            const auto &entry = res.nit[c];
+            Tensor gathered = tensor::gatherRows(p, entry.neighbors);
+            Tensor reduced = tensor::maxReduceRows(gathered);
+            const float *qr = q.row(entry.centroid);
+            for (int32_t d = 0; d < h; ++d) {
+                float v = reduced(0, d) + qr[d];
+                if (l0.activation() == nn::Activation::Relu)
+                    v = std::max(0.0f, v);
+                out(c, d) = v;
+            }
+        }
+    } else {
+        // Point Feature Table: the full MLP over raw input points.
+        Tensor pft = mlp_.forward(in.features); // Nin x Mout
+        for (int32_t c = 0; c < nOut; ++c) {
+            const auto &entry = res.nit[c];
+            Tensor gathered = tensor::gatherRows(pft, entry.neighbors);
+            // Max-before-subtract: exact because subtraction of the
+            // centroid feature distributes over max.
+            Tensor reduced = tensor::maxReduceRows(gathered);
+            const float *cf = pft.row(entry.centroid);
+            for (int32_t d = 0; d < mOut; ++d)
+                out(c, d) = reduced(0, d) - cf[d];
+        }
+    }
+
+    res.out.features = std::move(out);
+    res.out.coords = centroidCoords(in, res.centroidIdx, false);
+    return res;
+}
+
+ModuleResult
+ModuleExecutor::runLtd(const ModuleState &in, Rng &samplerRng) const
+{
+    ModuleResult res = prologue(in, samplerRng);
+    bool global = cfg_.search == SearchKind::Global;
+    res.trace = analyticTrace(PipelineKind::LtdDelayed, in.numPoints(),
+                              in.featureDim());
+
+    if (global) {
+        Tensor feat = mlp_.forward(in.features);
+        res.out.features = tensor::maxReduceRows(feat);
+        res.out.coords = centroidCoords(in, res.centroidIdx, true);
+        return res;
+    }
+
+    int32_t nOut = res.nit.size();
+    int32_t k = cfg_.k;
+
+    if (cfg_.aggregation == AggregationKind::ConcatCentroidDifference) {
+        // For a single-layer module the limited hoisting covers the
+        // whole MLP, so Ltd coincides with the full delayed form.
+        return runDelayed(in, samplerRng);
+    }
+
+    // Hoist only the first matrix product (exactly distributive).
+    Tensor pft1 = mlp_.forwardFirstLinearOnly(in.features); // Nin x H1
+    int32_t h1 = pft1.cols();
+
+    Tensor batched(nOut * k, h1);
+    for (int32_t c = 0; c < nOut; ++c) {
+        const auto &entry = res.nit[c];
+        const float *cf = pft1.row(entry.centroid);
+        for (int32_t j = 0; j < k; ++j) {
+            const float *nf = pft1.row(entry.neighbors[j]);
+            float *row = batched.row(c * k + j);
+            for (int32_t d = 0; d < h1; ++d)
+                row[d] = nf[d] - cf[d];
+        }
+    }
+
+    Tensor feat = mlp_.forwardAfterFirstLinear(batched);
+    Tensor out(nOut, cfg_.outDim());
+    for (int32_t c = 0; c < nOut; ++c) {
+        std::vector<int32_t> rows(k);
+        for (int32_t j = 0; j < k; ++j)
+            rows[j] = c * k + j;
+        Tensor reduced = tensor::maxReduceRows(feat, rows);
+        std::copy(reduced.row(0), reduced.row(0) + cfg_.outDim(),
+                  out.row(c));
+    }
+
+    res.out.features = std::move(out);
+    res.out.coords = centroidCoords(in, res.centroidIdx, false);
+    return res;
+}
+
+ModuleResult
+ModuleExecutor::run(const ModuleState &in, PipelineKind kind,
+                    Rng &samplerRng) const
+{
+    switch (kind) {
+      case PipelineKind::Original: return runOriginal(in, samplerRng);
+      case PipelineKind::Delayed: return runDelayed(in, samplerRng);
+      case PipelineKind::LtdDelayed: return runLtd(in, samplerRng);
+    }
+    MESO_CHECK(false, "bad pipeline kind");
+}
+
+// ---------------------------------------------------------------------
+// InterpExecutor
+// ---------------------------------------------------------------------
+
+InterpExecutor::InterpExecutor(InterpModuleConfig cfg, int32_t coarseDim,
+                               int32_t skipDim, Rng &weightRng,
+                               nn::Activation act)
+    : cfg_(std::move(cfg)), coarseDim_(coarseDim), skipDim_(skipDim)
+{
+    MESO_REQUIRE(!cfg_.mlpWidths.empty(), "interp module without MLP");
+    std::vector<int32_t> dims;
+    dims.push_back(coarseDim + skipDim);
+    for (int32_t w : cfg_.mlpWidths)
+        dims.push_back(w);
+    mlp_ = nn::Mlp(weightRng, dims, act);
+}
+
+ModuleResult
+InterpExecutor::run(const ModuleState &fine,
+                    const ModuleState &coarse) const
+{
+    MESO_REQUIRE(coarse.featureDim() == coarseDim_ &&
+                     fine.featureDim() == skipDim_,
+                 "interp '" << cfg_.name << "' dim mismatch");
+    int32_t nFine = fine.numPoints();
+    int32_t nCoarse = coarse.numPoints();
+
+    Tensor interp(nFine, coarseDim_);
+    neighbor::PointsView view(coarse.coords.data(), nCoarse, 3);
+    neighbor::KdTree tree(view);
+    int32_t kk = std::min(cfg_.numNeighbors, nCoarse);
+    for (int32_t i = 0; i < nFine; ++i) {
+        std::vector<int32_t> nn = tree.knn(fine.coords.row(i), kk);
+        // Inverse-distance weights, as in PointNet++ three_interpolate.
+        float wsum = 0.0f;
+        std::vector<float> w(nn.size());
+        for (size_t j = 0; j < nn.size(); ++j) {
+            float d2 = view.dist2To(nn[j], fine.coords.row(i));
+            w[j] = 1.0f / (d2 + 1e-8f);
+            wsum += w[j];
+        }
+        float *dst = interp.row(i);
+        for (size_t j = 0; j < nn.size(); ++j) {
+            const float *src = coarse.features.row(nn[j]);
+            float wj = w[j] / wsum;
+            for (int32_t d = 0; d < coarseDim_; ++d)
+                dst[d] += wj * src[d];
+        }
+    }
+
+    Tensor x = tensor::concatCols(interp, fine.features);
+    ModuleResult res;
+    res.out.coords = fine.coords;
+    res.out.features = mlp_.forward(x);
+
+    res.trace.name = cfg_.name;
+    res.trace.ops.push_back(makeInterpolateOp(nFine, nCoarse, coarseDim_,
+                                              cfg_.name + ".interp"));
+    res.trace.ops.push_back(
+        makeConcatOp(nFine, coarseDim_ + skipDim_, cfg_.name + ".concat"));
+    int64_t d = coarseDim_ + skipDim_;
+    for (size_t l = 0; l < cfg_.mlpWidths.size(); ++l) {
+        res.trace.ops.push_back(makeMlpOp(
+            nFine, d, cfg_.mlpWidths[l],
+            cfg_.name + ".mlp" + std::to_string(l)));
+        d = cfg_.mlpWidths[l];
+    }
+
+    res.io.name = cfg_.name;
+    res.io.nIn = nFine;
+    res.io.mIn = skipDim_;
+    res.io.nOut = nFine;
+    res.io.mOut = cfg_.outDim();
+    res.io.k = cfg_.numNeighbors;
+    res.io.searchDim = 3;
+    res.io.mlpWidths = cfg_.mlpWidths;
+    res.io.mlpInDim = coarseDim_ + skipDim_;
+    return res;
+}
+
+} // namespace mesorasi::core

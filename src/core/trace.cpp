@@ -1,0 +1,230 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+
+namespace mesorasi::core {
+
+namespace {
+constexpr int64_t kF = sizeof(float);
+} // namespace
+
+int64_t
+ModuleTrace::macs(Phase phase) const
+{
+    int64_t acc = 0;
+    for (const auto &op : ops)
+        if (op.phase == phase)
+            acc += op.macs;
+    return acc;
+}
+
+int64_t
+ModuleTrace::totalMacs() const
+{
+    int64_t acc = 0;
+    for (const auto &op : ops)
+        acc += op.macs;
+    return acc;
+}
+
+int64_t
+ModuleTrace::bytes(Phase phase) const
+{
+    int64_t acc = 0;
+    for (const auto &op : ops)
+        if (op.phase == phase)
+            acc += op.bytesRead + op.bytesWritten;
+    return acc;
+}
+
+int64_t
+ModuleTrace::maxLayerOutputBytes() const
+{
+    int64_t best = 0;
+    for (const auto &op : ops)
+        if (op.kind == OpKind::MlpLayer || op.kind == OpKind::Fc)
+            best = std::max(best, op.rows * op.outDim * kF);
+    return best;
+}
+
+int64_t
+NetworkTrace::totalMacs() const
+{
+    int64_t acc = 0;
+    for (const auto &m : modules)
+        acc += m.totalMacs();
+    return acc;
+}
+
+int64_t
+NetworkTrace::macs(Phase phase) const
+{
+    int64_t acc = 0;
+    for (const auto &m : modules)
+        acc += m.macs(phase);
+    return acc;
+}
+
+std::vector<int64_t>
+NetworkTrace::layerOutputBytes() const
+{
+    std::vector<int64_t> out;
+    for (const auto &m : modules)
+        for (const auto &op : m.ops)
+            if (op.kind == OpKind::MlpLayer || op.kind == OpKind::Fc)
+                out.push_back(op.rows * op.outDim * kF);
+    return out;
+}
+
+OpTrace
+makeMlpOp(int64_t rows, int64_t inDim, int64_t outDim,
+          const std::string &label)
+{
+    OpTrace op;
+    op.kind = OpKind::MlpLayer;
+    op.phase = Phase::Feature;
+    op.label = label;
+    op.rows = rows;
+    op.inDim = inDim;
+    op.outDim = outDim;
+    op.macs = rows * inDim * outDim;
+    op.bytesRead = (rows * inDim + inDim * outDim) * kF;
+    op.bytesWritten = rows * outDim * kF;
+    return op;
+}
+
+OpTrace
+makeFcOp(int64_t rows, int64_t inDim, int64_t outDim,
+         const std::string &label)
+{
+    OpTrace op = makeMlpOp(rows, inDim, outDim, label);
+    op.kind = OpKind::Fc;
+    op.phase = Phase::Other;
+    return op;
+}
+
+OpTrace
+makeSearchOp(int64_t queries, int64_t candidates, int64_t k, int64_t dim,
+             const std::string &label, bool exactKnn)
+{
+    OpTrace op;
+    op.kind = OpKind::NeighborSearch;
+    op.phase = Phase::Search;
+    op.label = label;
+    op.queries = queries;
+    op.candidates = candidates;
+    op.k = k;
+    op.dim = dim;
+    op.exactKnn = exactKnn;
+    // Brute-force distance evaluations dominate GPU k-NN kernels.
+    op.macs = queries * candidates * dim;
+    op.bytesRead = (queries + candidates) * dim * kF;
+    op.bytesWritten = queries * k * static_cast<int64_t>(sizeof(int32_t));
+    return op;
+}
+
+OpTrace
+makeAggregateOp(int64_t queries, int64_t k, int64_t dim, int64_t tableRows,
+                const std::string &label)
+{
+    OpTrace op;
+    op.kind = OpKind::Aggregate;
+    op.phase = Phase::Aggregation;
+    op.label = label;
+    op.queries = queries;
+    op.k = k;
+    op.dim = dim;
+    op.candidates = tableRows; // working-set rows gathered from
+    // One subtract per gathered element.
+    op.macs = queries * k * dim;
+    op.bytesRead = queries * k * dim * kF +
+                   queries * k * static_cast<int64_t>(sizeof(int32_t));
+    op.bytesWritten = queries * k * dim * kF;
+    return op;
+}
+
+OpTrace
+makeReduceOp(int64_t groups, int64_t k, int64_t dim,
+             const std::string &label)
+{
+    OpTrace op;
+    op.kind = OpKind::Reduce;
+    op.phase = Phase::Feature;
+    op.label = label;
+    op.queries = groups;
+    op.k = k;
+    op.dim = dim;
+    op.macs = groups * k * dim; // one compare per element
+    op.bytesRead = groups * k * dim * kF;
+    op.bytesWritten = groups * dim * kF;
+    return op;
+}
+
+OpTrace
+makeSamplingOp(int64_t numPoints, int64_t numSamples, bool farthest,
+               const std::string &label)
+{
+    OpTrace op;
+    op.kind = OpKind::Sampling;
+    op.phase = Phase::Other;
+    op.label = label;
+    op.queries = numSamples;
+    op.candidates = numPoints;
+    op.dim = 3;
+    op.macs = farthest ? numPoints * numSamples * 3 : numSamples;
+    op.bytesRead = numPoints * 3 * kF;
+    op.bytesWritten = numSamples * static_cast<int64_t>(sizeof(int32_t));
+    return op;
+}
+
+OpTrace
+makeInterpolateOp(int64_t queries, int64_t candidates, int64_t dim,
+                  const std::string &label)
+{
+    OpTrace op;
+    op.kind = OpKind::Interpolate;
+    op.phase = Phase::Other;
+    op.label = label;
+    op.queries = queries;
+    op.candidates = candidates;
+    op.k = 3;
+    op.dim = dim;
+    // 3-NN search against the coarse set plus the weighted sum.
+    op.macs = queries * candidates * 3 + queries * 3 * dim;
+    op.bytesRead = (queries * 3 + candidates) * dim * kF;
+    op.bytesWritten = queries * dim * kF;
+    return op;
+}
+
+OpTrace
+makeConcatOp(int64_t rows, int64_t dim, const std::string &label)
+{
+    OpTrace op;
+    op.kind = OpKind::Concat;
+    op.phase = Phase::Other;
+    op.label = label;
+    op.rows = rows;
+    op.dim = dim;
+    op.bytesRead = rows * dim * kF;
+    op.bytesWritten = rows * dim * kF;
+    return op;
+}
+
+OpTrace
+makeScatterOp(int64_t queries, int64_t k, int64_t dim,
+              const std::string &label)
+{
+    OpTrace op;
+    op.kind = OpKind::Scatter;
+    op.phase = Phase::Aggregation;
+    op.label = label;
+    op.queries = queries;
+    op.k = k;
+    op.dim = dim;
+    op.macs = queries * k * dim;
+    op.bytesRead = queries * dim * kF;
+    op.bytesWritten = queries * k * dim * kF;
+    return op;
+}
+
+} // namespace mesorasi::core

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Operator traces.
+ *
+ * Both execution pipelines emit a trace of the operators they perform,
+ * annotated with shapes, MAC counts, and byte traffic. The hardware
+ * simulator schedules these traces onto the SoC's units; the analysis
+ * module sums them for the workload-characterization figures.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mesorasi::core {
+
+/** Operator category; maps onto the paper's N / A / F decomposition. */
+enum class OpKind
+{
+    NeighborSearch, ///< N: k-NN or ball query
+    Sampling,       ///< centroid selection (counted under "others")
+    Aggregate,      ///< A: gather (+ subtract) neighbor rows
+    Scatter,        ///< A: scatter centroid features (subtract-then-max)
+    MlpLayer,       ///< F: one shared-MLP layer (matrix-matrix product)
+    Reduce,         ///< F: column-wise max over each group
+    Fc,             ///< fully-connected head layer
+    Interpolate,    ///< 3-NN inverse-distance feature propagation
+    Concat,         ///< tensor concatenation (counted under "others")
+};
+
+/** The three-way phase split used for scheduling and for Fig. 5/11/12. */
+enum class Phase
+{
+    Search,      ///< N
+    Feature,     ///< F (MLP + per-group reduction)
+    Aggregation, ///< A
+    Other,       ///< sampling, concat, heads
+};
+
+/** One operator instance. */
+struct OpTrace
+{
+    OpKind kind = OpKind::MlpLayer;
+    Phase phase = Phase::Feature;
+    std::string label;
+
+    // Matrix shape for MlpLayer/Fc: rows x inDim -> rows x outDim.
+    int64_t rows = 0;
+    int64_t inDim = 0;
+    int64_t outDim = 0;
+
+    int64_t macs = 0;        ///< multiply-accumulate count
+    int64_t bytesRead = 0;   ///< input traffic (fp32 activations/weights)
+    int64_t bytesWritten = 0;///< output traffic
+
+    // Neighbor-search / aggregation specifics.
+    int64_t queries = 0;     ///< #centroids searched or aggregated
+    int64_t candidates = 0;  ///< #points scanned per query (search)
+    int64_t k = 0;           ///< group size
+    int64_t dim = 0;         ///< point dimensionality for the op
+    bool exactKnn = false;   ///< search op: exact k-NN (top-k sort)
+                             ///< vs radius filter (ball query)
+};
+
+/** All operators of one module, grouped by phase. */
+struct ModuleTrace
+{
+    std::string name;
+    std::vector<OpTrace> ops;
+
+    /** Index into the run's NIT/ModuleIo lists when this module has an
+     *  aggregation step; -1 for interp/head pseudo-modules. */
+    int32_t aggTableIndex = -1;
+
+    int64_t macs(Phase phase) const;
+    int64_t totalMacs() const;
+    int64_t bytes(Phase phase) const;
+
+    /** Largest single MlpLayer/Fc output in bytes (Fig. 10). */
+    int64_t maxLayerOutputBytes() const;
+};
+
+/** The full trace of one network inference. */
+struct NetworkTrace
+{
+    std::string network;
+    int32_t numInputPoints = 0;
+    std::vector<ModuleTrace> modules;
+
+    int64_t totalMacs() const;
+    int64_t macs(Phase phase) const;
+
+    /** Every MlpLayer/Fc output size in bytes, across all modules. */
+    std::vector<int64_t> layerOutputBytes() const;
+};
+
+/** Convenience constructors for common ops. */
+OpTrace makeMlpOp(int64_t rows, int64_t inDim, int64_t outDim,
+                  const std::string &label);
+OpTrace makeFcOp(int64_t rows, int64_t inDim, int64_t outDim,
+                 const std::string &label);
+OpTrace makeSearchOp(int64_t queries, int64_t candidates, int64_t k,
+                     int64_t dim, const std::string &label,
+                     bool exactKnn = true);
+OpTrace makeAggregateOp(int64_t queries, int64_t k, int64_t dim,
+                        int64_t tableRows, const std::string &label);
+OpTrace makeReduceOp(int64_t groups, int64_t k, int64_t dim,
+                     const std::string &label);
+OpTrace makeSamplingOp(int64_t numPoints, int64_t numSamples,
+                       bool farthest, const std::string &label);
+OpTrace makeInterpolateOp(int64_t queries, int64_t candidates, int64_t dim,
+                          const std::string &label);
+OpTrace makeConcatOp(int64_t rows, int64_t dim, const std::string &label);
+OpTrace makeScatterOp(int64_t queries, int64_t k, int64_t dim,
+                      const std::string &label);
+
+} // namespace mesorasi::core

@@ -1,0 +1,678 @@
+#include "geom/datasets.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "geom/sampling.hpp"
+#include "geom/shapes.hpp"
+
+namespace mesorasi::geom {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/** Resample a cloud to exactly n points (with replacement if needed). */
+PointCloud
+resampleTo(Rng &rng, const PointCloud &cloud, int32_t n)
+{
+    MESO_REQUIRE(!cloud.empty(), "cannot resample an empty cloud");
+    std::vector<int32_t> idx;
+    idx.reserve(n);
+    int32_t sz = static_cast<int32_t>(cloud.size());
+    if (sz >= n) {
+        idx = rng.sampleWithoutReplacement(sz, n);
+    } else {
+        for (int32_t i = 0; i < sz; ++i)
+            idx.push_back(i);
+        while (static_cast<int32_t>(idx.size()) < n)
+            idx.push_back(static_cast<int32_t>(rng.uniformInt(0, sz - 1)));
+    }
+    return cloud.select(idx);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ModelNetSim
+// ---------------------------------------------------------------------
+
+ModelNetSim::ModelNetSim(uint64_t seed, int32_t pointsPerCloud)
+    : rng_(seed), pointsPerCloud_(pointsPerCloud)
+{
+    MESO_REQUIRE(pointsPerCloud > 0, "pointsPerCloud must be positive");
+}
+
+std::string
+ModelNetSim::className(int32_t classId)
+{
+    MESO_REQUIRE(classId >= 0 && classId < kNumClasses,
+                 "class id " << classId);
+    // Synthetic taxonomy: base shape family x parameter regime. The names
+    // are illustrative; classes are distinguished geometrically.
+    static const std::array<const char *, kNumClasses> names = {
+        "sphere_s",    "sphere_l",    "box_cube",    "box_flat",
+        "box_tall",    "cyl_thin",    "cyl_thick",   "cyl_short",
+        "cone_sharp",  "cone_blunt",  "torus_fat",   "torus_thin",
+        "capsule_s",   "capsule_l",   "plane_sq",    "plane_wide",
+        "dumbbell",    "table",       "chair",       "lamp",
+        "bottle",      "mug",         "rocket",      "snowman",
+        "barbell",     "stool",       "tower",       "ring_stack",
+        "cross",       "tee",         "arch",        "wedge_pair",
+        "saturn",      "mushroom",    "hourglass",   "pin",
+        "wheel",       "antenna",     "goblet",      "step_pyramid"};
+    return names[classId];
+}
+
+ClassificationSample
+ModelNetSim::sample(int32_t classId)
+{
+    MESO_REQUIRE(classId >= 0 && classId < kNumClasses,
+                 "class id " << classId);
+    ClassificationSample out;
+    out.classId = classId;
+
+    // Randomized instance parameters: every class is a distinct composite
+    // built from the shape primitives; v/w jitter shape proportions.
+    float v = rng_.uniform(0.8f, 1.2f);
+    float w = rng_.uniform(0.8f, 1.2f);
+    ShapeParams sp;
+    sp.noiseStddev = 0.01f;
+
+    // Budget the point count over the composite's parts.
+    auto part = [&](int32_t frac_num, int32_t frac_den) {
+        ShapeParams q = sp;
+        q.numPoints = std::max(1, pointsPerCloud_ * frac_num / frac_den);
+        return q;
+    };
+
+    PointCloud c;
+    switch (classId) {
+      case 0: c = makeSphere(rng_, part(1, 1), {}, 0.5f * v); break;
+      case 1: c = makeSphere(rng_, part(1, 1), {}, 1.0f * v); break;
+      case 2: c = makeBox(rng_, part(1, 1), {}, {0.5f * v, 0.5f * w, 0.5f});
+              break;
+      case 3: c = makeBox(rng_, part(1, 1), {}, {0.8f * v, 0.8f * w, 0.1f});
+              break;
+      case 4: c = makeBox(rng_, part(1, 1), {}, {0.2f * v, 0.2f * w, 0.9f});
+              break;
+      case 5: c = makeCylinder(rng_, part(1, 1), {}, 0.15f * v, 1.2f * w);
+              break;
+      case 6: c = makeCylinder(rng_, part(1, 1), {}, 0.5f * v, 1.0f * w);
+              break;
+      case 7: c = makeCylinder(rng_, part(1, 1), {}, 0.6f * v, 0.3f * w);
+              break;
+      case 8: c = makeCone(rng_, part(1, 1), {}, 0.3f * v, 1.2f * w); break;
+      case 9: c = makeCone(rng_, part(1, 1), {}, 0.7f * v, 0.7f * w); break;
+      case 10: c = makeTorus(rng_, part(1, 1), {}, 0.6f * v, 0.3f); break;
+      case 11: c = makeTorus(rng_, part(1, 1), {}, 0.8f * v, 0.08f); break;
+      case 12: c = makeCapsule(rng_, part(1, 1), {}, 0.25f * v, 0.6f * w);
+               break;
+      case 13: c = makeCapsule(rng_, part(1, 1), {}, 0.3f * v, 1.4f * w);
+               break;
+      case 14: c = makePlane(rng_, part(1, 1), {}, 1.0f * v, 1.0f * w);
+               break;
+      case 15: c = makePlane(rng_, part(1, 1), {}, 1.6f * v, 0.6f * w);
+               break;
+      case 16: { // dumbbell: two spheres + bar
+        c = makeSphere(rng_, part(2, 5), {-0.6f, 0, 0}, 0.3f * v);
+        c.append(makeSphere(rng_, part(2, 5), {0.6f, 0, 0}, 0.3f * v));
+        PointCloud bar =
+            makeCylinder(rng_, part(1, 5), {}, 0.08f, 1.0f * w);
+        rotateZ(bar, 0.0f);
+        // Bar is along z; rotate to x by swapping axes via rotation: use
+        // a simple component swap for clarity.
+        PointCloud bar_x;
+        for (size_t i = 0; i < bar.size(); ++i)
+            bar_x.add({bar[i].z, bar[i].y, bar[i].x});
+        c.append(bar_x);
+        break;
+      }
+      case 17: { // table: top slab + four legs
+        c = makeBox(rng_, part(3, 5), {0, 0, 0.5f}, {0.7f * v, 0.5f * w,
+                                                     0.05f});
+        for (int sx = -1; sx <= 1; sx += 2)
+            for (int sy = -1; sy <= 1; sy += 2)
+                c.append(makeCylinder(
+                    rng_, part(1, 10),
+                    {0.6f * sx * v, 0.4f * sy * w, 0.0f}, 0.05f, 1.0f));
+        break;
+      }
+      case 18: { // chair: seat + back + legs
+        c = makeBox(rng_, part(2, 5), {0, 0, 0}, {0.4f * v, 0.4f * w,
+                                                  0.05f});
+        c.append(makeBox(rng_, part(2, 5), {0, -0.4f * w, 0.45f},
+                         {0.4f * v, 0.05f, 0.45f}));
+        for (int sx = -1; sx <= 1; sx += 2)
+            for (int sy = -1; sy <= 1; sy += 2)
+                c.append(makeCylinder(
+                    rng_, part(1, 20),
+                    {0.35f * sx * v, 0.35f * sy * w, -0.4f}, 0.04f, 0.8f));
+        break;
+      }
+      case 19: { // lamp: base + pole + shade
+        c = makeCylinder(rng_, part(1, 5), {0, 0, -0.8f}, 0.4f * v, 0.08f);
+        c.append(makeCylinder(rng_, part(1, 5), {}, 0.05f, 1.5f * w));
+        c.append(makeCone(rng_, part(3, 5), {0, 0, 0.9f}, 0.45f * v,
+                          0.5f));
+        break;
+      }
+      case 20: { // bottle: body + neck
+        c = makeCylinder(rng_, part(3, 4), {0, 0, -0.2f}, 0.3f * v, 0.9f);
+        c.append(makeCylinder(rng_, part(1, 4), {0, 0, 0.45f}, 0.1f * v,
+                              0.4f * w));
+        break;
+      }
+      case 21: { // mug: body + handle torus
+        c = makeCylinder(rng_, part(3, 4), {}, 0.35f * v, 0.7f * w);
+        PointCloud handle =
+            makeTorus(rng_, part(1, 4), {0.45f * v, 0, 0}, 0.2f, 0.05f);
+        c.append(handle);
+        break;
+      }
+      case 22: { // rocket: body + nose cone + fins
+        c = makeCylinder(rng_, part(3, 5), {}, 0.2f * v, 1.2f * w);
+        c.append(makeCone(rng_, part(1, 5), {0, 0, 0.85f}, 0.2f * v,
+                          0.5f));
+        c.append(makeBox(rng_, part(1, 10), {0, 0, -0.6f},
+                         {0.5f * v, 0.03f, 0.15f}));
+        c.append(makeBox(rng_, part(1, 10), {0, 0, -0.6f},
+                         {0.03f, 0.5f * w, 0.15f}));
+        break;
+      }
+      case 23: { // snowman: three stacked spheres
+        c = makeSphere(rng_, part(1, 2), {0, 0, -0.5f}, 0.5f * v);
+        c.append(makeSphere(rng_, part(1, 3), {0, 0, 0.25f}, 0.35f * v));
+        c.append(makeSphere(rng_, part(1, 6), {0, 0, 0.75f}, 0.2f * v));
+        break;
+      }
+      case 24: { // barbell: two boxes + bar
+        c = makeBox(rng_, part(2, 5), {-0.7f, 0, 0}, {0.1f, 0.3f * v,
+                                                      0.3f * w});
+        c.append(makeBox(rng_, part(2, 5), {0.7f, 0, 0},
+                         {0.1f, 0.3f * v, 0.3f * w}));
+        PointCloud bar = makeCapsule(rng_, part(1, 5), {}, 0.06f, 1.2f);
+        PointCloud bar_x;
+        for (size_t i = 0; i < bar.size(); ++i)
+            bar_x.add({bar[i].z, bar[i].y, bar[i].x});
+        c.append(bar_x);
+        break;
+      }
+      case 25: { // stool: disc seat + three legs
+        c = makeCylinder(rng_, part(1, 2), {0, 0, 0.4f}, 0.4f * v, 0.08f);
+        for (int leg = 0; leg < 3; ++leg) {
+            float a = 2.0f * kPi * leg / 3.0f;
+            c.append(makeCylinder(
+                rng_, part(1, 6),
+                {0.3f * std::cos(a) * v, 0.3f * std::sin(a) * w, -0.1f},
+                0.04f, 0.9f));
+        }
+        break;
+      }
+      case 26: { // tower: stacked shrinking boxes
+        for (int lvl = 0; lvl < 4; ++lvl) {
+            float s = 1.0f - 0.2f * lvl;
+            c.append(makeBox(rng_, part(1, 4),
+                             {0, 0, -0.6f + 0.4f * lvl},
+                             {0.4f * s * v, 0.4f * s * w, 0.2f}));
+        }
+        break;
+      }
+      case 27: { // ring_stack: three stacked tori
+        for (int lvl = 0; lvl < 3; ++lvl)
+            c.append(makeTorus(rng_, part(1, 3),
+                               {0, 0, -0.4f + 0.4f * lvl},
+                               (0.7f - 0.15f * lvl) * v, 0.1f));
+        break;
+      }
+      case 28: { // cross: two orthogonal boxes
+        c = makeBox(rng_, part(1, 2), {}, {0.8f * v, 0.15f, 0.15f});
+        c.append(makeBox(rng_, part(1, 2), {}, {0.15f, 0.8f * w, 0.15f}));
+        break;
+      }
+      case 29: { // tee: vertical + horizontal cylinder
+        c = makeCylinder(rng_, part(1, 2), {}, 0.12f * v, 1.2f);
+        PointCloud top = makeCylinder(rng_, part(1, 2), {}, 0.12f * w,
+                                      1.0f);
+        PointCloud top_x;
+        for (size_t i = 0; i < top.size(); ++i)
+            top_x.add({top[i].z, top[i].y, top[i].x + 0.6f});
+        c.append(top_x);
+        break;
+      }
+      case 30: { // arch: two pillars + lintel
+        c = makeBox(rng_, part(2, 5), {-0.5f * v, 0, 0},
+                    {0.12f, 0.12f, 0.6f});
+        c.append(makeBox(rng_, part(2, 5), {0.5f * v, 0, 0},
+                         {0.12f, 0.12f, 0.6f}));
+        c.append(makeBox(rng_, part(1, 5), {0, 0, 0.7f},
+                         {0.7f * v, 0.12f, 0.12f}));
+        break;
+      }
+      case 31: { // wedge_pair: two cones base-to-base
+        c = makeCone(rng_, part(1, 2), {0, 0, 0.35f}, 0.5f * v, 0.7f);
+        PointCloud lower = makeCone(rng_, part(1, 2), {}, 0.5f * v, 0.7f);
+        for (size_t i = 0; i < lower.size(); ++i) {
+            Point3 q = lower[i];
+            c.add({q.x, q.y, -q.z - 0.35f});
+        }
+        break;
+      }
+      case 32: { // saturn: sphere + ring
+        c = makeSphere(rng_, part(3, 5), {}, 0.45f * v);
+        c.append(makeTorus(rng_, part(2, 5), {}, 0.75f * w, 0.06f));
+        break;
+      }
+      case 33: { // mushroom: stem + cap
+        c = makeCylinder(rng_, part(2, 5), {0, 0, -0.3f}, 0.15f * v, 0.8f);
+        c.append(makeCone(rng_, part(3, 5), {0, 0, 0.35f}, 0.6f * w,
+                          0.45f));
+        break;
+      }
+      case 34: { // hourglass: two cones tip-to-tip
+        c = makeCone(rng_, part(1, 2), {0, 0, 0.38f}, 0.45f * v, 0.7f);
+        PointCloud lower = makeCone(rng_, part(1, 2), {}, 0.45f * v, 0.7f);
+        for (size_t i = 0; i < lower.size(); ++i) {
+            Point3 q = lower[i];
+            c.add({q.x, q.y, 0.35f - (q.z + 0.35f) - 0.7f + 0.32f});
+        }
+        break;
+      }
+      case 35: { // pin: capsule + sphere head
+        c = makeCapsule(rng_, part(2, 3), {}, 0.18f * v, 1.0f * w);
+        c.append(makeSphere(rng_, part(1, 3), {0, 0, 0.75f}, 0.3f * v));
+        break;
+      }
+      case 36: { // wheel: torus + spokes
+        c = makeTorus(rng_, part(3, 5), {}, 0.7f * v, 0.12f);
+        for (int sp_i = 0; sp_i < 4; ++sp_i) {
+            float a = kPi * sp_i / 4.0f;
+            PointCloud spoke =
+                makeCylinder(rng_, part(1, 10), {}, 0.05f, 1.3f);
+            PointCloud rot;
+            for (size_t i = 0; i < spoke.size(); ++i) {
+                Point3 q = spoke[i];
+                // Lay the z-cylinder into the xy-plane at angle a.
+                rot.add({q.z * std::cos(a), q.z * std::sin(a), q.x});
+            }
+            c.append(rot);
+        }
+        break;
+      }
+      case 37: { // antenna: thin cylinder + small ball + base
+        c = makeCylinder(rng_, part(1, 3), {}, 0.05f * v, 1.6f);
+        c.append(makeSphere(rng_, part(1, 3), {0, 0, 0.85f}, 0.12f * w));
+        c.append(makeBox(rng_, part(1, 3), {0, 0, -0.85f},
+                         {0.3f * v, 0.3f * w, 0.08f}));
+        break;
+      }
+      case 38: { // goblet: cone bowl + stem + base
+        c = makeCone(rng_, part(2, 5), {0, 0, 0.45f}, 0.4f * v, 0.5f);
+        c.append(makeCylinder(rng_, part(1, 5), {}, 0.06f, 0.7f * w));
+        c.append(makeCylinder(rng_, part(2, 5), {0, 0, -0.4f}, 0.3f * v,
+                              0.08f));
+        break;
+      }
+      case 39: { // step_pyramid: stacked shrinking slabs
+        for (int lvl = 0; lvl < 5; ++lvl) {
+            float s = 1.0f - 0.18f * lvl;
+            c.append(makeBox(rng_, part(1, 5),
+                             {0, 0, -0.5f + 0.25f * lvl},
+                             {0.55f * s * v, 0.55f * s * w, 0.12f}));
+        }
+        break;
+      }
+      default:
+        MESO_CHECK(false, "unhandled class " << classId);
+    }
+
+    // Random rotation about gravity, as in standard ModelNet training.
+    rotateZ(c, rng_.uniform(0.0f, 2.0f * kPi));
+    c = resampleTo(rng_, c, pointsPerCloud_);
+    c.normalizeToUnitSphere();
+    // Morton order mimics the scan-order spatial locality of real
+    // datasets (relevant to the AU's LSB bank interleaving).
+    out.cloud = mortonOrder(c);
+    return out;
+}
+
+ClassificationSample
+ModelNetSim::sample()
+{
+    return sample(static_cast<int32_t>(rng_.uniformInt(0, kNumClasses - 1)));
+}
+
+std::vector<ClassificationSample>
+ModelNetSim::batch(int32_t n)
+{
+    MESO_REQUIRE(n > 0, "batch size must be positive");
+    std::vector<ClassificationSample> out;
+    out.reserve(n);
+    for (int32_t i = 0; i < n; ++i)
+        out.push_back(sample(i % kNumClasses));
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// ShapeNetSim
+// ---------------------------------------------------------------------
+
+ShapeNetSim::ShapeNetSim(uint64_t seed, int32_t pointsPerCloud)
+    : rng_(seed), pointsPerCloud_(pointsPerCloud)
+{
+    MESO_REQUIRE(pointsPerCloud > 0, "pointsPerCloud must be positive");
+}
+
+int32_t
+ShapeNetSim::numParts(int32_t category)
+{
+    MESO_REQUIRE(category >= 0 && category < kNumCategories,
+                 "category " << category);
+    // Parts per category (2-4, as in ShapeNet-part).
+    static const std::array<int32_t, kNumCategories> parts = {
+        3, 2, 3, 4, 3, 2, 3, 2, 4, 3, 2, 3, 2, 3, 4, 2};
+    return parts[category];
+}
+
+SegmentationSample
+ShapeNetSim::sample(int32_t category)
+{
+    MESO_REQUIRE(category >= 0 && category < kNumCategories,
+                 "category " << category);
+    SegmentationSample out;
+    out.classId = category;
+    out.numParts = numParts(category);
+
+    float v = rng_.uniform(0.85f, 1.15f);
+    ShapeParams sp;
+    sp.noiseStddev = 0.008f;
+    auto part = [&](int32_t label, int32_t frac_num, int32_t frac_den) {
+        ShapeParams q = sp;
+        // Categories reuse composite geometry but may declare fewer
+        // parts; clamp so labels always stay in [0, numParts).
+        q.label = std::min(label, numParts(category) - 1);
+        q.numPoints =
+            std::max(1, pointsPerCloud_ * frac_num / frac_den);
+        return q;
+    };
+
+    // Each category is a composite whose constituents carry part labels.
+    // The geometry reuses the ModelNet composites but labelled.
+    PointCloud c;
+    switch (category % 8) {
+      case 0: // lamp: base(0) + pole(1) + shade(2)
+        c = makeCylinder(rng_, part(0, 1, 5), {0, 0, -0.8f}, 0.4f * v,
+                         0.08f);
+        c.append(makeCylinder(rng_, part(1, 1, 5), {}, 0.05f, 1.5f));
+        c.append(makeCone(rng_, part(2, 3, 5), {0, 0, 0.9f}, 0.45f * v,
+                          0.5f));
+        break;
+      case 1: // bottle: body(0) + neck(1)
+        c = makeCylinder(rng_, part(0, 3, 4), {0, 0, -0.2f}, 0.3f * v,
+                         0.9f);
+        c.append(makeCylinder(rng_, part(1, 1, 4), {0, 0, 0.45f},
+                              0.1f * v, 0.4f));
+        break;
+      case 2: // mug: body(0) + handle(1) + rim(2)
+        c = makeCylinder(rng_, part(0, 3, 5), {}, 0.35f * v, 0.7f);
+        c.append(makeTorus(rng_, part(1, 1, 5), {0.45f * v, 0, 0}, 0.2f,
+                           0.05f));
+        c.append(makeTorus(rng_, part(2, 1, 5), {0, 0, 0.35f}, 0.35f * v,
+                           0.03f));
+        break;
+      case 3: // table: top(0) + legs(1..) capped at numParts-1
+        c = makeBox(rng_, part(0, 3, 5), {0, 0, 0.5f},
+                    {0.7f * v, 0.5f, 0.05f});
+        for (int sx = -1; sx <= 1; sx += 2)
+            for (int sy = -1; sy <= 1; sy += 2) {
+                int32_t label = std::min(numParts(category) - 1,
+                                         sx + sy == 0 ? 1 : 2);
+                c.append(makeCylinder(rng_, part(label, 1, 10),
+                                      {0.6f * sx * v, 0.4f * sy, 0.0f},
+                                      0.05f, 1.0f));
+            }
+        break;
+      case 4: // rocket: body(0) + nose(1) + fins(2)
+        c = makeCylinder(rng_, part(0, 3, 5), {}, 0.2f * v, 1.2f);
+        c.append(makeCone(rng_, part(1, 1, 5), {0, 0, 0.85f}, 0.2f * v,
+                          0.5f));
+        c.append(makeBox(rng_, part(2, 1, 10), {0, 0, -0.6f},
+                         {0.5f * v, 0.03f, 0.15f}));
+        c.append(makeBox(rng_, part(2, 1, 10), {0, 0, -0.6f},
+                         {0.03f, 0.5f * v, 0.15f}));
+        break;
+      case 5: // dumbbell: weights(0) + bar(1)
+      {
+        c = makeSphere(rng_, part(0, 2, 5), {-0.6f, 0, 0}, 0.3f * v);
+        c.append(makeSphere(rng_, part(0, 2, 5), {0.6f, 0, 0}, 0.3f * v));
+        PointCloud bar = makeCylinder(rng_, part(1, 1, 5), {}, 0.08f,
+                                      1.0f);
+        PointCloud bar_x;
+        for (size_t i = 0; i < bar.size(); ++i)
+            bar_x.add({bar[i].z, bar[i].y, bar[i].x}, 1);
+        c.append(bar_x);
+        break;
+      }
+      case 6: // goblet: bowl(0) + stem(1) + base(2)
+        c = makeCone(rng_, part(0, 2, 5), {0, 0, 0.45f}, 0.4f * v, 0.5f);
+        c.append(makeCylinder(rng_, part(1, 1, 5), {}, 0.06f, 0.7f));
+        c.append(makeCylinder(rng_, part(2, 2, 5), {0, 0, -0.4f},
+                              0.3f * v, 0.08f));
+        break;
+      case 7: // chair: seat(0) + back(1) + legs(2..)
+      default:
+        c = makeBox(rng_, part(0, 2, 5), {0, 0, 0},
+                    {0.4f * v, 0.4f, 0.05f});
+        c.append(makeBox(rng_, part(1, 2, 5), {0, -0.4f, 0.45f},
+                         {0.4f * v, 0.05f, 0.45f}));
+        for (int sx = -1; sx <= 1; sx += 2)
+            for (int sy = -1; sy <= 1; sy += 2) {
+                int32_t label = std::min(numParts(category) - 1, 2);
+                c.append(makeCylinder(rng_, part(label, 1, 20),
+                                      {0.35f * sx * v, 0.35f * sy, -0.4f},
+                                      0.04f, 0.8f));
+            }
+        break;
+    }
+
+    rotateZ(c, rng_.uniform(0.0f, 2.0f * kPi));
+    c = resampleTo(rng_, c, pointsPerCloud_);
+    c.normalizeToUnitSphere();
+    // Morton order mimics the scan-order spatial locality of real
+    // datasets (relevant to the AU's LSB bank interleaving).
+    out.cloud = mortonOrder(c);
+    return out;
+}
+
+SegmentationSample
+ShapeNetSim::sample()
+{
+    return sample(
+        static_cast<int32_t>(rng_.uniformInt(0, kNumCategories - 1)));
+}
+
+// ---------------------------------------------------------------------
+// KittiSim
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Oriented-box description used for ray casting. */
+struct ObbGeom
+{
+    Point3 center;
+    float yaw;
+    Point3 half;
+};
+
+/**
+ * Intersect a ray (origin at sensor, direction d) with an oriented box.
+ * Returns the entry distance t (> 0) or a negative value on miss.
+ */
+float
+rayObb(const Point3 &origin, const Point3 &dir, const ObbGeom &box)
+{
+    // Transform into the box frame (rotate by -yaw about its center).
+    float c = std::cos(-box.yaw);
+    float s = std::sin(-box.yaw);
+    Point3 o = origin - box.center;
+    Point3 ol{c * o.x - s * o.y, s * o.x + c * o.y, o.z};
+    Point3 dl{c * dir.x - s * dir.y, s * dir.x + c * dir.y, dir.z};
+
+    float tmin = -1e30f;
+    float tmax = 1e30f;
+    auto slab = [&](float ol_a, float dl_a, float half_a) {
+        if (std::abs(dl_a) < 1e-9f)
+            return std::abs(ol_a) <= half_a;
+        float t1 = (-half_a - ol_a) / dl_a;
+        float t2 = (half_a - ol_a) / dl_a;
+        if (t1 > t2)
+            std::swap(t1, t2);
+        tmin = std::max(tmin, t1);
+        tmax = std::min(tmax, t2);
+        return tmin <= tmax;
+    };
+    if (!slab(ol.x, dl.x, box.half.x) || !slab(ol.y, dl.y, box.half.y) ||
+        !slab(ol.z, dl.z, box.half.z))
+        return -1.0f;
+    if (tmax < 0.0f)
+        return -1.0f;
+    return tmin > 0.0f ? tmin : tmax;
+}
+
+} // namespace
+
+KittiSim::KittiSim(uint64_t seed, LidarParams lidar)
+    : rng_(seed), lidar_(lidar)
+{
+    MESO_REQUIRE(lidar_.numBeams > 0 && lidar_.azimuthResDeg > 0.0f,
+                 "bad lidar params");
+}
+
+LidarFrame
+KittiSim::frame(int32_t numCars, int32_t numPedestrians, int32_t numCyclists)
+{
+    MESO_REQUIRE(numCars >= 0 && numPedestrians >= 0 && numCyclists >= 0,
+                 "negative object count");
+    LidarFrame out;
+
+    auto place = [&](SceneObject::Kind kind, Point3 size) {
+        SceneObject obj;
+        obj.kind = kind;
+        // Objects sit on the ground within 50 m, not too close to the
+        // sensor.
+        float range = rng_.uniform(6.0f, 50.0f);
+        float angle = rng_.uniform(0.0f, 2.0f * kPi);
+        obj.center = {range * std::cos(angle), range * std::sin(angle),
+                      size.z / 2 - 1.73f}; // sensor 1.73 m above ground
+        obj.yaw = rng_.uniform(0.0f, 2.0f * kPi);
+        obj.size = size;
+        out.objects.push_back(obj);
+    };
+
+    for (int32_t i = 0; i < numCars; ++i)
+        place(SceneObject::Kind::Car,
+              {rng_.uniform(3.8f, 4.8f), rng_.uniform(1.6f, 2.0f),
+               rng_.uniform(1.4f, 1.8f)});
+    for (int32_t i = 0; i < numPedestrians; ++i)
+        place(SceneObject::Kind::Pedestrian,
+              {rng_.uniform(0.4f, 0.7f), rng_.uniform(0.4f, 0.7f),
+               rng_.uniform(1.6f, 1.9f)});
+    for (int32_t i = 0; i < numCyclists; ++i)
+        place(SceneObject::Kind::Cyclist,
+              {rng_.uniform(1.5f, 1.9f), rng_.uniform(0.5f, 0.8f),
+               rng_.uniform(1.6f, 1.9f)});
+
+    std::vector<ObbGeom> boxes;
+    for (const auto &obj : out.objects)
+        boxes.push_back({obj.center, obj.yaw, obj.size * 0.5f});
+
+    // Rotating multi-beam scan: for each (beam, azimuth) ray, the return
+    // is the nearest of {object hit, ground hit} within range.
+    const Point3 origin{0.0f, 0.0f, 0.0f};
+    const float fov_up = lidar_.fovUpDeg * kPi / 180.0f;
+    const float fov_down = lidar_.fovDownDeg * kPi / 180.0f;
+    const int32_t num_az =
+        static_cast<int32_t>(360.0f / lidar_.azimuthResDeg);
+
+    for (int32_t b = 0; b < lidar_.numBeams; ++b) {
+        float pitch = fov_down + (fov_up - fov_down) * b /
+                                     std::max(1, lidar_.numBeams - 1);
+        float cp = std::cos(pitch);
+        float sp = std::sin(pitch);
+        for (int32_t a = 0; a < num_az; ++a) {
+            if (rng_.bernoulli(lidar_.dropProb))
+                continue;
+            float az = 2.0f * kPi * a / num_az;
+            Point3 dir{cp * std::cos(az), cp * std::sin(az), sp};
+
+            float best_t = lidar_.maxRange;
+            int32_t best_label = -1;
+
+            // Ground plane at z = -1.73 m.
+            if (dir.z < -1e-6f) {
+                float t = (-1.73f - origin.z) / dir.z;
+                if (t > 0.0f && t < best_t) {
+                    best_t = t;
+                    best_label = 0;
+                }
+            }
+            for (size_t i = 0; i < boxes.size(); ++i) {
+                float t = rayObb(origin, dir, boxes[i]);
+                if (t > 0.0f && t < best_t) {
+                    best_t = t;
+                    best_label = static_cast<int32_t>(i) + 1;
+                }
+            }
+            if (best_label < 0)
+                continue;
+            float noisy_t =
+                best_t + rng_.gaussian(0.0f, lidar_.rangeNoiseStddev);
+            out.cloud.add(origin + dir * noisy_t, best_label);
+        }
+    }
+    return out;
+}
+
+std::vector<PointCloud>
+KittiSim::frustums(const LidarFrame &frame, int32_t pointsPerFrustum)
+{
+    MESO_REQUIRE(pointsPerFrustum > 0, "pointsPerFrustum must be positive");
+    std::vector<PointCloud> out;
+    for (size_t obj = 0; obj < frame.objects.size(); ++obj) {
+        // A frustum proposal contains the object's points plus nearby
+        // background clutter (points whose azimuth is within the
+        // object's angular window).
+        const auto &o = frame.objects[obj];
+        float obj_az = std::atan2(o.center.y, o.center.x);
+        float obj_range = std::sqrt(o.center.x * o.center.x +
+                                    o.center.y * o.center.y);
+        float half_window =
+            std::atan2(std::max(o.size.x, o.size.y) * 0.75f,
+                       std::max(obj_range, 1.0f));
+
+        PointCloud frustum;
+        for (size_t i = 0; i < frame.cloud.size(); ++i) {
+            const Point3 &p = frame.cloud[i];
+            float az = std::atan2(p.y, p.x);
+            float d = std::abs(az - obj_az);
+            d = std::min(d, 2.0f * kPi - d);
+            if (d <= half_window) {
+                int32_t lbl = frame.cloud.labels()[i] ==
+                                      static_cast<int32_t>(obj) + 1
+                                  ? 1
+                                  : 0;
+                frustum.add(p, lbl);
+            }
+        }
+        if (frustum.empty())
+            continue;
+        out.push_back(
+            mortonOrder(resampleTo(rng_, frustum, pointsPerFrustum)));
+    }
+    return out;
+}
+
+} // namespace mesorasi::geom

@@ -1,0 +1,169 @@
+#include "geom/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mesorasi::geom {
+
+namespace {
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream os(path);
+    MESO_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+    return os;
+}
+
+std::ifstream
+openIn(const std::string &path)
+{
+    std::ifstream is(path);
+    MESO_REQUIRE(is.good(), "cannot open '" << path << "' for reading");
+    return is;
+}
+
+} // namespace
+
+void
+writeXyz(std::ostream &os, const PointCloud &cloud)
+{
+    bool labelled = cloud.hasLabels();
+    for (size_t i = 0; i < cloud.size(); ++i) {
+        os << cloud[i].x << " " << cloud[i].y << " " << cloud[i].z;
+        if (labelled)
+            os << " " << cloud.labels()[i];
+        os << "\n";
+    }
+}
+
+void
+writeXyzFile(const std::string &path, const PointCloud &cloud)
+{
+    auto os = openOut(path);
+    writeXyz(os, cloud);
+}
+
+PointCloud
+readXyz(std::istream &is)
+{
+    PointCloud cloud;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        // Strip comments; skip blank lines.
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        float x, y, z;
+        if (!(ls >> x))
+            continue; // blank
+        MESO_REQUIRE(static_cast<bool>(ls >> y >> z),
+                     "malformed XYZ line " << lineno);
+        int32_t label;
+        if (ls >> label)
+            cloud.add({x, y, z}, label);
+        else
+            cloud.add({x, y, z});
+    }
+    return cloud;
+}
+
+PointCloud
+readXyzFile(const std::string &path)
+{
+    auto is = openIn(path);
+    return readXyz(is);
+}
+
+void
+writePly(std::ostream &os, const PointCloud &cloud)
+{
+    bool labelled = cloud.hasLabels();
+    os << "ply\nformat ascii 1.0\n";
+    os << "element vertex " << cloud.size() << "\n";
+    os << "property float x\nproperty float y\nproperty float z\n";
+    if (labelled)
+        os << "property int label\n";
+    os << "end_header\n";
+    writeXyz(os, cloud); // body format coincides
+}
+
+void
+writePlyFile(const std::string &path, const PointCloud &cloud)
+{
+    auto os = openOut(path);
+    writePly(os, cloud);
+}
+
+PointCloud
+readPly(std::istream &is)
+{
+    std::string line;
+    MESO_REQUIRE(static_cast<bool>(std::getline(is, line)) &&
+                     line.substr(0, 3) == "ply",
+                 "not a PLY stream");
+
+    size_t num_vertices = 0;
+    std::vector<std::string> properties;
+    bool ascii = false;
+    while (std::getline(is, line)) {
+        std::istringstream ls(line);
+        std::string tok;
+        ls >> tok;
+        if (tok == "format") {
+            std::string fmt;
+            ls >> fmt;
+            ascii = fmt == "ascii";
+        } else if (tok == "element") {
+            std::string what;
+            ls >> what >> num_vertices;
+            MESO_REQUIRE(what == "vertex",
+                         "unsupported PLY element '" << what << "'");
+        } else if (tok == "property") {
+            std::string type, name;
+            ls >> type >> name;
+            properties.push_back(name);
+        } else if (tok == "end_header") {
+            break;
+        }
+    }
+    MESO_REQUIRE(ascii, "only ascii PLY is supported");
+    MESO_REQUIRE(properties.size() >= 3 && properties[0] == "x" &&
+                     properties[1] == "y" && properties[2] == "z",
+                 "PLY must start with x/y/z properties");
+    bool labelled = properties.size() > 3 && properties[3] == "label";
+
+    PointCloud cloud;
+    for (size_t i = 0; i < num_vertices; ++i) {
+        MESO_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                     "PLY truncated at vertex " << i);
+        std::istringstream ls(line);
+        float x, y, z;
+        MESO_REQUIRE(static_cast<bool>(ls >> x >> y >> z),
+                     "malformed PLY vertex " << i);
+        if (labelled) {
+            int32_t label;
+            MESO_REQUIRE(static_cast<bool>(ls >> label),
+                         "missing label at vertex " << i);
+            cloud.add({x, y, z}, label);
+        } else {
+            cloud.add({x, y, z});
+        }
+    }
+    return cloud;
+}
+
+PointCloud
+readPlyFile(const std::string &path)
+{
+    auto is = openIn(path);
+    return readPly(is);
+}
+
+} // namespace mesorasi::geom

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Point-cloud file I/O.
+ *
+ * A library release needs to interoperate with real scans, so this
+ * module reads and writes the two simplest interchange formats:
+ *
+ *  - XYZ: one "x y z [label]" line per point;
+ *  - PLY (ascii): the subset produced by common tools — float x/y/z
+ *    properties plus an optional integer label property.
+ *
+ * Both round-trip the optional per-point labels used by the
+ * segmentation datasets.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "geom/point_cloud.hpp"
+
+namespace mesorasi::geom {
+
+/** Write "x y z [label]" lines. */
+void writeXyz(std::ostream &os, const PointCloud &cloud);
+void writeXyzFile(const std::string &path, const PointCloud &cloud);
+
+/** Parse "x y z [label]" lines; blank lines and '#' comments skipped. */
+PointCloud readXyz(std::istream &is);
+PointCloud readXyzFile(const std::string &path);
+
+/** Write an ascii PLY with x/y/z (+ label when present). */
+void writePly(std::ostream &os, const PointCloud &cloud);
+void writePlyFile(const std::string &path, const PointCloud &cloud);
+
+/** Read an ascii PLY produced by writePly or compatible tools. */
+PointCloud readPly(std::istream &is);
+PointCloud readPlyFile(const std::string &path);
+
+} // namespace mesorasi::geom

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * 3-D point/vector type used throughout the point-cloud substrate.
+ */
+#pragma once
+
+#include <cmath>
+
+namespace mesorasi::geom {
+
+/** A point (or vector) in 3-D Cartesian space. */
+struct Point3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    Point3() = default;
+    Point3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+    Point3 operator+(const Point3 &o) const
+    { return {x + o.x, y + o.y, z + o.z}; }
+    Point3 operator-(const Point3 &o) const
+    { return {x - o.x, y - o.y, z - o.z}; }
+    Point3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    Point3 operator/(float s) const { return {x / s, y / s, z / s}; }
+
+    Point3 &
+    operator+=(const Point3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    bool operator==(const Point3 &o) const
+    { return x == o.x && y == o.y && z == o.z; }
+
+    float dot(const Point3 &o) const { return x * o.x + y * o.y + z * o.z; }
+
+    Point3
+    cross(const Point3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    float norm2() const { return dot(*this); }
+    float norm() const { return std::sqrt(norm2()); }
+
+    /** Unit-length copy; the zero vector normalizes to itself. */
+    Point3
+    normalized() const
+    {
+        float n = norm();
+        return n > 0.0f ? *this / n : *this;
+    }
+
+    /** Squared Euclidean distance to another point. */
+    float dist2(const Point3 &o) const { return (*this - o).norm2(); }
+
+    /** Euclidean distance to another point. */
+    float dist(const Point3 &o) const { return std::sqrt(dist2(o)); }
+};
+
+inline Point3 operator*(float s, const Point3 &p) { return p * s; }
+
+} // namespace mesorasi::geom

@@ -1,0 +1,134 @@
+#include "geom/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mesorasi::geom {
+
+std::vector<int32_t>
+farthestPointSample(const PointCloud &cloud, int32_t numSamples,
+                    int32_t startIndex)
+{
+    int32_t n = static_cast<int32_t>(cloud.size());
+    MESO_REQUIRE(numSamples > 0 && numSamples <= n,
+                 "cannot FPS " << numSamples << " from " << n);
+    MESO_REQUIRE(startIndex >= 0 && startIndex < n,
+                 "bad start index " << startIndex);
+
+    std::vector<int32_t> picked;
+    picked.reserve(numSamples);
+    std::vector<float> dist2(n, std::numeric_limits<float>::max());
+
+    int32_t current = startIndex;
+    for (int32_t s = 0; s < numSamples; ++s) {
+        picked.push_back(current);
+        const Point3 &c = cloud[current];
+        int32_t next = -1;
+        float best = -1.0f;
+        for (int32_t i = 0; i < n; ++i) {
+            float d = cloud[i].dist2(c);
+            if (d < dist2[i])
+                dist2[i] = d;
+            if (dist2[i] > best) {
+                best = dist2[i];
+                next = i;
+            }
+        }
+        current = next;
+    }
+    return picked;
+}
+
+std::vector<int32_t>
+randomSample(Rng &rng, const PointCloud &cloud, int32_t numSamples)
+{
+    int32_t n = static_cast<int32_t>(cloud.size());
+    MESO_REQUIRE(numSamples > 0 && numSamples <= n,
+                 "cannot sample " << numSamples << " from " << n);
+    return rng.sampleWithoutReplacement(n, numSamples);
+}
+
+std::vector<int32_t>
+voxelGridSample(const PointCloud &cloud, float voxelSize)
+{
+    MESO_REQUIRE(voxelSize > 0.0f, "voxel size must be positive");
+    std::unordered_map<uint64_t, int32_t> seen;
+    std::vector<int32_t> out;
+    Aabb box = cloud.bounds();
+    for (size_t i = 0; i < cloud.size(); ++i) {
+        Point3 rel = cloud[i] - box.lo;
+        uint64_t vx = static_cast<uint64_t>(rel.x / voxelSize);
+        uint64_t vy = static_cast<uint64_t>(rel.y / voxelSize);
+        uint64_t vz = static_cast<uint64_t>(rel.z / voxelSize);
+        // 21 bits per axis is ample for any realistic grid.
+        uint64_t key = (vx << 42) | (vy << 21) | vz;
+        if (seen.emplace(key, static_cast<int32_t>(i)).second)
+            out.push_back(static_cast<int32_t>(i));
+    }
+    return out;
+}
+
+namespace {
+
+/** Interleave the low 21 bits of x, y, z into a 63-bit Morton code. */
+uint64_t
+mortonCode(uint32_t x, uint32_t y, uint32_t z)
+{
+    auto spread = [](uint64_t v) {
+        v &= 0x1fffff;
+        v = (v | v << 32) & 0x1f00000000ffffull;
+        v = (v | v << 16) & 0x1f0000ff0000ffull;
+        v = (v | v << 8) & 0x100f00f00f00f00full;
+        v = (v | v << 4) & 0x10c30c30c30c30c3ull;
+        v = (v | v << 2) & 0x1249249249249249ull;
+        return v;
+    };
+    return spread(x) | (spread(y) << 1) | (spread(z) << 2);
+}
+
+} // namespace
+
+PointCloud
+mortonOrder(const PointCloud &cloud)
+{
+    if (cloud.empty())
+        return cloud;
+    Aabb box = cloud.bounds();
+    float scale_f = box.maxExtent() > 0.0f
+                        ? 2097151.0f / box.maxExtent()
+                        : 0.0f;
+    std::vector<std::pair<uint64_t, int32_t>> keyed(cloud.size());
+    for (size_t i = 0; i < cloud.size(); ++i) {
+        Point3 rel = cloud[i] - box.lo;
+        keyed[i] = {mortonCode(static_cast<uint32_t>(rel.x * scale_f),
+                               static_cast<uint32_t>(rel.y * scale_f),
+                               static_cast<uint32_t>(rel.z * scale_f)),
+                    static_cast<int32_t>(i)};
+    }
+    std::sort(keyed.begin(), keyed.end());
+    std::vector<int32_t> order(cloud.size());
+    for (size_t i = 0; i < keyed.size(); ++i)
+        order[i] = keyed[i].second;
+    return cloud.select(order);
+}
+
+float
+minPairwiseDistance(const PointCloud &cloud,
+                    const std::vector<int32_t> &indices)
+{
+    MESO_REQUIRE(indices.size() >= 2, "need at least two points");
+    float best = std::numeric_limits<float>::max();
+    for (size_t i = 0; i < indices.size(); ++i)
+        for (size_t j = i + 1; j < indices.size(); ++j)
+            best = std::min(best,
+                            cloud[indices[i]].dist2(cloud[indices[j]]));
+    return std::sqrt(best);
+}
+
+} // namespace mesorasi::geom

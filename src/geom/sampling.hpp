@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Centroid sampling strategies for point-cloud modules.
+ *
+ * Point-cloud networks pick a subset of input points as neighborhood
+ * centroids (the analogue of stride in a convolution). The paper's
+ * optimized software baseline replaces farthest-point sampling with
+ * random sampling (Sec. VI); both are implemented here, plus voxel-grid
+ * downsampling used for preprocessing large LiDAR scans.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/point_cloud.hpp"
+
+namespace mesorasi::geom {
+
+/**
+ * Farthest-point sampling: iteratively picks the point that maximizes the
+ * distance to the already-picked set. O(numSamples * N). Deterministic
+ * given the starting index.
+ */
+std::vector<int32_t> farthestPointSample(const PointCloud &cloud,
+                                         int32_t numSamples,
+                                         int32_t startIndex = 0);
+
+/** Uniform random sampling without replacement. */
+std::vector<int32_t> randomSample(Rng &rng, const PointCloud &cloud,
+                                  int32_t numSamples);
+
+/**
+ * Voxel-grid downsampling: one representative (the first-seen point) per
+ * occupied voxel of edge length @p voxelSize. Returns selected indices.
+ */
+std::vector<int32_t> voxelGridSample(const PointCloud &cloud,
+                                     float voxelSize);
+
+/**
+ * Minimum pairwise distance within the selected subset — a quality metric
+ * for sampler comparisons (FPS maximizes it; random does not).
+ */
+float minPairwiseDistance(const PointCloud &cloud,
+                          const std::vector<int32_t> &indices);
+
+/**
+ * Reorder a cloud along a Morton (Z-order) space-filling curve so that
+ * spatially close points get nearby indices. Real point-cloud datasets
+ * have this property from their scan order; it is what makes the
+ * Aggregation Unit's LSB bank interleaving effective (paper Sec. V-B),
+ * so the synthetic dataset generators apply it before returning clouds.
+ */
+PointCloud mortonOrder(const PointCloud &cloud);
+
+} // namespace mesorasi::geom

@@ -1,0 +1,247 @@
+#include "geom/shapes.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mesorasi::geom {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/** Add sensor noise and label handling shared by all generators. */
+void
+addPoint(PointCloud &cloud, Rng &rng, const ShapeParams &p, Point3 pt)
+{
+    if (p.noiseStddev > 0.0f) {
+        pt.x += rng.gaussian(0.0f, p.noiseStddev);
+        pt.y += rng.gaussian(0.0f, p.noiseStddev);
+        pt.z += rng.gaussian(0.0f, p.noiseStddev);
+    }
+    cloud.add(pt, p.label);
+}
+
+} // namespace
+
+PointCloud
+makeSphere(Rng &rng, const ShapeParams &p, Point3 center, float radius)
+{
+    MESO_REQUIRE(p.numPoints > 0 && radius > 0.0f, "bad sphere params");
+    PointCloud cloud;
+    for (int32_t i = 0; i < p.numPoints; ++i) {
+        // Uniform on the sphere via normalized Gaussian direction.
+        Point3 dir{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+        dir = dir.normalized();
+        if (dir.norm2() == 0.0f)
+            dir = {0.0f, 0.0f, 1.0f};
+        addPoint(cloud, rng, p, center + dir * radius);
+    }
+    return cloud;
+}
+
+PointCloud
+makeBox(Rng &rng, const ShapeParams &p, Point3 center, Point3 half)
+{
+    MESO_REQUIRE(p.numPoints > 0, "bad box params");
+    MESO_REQUIRE(half.x > 0 && half.y > 0 && half.z > 0, "bad box extent");
+    // Sample faces proportionally to their area for a uniform surface
+    // density.
+    float ax = half.y * half.z; // x-faces
+    float ay = half.x * half.z; // y-faces
+    float az = half.x * half.y; // z-faces
+    float total = 2.0f * (ax + ay + az);
+
+    PointCloud cloud;
+    for (int32_t i = 0; i < p.numPoints; ++i) {
+        float r = rng.uniform(0.0f, total);
+        float u = rng.uniform(-1.0f, 1.0f);
+        float v = rng.uniform(-1.0f, 1.0f);
+        Point3 pt;
+        if (r < 2 * ax) {
+            float sign = r < ax ? 1.0f : -1.0f;
+            pt = {sign * half.x, u * half.y, v * half.z};
+        } else if (r < 2 * ax + 2 * ay) {
+            float sign = r < 2 * ax + ay ? 1.0f : -1.0f;
+            pt = {u * half.x, sign * half.y, v * half.z};
+        } else {
+            float sign = r < 2 * (ax + ay) + az ? 1.0f : -1.0f;
+            pt = {u * half.x, v * half.y, sign * half.z};
+        }
+        addPoint(cloud, rng, p, center + pt);
+    }
+    return cloud;
+}
+
+PointCloud
+makeCylinder(Rng &rng, const ShapeParams &p, Point3 center, float radius,
+             float height)
+{
+    MESO_REQUIRE(p.numPoints > 0 && radius > 0 && height > 0,
+                 "bad cylinder params");
+    float sideArea = 2.0f * kPi * radius * height;
+    float capArea = kPi * radius * radius;
+    float total = sideArea + 2.0f * capArea;
+
+    PointCloud cloud;
+    for (int32_t i = 0; i < p.numPoints; ++i) {
+        float r = rng.uniform(0.0f, total);
+        float theta = rng.uniform(0.0f, 2.0f * kPi);
+        Point3 pt;
+        if (r < sideArea) {
+            float z = rng.uniform(-height / 2, height / 2);
+            pt = {radius * std::cos(theta), radius * std::sin(theta), z};
+        } else {
+            // sqrt for uniform density on the disc.
+            float rr = radius * std::sqrt(rng.uniform());
+            float z = r < sideArea + capArea ? height / 2 : -height / 2;
+            pt = {rr * std::cos(theta), rr * std::sin(theta), z};
+        }
+        addPoint(cloud, rng, p, center + pt);
+    }
+    return cloud;
+}
+
+PointCloud
+makeCone(Rng &rng, const ShapeParams &p, Point3 center, float radius,
+         float height)
+{
+    MESO_REQUIRE(p.numPoints > 0 && radius > 0 && height > 0,
+                 "bad cone params");
+    float slant = std::sqrt(radius * radius + height * height);
+    float sideArea = kPi * radius * slant;
+    float baseArea = kPi * radius * radius;
+    float total = sideArea + baseArea;
+
+    PointCloud cloud;
+    for (int32_t i = 0; i < p.numPoints; ++i) {
+        float r = rng.uniform(0.0f, total);
+        float theta = rng.uniform(0.0f, 2.0f * kPi);
+        Point3 pt;
+        if (r < sideArea) {
+            // Uniform over the lateral surface: radius ~ sqrt(u).
+            float t = std::sqrt(rng.uniform());
+            float rr = radius * t;
+            float z = height * (1.0f - t) - height / 2;
+            pt = {rr * std::cos(theta), rr * std::sin(theta), z};
+        } else {
+            float rr = radius * std::sqrt(rng.uniform());
+            pt = {rr * std::cos(theta), rr * std::sin(theta), -height / 2};
+        }
+        addPoint(cloud, rng, p, center + pt);
+    }
+    return cloud;
+}
+
+PointCloud
+makeTorus(Rng &rng, const ShapeParams &p, Point3 center, float major,
+          float minor)
+{
+    MESO_REQUIRE(p.numPoints > 0 && major > 0 && minor > 0 && minor < major,
+                 "bad torus params");
+    PointCloud cloud;
+    int32_t accepted = 0;
+    while (accepted < p.numPoints) {
+        float u = rng.uniform(0.0f, 2.0f * kPi); // around the ring
+        float v = rng.uniform(0.0f, 2.0f * kPi); // around the tube
+        // Rejection-sample so surface density is uniform: local area is
+        // proportional to (major + minor*cos v).
+        float w = (major + minor * std::cos(v)) / (major + minor);
+        if (!rng.bernoulli(w))
+            continue;
+        Point3 pt{(major + minor * std::cos(v)) * std::cos(u),
+                  (major + minor * std::cos(v)) * std::sin(u),
+                  minor * std::sin(v)};
+        addPoint(cloud, rng, p, center + pt);
+        ++accepted;
+    }
+    return cloud;
+}
+
+PointCloud
+makePlane(Rng &rng, const ShapeParams &p, Point3 center, float width,
+          float depth)
+{
+    MESO_REQUIRE(p.numPoints > 0 && width > 0 && depth > 0,
+                 "bad plane params");
+    PointCloud cloud;
+    for (int32_t i = 0; i < p.numPoints; ++i) {
+        Point3 pt{rng.uniform(-width / 2, width / 2),
+                  rng.uniform(-depth / 2, depth / 2), 0.0f};
+        addPoint(cloud, rng, p, center + pt);
+    }
+    return cloud;
+}
+
+PointCloud
+makeCapsule(Rng &rng, const ShapeParams &p, Point3 center, float radius,
+            float height)
+{
+    MESO_REQUIRE(p.numPoints > 0 && radius > 0 && height > 0,
+                 "bad capsule params");
+    float sideArea = 2.0f * kPi * radius * height;
+    float capsArea = 4.0f * kPi * radius * radius; // two hemispheres
+    float total = sideArea + capsArea;
+
+    PointCloud cloud;
+    for (int32_t i = 0; i < p.numPoints; ++i) {
+        float r = rng.uniform(0.0f, total);
+        Point3 pt;
+        if (r < sideArea) {
+            float theta = rng.uniform(0.0f, 2.0f * kPi);
+            float z = rng.uniform(-height / 2, height / 2);
+            pt = {radius * std::cos(theta), radius * std::sin(theta), z};
+        } else {
+            Point3 dir{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+            dir = dir.normalized();
+            if (dir.norm2() == 0.0f)
+                dir = {0.0f, 0.0f, 1.0f};
+            float zoff = dir.z >= 0.0f ? height / 2 : -height / 2;
+            pt = dir * radius;
+            pt.z += zoff;
+        }
+        addPoint(cloud, rng, p, center + pt);
+    }
+    return cloud;
+}
+
+PointCloud
+makeBlob(Rng &rng, const ShapeParams &p, Point3 center, float stddev)
+{
+    MESO_REQUIRE(p.numPoints > 0 && stddev > 0, "bad blob params");
+    PointCloud cloud;
+    for (int32_t i = 0; i < p.numPoints; ++i) {
+        Point3 pt{rng.gaussian(0.0f, stddev), rng.gaussian(0.0f, stddev),
+                  rng.gaussian(0.0f, stddev)};
+        addPoint(cloud, rng, p, center + pt);
+    }
+    return cloud;
+}
+
+void
+rotateZ(PointCloud &cloud, float radians, Point3 pivot)
+{
+    float c = std::cos(radians);
+    float s = std::sin(radians);
+    for (size_t i = 0; i < cloud.size(); ++i) {
+        Point3 q = cloud[i] - pivot;
+        cloud[i] = Point3{c * q.x - s * q.y, s * q.x + c * q.y, q.z} + pivot;
+    }
+}
+
+void
+scale(PointCloud &cloud, float factor, Point3 pivot)
+{
+    MESO_REQUIRE(factor > 0.0f, "scale factor must be positive");
+    for (size_t i = 0; i < cloud.size(); ++i)
+        cloud[i] = (cloud[i] - pivot) * factor + pivot;
+}
+
+void
+translate(PointCloud &cloud, Point3 delta)
+{
+    for (size_t i = 0; i < cloud.size(); ++i)
+        cloud[i] += delta;
+}
+
+} // namespace mesorasi::geom

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Procedural surface-sampled shape generators.
+ *
+ * These are the building blocks of the synthetic dataset simulators that
+ * stand in for ModelNet40 / ShapeNet / KITTI (see DESIGN.md, substitution
+ * table). Every generator samples points on the *surface* of the shape
+ * (like a 3-D scan would) with optional Gaussian sensor noise.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "geom/point_cloud.hpp"
+
+namespace mesorasi::geom {
+
+/** Common parameters for all shape generators. */
+struct ShapeParams
+{
+    int32_t numPoints = 1024;  ///< points to sample on the surface
+    float noiseStddev = 0.0f;  ///< isotropic Gaussian noise added per point
+    int32_t label = -1;        ///< per-point label to attach (-1 = none)
+};
+
+/** Sphere of given radius centered at @p center. */
+PointCloud makeSphere(Rng &rng, const ShapeParams &p, Point3 center = {},
+                      float radius = 1.0f);
+
+/** Axis-aligned box with the given half-extents. */
+PointCloud makeBox(Rng &rng, const ShapeParams &p, Point3 center = {},
+                   Point3 halfExtent = {0.5f, 0.5f, 0.5f});
+
+/** Cylinder along +z: radius @p radius, height @p height (caps included). */
+PointCloud makeCylinder(Rng &rng, const ShapeParams &p, Point3 center = {},
+                        float radius = 0.5f, float height = 1.0f);
+
+/** Cone along +z with apex up: base @p radius, height @p height. */
+PointCloud makeCone(Rng &rng, const ShapeParams &p, Point3 center = {},
+                    float radius = 0.5f, float height = 1.0f);
+
+/** Torus in the xy-plane: ring radius @p major, tube radius @p minor. */
+PointCloud makeTorus(Rng &rng, const ShapeParams &p, Point3 center = {},
+                     float major = 0.7f, float minor = 0.25f);
+
+/** Rectangular plane patch in the xy-plane (z = 0). */
+PointCloud makePlane(Rng &rng, const ShapeParams &p, Point3 center = {},
+                     float width = 1.0f, float depth = 1.0f);
+
+/** Capsule (cylinder with hemispherical caps) along +z. */
+PointCloud makeCapsule(Rng &rng, const ShapeParams &p, Point3 center = {},
+                       float radius = 0.3f, float height = 1.0f);
+
+/** Gaussian blob cluster (volumetric, not a surface). */
+PointCloud makeBlob(Rng &rng, const ShapeParams &p, Point3 center = {},
+                    float stddev = 0.3f);
+
+/** Apply a rotation about the z-axis (radians) around @p pivot. */
+void rotateZ(PointCloud &cloud, float radians, Point3 pivot = {});
+
+/** Apply uniform scaling about @p pivot. */
+void scale(PointCloud &cloud, float factor, Point3 pivot = {});
+
+/** Translate all points by @p delta. */
+void translate(PointCloud &cloud, Point3 delta);
+
+} // namespace mesorasi::geom

@@ -1,0 +1,182 @@
+#include "hwsim/agg_unit.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mesorasi::hwsim {
+
+void
+AuStats::merge(const AuStats &other)
+{
+    cycles += other.cycles;
+    timeMs += other.timeMs;
+    partitions += other.partitions;
+    entriesProcessed += other.entriesProcessed;
+    pftWordReads += other.pftWordReads;
+    pftFillBytes += other.pftFillBytes;
+    idealRounds += other.idealRounds;
+    actualRounds += other.actualRounds;
+    nitDramBytes += other.nitDramBytes;
+    subtractOps += other.subtractOps;
+    maxOps += other.maxOps;
+    droppedNeighbors += other.droppedNeighbors;
+    totalNeighbors += other.totalNeighbors;
+    energyMj += other.energyMj;
+    if (actualRounds > 0) {
+        conflictFraction =
+            static_cast<double>(actualRounds - idealRounds) / actualRounds;
+        slowdownVsIdeal = static_cast<double>(actualRounds) /
+                          std::max<int64_t>(1, idealRounds);
+    }
+}
+
+AuStats
+AggregationUnit::aggregate(const neighbor::NeighborIndexTable &nit,
+                           int32_t pftRows, int32_t pftCols) const
+{
+    MESO_REQUIRE(pftRows > 0 && pftCols > 0,
+                 "bad PFT shape " << pftRows << "x" << pftCols);
+    MESO_REQUIRE(nit.maxReferencedIndex() < pftRows,
+                 "NIT references row beyond the PFT");
+
+    AuStats s;
+    const int32_t banks = cfg_.pftBanks;
+
+    // Column-major partitioning (paper Fig. 15): the buffer holds all
+    // Nin rows of a slice of columns, so each pass can fully aggregate
+    // every centroid over that slice.
+    int64_t pft_bytes = static_cast<int64_t>(pftRows) * pftCols * 4;
+    int32_t partitions = static_cast<int32_t>(
+        (pft_bytes + cfg_.pftBufferBytes - 1) / cfg_.pftBufferBytes);
+    partitions = std::max(partitions, 1);
+    int32_t part_cols = (pftCols + partitions - 1) / partitions;
+    s.partitions = partitions;
+
+    // The NIT is re-read from DRAM once per partition unless the whole
+    // table fits in the two NIT buffers.
+    int64_t nit_bytes = nit.packedBytes();
+    bool nit_resident = nit_bytes <= 2 * cfg_.nitBufferBytes;
+    s.nitDramBytes = nit_resident ? nit_bytes : nit_bytes * partitions;
+
+    // Per-entry AGU simulation: LSB interleaving assigns PFT row r to
+    // bank (r mod B); each round issues the maximal conflict-free
+    // subset, so an entry needs max-bank-occupancy rounds. A bank
+    // streams one word per cycle, so each round of row reads costs
+    // part_cols cycles.
+    std::vector<int32_t> bank_count(banks);
+    std::vector<int32_t> uniq;
+    int64_t per_partition_cycles = 0;
+    int64_t per_partition_word_reads = 0;
+
+    for (const auto &entry : nit.entries()) {
+        MESO_REQUIRE(!entry.neighbors.empty(), "empty NIT entry");
+        // Duplicate addresses (ball-query padding repeats a neighbor)
+        // are served by a single bank read: max over duplicates is
+        // idempotent, so the AGU dedups within an entry.
+        uniq = entry.neighbors;
+        std::sort(uniq.begin(), uniq.end());
+        uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+
+        std::fill(bank_count.begin(), bank_count.end(), 0);
+        int32_t k = static_cast<int32_t>(uniq.size());
+        for (int32_t n : uniq)
+            ++bank_count[n % banks];
+        int32_t rounds = *std::max_element(bank_count.begin(),
+                                           bank_count.end());
+        s.totalNeighbors += k;
+        // Approximate mode: cap the rounds and drop the overflow — the
+        // neighbors beyond the cap in each bank never reach the max
+        // tree (paper Sec. V-B's deferred optimization).
+        if (cfg_.maxRoundsPerEntry > 0 &&
+            rounds > cfg_.maxRoundsPerEntry) {
+            int32_t kept = 0;
+            for (int32_t b = 0; b < banks; ++b)
+                kept += std::min(bank_count[b], cfg_.maxRoundsPerEntry);
+            s.droppedNeighbors += k - kept;
+            k = kept;
+            rounds = cfg_.maxRoundsPerEntry;
+        }
+        int32_t ideal = (k + banks - 1) / banks;
+        s.actualRounds += rounds;
+        s.idealRounds += ideal;
+
+        // Streaming the neighbor rows: rounds x part_cols cycles, then
+        // the centroid row read (part_cols) for the subtract register.
+        per_partition_cycles +=
+            static_cast<int64_t>(rounds) * part_cols + part_cols;
+        per_partition_word_reads =
+            per_partition_word_reads +
+            static_cast<int64_t>(k) * part_cols + part_cols;
+        s.subtractOps += part_cols;
+        s.maxOps += static_cast<int64_t>(k) * part_cols;
+    }
+
+    s.entriesProcessed = static_cast<int64_t>(nit.size()) * partitions;
+    s.cycles = per_partition_cycles * partitions;
+    s.pftWordReads = per_partition_word_reads * partitions;
+    // Each partition pass fills the buffer with Nin x part_cols words
+    // from the NPU global buffer.
+    s.pftFillBytes = static_cast<int64_t>(pftRows) * part_cols * 4 *
+                     partitions;
+    // Filling proceeds at one word per bank per cycle.
+    s.cycles += s.pftFillBytes / 4 / banks;
+
+    s.timeMs = static_cast<double>(s.cycles) / (cfg_.clockGhz * 1e6);
+    s.subtractOps *= partitions;
+    s.maxOps *= partitions;
+
+    if (s.actualRounds > 0) {
+        s.conflictFraction =
+            static_cast<double>(s.actualRounds - s.idealRounds) /
+            s.actualRounds;
+        s.slowdownVsIdeal = static_cast<double>(s.actualRounds) /
+                            std::max<int64_t>(1, s.idealRounds);
+    }
+
+    // On-chip energy: PFT bank reads + fills (small SRAM), NIT buffer
+    // reads, shift-register writes, and the reduce/subtract datapath.
+    double bits_pft = static_cast<double>(s.pftWordReads) * 32.0 +
+                      static_cast<double>(s.pftFillBytes) * 8.0;
+    double bits_nit = static_cast<double>(nit_bytes) * 8.0 * partitions;
+    double bits_reg = static_cast<double>(s.subtractOps + s.maxOps) * 32.0;
+    s.energyMj = (bits_pft * energy_.sramSmallPjPerBit +
+                  bits_nit * energy_.sramSmallPjPerBit +
+                  bits_reg * energy_.regPjPerBit +
+                  static_cast<double>(s.subtractOps + s.maxOps) *
+                      energy_.aluOpPj) *
+                 1e-9;
+    return s;
+}
+
+neighbor::NeighborIndexTable
+applyRoundCap(const neighbor::NeighborIndexTable &nit, int32_t banks,
+              int32_t maxRounds)
+{
+    MESO_REQUIRE(banks > 0 && maxRounds > 0, "bad round cap");
+    neighbor::NeighborIndexTable out(nit.maxK());
+    std::vector<int32_t> bank_count(banks);
+    for (const auto &entry : nit.entries()) {
+        neighbor::NitEntry e;
+        e.centroid = entry.centroid;
+        std::fill(bank_count.begin(), bank_count.end(), 0);
+        std::vector<int32_t> seen; // dedup, preserving first occurrence
+        for (int32_t n : entry.neighbors) {
+            if (std::find(seen.begin(), seen.end(), n) != seen.end())
+                continue;
+            seen.push_back(n);
+            if (bank_count[n % banks] < maxRounds) {
+                ++bank_count[n % banks];
+                e.neighbors.push_back(n);
+            }
+        }
+        // The centroid always survives (it seeds the subtraction path).
+        if (e.neighbors.empty())
+            e.neighbors.push_back(entry.centroid);
+        out.add(std::move(e));
+    }
+    return out;
+}
+
+} // namespace mesorasi::hwsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cycle-level simulator of the Aggregation Unit (paper Sec. V-B).
+ *
+ * The AU augments the NPU with:
+ *  - a double-buffered NIT buffer streamed from DRAM;
+ *  - a B-banked, crossbar-free PFT buffer fed from the NPU's global
+ *    buffer (LSB bank interleaving: bank = row index mod B);
+ *  - an AGU that, per NIT entry and per round, issues the maximal
+ *    conflict-free subset of the entry's neighbor addresses
+ *    (multi-round grouping);
+ *  - a max-reduction tree feeding a shift register, a second shift
+ *    register holding the centroid's feature row, and element-wise
+ *    subtract units.
+ *
+ * When the PFT exceeds the buffer, it is partitioned column-wise
+ * (paper Fig. 15) so every centroid's neighbors are resident in each
+ * pass; the NIT is then re-read once per partition.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "hwsim/config.hpp"
+#include "neighbor/nit.hpp"
+
+namespace mesorasi::hwsim {
+
+/** Statistics from aggregating one module's NIT against its PFT. */
+struct AuStats
+{
+    int64_t cycles = 0;
+    double timeMs = 0.0;
+
+    int32_t partitions = 0;       ///< column-major PFT passes
+    int64_t entriesProcessed = 0; ///< NIT entries x partitions
+
+    int64_t pftWordReads = 0;     ///< words read from the PFT buffer
+    int64_t pftFillBytes = 0;     ///< bytes loaded into the PFT buffer
+
+    int64_t idealRounds = 0;      ///< sum of ceil(K/B) over entries
+    int64_t actualRounds = 0;     ///< sum of max-bank-occupancy rounds
+    /** Fraction of PFT access rounds that only serve earlier bank
+     *  conflicts (paper reports ~27%). */
+    double conflictFraction = 0.0;
+    /** Actual / ideal PFT streaming time (paper reports ~1.5x). */
+    double slowdownVsIdeal = 0.0;
+
+    int64_t nitDramBytes = 0;     ///< NIT traffic from DRAM
+    int64_t subtractOps = 0;
+    int64_t maxOps = 0;
+
+    /** Approximate mode: neighbors dropped by the round cap. */
+    int64_t droppedNeighbors = 0;
+    int64_t totalNeighbors = 0;   ///< unique neighbors requested
+
+    double energyMj = 0.0;        ///< on-chip energy (DRAM separate)
+
+    /** Merge another module's stats into this one. */
+    void merge(const AuStats &other);
+};
+
+/** The AU simulator. */
+class AggregationUnit
+{
+  public:
+    AggregationUnit(const AuConfig &au, const NpuConfig &npu,
+                    const EnergyConfig &energy)
+        : cfg_(au), npu_(npu), energy_(energy)
+    {
+    }
+
+    /**
+     * Aggregate one module.
+     *
+     * @param nit      neighbor table produced by the search engine
+     * @param pftRows  number of PFT rows (Nin)
+     * @param pftCols  PFT feature width (Mout of the module's MLP)
+     */
+    AuStats aggregate(const neighbor::NeighborIndexTable &nit,
+                      int32_t pftRows, int32_t pftCols) const;
+
+  private:
+    AuConfig cfg_;
+    NpuConfig npu_;
+    EnergyConfig energy_;
+};
+
+/**
+ * Functional counterpart of the AU's approximate mode: return a copy of
+ * the NIT with every entry capped at @p maxRounds neighbors per bank
+ * (bank = index mod @p banks), dropping the overflow. Used to measure
+ * the *output* impact of approximate aggregation (ablation bench).
+ */
+neighbor::NeighborIndexTable
+applyRoundCap(const neighbor::NeighborIndexTable &nit, int32_t banks,
+              int32_t maxRounds);
+
+} // namespace mesorasi::hwsim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * SoC configuration for the Mesorasi hardware simulator.
+ *
+ * Defaults model the paper's evaluation platform (Sec. VI): a mobile
+ * Pascal-class GPU (Jetson TX2's Parker SoC), a TPU-like NPU with a
+ * 16x16 systolic array and a 1.5 MB global buffer, the Aggregation Unit
+ * (64 KB / 32-bank PFT buffer, 2 x 12 KB NIT buffers), and 4-channel
+ * LPDDR3-1600 DRAM — all in a 16 nm node at 1 GHz.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace mesorasi::hwsim {
+
+/** Mobile GPU analytic-model parameters (TX2 Pascal calibration). */
+struct GpuConfig
+{
+    double peakGflops = 665.0;      ///< fp32 FMA peak (256 cores @1.3GHz)
+    double dramBandwidthGBs = 40.0; ///< achievable stream bandwidth
+    double l1CacheBytes = 96.0 * 1024.0; ///< per-SM L1 (paper Sec. IV-C)
+    double kernelLaunchUs = 30.0;   ///< per-kernel launch overhead
+    double busyPowerW = 8.0;        ///< power during compute-bound ops
+    double memBoundPowerW = 3.5;    ///< power during bandwidth-bound ops
+
+    // Effective efficiencies, calibrated so the five networks land in
+    // the paper's measured ranges (Figs. 4, 5, 11, 12). Mobile TF/CUDA
+    // kernels for these operators are far from peak.
+    double matmulEfficiency = 0.045;   ///< shared-MLP matmul fraction of peak
+    /** Exact k-NN pays a per-candidate top-k/sort cost (tf.nn.top_k is
+     *  the dominant kernel in DGCNN's dynamic-graph construction). */
+    double searchKnnNsPerElem = 25.0;
+    /** Ball query only threshold-filters each candidate. */
+    double searchBallNsPerElem = 6.0;
+    double gatherEffSmall = 0.35;      ///< BW fraction, set fits in L1
+    double gatherEffLarge = 0.20;      ///< BW fraction, set spills L1
+    double streamEff = 0.30;           ///< BW fraction for reductions etc.
+};
+
+/** TPU-like NPU parameters. */
+struct NpuConfig
+{
+    int32_t systolicRows = 16;
+    int32_t systolicCols = 16;
+    double clockGhz = 1.0;
+    int64_t globalBufferBytes = 3 * 512 * 1024; ///< 1.5 MB
+    int32_t globalBufferBanks = 12;             ///< 128 KB granularity
+    /** Fraction of DRAM bandwidth the NPU sustains (the LPDDR3 is
+     *  shared with the GPU and spill traffic is poorly streamed). */
+    double dramShareFraction = 0.4;
+};
+
+/** Aggregation Unit parameters (paper Sec. V-B / Sec. VI). */
+struct AuConfig
+{
+    int64_t pftBufferBytes = 64 * 1024; ///< PFT buffer capacity
+    int32_t pftBanks = 32;              ///< independently-addressed banks
+    int64_t nitBufferBytes = 12 * 1024; ///< one of the two NIT buffers
+    int32_t nitEntriesPerBuffer = 128;
+    int32_t maxNeighborsPerEntry = 64;  ///< 98-byte entries, 12-bit idx
+    double clockGhz = 1.0;
+
+    /**
+     * Approximate aggregation (the paper's Sec. V-B future-work idea):
+     * cap the AGU at this many conflict-resolution rounds per entry and
+     * simply drop the neighbors that would need more — the reduction
+     * then runs over a subset of each neighborhood. 0 means exact
+     * (unbounded rounds).
+     */
+    int32_t maxRoundsPerEntry = 0;
+};
+
+/** LPDDR3-1600, 4 channels (paper Sec. VI). */
+struct DramConfig
+{
+    double bandwidthGBs = 25.6;
+    double energyPerBitPj = 4.9; ///< ~70x on-chip SRAM energy/bit
+};
+
+/** Energy constants for the 16 nm on-chip components. */
+struct EnergyConfig
+{
+    double macPj = 1.0;            ///< one fp16/int8-class MAC
+    double sramSmallPjPerBit = 0.05; ///< few-KB banked SRAM (PFT/NIT)
+    double sramLargePjPerBit = 0.07; ///< 1.5 MB global buffer
+    double regPjPerBit = 0.01;     ///< shift registers / pipeline regs
+    double aluOpPj = 0.5;          ///< subtract/max datapath op (fp32)
+};
+
+/** Neighbor-search engine (Tigris-like ASIC, Sec. VII-E). */
+struct NseConfig
+{
+    double speedupOverGpu = 60.0;
+    double powerW = 1.2;
+};
+
+/** The full SoC. */
+struct SocConfig
+{
+    GpuConfig gpu;
+    NpuConfig npu;
+    AuConfig au;
+    DramConfig dram;
+    EnergyConfig energy;
+    NseConfig nse;
+
+    /** Board-level static/idle power drawn for the whole inference
+     *  (regulators, DRAM refresh, idle units). Rewards shorter
+     *  wall-clock — the overlap benefit the paper measures. */
+    double staticPowerW = 2.0;
+
+    /** The paper's nominal configuration. */
+    static SocConfig defaultTx2() { return SocConfig{}; }
+};
+
+} // namespace mesorasi::hwsim

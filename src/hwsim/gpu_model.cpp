@@ -1,0 +1,87 @@
+#include "hwsim/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mesorasi::hwsim {
+
+GpuCost
+GpuModel::cost(const core::OpTrace &op) const
+{
+    GpuCost c;
+    double bytes = static_cast<double>(op.bytesRead + op.bytesWritten);
+    double bw_ms = bytes / (cfg_.dramBandwidthGBs * 1e6);
+
+    switch (op.kind) {
+      case core::OpKind::MlpLayer:
+      case core::OpKind::Fc: {
+        double compute_ms =
+            static_cast<double>(op.macs) /
+            (cfg_.peakGflops * cfg_.matmulEfficiency * 1e6);
+        c.timeMs = std::max(compute_ms, bw_ms / cfg_.streamEff) +
+                   launchMs();
+        break;
+      }
+      case core::OpKind::NeighborSearch: {
+        // Pairwise distances run as a matrix product; the per-candidate
+        // selection kernel (top-k for exact k-NN, threshold filter for
+        // ball queries) dominates and is dim-independent.
+        double dist_ms =
+            static_cast<double>(op.queries) * op.candidates * op.dim /
+            (cfg_.peakGflops * cfg_.matmulEfficiency * 1e6);
+        double select_ns = op.exactKnn ? cfg_.searchKnnNsPerElem
+                                       : cfg_.searchBallNsPerElem;
+        double select_ms = static_cast<double>(op.queries) *
+                           op.candidates * select_ns * 1e-6;
+        c.timeMs = dist_ms + select_ms + 2.0 * launchMs();
+        break;
+      }
+      case core::OpKind::Aggregate: {
+        // Irregular gather: efficiency collapses once the gather table
+        // spills the L1 (paper Sec. IV-C).
+        double table_bytes =
+            static_cast<double>(op.candidates) * op.dim * 4.0;
+        double eff = table_bytes <= cfg_.l1CacheBytes
+                         ? cfg_.gatherEffSmall
+                         : cfg_.gatherEffLarge;
+        c.timeMs = bytes / (cfg_.dramBandwidthGBs * eff * 1e6) +
+                   launchMs();
+        break;
+      }
+      case core::OpKind::Scatter: {
+        double eff = cfg_.gatherEffLarge;
+        c.timeMs = bytes / (cfg_.dramBandwidthGBs * eff * 1e6) +
+                   launchMs();
+        break;
+      }
+      case core::OpKind::Interpolate: {
+        double compute_ms = static_cast<double>(op.macs) /
+                            (cfg_.peakGflops * 0.05 * 1e6);
+        c.timeMs = std::max(compute_ms, bw_ms / cfg_.streamEff) +
+                   launchMs();
+        break;
+      }
+      case core::OpKind::Sampling:
+      case core::OpKind::Reduce:
+      case core::OpKind::Concat: {
+        double compute_ms = static_cast<double>(op.macs) /
+                            (cfg_.peakGflops * 0.10 * 1e6);
+        c.timeMs = std::max(compute_ms, bw_ms / cfg_.streamEff) +
+                   launchMs();
+        break;
+      }
+    }
+
+    // 1 ms x 1 W = 1 mJ. Bandwidth-bound data-movement kernels draw
+    // less power than compute-bound ones.
+    bool mem_bound = op.kind == core::OpKind::Aggregate ||
+                     op.kind == core::OpKind::Scatter ||
+                     op.kind == core::OpKind::Concat ||
+                     op.kind == core::OpKind::Reduce;
+    c.energyMj = c.timeMs *
+                 (mem_bound ? cfg_.memBoundPowerW : cfg_.busyPowerW);
+    c.dramBytes = op.bytesRead + op.bytesWritten;
+    return c;
+}
+
+} // namespace mesorasi::hwsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Analytic timing/energy model of the mobile GPU.
+ *
+ * Each operator is costed with a roofline-style rule (compute-bound or
+ * bandwidth-bound, whichever dominates) plus a per-kernel launch
+ * overhead. Per-operator efficiency constants are calibrated against
+ * the paper's TX2 measurements (Figs. 4, 5, 11, 12) — see GpuConfig.
+ */
+#pragma once
+
+#include "core/trace.hpp"
+#include "hwsim/config.hpp"
+
+namespace mesorasi::hwsim {
+
+/** Cost of one operator on the GPU. */
+struct GpuCost
+{
+    double timeMs = 0.0;
+    double energyMj = 0.0;   ///< busy power x time
+    int64_t dramBytes = 0;   ///< traffic attributed to DRAM
+};
+
+/** Costs any operator kind (the GPU can run everything). */
+class GpuModel
+{
+  public:
+    GpuModel(const GpuConfig &gpu, const DramConfig &dram)
+        : cfg_(gpu), dram_(dram)
+    {
+    }
+
+    GpuCost cost(const core::OpTrace &op) const;
+
+  private:
+    double launchMs() const { return cfg_.kernelLaunchUs * 1e-3; }
+
+    GpuConfig cfg_;
+    DramConfig dram_;
+};
+
+} // namespace mesorasi::hwsim

@@ -1,0 +1,76 @@
+#include "hwsim/npu.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mesorasi::hwsim {
+
+NpuCost
+NpuModel::cost(const core::OpTrace &op) const
+{
+    switch (op.kind) {
+      case core::OpKind::MlpLayer:
+      case core::OpKind::Fc:
+        return costMatmul(op);
+      case core::OpKind::Reduce:
+        return costReduce(op);
+      default:
+        MESO_REQUIRE(false, "op kind not executable on the NPU: "
+                                << op.label);
+    }
+    return {};
+}
+
+NpuCost
+NpuModel::costMatmul(const core::OpTrace &op) const
+{
+    NpuCost c;
+    SystolicCost sc = array_.matmul(op.rows, op.inDim, op.outDim);
+    c.macs = sc.macs;
+    c.computeMs = array_.toMs(sc.cycles);
+
+    int64_t act_in = op.rows * op.inDim * 4;
+    int64_t act_out = op.rows * op.outDim * 4;
+    int64_t weights = op.inDim * op.outDim * 4;
+
+    // Working set vs. the global buffer: when the layer's activations
+    // fit (with double buffering), they stay on chip between layers;
+    // otherwise inputs and outputs spill to DRAM. Weights are streamed
+    // from DRAM once per layer (they are small and shared across all
+    // NFMs, paper Fig. 3).
+    bool fits = act_in + act_out + weights <= cfg_.globalBufferBytes;
+    c.dramBytes = weights + (fits ? 0 : act_in + act_out);
+    c.sramBytes = act_in + act_out + weights * 2;
+
+    c.dramMs = static_cast<double>(c.dramBytes) /
+               (dram_.bandwidthGBs * cfg_.dramShareFraction * 1e6);
+    c.timeMs = std::max(c.computeMs, c.dramMs);
+
+    c.energyMj = (static_cast<double>(c.macs) * energy_.macPj +
+                  static_cast<double>(c.sramBytes) * 8.0 *
+                      energy_.sramLargePjPerBit) *
+                 1e-9;
+    return c;
+}
+
+NpuCost
+NpuModel::costReduce(const core::OpTrace &op) const
+{
+    NpuCost c;
+    // Vector/pooling unit: one array-width of elements per cycle.
+    int64_t elems = op.queries * op.k * op.dim;
+    int64_t per_cycle = cfg_.systolicCols;
+    int64_t cycles = (elems + per_cycle - 1) / per_cycle;
+    c.computeMs = array_.toMs(cycles);
+    c.sramBytes = elems * 4 + op.queries * op.dim * 4;
+    c.dramBytes = 0;
+    c.timeMs = c.computeMs;
+    c.energyMj = (static_cast<double>(elems) * energy_.aluOpPj +
+                  static_cast<double>(c.sramBytes) * 8.0 *
+                      energy_.sramLargePjPerBit) *
+                 1e-9;
+    return c;
+}
+
+} // namespace mesorasi::hwsim

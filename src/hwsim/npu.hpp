@@ -1,0 +1,51 @@
+/**
+ * @file
+ * NPU timing/energy model: systolic array for matrix products plus a
+ * vector unit for BN/ReLU/max-pooling (paper Fig. 13).
+ */
+#pragma once
+
+#include "core/trace.hpp"
+#include "hwsim/config.hpp"
+#include "hwsim/systolic.hpp"
+
+namespace mesorasi::hwsim {
+
+/** Cost of one operator on the NPU. */
+struct NpuCost
+{
+    double timeMs = 0.0;       ///< max(compute, DRAM) — double buffered
+    double computeMs = 0.0;
+    double dramMs = 0.0;
+    int64_t macs = 0;
+    int64_t sramBytes = 0;     ///< global-buffer traffic
+    int64_t dramBytes = 0;     ///< spill traffic
+    double energyMj = 0.0;     ///< on-chip energy (DRAM accounted apart)
+};
+
+/** Executes MlpLayer/Fc/Reduce operators. */
+class NpuModel
+{
+  public:
+    NpuModel(const NpuConfig &npu, const DramConfig &dram,
+             const EnergyConfig &energy)
+        : cfg_(npu), dram_(dram), energy_(energy), array_(npu)
+    {
+    }
+
+    /** Cost one operator; only MlpLayer, Fc, and Reduce are valid. */
+    NpuCost cost(const core::OpTrace &op) const;
+
+    const SystolicArray &array() const { return array_; }
+
+  private:
+    NpuCost costMatmul(const core::OpTrace &op) const;
+    NpuCost costReduce(const core::OpTrace &op) const;
+
+    NpuConfig cfg_;
+    DramConfig dram_;
+    EnergyConfig energy_;
+    SystolicArray array_;
+};
+
+} // namespace mesorasi::hwsim

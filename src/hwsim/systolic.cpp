@@ -1,0 +1,29 @@
+#include "hwsim/systolic.hpp"
+
+#include "common/check.hpp"
+
+namespace mesorasi::hwsim {
+
+SystolicCost
+SystolicArray::matmul(int64_t m, int64_t k, int64_t n) const
+{
+    MESO_REQUIRE(m > 0 && k > 0 && n > 0,
+                 "bad matmul " << m << "x" << k << "x" << n);
+    int64_t rows = cfg_.systolicRows;
+    int64_t cols = cfg_.systolicCols;
+    int64_t tiles_k = (k + rows - 1) / rows;
+    int64_t tiles_n = (n + cols - 1) / cols;
+
+    SystolicCost cost;
+    cost.weightTiles = tiles_k * tiles_n;
+    // Per tile: stream m rows through the array; fill/drain adds
+    // rows + cols cycles; the tile's weight load (rows cycles) overlaps
+    // the previous tile's drain except for the very first tile.
+    cost.cycles = cost.weightTiles * (m + rows + cols) + rows;
+    cost.macs = m * k * n;
+    cost.utilization = static_cast<double>(cost.macs) /
+                       (static_cast<double>(cost.cycles) * rows * cols);
+    return cost;
+}
+
+} // namespace mesorasi::hwsim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cycle model of a weight-stationary systolic MAC array (TPU-like PE
+ * array, paper Sec. VI: 16x16 PEs, each with two input registers, a MAC
+ * with accumulator, and trivial control).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "hwsim/config.hpp"
+
+namespace mesorasi::hwsim {
+
+/** Result of scheduling one matrix product on the array. */
+struct SystolicCost
+{
+    int64_t cycles = 0;
+    int64_t macs = 0;
+    double utilization = 0.0; ///< macs / (cycles * PEs)
+    int64_t weightTiles = 0;  ///< number of weight tile loads
+};
+
+/** Weight-stationary systolic array timing. */
+class SystolicArray
+{
+  public:
+    explicit SystolicArray(const NpuConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Cost of C = A (m x k) * B (k x n).
+     *
+     * Weights (B) are laid out in rows x cols tiles. Each tile is loaded
+     * (rows cycles, pipelined with the previous tile's drain), then the
+     * m activation rows stream through, plus fill/drain latency of
+     * rows + cols cycles.
+     */
+    SystolicCost matmul(int64_t m, int64_t k, int64_t n) const;
+
+    /** Cycles -> milliseconds at the configured clock. */
+    double
+    toMs(int64_t cycles) const
+    {
+        return static_cast<double>(cycles) / (cfg_.clockGhz * 1e6);
+    }
+
+    int32_t numPes() const { return cfg_.systolicRows * cfg_.systolicCols; }
+
+  private:
+    NpuConfig cfg_;
+};
+
+} // namespace mesorasi::hwsim

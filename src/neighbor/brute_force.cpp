@@ -1,0 +1,67 @@
+#include "neighbor/brute_force.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mesorasi::neighbor {
+
+NeighborIndexTable
+knnBruteForce(const PointsView &points, const std::vector<int32_t> &queries,
+              int32_t k)
+{
+    MESO_REQUIRE(k > 0 && k <= points.size(),
+                 "k=" << k << " with " << points.size() << " points");
+    NeighborIndexTable nit(k);
+
+    std::vector<std::pair<float, int32_t>> dists(points.size());
+    for (int32_t q : queries) {
+        MESO_REQUIRE(q >= 0 && q < points.size(), "query " << q);
+        for (int32_t i = 0; i < points.size(); ++i)
+            dists[i] = {points.dist2(q, i), i};
+        std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+
+        NitEntry entry;
+        entry.centroid = q;
+        entry.neighbors.reserve(k);
+        for (int32_t j = 0; j < k; ++j)
+            entry.neighbors.push_back(dists[j].second);
+        nit.add(std::move(entry));
+    }
+    return nit;
+}
+
+NeighborIndexTable
+ballQueryBruteForce(const PointsView &points,
+                    const std::vector<int32_t> &queries, float radius,
+                    int32_t maxK, bool padToMaxK)
+{
+    MESO_REQUIRE(radius > 0.0f && maxK > 0,
+                 "radius=" << radius << " maxK=" << maxK);
+    NeighborIndexTable nit(maxK);
+    float r2 = radius * radius;
+
+    for (int32_t q : queries) {
+        MESO_REQUIRE(q >= 0 && q < points.size(), "query " << q);
+        NitEntry entry;
+        entry.centroid = q;
+        for (int32_t i = 0;
+             i < points.size() &&
+             static_cast<int32_t>(entry.neighbors.size()) < maxK;
+             ++i) {
+            if (points.dist2(q, i) <= r2)
+                entry.neighbors.push_back(i);
+        }
+        // The centroid is within its own ball, so the group is never
+        // empty; pad by repeating the first member (reference-code
+        // behaviour) to keep a rectangular NFM.
+        if (padToMaxK && !entry.neighbors.empty()) {
+            while (static_cast<int32_t>(entry.neighbors.size()) < maxK)
+                entry.neighbors.push_back(entry.neighbors.front());
+        }
+        nit.add(std::move(entry));
+    }
+    return nit;
+}
+
+} // namespace mesorasi::neighbor

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Brute-force neighbor search: the O(N^2) reference implementation all
+ * accelerated structures are validated against, and the model of how the
+ * GPU baseline actually executes k-NN in the evaluated networks.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "neighbor/nit.hpp"
+#include "neighbor/points_view.hpp"
+
+namespace mesorasi::neighbor {
+
+/**
+ * Exact k nearest neighbors of each query point, by exhaustive scan.
+ *
+ * @param points   the searchable point set
+ * @param queries  indices into @p points that act as centroids
+ * @param k        neighbors per centroid (the centroid itself counts as
+ *                 its own nearest neighbor, as in PointNet++ grouping)
+ */
+NeighborIndexTable knnBruteForce(const PointsView &points,
+                                 const std::vector<int32_t> &queries,
+                                 int32_t k);
+
+/**
+ * Ball query: up to @p maxK neighbors within @p radius of each centroid
+ * (PointNet++-style grouping). If fewer than maxK points fall inside the
+ * ball, the first found is repeated to pad the group, matching the
+ * reference implementation's behaviour.
+ */
+NeighborIndexTable ballQueryBruteForce(const PointsView &points,
+                                       const std::vector<int32_t> &queries,
+                                       float radius, int32_t maxK,
+                                       bool padToMaxK = true);
+
+} // namespace mesorasi::neighbor

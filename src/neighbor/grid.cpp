@@ -1,0 +1,96 @@
+#include "neighbor/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mesorasi::neighbor {
+
+UniformGrid::UniformGrid(const geom::PointCloud &cloud, float cellSize)
+    : cloud_(cloud), cellSize_(cellSize)
+{
+    MESO_REQUIRE(cellSize > 0.0f, "cell size must be positive");
+    MESO_REQUIRE(!cloud.empty(), "cannot index an empty cloud");
+    origin_ = cloud.bounds().lo;
+    for (size_t i = 0; i < cloud.size(); ++i)
+        cells_[cellKey(cloud[i])].push_back(static_cast<int32_t>(i));
+}
+
+int64_t
+UniformGrid::cellKey(const geom::Point3 &p) const
+{
+    geom::Point3 rel = p - origin_;
+    int64_t cx = static_cast<int64_t>(std::floor(rel.x / cellSize_));
+    int64_t cy = static_cast<int64_t>(std::floor(rel.y / cellSize_));
+    int64_t cz = static_cast<int64_t>(std::floor(rel.z / cellSize_));
+    // 21 signed bits per axis.
+    auto pack = [](int64_t v) { return (v + (1 << 20)) & 0x1fffff; };
+    return (pack(cx) << 42) | (pack(cy) << 21) | pack(cz);
+}
+
+std::vector<int32_t>
+UniformGrid::radius(int32_t query, float radius, int32_t maxK) const
+{
+    MESO_REQUIRE(query >= 0 &&
+                     static_cast<size_t>(query) < cloud_.size(),
+                 "query " << query);
+    MESO_REQUIRE(radius > 0.0f, "radius must be positive");
+
+    const geom::Point3 &q = cloud_[query];
+    float r2 = radius * radius;
+    int32_t reach = static_cast<int32_t>(std::ceil(radius / cellSize_));
+
+    std::vector<std::pair<float, int32_t>> found;
+    geom::Point3 rel = q - origin_;
+    int64_t cx = static_cast<int64_t>(std::floor(rel.x / cellSize_));
+    int64_t cy = static_cast<int64_t>(std::floor(rel.y / cellSize_));
+    int64_t cz = static_cast<int64_t>(std::floor(rel.z / cellSize_));
+
+    auto pack = [](int64_t v) { return (v + (1 << 20)) & 0x1fffff; };
+    for (int64_t dx = -reach; dx <= reach; ++dx) {
+        for (int64_t dy = -reach; dy <= reach; ++dy) {
+            for (int64_t dz = -reach; dz <= reach; ++dz) {
+                int64_t key = (pack(cx + dx) << 42) |
+                              (pack(cy + dy) << 21) | pack(cz + dz);
+                auto it = cells_.find(key);
+                if (it == cells_.end())
+                    continue;
+                for (int32_t idx : it->second) {
+                    float d2 = cloud_[idx].dist2(q);
+                    if (d2 <= r2)
+                        found.push_back({d2, idx});
+                }
+            }
+        }
+    }
+    std::sort(found.begin(), found.end());
+    std::vector<int32_t> out;
+    for (const auto &[d2, idx] : found) {
+        if (maxK > 0 && static_cast<int32_t>(out.size()) >= maxK)
+            break;
+        out.push_back(idx);
+    }
+    return out;
+}
+
+NeighborIndexTable
+UniformGrid::ballTable(const std::vector<int32_t> &queries, float r,
+                       int32_t maxK, bool padToMaxK) const
+{
+    MESO_REQUIRE(maxK > 0, "maxK must be positive");
+    NeighborIndexTable nit(maxK);
+    for (int32_t q : queries) {
+        NitEntry entry;
+        entry.centroid = q;
+        entry.neighbors = radius(q, r, maxK);
+        if (padToMaxK && !entry.neighbors.empty()) {
+            while (static_cast<int32_t>(entry.neighbors.size()) < maxK)
+                entry.neighbors.push_back(entry.neighbors.front());
+        }
+        nit.add(std::move(entry));
+    }
+    return nit;
+}
+
+} // namespace mesorasi::neighbor

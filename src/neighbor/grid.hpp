@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Uniform-grid spatial index for 3-D radius queries.
+ *
+ * Complements the KD-tree: for the LiDAR-scale clouds produced by
+ * KittiSim, a flat grid with cell size ~= radius answers ball queries in
+ * near-constant time per query. 3-D only (cells hash xyz).
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point_cloud.hpp"
+#include "neighbor/nit.hpp"
+
+namespace mesorasi::neighbor {
+
+/** Hash-grid over a 3-D point cloud; the cloud must outlive the grid. */
+class UniformGrid
+{
+  public:
+    /** @param cellSize edge length of a grid cell (choose ~= query
+     *  radius for best performance). */
+    UniformGrid(const geom::PointCloud &cloud, float cellSize);
+
+    /** Indices of all points within @p radius of point @p query
+     *  (by index), nearest first, truncated to maxK if maxK > 0. */
+    std::vector<int32_t> radius(int32_t query, float radius,
+                                int32_t maxK = -1) const;
+
+    /** Ball-query NIT over the given centroids (pads like brute force). */
+    NeighborIndexTable ballTable(const std::vector<int32_t> &queries,
+                                 float radius, int32_t maxK,
+                                 bool padToMaxK = true) const;
+
+    /** Number of occupied cells (diagnostics). */
+    size_t numCells() const { return cells_.size(); }
+
+  private:
+    int64_t cellKey(const geom::Point3 &p) const;
+
+    const geom::PointCloud &cloud_;
+    float cellSize_;
+    geom::Point3 origin_;
+    std::unordered_map<int64_t, std::vector<int32_t>> cells_;
+};
+
+} // namespace mesorasi::neighbor

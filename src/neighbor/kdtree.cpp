@@ -1,0 +1,192 @@
+#include "neighbor/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mesorasi::neighbor {
+
+KdTree::KdTree(const PointsView &points, int32_t leafSize)
+    : points_(points), leafSize_(leafSize)
+{
+    MESO_REQUIRE(leafSize > 0, "leaf size must be positive");
+    MESO_REQUIRE(points.size() > 0, "cannot build tree over no points");
+    order_.resize(points.size());
+    for (int32_t i = 0; i < points.size(); ++i)
+        order_[i] = i;
+    nodes_.reserve(2 * points.size() / leafSize + 2);
+    build(0, points.size(), 0);
+}
+
+int32_t
+KdTree::build(int32_t begin, int32_t end, int32_t depth)
+{
+    int32_t id = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();
+
+    if (end - begin <= leafSize_) {
+        nodes_[id].start = begin;
+        nodes_[id].count = end - begin;
+        return id;
+    }
+
+    // Pick the axis with the largest spread at this node (better balance
+    // than round-robin for skewed feature-space data).
+    int32_t dim = points_.dim();
+    int32_t axis = depth % dim;
+    float best_spread = -1.0f;
+    for (int32_t d = 0; d < dim; ++d) {
+        float lo = points_.row(order_[begin])[d];
+        float hi = lo;
+        for (int32_t i = begin + 1; i < end; ++i) {
+            float v = points_.row(order_[i])[d];
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        if (hi - lo > best_spread) {
+            best_spread = hi - lo;
+            axis = d;
+        }
+    }
+
+    int32_t mid = (begin + end) / 2;
+    std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                     order_.begin() + end,
+                     [&](int32_t a, int32_t b) {
+                         return points_.row(a)[axis] <
+                                points_.row(b)[axis];
+                     });
+
+    float split = points_.row(order_[mid])[axis];
+    int32_t left = build(begin, mid, depth + 1);
+    int32_t right = build(mid, end, depth + 1);
+    nodes_[id].count = 0;
+    nodes_[id].axis = axis;
+    nodes_[id].split = split;
+    nodes_[id].left = left;
+    nodes_[id].right = right;
+    return id;
+}
+
+void
+KdTree::searchKnn(int32_t node, const float *query, int32_t k,
+                  std::vector<HeapItem> &heap) const
+{
+    const Node &nd = nodes_[node];
+    if (nd.count > 0) {
+        for (int32_t i = nd.start; i < nd.start + nd.count; ++i) {
+            int32_t idx = order_[i];
+            float d2 = points_.dist2To(idx, query);
+            if (static_cast<int32_t>(heap.size()) < k) {
+                heap.push_back({d2, idx});
+                std::push_heap(heap.begin(), heap.end());
+            } else if (d2 < heap.front().dist2) {
+                std::pop_heap(heap.begin(), heap.end());
+                heap.back() = {d2, idx};
+                std::push_heap(heap.begin(), heap.end());
+            }
+        }
+        return;
+    }
+
+    float diff = query[nd.axis] - nd.split;
+    int32_t near = diff <= 0.0f ? nd.left : nd.right;
+    int32_t far = diff <= 0.0f ? nd.right : nd.left;
+    searchKnn(near, query, k, heap);
+    // Prune the far side if the splitting plane is farther than the
+    // current k-th best.
+    if (static_cast<int32_t>(heap.size()) < k ||
+        diff * diff < heap.front().dist2)
+        searchKnn(far, query, k, heap);
+}
+
+void
+KdTree::searchRadius(int32_t node, const float *query, float r2,
+                     std::vector<HeapItem> &found) const
+{
+    const Node &nd = nodes_[node];
+    if (nd.count > 0) {
+        for (int32_t i = nd.start; i < nd.start + nd.count; ++i) {
+            int32_t idx = order_[i];
+            float d2 = points_.dist2To(idx, query);
+            if (d2 <= r2)
+                found.push_back({d2, idx});
+        }
+        return;
+    }
+    float diff = query[nd.axis] - nd.split;
+    int32_t near = diff <= 0.0f ? nd.left : nd.right;
+    int32_t far = diff <= 0.0f ? nd.right : nd.left;
+    searchRadius(near, query, r2, found);
+    if (diff * diff <= r2)
+        searchRadius(far, query, r2, found);
+}
+
+std::vector<int32_t>
+KdTree::knn(const float *query, int32_t k) const
+{
+    MESO_REQUIRE(k > 0 && k <= points_.size(),
+                 "k=" << k << " with " << points_.size() << " points");
+    std::vector<HeapItem> heap;
+    heap.reserve(k);
+    searchKnn(0, query, k, heap);
+    std::sort_heap(heap.begin(), heap.end());
+    std::vector<int32_t> out;
+    out.reserve(heap.size());
+    for (const auto &h : heap)
+        out.push_back(h.index);
+    return out;
+}
+
+std::vector<int32_t>
+KdTree::radius(const float *query, float radius, int32_t maxK) const
+{
+    MESO_REQUIRE(radius > 0.0f, "radius must be positive");
+    std::vector<HeapItem> found;
+    searchRadius(0, query, radius * radius, found);
+    std::sort(found.begin(), found.end());
+    std::vector<int32_t> out;
+    for (const auto &h : found) {
+        if (maxK > 0 && static_cast<int32_t>(out.size()) >= maxK)
+            break;
+        out.push_back(h.index);
+    }
+    return out;
+}
+
+NeighborIndexTable
+KdTree::knnTable(const std::vector<int32_t> &queries, int32_t k) const
+{
+    NeighborIndexTable nit(k);
+    for (int32_t q : queries) {
+        MESO_REQUIRE(q >= 0 && q < points_.size(), "query " << q);
+        NitEntry entry;
+        entry.centroid = q;
+        entry.neighbors = knn(points_.row(q), k);
+        nit.add(std::move(entry));
+    }
+    return nit;
+}
+
+NeighborIndexTable
+KdTree::ballTable(const std::vector<int32_t> &queries, float r,
+                  int32_t maxK, bool padToMaxK) const
+{
+    MESO_REQUIRE(maxK > 0, "maxK must be positive");
+    NeighborIndexTable nit(maxK);
+    for (int32_t q : queries) {
+        MESO_REQUIRE(q >= 0 && q < points_.size(), "query " << q);
+        NitEntry entry;
+        entry.centroid = q;
+        entry.neighbors = radius(points_.row(q), r, maxK);
+        if (padToMaxK && !entry.neighbors.empty()) {
+            while (static_cast<int32_t>(entry.neighbors.size()) < maxK)
+                entry.neighbors.push_back(entry.neighbors.front());
+        }
+        nit.add(std::move(entry));
+    }
+    return nit;
+}
+
+} // namespace mesorasi::neighbor

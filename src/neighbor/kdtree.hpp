@@ -1,0 +1,81 @@
+/**
+ * @file
+ * KD-tree over D-dimensional points for exact k-NN and radius queries.
+ *
+ * Median-split construction, branch-and-bound traversal. Used by the
+ * software pipelines as the fast host-side search and validated against
+ * brute force in the test suite.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "neighbor/nit.hpp"
+#include "neighbor/points_view.hpp"
+
+namespace mesorasi::neighbor {
+
+/** Exact KD-tree; the view must outlive the tree. */
+class KdTree
+{
+  public:
+    /** Build over all points of @p points. */
+    explicit KdTree(const PointsView &points, int32_t leafSize = 16);
+
+    /** k nearest neighbors of the external point @p query (dim floats). */
+    std::vector<int32_t> knn(const float *query, int32_t k) const;
+
+    /** All points within @p radius of @p query, nearest first,
+     *  truncated to @p maxK if maxK > 0. */
+    std::vector<int32_t> radius(const float *query, float radius,
+                                int32_t maxK = -1) const;
+
+    /** Build a NIT by running knn for each query index. */
+    NeighborIndexTable knnTable(const std::vector<int32_t> &queries,
+                                int32_t k) const;
+
+    /** Build a NIT by running a radius query for each query index;
+     *  pads to maxK by repeating the nearest member. */
+    NeighborIndexTable ballTable(const std::vector<int32_t> &queries,
+                                 float radius, int32_t maxK,
+                                 bool padToMaxK = true) const;
+
+    /** Number of internal nodes (diagnostics). */
+    int32_t numNodes() const { return static_cast<int32_t>(nodes_.size()); }
+
+  private:
+    struct Node
+    {
+        // Leaf when count > 0: points_[start, start+count).
+        int32_t start = 0;
+        int32_t count = 0;
+        // Internal when count == 0: split axis/value and children.
+        int32_t axis = 0;
+        float split = 0.0f;
+        int32_t left = -1;
+        int32_t right = -1;
+    };
+
+    struct HeapItem
+    {
+        float dist2;
+        int32_t index;
+        bool operator<(const HeapItem &o) const { return dist2 < o.dist2; }
+    };
+
+    int32_t build(int32_t begin, int32_t end, int32_t depth);
+
+    void searchKnn(int32_t node, const float *query, int32_t k,
+                   std::vector<HeapItem> &heap) const;
+
+    void searchRadius(int32_t node, const float *query, float r2,
+                      std::vector<HeapItem> &found) const;
+
+    PointsView points_;
+    int32_t leafSize_;
+    std::vector<int32_t> order_;  ///< permutation of point indices
+    std::vector<Node> nodes_;
+};
+
+} // namespace mesorasi::neighbor

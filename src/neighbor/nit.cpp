@@ -1,0 +1,19 @@
+#include "neighbor/nit.hpp"
+
+#include <algorithm>
+
+namespace mesorasi::neighbor {
+
+int32_t
+NeighborIndexTable::maxReferencedIndex() const
+{
+    int32_t best = -1;
+    for (const auto &e : entries_) {
+        best = std::max(best, e.centroid);
+        for (int32_t n : e.neighbors)
+            best = std::max(best, n);
+    }
+    return best;
+}
+
+} // namespace mesorasi::neighbor

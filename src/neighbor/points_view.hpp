@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Non-owning view over a set of D-dimensional points.
+ *
+ * Neighbor search must run both over raw 3-D coordinates (PointNet++-style
+ * networks) and over high-dimensional feature vectors (DGCNN's dynamic
+ * graph rebuilds the k-NN graph in feature space each module), so the
+ * search structures are written against this dimension-generic view.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "geom/point_cloud.hpp"
+
+namespace mesorasi::neighbor {
+
+/** Row-major view: n points of dim floats each. Does not own storage. */
+class PointsView
+{
+  public:
+    PointsView(const float *data, int32_t n, int32_t dim)
+        : data_(data), n_(n), dim_(dim)
+    {
+        MESO_REQUIRE(n >= 0 && dim > 0, "bad view shape " << n << "x"
+                                                          << dim);
+    }
+
+    int32_t size() const { return n_; }
+    int32_t dim() const { return dim_; }
+
+    /** Pointer to the start of row @p i. */
+    const float *
+    row(int32_t i) const
+    {
+        MESO_CHECK(i >= 0 && i < n_, "row " << i << " of " << n_);
+        return data_ + static_cast<size_t>(i) * dim_;
+    }
+
+    /** Squared Euclidean distance between rows i and j. */
+    float
+    dist2(int32_t i, int32_t j) const
+    {
+        return dist2To(i, row(j));
+    }
+
+    /** Squared Euclidean distance between row i and an external point. */
+    float
+    dist2To(int32_t i, const float *q) const
+    {
+        const float *p = row(i);
+        float acc = 0.0f;
+        for (int32_t d = 0; d < dim_; ++d) {
+            float diff = p[d] - q[d];
+            acc += diff * diff;
+        }
+        return acc;
+    }
+
+  private:
+    const float *data_;
+    int32_t n_;
+    int32_t dim_;
+};
+
+/**
+ * Owning adapter that flattens a geom::PointCloud into contiguous xyz
+ * rows so it can be viewed as a PointsView.
+ */
+class FlatPoints
+{
+  public:
+    explicit FlatPoints(const geom::PointCloud &cloud)
+    {
+        data_.reserve(cloud.size() * 3);
+        for (size_t i = 0; i < cloud.size(); ++i) {
+            data_.push_back(cloud[i].x);
+            data_.push_back(cloud[i].y);
+            data_.push_back(cloud[i].z);
+        }
+        n_ = static_cast<int32_t>(cloud.size());
+    }
+
+    PointsView view() const { return {data_.data(), n_, 3}; }
+
+  private:
+    std::vector<float> data_;
+    int32_t n_ = 0;
+};
+
+} // namespace mesorasi::neighbor

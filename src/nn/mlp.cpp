@@ -1,0 +1,99 @@
+#include "nn/mlp.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace mesorasi::nn {
+
+Mlp::Mlp(Rng &rng, const std::vector<int32_t> &dims, Activation act,
+         bool useBias)
+{
+    MESO_REQUIRE(dims.size() >= 2, "MLP needs at least in/out dims");
+    for (size_t i = 0; i + 1 < dims.size(); ++i)
+        layers_.emplace_back(rng, dims[i], dims[i + 1], act, useBias);
+}
+
+void
+Mlp::addLayer(Linear layer)
+{
+    MESO_REQUIRE(layers_.empty() || layers_.back().outDim() ==
+                                        layer.inDim(),
+                 "layer dims mismatch");
+    layers_.push_back(std::move(layer));
+}
+
+tensor::Tensor
+Mlp::forward(const tensor::Tensor &x) const
+{
+    MESO_REQUIRE(!layers_.empty(), "empty MLP");
+    tensor::Tensor y = layers_[0].forward(x);
+    for (size_t i = 1; i < layers_.size(); ++i)
+        y = layers_[i].forward(y);
+    return y;
+}
+
+tensor::Tensor
+Mlp::forwardFirstLinearOnly(const tensor::Tensor &x) const
+{
+    MESO_REQUIRE(!layers_.empty(), "empty MLP");
+    // Matrix product only — bias and activation are deferred so the
+    // hoisted computation remains linear (distributes over subtraction
+    // exactly).
+    return tensor::matmul(x, layers_[0].weight());
+}
+
+tensor::Tensor
+Mlp::forwardAfterFirstLinear(const tensor::Tensor &x) const
+{
+    MESO_REQUIRE(!layers_.empty(), "empty MLP");
+    tensor::Tensor y = x;
+    if (layers_[0].hasBias())
+        tensor::addBiasInPlace(y, layers_[0].bias());
+    if (layers_[0].activation() == Activation::Relu)
+        tensor::reluInPlace(y);
+    for (size_t i = 1; i < layers_.size(); ++i)
+        y = layers_[i].forward(y);
+    return y;
+}
+
+int32_t
+Mlp::inDim() const
+{
+    MESO_REQUIRE(!layers_.empty(), "empty MLP");
+    return layers_.front().inDim();
+}
+
+int32_t
+Mlp::outDim() const
+{
+    MESO_REQUIRE(!layers_.empty(), "empty MLP");
+    return layers_.back().outDim();
+}
+
+std::vector<int32_t>
+Mlp::layerWidths() const
+{
+    std::vector<int32_t> out;
+    for (const auto &l : layers_)
+        out.push_back(l.outDim());
+    return out;
+}
+
+int64_t
+Mlp::macs(int64_t numRows) const
+{
+    int64_t acc = 0;
+    for (const auto &l : layers_)
+        acc += l.macs(numRows);
+    return acc;
+}
+
+int64_t
+Mlp::paramBytes() const
+{
+    int64_t acc = 0;
+    for (const auto &l : layers_)
+        acc += l.paramBytes();
+    return acc;
+}
+
+} // namespace mesorasi::nn

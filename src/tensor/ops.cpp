@@ -1,0 +1,225 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mesorasi::tensor {
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    MESO_REQUIRE(a.cols() == b.rows(), "matmul " << a.shapeStr() << " * "
+                                                 << b.shapeStr());
+    Tensor c(a.rows(), b.cols());
+    // ikj loop order: streams through b and c rows contiguously.
+    for (int32_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (int32_t k = 0; k < a.cols(); ++k) {
+            float av = arow[k];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.row(k);
+            for (int32_t j = 0; j < b.cols(); ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+void
+addBiasInPlace(Tensor &x, const Tensor &bias)
+{
+    MESO_REQUIRE(bias.rows() == 1 && bias.cols() == x.cols(),
+                 "bias " << bias.shapeStr() << " for " << x.shapeStr());
+    for (int32_t r = 0; r < x.rows(); ++r) {
+        float *row = x.row(r);
+        const float *b = bias.row(0);
+        for (int32_t c = 0; c < x.cols(); ++c)
+            row[c] += b[c];
+    }
+}
+
+void
+reluInPlace(Tensor &x)
+{
+    float *d = x.data();
+    for (int64_t i = 0; i < x.numel(); ++i)
+        d[i] = std::max(0.0f, d[i]);
+}
+
+Tensor
+relu(const Tensor &x)
+{
+    Tensor y = x;
+    reluInPlace(y);
+    return y;
+}
+
+void
+batchNormInPlace(Tensor &x, const Tensor &gamma, const Tensor &beta,
+                 const Tensor &mean, const Tensor &var, float eps)
+{
+    MESO_REQUIRE(gamma.rows() == 1 && gamma.cols() == x.cols() &&
+                     beta.rows() == 1 && beta.cols() == x.cols() &&
+                     mean.rows() == 1 && mean.cols() == x.cols() &&
+                     var.rows() == 1 && var.cols() == x.cols(),
+                 "batchnorm parameter shape mismatch for "
+                     << x.shapeStr());
+    std::vector<float> scale(x.cols()), shift(x.cols());
+    for (int32_t c = 0; c < x.cols(); ++c) {
+        float inv = 1.0f / std::sqrt(var(0, c) + eps);
+        scale[c] = gamma(0, c) * inv;
+        shift[c] = beta(0, c) - mean(0, c) * scale[c];
+    }
+    for (int32_t r = 0; r < x.rows(); ++r) {
+        float *row = x.row(r);
+        for (int32_t c = 0; c < x.cols(); ++c)
+            row[c] = row[c] * scale[c] + shift[c];
+    }
+}
+
+Tensor
+maxReduceRows(const Tensor &x)
+{
+    MESO_REQUIRE(x.rows() > 0, "max-reduce of empty tensor");
+    Tensor out(1, x.cols());
+    for (int32_t c = 0; c < x.cols(); ++c)
+        out(0, c) = x(0, c);
+    for (int32_t r = 1; r < x.rows(); ++r) {
+        const float *row = x.row(r);
+        float *o = out.row(0);
+        for (int32_t c = 0; c < x.cols(); ++c)
+            o[c] = std::max(o[c], row[c]);
+    }
+    return out;
+}
+
+Tensor
+maxReduceRows(const Tensor &x, const std::vector<int32_t> &rows)
+{
+    MESO_REQUIRE(!rows.empty(), "max-reduce over no rows");
+    Tensor out(1, x.cols());
+    out.fill(-std::numeric_limits<float>::infinity());
+    for (int32_t r : rows) {
+        MESO_REQUIRE(r >= 0 && r < x.rows(), "row " << r);
+        const float *row = x.row(r);
+        float *o = out.row(0);
+        for (int32_t c = 0; c < x.cols(); ++c)
+            o[c] = std::max(o[c], row[c]);
+    }
+    return out;
+}
+
+std::vector<int32_t>
+argmaxReduceRows(const Tensor &x)
+{
+    MESO_REQUIRE(x.rows() > 0, "argmax of empty tensor");
+    std::vector<int32_t> out(x.cols(), 0);
+    for (int32_t r = 1; r < x.rows(); ++r) {
+        const float *row = x.row(r);
+        for (int32_t c = 0; c < x.cols(); ++c) {
+            if (row[c] > x(out[c], c))
+                out[c] = r;
+        }
+    }
+    return out;
+}
+
+Tensor
+gatherRows(const Tensor &x, const std::vector<int32_t> &idx)
+{
+    Tensor out(static_cast<int32_t>(idx.size()), x.cols());
+    for (size_t i = 0; i < idx.size(); ++i) {
+        MESO_REQUIRE(idx[i] >= 0 && idx[i] < x.rows(),
+                     "gather index " << idx[i] << " of " << x.rows());
+        const float *src = x.row(idx[i]);
+        float *dst = out.row(static_cast<int32_t>(i));
+        std::copy(src, src + x.cols(), dst);
+    }
+    return out;
+}
+
+Tensor
+subtractRow(const Tensor &x, const Tensor &sub)
+{
+    Tensor y = x;
+    subtractRowInPlace(y, sub);
+    return y;
+}
+
+void
+subtractRowInPlace(Tensor &x, const Tensor &sub)
+{
+    MESO_REQUIRE(sub.rows() == 1 && sub.cols() == x.cols(),
+                 "subtract row " << sub.shapeStr() << " from "
+                                 << x.shapeStr());
+    const float *s = sub.row(0);
+    for (int32_t r = 0; r < x.rows(); ++r) {
+        float *row = x.row(r);
+        for (int32_t c = 0; c < x.cols(); ++c)
+            row[c] -= s[c];
+    }
+}
+
+Tensor
+concatCols(const Tensor &a, const Tensor &b)
+{
+    MESO_REQUIRE(a.rows() == b.rows(), "concatCols " << a.shapeStr()
+                                                     << " | "
+                                                     << b.shapeStr());
+    Tensor out(a.rows(), a.cols() + b.cols());
+    for (int32_t r = 0; r < a.rows(); ++r) {
+        std::copy(a.row(r), a.row(r) + a.cols(), out.row(r));
+        std::copy(b.row(r), b.row(r) + b.cols(), out.row(r) + a.cols());
+    }
+    return out;
+}
+
+Tensor
+concatRows(const Tensor &a, const Tensor &b)
+{
+    MESO_REQUIRE(a.cols() == b.cols(), "concatRows " << a.shapeStr()
+                                                     << " ; "
+                                                     << b.shapeStr());
+    Tensor out(a.rows() + b.rows(), a.cols());
+    for (int32_t r = 0; r < a.rows(); ++r)
+        std::copy(a.row(r), a.row(r) + a.cols(), out.row(r));
+    for (int32_t r = 0; r < b.rows(); ++r)
+        std::copy(b.row(r), b.row(r) + b.cols(), out.row(a.rows() + r));
+    return out;
+}
+
+Tensor
+softmaxRows(const Tensor &x)
+{
+    Tensor y(x.rows(), x.cols());
+    for (int32_t r = 0; r < x.rows(); ++r) {
+        const float *in = x.row(r);
+        float *out = y.row(r);
+        float mx = in[0];
+        for (int32_t c = 1; c < x.cols(); ++c)
+            mx = std::max(mx, in[c]);
+        float sum = 0.0f;
+        for (int32_t c = 0; c < x.cols(); ++c) {
+            out[c] = std::exp(in[c] - mx);
+            sum += out[c];
+        }
+        for (int32_t c = 0; c < x.cols(); ++c)
+            out[c] /= sum;
+    }
+    return y;
+}
+
+Tensor
+transpose(const Tensor &x)
+{
+    Tensor y(x.cols(), x.rows());
+    for (int32_t r = 0; r < x.rows(); ++r)
+        for (int32_t c = 0; c < x.cols(); ++c)
+            y(c, r) = x(r, c);
+    return y;
+}
+
+} // namespace mesorasi::tensor

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tensor operations used by the point-cloud pipelines.
+ *
+ * Everything the original and delayed-aggregation pipelines need:
+ * matmul, bias/activation, column-wise max reduction, gather/scatter by
+ * index, row-wise subtract, and concatenation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mesorasi::tensor {
+
+/** C = A (n x k) * B (k x m). */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** Add a 1 x C bias row to every row of @p x in place. */
+void addBiasInPlace(Tensor &x, const Tensor &bias);
+
+/** Element-wise ReLU in place. */
+void reluInPlace(Tensor &x);
+
+/** Element-wise ReLU (copy). */
+Tensor relu(const Tensor &x);
+
+/**
+ * Inference-mode batch normalization per column:
+ * y = gamma * (x - mean) / sqrt(var + eps) + beta. All parameter tensors
+ * are 1 x C.
+ */
+void batchNormInPlace(Tensor &x, const Tensor &gamma, const Tensor &beta,
+                      const Tensor &mean, const Tensor &var,
+                      float eps = 1e-5f);
+
+/** Column-wise max over all rows: returns 1 x C. */
+Tensor maxReduceRows(const Tensor &x);
+
+/** Column-wise max over a subset of rows: returns 1 x C. */
+Tensor maxReduceRows(const Tensor &x, const std::vector<int32_t> &rows);
+
+/** Column-wise argmax over all rows: returns per-column winning row. */
+std::vector<int32_t> argmaxReduceRows(const Tensor &x);
+
+/** Gather rows by index: out.row(i) = x.row(idx[i]). */
+Tensor gatherRows(const Tensor &x, const std::vector<int32_t> &idx);
+
+/** out.row(i) = x.row(i) - sub (1 x C), for all rows. */
+Tensor subtractRow(const Tensor &x, const Tensor &sub);
+
+/** In-place row subtract: x.row(r) -= sub for each row. */
+void subtractRowInPlace(Tensor &x, const Tensor &sub);
+
+/** Horizontal concat: [a | b], row counts must match. */
+Tensor concatCols(const Tensor &a, const Tensor &b);
+
+/** Vertical concat: [a ; b], column counts must match. */
+Tensor concatRows(const Tensor &a, const Tensor &b);
+
+/** Row-wise softmax (copy). */
+Tensor softmaxRows(const Tensor &x);
+
+/** Transpose. */
+Tensor transpose(const Tensor &x);
+
+/** MAC count of a matmul with these shapes. */
+inline int64_t
+matmulMacs(int64_t n, int64_t k, int64_t m)
+{
+    return n * k * m;
+}
+
+} // namespace mesorasi::tensor

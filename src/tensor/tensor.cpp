@@ -1,0 +1,49 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mesorasi::tensor {
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+float
+Tensor::maxAbsDiff(const Tensor &other) const
+{
+    MESO_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                 "shape mismatch " << shapeStr() << " vs "
+                                   << other.shapeStr());
+    float best = 0.0f;
+    for (size_t i = 0; i < data_.size(); ++i)
+        best = std::max(best, std::abs(data_[i] - other.data_[i]));
+    return best;
+}
+
+float
+Tensor::frobeniusNorm() const
+{
+    double acc = 0.0;
+    for (float v : data_)
+        acc += static_cast<double>(v) * v;
+    return static_cast<float>(std::sqrt(acc));
+}
+
+bool
+Tensor::approxEqual(const Tensor &other, float tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    return maxAbsDiff(other) <= tol;
+}
+
+std::string
+Tensor::shapeStr() const
+{
+    return std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+} // namespace mesorasi::tensor

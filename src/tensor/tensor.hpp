@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Row-major 2-D float tensor.
+ *
+ * Point-cloud MLPs process batched row vectors (paper Fig. 3), so a 2-D
+ * matrix is the natural universal shape here: a point set is N x M, an
+ * NFM is K x M, weights are In x Out.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mesorasi::tensor {
+
+/** Dense row-major matrix of float32. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Zero-initialized rows x cols tensor. */
+    Tensor(int32_t rows, int32_t cols)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<size_t>(rows) * cols, 0.0f)
+    {
+        MESO_REQUIRE(rows >= 0 && cols >= 0,
+                     "bad shape " << rows << "x" << cols);
+    }
+
+    /** Construct from existing data (size must equal rows*cols). */
+    Tensor(int32_t rows, int32_t cols, std::vector<float> data)
+        : rows_(rows), cols_(cols), data_(std::move(data))
+    {
+        MESO_REQUIRE(data_.size() == static_cast<size_t>(rows) * cols,
+                     "data size " << data_.size() << " != " << rows << "x"
+                                  << cols);
+    }
+
+    int32_t rows() const { return rows_; }
+    int32_t cols() const { return cols_; }
+    int64_t numel() const { return static_cast<int64_t>(rows_) * cols_; }
+    int64_t bytes() const { return numel() * sizeof(float); }
+    bool empty() const { return numel() == 0; }
+
+    float
+    at(int32_t r, int32_t c) const
+    {
+        MESO_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                   "index (" << r << "," << c << ") in " << rows_ << "x"
+                             << cols_);
+        return data_[static_cast<size_t>(r) * cols_ + c];
+    }
+
+    float &
+    at(int32_t r, int32_t c)
+    {
+        MESO_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                   "index (" << r << "," << c << ") in " << rows_ << "x"
+                             << cols_);
+        return data_[static_cast<size_t>(r) * cols_ + c];
+    }
+
+    /** Unchecked fast access (hot loops). */
+    float operator()(int32_t r, int32_t c) const
+    { return data_[static_cast<size_t>(r) * cols_ + c]; }
+    float &operator()(int32_t r, int32_t c)
+    { return data_[static_cast<size_t>(r) * cols_ + c]; }
+
+    const float *row(int32_t r) const
+    { return data_.data() + static_cast<size_t>(r) * cols_; }
+    float *row(int32_t r)
+    { return data_.data() + static_cast<size_t>(r) * cols_; }
+
+    const float *data() const { return data_.data(); }
+    float *data() { return data_.data(); }
+
+    /** Fill every element with @p v. */
+    void fill(float v);
+
+    /** Max |a-b| against another tensor of identical shape. */
+    float maxAbsDiff(const Tensor &other) const;
+
+    /** Frobenius norm. */
+    float frobeniusNorm() const;
+
+    /** True if shapes and all elements match within @p tol. */
+    bool approxEqual(const Tensor &other, float tol = 1e-5f) const;
+
+    /** "RxC" shape string for diagnostics. */
+    std::string shapeStr() const;
+
+  private:
+    int32_t rows_ = 0;
+    int32_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace mesorasi::tensor

@@ -1,0 +1,129 @@
+#include "train/grad_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace mesorasi::train {
+
+void
+matmulBackward(const Tensor &a, const Tensor &b, const Tensor &dC,
+               Tensor &dA, Tensor &dB)
+{
+    MESO_REQUIRE(dC.rows() == a.rows() && dC.cols() == b.cols(),
+                 "matmulBackward shape mismatch");
+    dA = tensor::matmul(dC, tensor::transpose(b));
+    dB = tensor::matmul(tensor::transpose(a), dC);
+}
+
+Tensor
+reluBackward(const Tensor &y, const Tensor &dY)
+{
+    MESO_REQUIRE(y.rows() == dY.rows() && y.cols() == dY.cols(),
+                 "reluBackward shape mismatch");
+    Tensor dX(dY.rows(), dY.cols());
+    for (int32_t r = 0; r < dY.rows(); ++r)
+        for (int32_t c = 0; c < dY.cols(); ++c)
+            dX(r, c) = y(r, c) > 0.0f ? dY(r, c) : 0.0f;
+    return dX;
+}
+
+Tensor
+biasBackward(const Tensor &dY)
+{
+    Tensor dB(1, dY.cols());
+    for (int32_t r = 0; r < dY.rows(); ++r)
+        for (int32_t c = 0; c < dY.cols(); ++c)
+            dB(0, c) += dY(r, c);
+    return dB;
+}
+
+Tensor
+groupMaxBackward(const Tensor &x, int32_t groups, int32_t k,
+                 const Tensor &dY)
+{
+    MESO_REQUIRE(x.rows() == groups * k, "groupMaxBackward rows");
+    MESO_REQUIRE(dY.rows() == groups && dY.cols() == x.cols(),
+                 "groupMaxBackward dY shape");
+    Tensor dX(x.rows(), x.cols());
+    for (int32_t g = 0; g < groups; ++g) {
+        for (int32_t c = 0; c < x.cols(); ++c) {
+            int32_t best = g * k;
+            for (int32_t j = 1; j < k; ++j)
+                if (x(g * k + j, c) > x(best, c))
+                    best = g * k + j;
+            dX(best, c) += dY(g, c);
+        }
+    }
+    return dX;
+}
+
+Tensor
+gatherBackward(const std::vector<int32_t> &idx, const Tensor &dGathered,
+               int32_t numSourceRows)
+{
+    MESO_REQUIRE(static_cast<int32_t>(idx.size()) == dGathered.rows(),
+                 "gatherBackward index count");
+    Tensor dX(numSourceRows, dGathered.cols());
+    for (size_t i = 0; i < idx.size(); ++i) {
+        MESO_REQUIRE(idx[i] >= 0 && idx[i] < numSourceRows,
+                     "gatherBackward index " << idx[i]);
+        const float *src = dGathered.row(static_cast<int32_t>(i));
+        float *dst = dX.row(idx[i]);
+        for (int32_t c = 0; c < dGathered.cols(); ++c)
+            dst[c] += src[c];
+    }
+    return dX;
+}
+
+double
+softmaxCrossEntropy(const Tensor &logits,
+                    const std::vector<int32_t> &labels, Tensor &dLogits)
+{
+    MESO_REQUIRE(static_cast<int32_t>(labels.size()) == logits.rows(),
+                 "label count mismatch");
+    Tensor probs = tensor::softmaxRows(logits);
+    dLogits = probs;
+    double loss = 0.0;
+    float inv_n = 1.0f / logits.rows();
+    for (int32_t r = 0; r < logits.rows(); ++r) {
+        int32_t y = labels[r];
+        MESO_REQUIRE(y >= 0 && y < logits.cols(), "label " << y);
+        loss -= std::log(std::max(probs(r, y), 1e-12f));
+        dLogits(r, y) -= 1.0f;
+        for (int32_t c = 0; c < logits.cols(); ++c)
+            dLogits(r, c) *= inv_n;
+    }
+    return loss / logits.rows();
+}
+
+double
+accuracy(const Tensor &logits, const std::vector<int32_t> &labels)
+{
+    MESO_REQUIRE(static_cast<int32_t>(labels.size()) == logits.rows(),
+                 "label count mismatch");
+    int32_t hits = 0;
+    for (int32_t r = 0; r < logits.rows(); ++r) {
+        int32_t best = 0;
+        for (int32_t c = 1; c < logits.cols(); ++c)
+            if (logits(r, c) > logits(r, best))
+                best = c;
+        if (best == labels[r])
+            ++hits;
+    }
+    return static_cast<double>(hits) / logits.rows();
+}
+
+void
+sgdStep(Tensor &w, const Tensor &dw, float lr, float weightDecay)
+{
+    MESO_REQUIRE(w.rows() == dw.rows() && w.cols() == dw.cols(),
+                 "sgdStep shape mismatch");
+    for (int32_t r = 0; r < w.rows(); ++r)
+        for (int32_t c = 0; c < w.cols(); ++c)
+            w(r, c) -= lr * (dw(r, c) + weightDecay * w(r, c));
+}
+
+} // namespace mesorasi::train

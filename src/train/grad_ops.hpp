@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Backward passes for the operators used by the trainable mini
+ * point-cloud networks (Fig. 16 accuracy-recovery study).
+ *
+ * The paper's accuracy claim is that networks *trained from scratch*
+ * with delayed-aggregation match the original accuracy. Reproducing the
+ * mechanism requires actually training both pipeline variants, so this
+ * module provides manual gradients for every op in the mini networks.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mesorasi::train {
+
+using tensor::Tensor;
+
+/** dL/dA and dL/dB of C = A*B given dL/dC. */
+void matmulBackward(const Tensor &a, const Tensor &b, const Tensor &dC,
+                    Tensor &dA, Tensor &dB);
+
+/** Gradient through ReLU: dX = dY where y > 0 (uses the *output*). */
+Tensor reluBackward(const Tensor &y, const Tensor &dY);
+
+/** Column-sum of dY (bias gradient for a broadcast row bias). */
+Tensor biasBackward(const Tensor &dY);
+
+/**
+ * Gradient through a per-group column-wise max.
+ *
+ * @param x       the (groups*k) x C pre-reduction matrix
+ * @param groups  number of groups
+ * @param k       rows per group
+ * @param dY      groups x C upstream gradient
+ * @return        (groups*k) x C gradient routed to each column argmax
+ */
+Tensor groupMaxBackward(const Tensor &x, int32_t groups, int32_t k,
+                        const Tensor &dY);
+
+/**
+ * Gradient through gather: rows of @p dGathered accumulate into the
+ * source rows listed in @p idx (scatter-add).
+ *
+ * @param numSourceRows rows of the gathered-from tensor
+ */
+Tensor gatherBackward(const std::vector<int32_t> &idx,
+                      const Tensor &dGathered, int32_t numSourceRows);
+
+/**
+ * Softmax + cross-entropy. Returns the mean loss over rows and writes
+ * dLogits (already divided by the row count).
+ */
+double softmaxCrossEntropy(const Tensor &logits,
+                           const std::vector<int32_t> &labels,
+                           Tensor &dLogits);
+
+/** Accuracy of argmax(logits) against labels. */
+double accuracy(const Tensor &logits, const std::vector<int32_t> &labels);
+
+/** SGD step with weight decay: w -= lr * (dw + wd * w). */
+void sgdStep(Tensor &w, const Tensor &dw, float lr, float weightDecay);
+
+} // namespace mesorasi::train

@@ -1,0 +1,350 @@
+#include "train/mini_net.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "geom/datasets.hpp"
+#include "geom/sampling.hpp"
+#include "neighbor/kdtree.hpp"
+#include "neighbor/points_view.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "train/grad_ops.hpp"
+
+namespace mesorasi::train {
+
+using tensor::Tensor;
+
+namespace {
+
+Tensor
+cloudTensor(const geom::PointCloud &cloud)
+{
+    Tensor t(static_cast<int32_t>(cloud.size()), 3);
+    for (size_t i = 0; i < cloud.size(); ++i) {
+        t(static_cast<int32_t>(i), 0) = cloud[i].x;
+        t(static_cast<int32_t>(i), 1) = cloud[i].y;
+        t(static_cast<int32_t>(i), 2) = cloud[i].z;
+    }
+    return t;
+}
+
+} // namespace
+
+/** Forward activations retained for the backward pass. */
+struct MiniPointNet::Cache
+{
+    Tensor x;                         // N x 3 input
+    std::vector<int32_t> centroids;   // nc indices
+    std::vector<std::vector<int32_t>> neighbors; // nc x k
+
+    // Original pipeline.
+    Tensor groups; // (nc*k) x 3 normalized NFM rows
+    Tensor h1;     // (nc*k) x h1 (post-ReLU)
+    Tensor h2;     // (nc*k) x h2 (post-ReLU)
+
+    // Delayed pipeline.
+    Tensor p1;     // N x h1 (post-ReLU)
+    Tensor p2;     // N x h2 (post-ReLU) — the PFT
+
+    Tensor m;      // nc x h2 module output
+    Tensor mcat;   // nc x (h2 + 3): module output | centroid coords
+    Tensor g;      // 1 x (h2 + 3) pooled
+    Tensor f1;     // 1 x headHidden (post-ReLU)
+    Tensor logits; // 1 x classes
+};
+
+MiniPointNet::MiniPointNet(const MiniNetConfig &cfg,
+                           core::PipelineKind kind, uint64_t seed)
+    : cfg_(cfg), kind_(kind)
+{
+    MESO_REQUIRE(kind != core::PipelineKind::LtdDelayed,
+                 "mini net trains original or delayed variants");
+    Rng rng(seed);
+    w1_ = tensor::kaimingNormal(rng, 3, cfg.hidden1);
+    b1_ = Tensor(1, cfg.hidden1);
+    w2_ = tensor::kaimingNormal(rng, cfg.hidden1, cfg.hidden2);
+    b2_ = Tensor(1, cfg.hidden2);
+    wf1_ = tensor::kaimingNormal(rng, cfg.hidden2 + 3, cfg.headHidden);
+    bf1_ = Tensor(1, cfg.headHidden);
+    wf2_ = tensor::xavierUniform(rng, cfg.headHidden, cfg.numClasses);
+    bf2_ = Tensor(1, cfg.numClasses);
+    zeroGrads();
+}
+
+void
+MiniPointNet::zeroGrads()
+{
+    gw1_ = Tensor(3, cfg_.hidden1);
+    gb1_ = Tensor(1, cfg_.hidden1);
+    gw2_ = Tensor(cfg_.hidden1, cfg_.hidden2);
+    gb2_ = Tensor(1, cfg_.hidden2);
+    gwf1_ = Tensor(cfg_.hidden2 + 3, cfg_.headHidden);
+    gbf1_ = Tensor(1, cfg_.headHidden);
+    gwf2_ = Tensor(cfg_.headHidden, cfg_.numClasses);
+    gbf2_ = Tensor(1, cfg_.numClasses);
+}
+
+void
+MiniPointNet::applyGrads(float scale)
+{
+    auto step = [&](Tensor &w, Tensor &g) {
+        for (int32_t r = 0; r < w.rows(); ++r)
+            for (int32_t c = 0; c < w.cols(); ++c)
+                g(r, c) *= scale;
+        sgdStep(w, g, cfg_.lr, cfg_.weightDecay);
+    };
+    step(w1_, gw1_);
+    step(b1_, gb1_);
+    step(w2_, gw2_);
+    step(b2_, gb2_);
+    step(wf1_, gwf1_);
+    step(bf1_, gbf1_);
+    step(wf2_, gwf2_);
+    step(bf2_, gbf2_);
+}
+
+Tensor
+MiniPointNet::forwardImpl(const geom::PointCloud &cloud,
+                          Cache *cache) const
+{
+    MESO_REQUIRE(static_cast<int32_t>(cloud.size()) == cfg_.numPoints,
+                 "expected " << cfg_.numPoints << " points");
+    Cache local;
+    Cache &c = cache ? *cache : local;
+    c.x = cloudTensor(cloud);
+
+    // Deterministic FPS centroids + exact k-NN groups.
+    c.centroids = geom::farthestPointSample(cloud, cfg_.numCentroids);
+    neighbor::PointsView view(c.x.data(), c.x.rows(), 3);
+    neighbor::KdTree tree(view);
+    c.neighbors.resize(cfg_.numCentroids);
+    for (int32_t i = 0; i < cfg_.numCentroids; ++i)
+        c.neighbors[i] = tree.knn(c.x.row(c.centroids[i]), cfg_.k);
+
+    int32_t nc = cfg_.numCentroids;
+    int32_t k = cfg_.k;
+
+    if (kind_ == core::PipelineKind::Original) {
+        c.groups = Tensor(nc * k, 3);
+        for (int32_t i = 0; i < nc; ++i) {
+            const float *cf = c.x.row(c.centroids[i]);
+            for (int32_t j = 0; j < k; ++j) {
+                const float *nf = c.x.row(c.neighbors[i][j]);
+                float *row = c.groups.row(i * k + j);
+                for (int32_t d = 0; d < 3; ++d)
+                    row[d] = (nf[d] - cf[d]) * cfg_.offsetScale;
+            }
+        }
+        c.h1 = tensor::matmul(c.groups, w1_);
+        tensor::addBiasInPlace(c.h1, b1_);
+        tensor::reluInPlace(c.h1);
+        c.h2 = tensor::matmul(c.h1, w2_);
+        tensor::addBiasInPlace(c.h2, b2_);
+        tensor::reluInPlace(c.h2);
+        c.m = Tensor(nc, cfg_.hidden2);
+        for (int32_t i = 0; i < nc; ++i) {
+            std::vector<int32_t> rows(k);
+            for (int32_t j = 0; j < k; ++j)
+                rows[j] = i * k + j;
+            Tensor red = tensor::maxReduceRows(c.h2, rows);
+            std::copy(red.row(0), red.row(0) + cfg_.hidden2, c.m.row(i));
+        }
+    } else {
+        // Delayed: PFT over raw points, gather + max - centroid.
+        c.p1 = tensor::matmul(c.x, w1_);
+        tensor::addBiasInPlace(c.p1, b1_);
+        tensor::reluInPlace(c.p1);
+        c.p2 = tensor::matmul(c.p1, w2_);
+        tensor::addBiasInPlace(c.p2, b2_);
+        tensor::reluInPlace(c.p2);
+        c.m = Tensor(nc, cfg_.hidden2);
+        for (int32_t i = 0; i < nc; ++i) {
+            Tensor gathered = tensor::gatherRows(c.p2, c.neighbors[i]);
+            Tensor red = tensor::maxReduceRows(gathered);
+            const float *cf = c.p2.row(c.centroids[i]);
+            for (int32_t d = 0; d < cfg_.hidden2; ++d)
+                c.m(i, d) = red(0, d) - cf[d];
+        }
+    }
+
+    // Concatenate each centroid's coordinates to its local feature so
+    // the classifier sees global structure under BOTH pipelines — the
+    // role the set-abstraction hierarchy plays in full PointNet++.
+    c.mcat = Tensor(nc, cfg_.hidden2 + 3);
+    for (int32_t i = 0; i < nc; ++i) {
+        std::copy(c.m.row(i), c.m.row(i) + cfg_.hidden2, c.mcat.row(i));
+        for (int32_t d = 0; d < 3; ++d)
+            c.mcat(i, cfg_.hidden2 + d) = c.x(c.centroids[i], d);
+    }
+    c.g = tensor::maxReduceRows(c.mcat);
+    c.f1 = tensor::matmul(c.g, wf1_);
+    tensor::addBiasInPlace(c.f1, bf1_);
+    tensor::reluInPlace(c.f1);
+    c.logits = tensor::matmul(c.f1, wf2_);
+    tensor::addBiasInPlace(c.logits, bf2_);
+    return c.logits;
+}
+
+Tensor
+MiniPointNet::forward(const geom::PointCloud &cloud) const
+{
+    return forwardImpl(cloud, nullptr);
+}
+
+double
+MiniPointNet::backward(const geom::PointCloud &cloud, int32_t label)
+{
+    Cache c;
+    forwardImpl(cloud, &c);
+
+    Tensor dlogits;
+    double loss = softmaxCrossEntropy(c.logits, {label}, dlogits);
+
+    // Head.
+    Tensor df1, dwf2;
+    matmulBackward(c.f1, wf2_, dlogits, df1, dwf2);
+    Tensor dbf2 = biasBackward(dlogits);
+    df1 = reluBackward(c.f1, df1);
+    Tensor dg, dwf1;
+    matmulBackward(c.g, wf1_, df1, dg, dwf1);
+    Tensor dbf1 = biasBackward(df1);
+
+    // Global pool: route to the argmax centroid per column, then keep
+    // only the learned-feature columns (coordinates carry no params).
+    Tensor dmcat = groupMaxBackward(c.mcat, 1, cfg_.numCentroids, dg);
+    Tensor dm(cfg_.numCentroids, cfg_.hidden2);
+    for (int32_t i = 0; i < cfg_.numCentroids; ++i)
+        std::copy(dmcat.row(i), dmcat.row(i) + cfg_.hidden2, dm.row(i));
+
+    int32_t nc = cfg_.numCentroids;
+    int32_t k = cfg_.k;
+
+    Tensor dw1(3, cfg_.hidden1), db1(1, cfg_.hidden1);
+    Tensor dw2(cfg_.hidden1, cfg_.hidden2), db2(1, cfg_.hidden2);
+
+    if (kind_ == core::PipelineKind::Original) {
+        // Per-group max back to h2 rows.
+        Tensor dh2(nc * k, cfg_.hidden2);
+        for (int32_t i = 0; i < nc; ++i) {
+            for (int32_t col = 0; col < cfg_.hidden2; ++col) {
+                int32_t best = i * k;
+                for (int32_t j = 1; j < k; ++j)
+                    if (c.h2(i * k + j, col) > c.h2(best, col))
+                        best = i * k + j;
+                dh2(best, col) += dm(i, col);
+            }
+        }
+        dh2 = reluBackward(c.h2, dh2);
+        Tensor dh1;
+        matmulBackward(c.h1, w2_, dh2, dh1, dw2);
+        db2 = biasBackward(dh2);
+        dh1 = reluBackward(c.h1, dh1);
+        Tensor dgroups;
+        matmulBackward(c.groups, w1_, dh1, dgroups, dw1);
+        db1 = biasBackward(dh1);
+    } else {
+        // Gather + max - centroid back to the PFT rows.
+        Tensor dp2(cfg_.numPoints, cfg_.hidden2);
+        for (int32_t i = 0; i < nc; ++i) {
+            for (int32_t col = 0; col < cfg_.hidden2; ++col) {
+                int32_t best = c.neighbors[i][0];
+                for (int32_t j = 1; j < k; ++j) {
+                    int32_t cand = c.neighbors[i][j];
+                    if (c.p2(cand, col) > c.p2(best, col))
+                        best = cand;
+                }
+                dp2(best, col) += dm(i, col);
+                dp2(c.centroids[i], col) -= dm(i, col);
+            }
+        }
+        dp2 = reluBackward(c.p2, dp2);
+        Tensor dp1;
+        matmulBackward(c.p1, w2_, dp2, dp1, dw2);
+        db2 = biasBackward(dp2);
+        dp1 = reluBackward(c.p1, dp1);
+        Tensor dx;
+        matmulBackward(c.x, w1_, dp1, dx, dw1);
+        db1 = biasBackward(dp1);
+    }
+
+    // Accumulate.
+    auto acc = [](Tensor &g, const Tensor &d) {
+        for (int32_t r = 0; r < g.rows(); ++r)
+            for (int32_t cc = 0; cc < g.cols(); ++cc)
+                g(r, cc) += d(r, cc);
+    };
+    acc(gw1_, dw1);
+    acc(gb1_, db1);
+    acc(gw2_, dw2);
+    acc(gb2_, db2);
+    acc(gwf1_, dwf1);
+    acc(gbf1_, dbf1);
+    acc(gwf2_, dwf2);
+    acc(gbf2_, dbf2);
+    return loss;
+}
+
+double
+MiniPointNet::trainEpoch(const std::vector<Example> &examples, Rng &rng)
+{
+    MESO_REQUIRE(!examples.empty(), "no training examples");
+    std::vector<int32_t> order(examples.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int32_t>(i);
+    rng.shuffle(order);
+
+    double total = 0.0;
+    int32_t in_batch = 0;
+    for (int32_t idx : order) {
+        total += backward(examples[idx].cloud, examples[idx].label);
+        if (++in_batch == cfg_.batchSize) {
+            applyGrads(1.0f / in_batch);
+            zeroGrads();
+            in_batch = 0;
+        }
+    }
+    if (in_batch > 0) {
+        applyGrads(1.0f / in_batch);
+        zeroGrads();
+    }
+    return total / examples.size();
+}
+
+double
+MiniPointNet::evaluate(const std::vector<Example> &examples) const
+{
+    MESO_REQUIRE(!examples.empty(), "no eval examples");
+    int32_t hits = 0;
+    for (const auto &ex : examples) {
+        Tensor logits = forward(ex.cloud);
+        int32_t best = 0;
+        for (int32_t cc = 1; cc < logits.cols(); ++cc)
+            if (logits(0, cc) > logits(0, best))
+                best = cc;
+        if (best == ex.label)
+            ++hits;
+    }
+    return static_cast<double>(hits) / examples.size();
+}
+
+std::vector<Example>
+makeShapeDataset(uint64_t seed, int32_t numClasses, int32_t perClass,
+                 int32_t numPoints)
+{
+    MESO_REQUIRE(numClasses > 0 &&
+                     numClasses <= geom::ModelNetSim::kNumClasses,
+                 "bad class count " << numClasses);
+    geom::ModelNetSim sim(seed, numPoints);
+    std::vector<Example> out;
+    for (int32_t c = 0; c < numClasses; ++c) {
+        for (int32_t i = 0; i < perClass; ++i) {
+            auto s = sim.sample(c);
+            out.push_back({std::move(s.cloud), c});
+        }
+    }
+    return out;
+}
+
+} // namespace mesorasi::train

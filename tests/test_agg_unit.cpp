@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the Aggregation Unit cycle simulator: work conservation,
+ * bank-conflict behaviour, column-major partitioning, and the NIT
+ * re-read energy trade-off (paper Secs. V-B, VII-F).
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "common/rng.hpp"
+#include "hwsim/agg_unit.hpp"
+
+namespace mesorasi::hwsim {
+namespace {
+
+using neighbor::NeighborIndexTable;
+using neighbor::NitEntry;
+
+AggregationUnit
+makeAu(AuConfig au = AuConfig{})
+{
+    return AggregationUnit(au, NpuConfig{}, EnergyConfig{});
+}
+
+/** NIT with k *distinct* random neighbors per entry (the AU dedups
+ *  duplicate addresses, so distinct indices keep counts predictable). */
+NeighborIndexTable
+randomNit(int32_t entries, int32_t k, int32_t pftRows, uint64_t seed)
+{
+    mesorasi::Rng rng(seed);
+    NeighborIndexTable nit(k);
+    for (int32_t i = 0; i < entries; ++i) {
+        NitEntry e;
+        e.centroid = static_cast<int32_t>(rng.uniformInt(0, pftRows - 1));
+        e.neighbors = rng.sampleWithoutReplacement(pftRows, k);
+        nit.add(std::move(e));
+    }
+    return nit;
+}
+
+TEST(Au, ConflictFreeEntriesHitIdealRounds)
+{
+    // Neighbors 0..31 map to distinct banks (32 banks, LSB interleave):
+    // exactly one round per entry.
+    NeighborIndexTable nit(32);
+    NitEntry e;
+    e.centroid = 0;
+    for (int32_t i = 0; i < 32; ++i)
+        e.neighbors.push_back(i);
+    nit.add(e);
+
+    AuStats s = makeAu().aggregate(nit, 64, 32);
+    EXPECT_EQ(s.actualRounds, 1);
+    EXPECT_EQ(s.idealRounds, 1);
+    EXPECT_DOUBLE_EQ(s.conflictFraction, 0.0);
+}
+
+TEST(Au, FullConflictSerializes)
+{
+    // All 8 neighbors in the same bank: 8 rounds instead of 1.
+    NeighborIndexTable nit(8);
+    NitEntry e;
+    e.centroid = 1;
+    for (int32_t i = 0; i < 8; ++i)
+        e.neighbors.push_back(i * 32); // all row % 32 == 0
+    nit.add(e);
+
+    AuStats s = makeAu().aggregate(nit, 512, 16);
+    EXPECT_EQ(s.actualRounds, 8);
+    EXPECT_EQ(s.idealRounds, 1);
+    EXPECT_NEAR(s.conflictFraction, 7.0 / 8.0, 1e-9);
+    EXPECT_NEAR(s.slowdownVsIdeal, 8.0, 1e-9);
+}
+
+TEST(Au, WordReadsConserveWork)
+{
+    // Every neighbor row must be read exactly once per partition (plus
+    // the centroid row): pftWordReads == (sum K + entries) * partCols
+    // per partition pass.
+    auto nit = randomNit(64, 16, 1024, 1);
+    AuConfig cfg;
+    cfg.pftBufferBytes = 64 * 1024;
+    int32_t cols = 32; // PFT = 1024*32*4 = 128 KB -> 2 partitions
+    AuStats s = makeAu(cfg).aggregate(nit, 1024, cols);
+    EXPECT_EQ(s.partitions, 2);
+    int64_t part_cols = 16;
+    int64_t expected =
+        (nit.totalNeighbors() + nit.size()) * part_cols * s.partitions;
+    EXPECT_EQ(s.pftWordReads, expected);
+}
+
+TEST(Au, PartitionCountMatchesPftSize)
+{
+    auto nit = randomNit(16, 8, 2048, 2);
+    AuConfig cfg;
+    cfg.pftBufferBytes = 64 * 1024;
+    // 2048 rows x 128 cols x 4 B = 1 MB -> 16 partitions.
+    AuStats s = makeAu(cfg).aggregate(nit, 2048, 128);
+    EXPECT_EQ(s.partitions, 16);
+    // Fill traffic covers the whole PFT exactly once overall.
+    EXPECT_EQ(s.pftFillBytes, 2048 * 128 * 4);
+}
+
+TEST(Au, SmallPftFitsInOnePartition)
+{
+    auto nit = randomNit(16, 8, 512, 3);
+    AuStats s = makeAu().aggregate(nit, 512, 16); // 32 KB < 64 KB
+    EXPECT_EQ(s.partitions, 1);
+}
+
+TEST(Au, NitRereadPerPartitionWhenNotResident)
+{
+    auto nit = randomNit(512, 32, 2048, 4);
+    AuConfig cfg;
+    cfg.pftBufferBytes = 64 * 1024;
+    cfg.nitBufferBytes = 12 * 1024; // NIT (512*(33*12/8)B ~ 25 KB) > 24KB
+    AuStats s = makeAu(cfg).aggregate(nit, 2048, 128); // 16 partitions
+    EXPECT_EQ(s.nitDramBytes, nit.packedBytes() * 16);
+
+    // With big NIT buffers the table is read once.
+    cfg.nitBufferBytes = 96 * 1024;
+    AuStats s2 = makeAu(cfg).aggregate(nit, 2048, 128);
+    EXPECT_EQ(s2.nitDramBytes, nit.packedBytes());
+}
+
+TEST(Au, SmallerPftBufferCostsMoreEnergy)
+{
+    // Fig. 22's diagonal: shrinking the PFT buffer multiplies NIT
+    // re-reads and fill passes.
+    auto nit = randomNit(512, 32, 2048, 5);
+    AuConfig small;
+    small.pftBufferBytes = 8 * 1024;
+    AuConfig big;
+    big.pftBufferBytes = 256 * 1024;
+    AuStats ss = makeAu(small).aggregate(nit, 2048, 128);
+    AuStats sb = makeAu(big).aggregate(nit, 2048, 128);
+    EXPECT_GT(ss.energyMj + 1e-12, sb.energyMj);
+    EXPECT_GT(ss.nitDramBytes, sb.nitDramBytes);
+}
+
+TEST(Au, RandomIndicesConflictModerately)
+{
+    // With 32 banks and K=32 random indices, some conflicts are
+    // unavoidable but the slowdown stays low single-digit (the paper
+    // measures 1.5x on real NITs).
+    auto nit = randomNit(512, 32, 1024, 6);
+    AuStats s = makeAu().aggregate(nit, 1024, 128);
+    EXPECT_GT(s.slowdownVsIdeal, 1.0);
+    EXPECT_LT(s.slowdownVsIdeal, 8.0);
+    EXPECT_GT(s.conflictFraction, 0.0);
+    EXPECT_LT(s.conflictFraction, 0.9);
+}
+
+TEST(Au, MoreBanksReduceCyclesAndRounds)
+{
+    // More banks strictly reduce the absolute rounds/cycles. (The
+    // slowdown *ratio* vs ideal can grow, because the ideal drops to
+    // ceil(K/B)=1 faster than the max bank occupancy does — classic
+    // balls-in-bins behaviour.)
+    auto nit = randomNit(256, 32, 1024, 7);
+    AuConfig few;
+    few.pftBanks = 8;
+    AuConfig many;
+    many.pftBanks = 64;
+    AuStats sf = makeAu(few).aggregate(nit, 1024, 64);
+    AuStats sm = makeAu(many).aggregate(nit, 1024, 64);
+    EXPECT_LT(sm.actualRounds, sf.actualRounds);
+    EXPECT_LT(sm.cycles, sf.cycles);
+}
+
+TEST(Au, DuplicateAddressesDedupedWithinEntry)
+{
+    // Ball-query padding repeats one neighbor; identical addresses are
+    // served by a single bank read (max is idempotent).
+    NeighborIndexTable nit(8);
+    NitEntry e;
+    e.centroid = 0;
+    e.neighbors = {5, 5, 5, 5, 5, 5, 5, 5};
+    nit.add(e);
+    AuStats s = makeAu().aggregate(nit, 64, 16);
+    EXPECT_EQ(s.actualRounds, 1);
+    EXPECT_EQ(s.idealRounds, 1);
+}
+
+TEST(Au, RejectsOutOfRangeNit)
+{
+    NeighborIndexTable nit(2);
+    nit.add({0, {100}});
+    EXPECT_THROW(makeAu().aggregate(nit, 50, 16),
+                 mesorasi::UsageError);
+}
+
+TEST(Au, DeterministicStats)
+{
+    auto nit = randomNit(64, 16, 512, 8);
+    AuStats a = makeAu().aggregate(nit, 512, 64);
+    AuStats b = makeAu().aggregate(nit, 512, 64);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.energyMj, b.energyMj);
+}
+
+TEST(Au, MergeAccumulates)
+{
+    auto nit = randomNit(32, 8, 256, 9);
+    AuStats a = makeAu().aggregate(nit, 256, 32);
+    AuStats total;
+    total.merge(a);
+    total.merge(a);
+    EXPECT_EQ(total.cycles, 2 * a.cycles);
+    EXPECT_EQ(total.pftWordReads, 2 * a.pftWordReads);
+    EXPECT_NEAR(total.slowdownVsIdeal, a.slowdownVsIdeal, 1e-9);
+}
+
+} // namespace
+} // namespace mesorasi::hwsim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the workload analyses behind Figs. 6, 7, 9, 10.
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "core/analysis.hpp"
+#include "core/networks.hpp"
+#include "geom/datasets.hpp"
+
+namespace mesorasi::core {
+namespace {
+
+TEST(Occupancy, CountsMembership)
+{
+    neighbor::NeighborIndexTable nit(2);
+    nit.add({0, {1, 2}});
+    nit.add({1, {1, 3}});
+    // Point 1 occurs in 2 neighborhoods; points 2 and 3 in 1 each.
+    Histogram h = neighborhoodOccupancy({nit});
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+}
+
+TEST(Occupancy, RealNetworkMajorityInManyNeighborhoods)
+{
+    // Paper Fig. 6: in PointNet++ over half the points occur in dozens
+    // of neighborhoods. With K=32 over 1024->512, mean occupancy is
+    // 512*32/~1024 = 16 among touched points.
+    NetworkConfig cfg = zoo::pointnetppClassification();
+    NetworkExecutor exec(cfg, 1);
+    geom::ModelNetSim sim(3, cfg.numInputPoints);
+    RunResult r = exec.run(sim.sample(2).cloud, PipelineKind::Delayed, 5);
+    Histogram h = neighborhoodOccupancy({r.nits[0]});
+    EXPECT_GT(h.keyMean(), 4.0);
+    EXPECT_GT(h.keyPercentile(0.9), h.keyPercentile(0.5));
+}
+
+TEST(MacReduction, PositiveForPointnetpp)
+{
+    NetworkConfig cfg = zoo::pointnetppClassification();
+    NetworkExecutor exec(cfg, 1);
+    auto orig = exec.analyticTrace(PipelineKind::Original, 1024);
+    auto del = exec.analyticTrace(PipelineKind::Delayed, 1024);
+    double red = macReduction(orig, del);
+    EXPECT_GT(red, 0.5);
+    EXPECT_LT(red, 1.0);
+}
+
+TEST(MacReduction, AcrossZooAveragesNearPaper)
+{
+    // Paper Fig. 9: average MLP MAC reduction ~68% across the five
+    // characterized networks; ours should land in the same regime.
+    double total = 0.0;
+    auto nets = zoo::characterizationNetworks();
+    for (const auto &cfg : nets) {
+        NetworkExecutor exec(cfg, 1);
+        auto orig =
+            exec.analyticTrace(PipelineKind::Original, cfg.numInputPoints);
+        auto del =
+            exec.analyticTrace(PipelineKind::Delayed, cfg.numInputPoints);
+        total += macReduction(orig, del);
+    }
+    double avg = total / nets.size();
+    EXPECT_GT(avg, 0.5);
+    EXPECT_LT(avg, 0.99);
+}
+
+TEST(LayerSizes, DelayedShrinksActivations)
+{
+    NetworkConfig cfg = zoo::pointnetppSegmentation();
+    NetworkExecutor exec(cfg, 1);
+    auto orig = exec.analyticTrace(PipelineKind::Original,
+                                   cfg.numInputPoints);
+    auto del = exec.analyticTrace(PipelineKind::Delayed,
+                                  cfg.numInputPoints);
+    auto so = layerOutputSizes(orig);
+    auto sd = layerOutputSizes(del);
+    int64_t max_o = *std::max_element(so.begin(), so.end());
+    int64_t max_d = *std::max_element(sd.begin(), sd.end());
+    // Paper Fig. 10: 8-32 MB down to 512 KB - 1 MB.
+    EXPECT_GT(max_o, 4 * max_d);
+}
+
+TEST(CnnMacs, ScalesWithPixels)
+{
+    int64_t base = cnnMacs("resnet50", 224 * 224);
+    EXPECT_NEAR(static_cast<double>(base), 4.1e9, 1e8);
+    EXPECT_EQ(cnnMacs("resnet50", 2 * 224 * 224), 2 * base);
+    EXPECT_THROW(cnnMacs("vgg", 100), mesorasi::UsageError);
+}
+
+TEST(CnnMacs, PointCloudNetworksExceedCnnsAt130k)
+{
+    // Paper Fig. 7: at ~130k points, point-cloud feature computation
+    // has an order of magnitude more MACs than CNNs on equal pixels.
+    const int64_t pts = 130'000;
+    NetworkConfig cfg = zoo::pointnetppClassification();
+    NetworkExecutor exec(cfg, 1);
+    auto orig = exec.analyticTrace(PipelineKind::Original,
+                                   static_cast<int32_t>(pts));
+    EXPECT_GT(featureMacs(orig), cnnMacs("resnet50", pts));
+}
+
+} // namespace
+} // namespace mesorasi::core

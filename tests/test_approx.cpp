@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for approximate aggregation (the Sec. V-B future-work feature):
+ * the AU round cap and its functional counterpart applyRoundCap.
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "hwsim/agg_unit.hpp"
+
+namespace mesorasi::hwsim {
+namespace {
+
+using neighbor::NeighborIndexTable;
+using neighbor::NitEntry;
+
+NeighborIndexTable
+clusteredNit(int32_t entries, int32_t k, int32_t pftRows, uint64_t seed)
+{
+    // Neighbors clustered into few banks to force conflicts.
+    mesorasi::Rng rng(seed);
+    NeighborIndexTable nit(k);
+    for (int32_t i = 0; i < entries; ++i) {
+        NitEntry e;
+        e.centroid = static_cast<int32_t>(rng.uniformInt(0, pftRows - 1));
+        int32_t base = static_cast<int32_t>(
+            rng.uniformInt(0, pftRows / 32 - k - 1));
+        for (int32_t j = 0; j < k; ++j)
+            e.neighbors.push_back((base + j) * 32 % pftRows); // 1 bank
+        nit.add(std::move(e));
+    }
+    return nit;
+}
+
+TEST(RoundCap, SubsetOfOriginal)
+{
+    auto nit = clusteredNit(16, 8, 1024, 1);
+    auto capped = applyRoundCap(nit, 32, 2);
+    ASSERT_EQ(capped.size(), nit.size());
+    for (int32_t i = 0; i < nit.size(); ++i) {
+        std::set<int32_t> orig(nit[i].neighbors.begin(),
+                               nit[i].neighbors.end());
+        for (int32_t n : capped[i].neighbors)
+            EXPECT_TRUE(orig.count(n) || n == capped[i].centroid);
+        EXPECT_EQ(capped[i].centroid, nit[i].centroid);
+    }
+}
+
+TEST(RoundCap, BankOccupancyRespectsCap)
+{
+    auto nit = clusteredNit(16, 8, 1024, 2);
+    for (int32_t cap : {1, 2, 4}) {
+        auto capped = applyRoundCap(nit, 32, cap);
+        for (const auto &e : capped.entries()) {
+            std::vector<int32_t> bank(32, 0);
+            std::set<int32_t> seen;
+            for (int32_t n : e.neighbors) {
+                if (!seen.insert(n).second)
+                    continue;
+                ++bank[n % 32];
+            }
+            EXPECT_LE(*std::max_element(bank.begin(), bank.end()), cap);
+        }
+    }
+}
+
+TEST(RoundCap, NoEntryLeftEmpty)
+{
+    auto nit = clusteredNit(8, 8, 1024, 3);
+    auto capped = applyRoundCap(nit, 32, 1);
+    for (const auto &e : capped.entries())
+        EXPECT_FALSE(e.neighbors.empty());
+}
+
+TEST(RoundCap, UnboundedCapKeepsUniqueNeighbors)
+{
+    auto nit = clusteredNit(8, 8, 1024, 4);
+    auto capped = applyRoundCap(nit, 32, 1000);
+    for (int32_t i = 0; i < nit.size(); ++i) {
+        std::set<int32_t> orig(nit[i].neighbors.begin(),
+                               nit[i].neighbors.end());
+        std::set<int32_t> got(capped[i].neighbors.begin(),
+                              capped[i].neighbors.end());
+        EXPECT_EQ(orig, got);
+    }
+}
+
+TEST(AuApprox, CapReducesCyclesOnConflictedNits)
+{
+    auto nit = clusteredNit(64, 8, 1024, 5);
+    AuConfig exact_cfg;
+    AuConfig capped_cfg;
+    capped_cfg.maxRoundsPerEntry = 2;
+    AggregationUnit exact(exact_cfg, NpuConfig{}, EnergyConfig{});
+    AggregationUnit capped(capped_cfg, NpuConfig{}, EnergyConfig{});
+    AuStats se = exact.aggregate(nit, 1024, 64);
+    AuStats sc = capped.aggregate(nit, 1024, 64);
+    EXPECT_LT(sc.cycles, se.cycles);
+    EXPECT_GT(sc.droppedNeighbors, 0);
+    EXPECT_EQ(se.droppedNeighbors, 0);
+    EXPECT_EQ(sc.totalNeighbors, se.totalNeighbors);
+    EXPECT_LT(sc.droppedNeighbors, sc.totalNeighbors);
+}
+
+TEST(AuApprox, ZeroCapMeansExact)
+{
+    auto nit = clusteredNit(16, 8, 1024, 6);
+    AuConfig cfg;
+    cfg.maxRoundsPerEntry = 0;
+    AggregationUnit au(cfg, NpuConfig{}, EnergyConfig{});
+    AuStats s = au.aggregate(nit, 1024, 64);
+    EXPECT_EQ(s.droppedNeighbors, 0);
+}
+
+TEST(AuApprox, GenerousCapDropsNothing)
+{
+    auto nit = clusteredNit(16, 8, 1024, 7);
+    AuConfig cfg;
+    cfg.maxRoundsPerEntry = 64;
+    AggregationUnit au(cfg, NpuConfig{}, EnergyConfig{});
+    AuStats s = au.aggregate(nit, 1024, 64);
+    EXPECT_EQ(s.droppedNeighbors, 0);
+}
+
+TEST(AuApprox, DroppedFractionGrowsAsCapShrinks)
+{
+    auto nit = clusteredNit(64, 8, 1024, 8);
+    int64_t prev_dropped = -1;
+    for (int32_t cap : {4, 2, 1}) {
+        AuConfig cfg;
+        cfg.maxRoundsPerEntry = cap;
+        AggregationUnit au(cfg, NpuConfig{}, EnergyConfig{});
+        AuStats s = au.aggregate(nit, 1024, 64);
+        EXPECT_GE(s.droppedNeighbors, prev_dropped);
+        prev_dropped = s.droppedNeighbors;
+    }
+}
+
+} // namespace
+} // namespace mesorasi::hwsim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the 16 nm area model against the paper's Sec. VII-A
+ * numbers.
+ */
+#include <gtest/gtest.h>
+
+#include "hwsim/area.hpp"
+
+namespace mesorasi::hwsim {
+namespace {
+
+TEST(Area, AuTotalNearPaper)
+{
+    AreaModel model(SocConfig::defaultTx2());
+    AuArea a = model.aggregationUnit();
+    // Paper: 0.059 mm^2 total AU overhead.
+    EXPECT_GT(a.total, 0.03);
+    EXPECT_LT(a.total, 0.12);
+}
+
+TEST(Area, PftBufferNearPaper)
+{
+    AreaModel model(SocConfig::defaultTx2());
+    AuArea a = model.aggregationUnit();
+    // Paper: PFT buffer 0.031 mm^2.
+    EXPECT_GT(a.pftBuffer, 0.015);
+    EXPECT_LT(a.pftBuffer, 0.06);
+}
+
+TEST(Area, AvoidedCrossbarMatchesPaper)
+{
+    AreaModel model(SocConfig::defaultTx2());
+    AuArea a = model.aggregationUnit();
+    // Paper: the avoided 32x32 crossbar would cost 0.064 mm^2 — more
+    // than the PFT buffer itself.
+    EXPECT_NEAR(a.avoidedCrossbar, 0.064, 1e-6);
+    EXPECT_GT(a.avoidedCrossbar, a.pftBuffer);
+}
+
+TEST(Area, OverheadUnderFourPercentOfNpu)
+{
+    AreaModel model(SocConfig::defaultTx2());
+    AuArea a = model.aggregationUnit();
+    double npu = model.npuMm2();
+    EXPECT_LT(a.total / npu, 0.06);
+    EXPECT_GT(a.total / npu, 0.01);
+}
+
+TEST(Area, SramAreaScalesWithSize)
+{
+    AreaModel model(SocConfig::defaultTx2());
+    double small = model.sramMm2(8 * 1024, 1);
+    double big = model.sramMm2(64 * 1024, 1);
+    EXPECT_GT(big, 4.0 * small);
+}
+
+TEST(Area, HeavierBankingCostsMore)
+{
+    AreaModel model(SocConfig::defaultTx2());
+    EXPECT_GT(model.sramMm2(64 * 1024, 32),
+              model.sramMm2(64 * 1024, 1));
+}
+
+TEST(Area, CrossbarQuadraticInPorts)
+{
+    AreaModel model(SocConfig::defaultTx2());
+    EXPECT_NEAR(model.crossbarMm2(64, 64),
+                4.0 * model.crossbarMm2(32, 32), 1e-9);
+}
+
+TEST(Area, LargerPftBufferGrowsArea)
+{
+    // Fig. 22 discussion: a 256 KB PFT buffer costs ~4x the area.
+    SocConfig big = SocConfig::defaultTx2();
+    big.au.pftBufferBytes = 256 * 1024;
+    AreaModel nominal(SocConfig::defaultTx2());
+    AreaModel grown(big);
+    EXPECT_GT(grown.aggregationUnit().pftBuffer,
+              3.0 * nominal.aggregationUnit().pftBuffer);
+}
+
+} // namespace
+} // namespace mesorasi::hwsim

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the common substrate: checks, RNG, statistics, tables.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace mesorasi {
+namespace {
+
+TEST(Check, CheckThrowsInternalError)
+{
+    EXPECT_THROW(MESO_CHECK(false, "boom"), InternalError);
+}
+
+TEST(Check, RequireThrowsUsageError)
+{
+    EXPECT_THROW(MESO_REQUIRE(false, "bad input"), UsageError);
+}
+
+TEST(Check, PassingConditionsDoNotThrow)
+{
+    EXPECT_NO_THROW(MESO_CHECK(1 + 1 == 2));
+    EXPECT_NO_THROW(MESO_REQUIRE(true));
+}
+
+TEST(Check, MessageContainsContext)
+{
+    try {
+        MESO_REQUIRE(false, "value=" << 42);
+        FAIL() << "should have thrown";
+    } catch (const UsageError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniformInt(0, 1000000) == b.uniformInt(0, 1000000))
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        float v = rng.uniform(-2.0f, 5.0f);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 5.0f);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(4);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.gaussian(1.0f, 2.0f);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng rng(6);
+    auto idx = rng.sampleWithoutReplacement(100, 50);
+    std::set<int32_t> s(idx.begin(), idx.end());
+    EXPECT_EQ(s.size(), 50u);
+    for (int32_t i : idx) {
+        EXPECT_GE(i, 0);
+        EXPECT_LT(i, 100);
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet)
+{
+    Rng rng(6);
+    auto idx = rng.sampleWithoutReplacement(10, 10);
+    std::set<int32_t> s(idx.begin(), idx.end());
+    EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOverdraw)
+{
+    Rng rng(6);
+    EXPECT_THROW(rng.sampleWithoutReplacement(5, 6), UsageError);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(8);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+    auto orig = v;
+    rng.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng a(9);
+    Rng child = a.fork();
+    // The fork must not replay the parent's stream.
+    Rng b(9);
+    b.fork();
+    EXPECT_EQ(a.uniformInt(0, 1 << 30), b.uniformInt(0, 1 << 30));
+    (void)child;
+}
+
+TEST(Stats, SummaryBasics)
+{
+    Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Stats, SummaryEmpty)
+{
+    Summary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarySingleton)
+{
+    Summary s = summarize({42.0});
+    EXPECT_DOUBLE_EQ(s.min, 42.0);
+    EXPECT_DOUBLE_EQ(s.max, 42.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, GeomeanMatchesHand)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-9);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), UsageError);
+    EXPECT_THROW(geomean({}), UsageError);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+}
+
+TEST(Stats, HistogramCountsAndTotal)
+{
+    Histogram h;
+    h.add(3);
+    h.add(3);
+    h.add(7);
+    EXPECT_EQ(h.count(3), 2u);
+    EXPECT_EQ(h.count(7), 1u);
+    EXPECT_EQ(h.count(99), 0u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Stats, HistogramWeightedMean)
+{
+    Histogram h;
+    h.add(2, 3); // three observations of key 2
+    h.add(8, 1);
+    EXPECT_DOUBLE_EQ(h.keyMean(), (2.0 * 3 + 8.0) / 4.0);
+}
+
+TEST(Stats, HistogramPercentileKey)
+{
+    Histogram h;
+    for (int i = 0; i < 90; ++i)
+        h.add(1);
+    for (int i = 0; i < 10; ++i)
+        h.add(100);
+    EXPECT_EQ(h.keyPercentile(0.5), 1);
+    EXPECT_EQ(h.keyPercentile(0.99), 100);
+}
+
+TEST(Table, PrintsAllRowsAndHeaders)
+{
+    Table t("My Table", {"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("My Table"), std::string::npos);
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_NE(s.find("bb"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, RejectsRaggedRow)
+{
+    Table t("t", {"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), UsageError);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(fmtX(1.6, 1), "1.6x");
+    EXPECT_EQ(fmtPct(0.511, 1), "51.1%");
+    EXPECT_EQ(fmtBytes(2048.0), "2.00 KB");
+    EXPECT_EQ(fmtCount(1500.0), "1.50K");
+}
+
+} // namespace
+} // namespace mesorasi

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the synthetic dataset simulators (ModelNet/ShapeNet/KITTI
+ * stand-ins).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "geom/datasets.hpp"
+
+namespace mesorasi::geom {
+namespace {
+
+TEST(ModelNetSim, ProducesRequestedPointCount)
+{
+    ModelNetSim sim(1, 1024);
+    for (int32_t c : {0, 7, 19, 39}) {
+        auto s = sim.sample(c);
+        EXPECT_EQ(s.cloud.size(), 1024u);
+        EXPECT_EQ(s.classId, c);
+    }
+}
+
+TEST(ModelNetSim, AllFortyClassesGenerate)
+{
+    ModelNetSim sim(2, 256);
+    for (int32_t c = 0; c < ModelNetSim::kNumClasses; ++c) {
+        auto s = sim.sample(c);
+        EXPECT_EQ(s.cloud.size(), 256u) << "class " << c;
+        EXPECT_FALSE(ModelNetSim::className(c).empty());
+    }
+}
+
+TEST(ModelNetSim, NormalizedToUnitSphere)
+{
+    ModelNetSim sim(3, 512);
+    auto s = sim.sample(17);
+    float max_norm = 0.0f;
+    for (size_t i = 0; i < s.cloud.size(); ++i)
+        max_norm = std::max(max_norm, s.cloud[i].norm());
+    EXPECT_NEAR(max_norm, 1.0f, 1e-4f);
+}
+
+TEST(ModelNetSim, DeterministicGivenSeed)
+{
+    ModelNetSim a(7, 128), b(7, 128);
+    auto sa = a.sample(5);
+    auto sb = b.sample(5);
+    ASSERT_EQ(sa.cloud.size(), sb.cloud.size());
+    for (size_t i = 0; i < sa.cloud.size(); ++i)
+        EXPECT_EQ(sa.cloud[i], sb.cloud[i]);
+}
+
+TEST(ModelNetSim, InstancesVary)
+{
+    ModelNetSim sim(8, 128);
+    auto a = sim.sample(12);
+    auto b = sim.sample(12);
+    int differing = 0;
+    for (size_t i = 0; i < a.cloud.size(); ++i)
+        if (!(a.cloud[i] == b.cloud[i]))
+            ++differing;
+    EXPECT_GT(differing, 100);
+}
+
+TEST(ModelNetSim, BatchBalancesClasses)
+{
+    ModelNetSim sim(9, 64);
+    auto batch = sim.batch(80);
+    ASSERT_EQ(batch.size(), 80u);
+    std::set<int32_t> classes;
+    for (const auto &s : batch)
+        classes.insert(s.classId);
+    EXPECT_EQ(classes.size(), 40u);
+}
+
+TEST(ModelNetSim, RejectsBadClass)
+{
+    ModelNetSim sim(1, 64);
+    EXPECT_THROW(sim.sample(40), mesorasi::UsageError);
+    EXPECT_THROW(sim.sample(-1), mesorasi::UsageError);
+}
+
+TEST(ShapeNetSim, LabelsAreValidParts)
+{
+    ShapeNetSim sim(4, 2048);
+    for (int32_t cat = 0; cat < ShapeNetSim::kNumCategories; ++cat) {
+        auto s = sim.sample(cat);
+        EXPECT_EQ(s.cloud.size(), 2048u);
+        ASSERT_TRUE(s.cloud.hasLabels());
+        int32_t parts = ShapeNetSim::numParts(cat);
+        EXPECT_EQ(s.numParts, parts);
+        for (int32_t l : s.cloud.labels()) {
+            EXPECT_GE(l, 0);
+            EXPECT_LT(l, parts);
+        }
+    }
+}
+
+TEST(ShapeNetSim, MultiplePartsPresent)
+{
+    ShapeNetSim sim(5, 2048);
+    auto s = sim.sample(0);
+    std::set<int32_t> parts(s.cloud.labels().begin(),
+                            s.cloud.labels().end());
+    EXPECT_GE(parts.size(), 2u);
+}
+
+TEST(KittiSim, FrameHasGroundAndObjects)
+{
+    KittiSim sim(10);
+    LidarFrame f = sim.frame(4, 2, 1);
+    EXPECT_EQ(f.objects.size(), 7u);
+    EXPECT_GT(f.cloud.size(), 10000u); // a 64-beam scan is dense
+    ASSERT_TRUE(f.cloud.hasLabels());
+    std::set<int32_t> labels(f.cloud.labels().begin(),
+                             f.cloud.labels().end());
+    EXPECT_TRUE(labels.count(0)); // ground
+    int object_hits = 0;
+    for (int32_t l : f.cloud.labels())
+        if (l > 0)
+            ++object_hits;
+    EXPECT_GT(object_hits, 50);
+}
+
+TEST(KittiSim, PointsWithinRange)
+{
+    KittiSim sim(11);
+    LidarFrame f = sim.frame(2, 1, 0);
+    for (size_t i = 0; i < f.cloud.size(); ++i) {
+        EXPECT_LE(f.cloud[i].norm(),
+                  sim.lidar().maxRange + 1.0f);
+    }
+}
+
+TEST(KittiSim, DensityFallsWithDistance)
+{
+    KittiSim sim(12);
+    LidarFrame f = sim.frame(0, 0, 0); // ground only
+    int near = 0, far = 0;
+    for (size_t i = 0; i < f.cloud.size(); ++i) {
+        float r = f.cloud[i].norm();
+        if (r < 10.0f)
+            ++near;
+        else if (r > 30.0f)
+            ++far;
+    }
+    EXPECT_GT(near, far);
+}
+
+TEST(KittiSim, ObjectPointsNearTheirBox)
+{
+    KittiSim sim(13);
+    LidarFrame f = sim.frame(3, 0, 0);
+    for (size_t i = 0; i < f.cloud.size(); ++i) {
+        int32_t l = f.cloud.labels()[i];
+        if (l <= 0)
+            continue;
+        const SceneObject &obj = f.objects[l - 1];
+        float d = f.cloud[i].dist(obj.center);
+        float diag = obj.size.norm() / 2.0f;
+        EXPECT_LE(d, diag + 0.5f)
+            << "object point far from its ground-truth box";
+    }
+}
+
+TEST(KittiSim, FrustumsHaveExactSizeAndForeground)
+{
+    KittiSim sim(14);
+    LidarFrame f = sim.frame(4, 2, 1);
+    auto frustums = sim.frustums(f, 1024);
+    EXPECT_GT(frustums.size(), 0u);
+    for (const auto &fr : frustums) {
+        EXPECT_EQ(fr.size(), 1024u);
+        ASSERT_TRUE(fr.hasLabels());
+        for (int32_t l : fr.labels())
+            EXPECT_TRUE(l == 0 || l == 1);
+    }
+    // At least one frustum should contain foreground points.
+    bool any_fg = false;
+    for (const auto &fr : frustums)
+        for (int32_t l : fr.labels())
+            any_fg |= l == 1;
+    EXPECT_TRUE(any_fg);
+}
+
+TEST(KittiSim, DeterministicGivenSeed)
+{
+    KittiSim a(20), b(20);
+    LidarFrame fa = a.frame(2, 1, 1);
+    LidarFrame fb = b.frame(2, 1, 1);
+    ASSERT_EQ(fa.cloud.size(), fb.cloud.size());
+    for (size_t i = 0; i < std::min<size_t>(fa.cloud.size(), 500); ++i)
+        EXPECT_EQ(fa.cloud[i], fb.cloud[i]);
+}
+
+} // namespace
+} // namespace mesorasi::geom

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Unit tests for geometry: Point3, Aabb, PointCloud, shape generators,
+ * and rigid transforms.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "geom/point_cloud.hpp"
+#include "geom/shapes.hpp"
+
+namespace mesorasi::geom {
+namespace {
+
+TEST(Point3, Arithmetic)
+{
+    Point3 a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_EQ(a + b, Point3(5, 7, 9));
+    EXPECT_EQ(b - a, Point3(3, 3, 3));
+    EXPECT_EQ(a * 2.0f, Point3(2, 4, 6));
+    EXPECT_EQ(2.0f * a, Point3(2, 4, 6));
+}
+
+TEST(Point3, DotCrossNorm)
+{
+    Point3 x{1, 0, 0}, y{0, 1, 0};
+    EXPECT_FLOAT_EQ(x.dot(y), 0.0f);
+    EXPECT_EQ(x.cross(y), Point3(0, 0, 1));
+    EXPECT_FLOAT_EQ(Point3(3, 4, 0).norm(), 5.0f);
+    EXPECT_FLOAT_EQ(Point3(3, 4, 0).dist(Point3(0, 0, 0)), 5.0f);
+}
+
+TEST(Point3, NormalizedUnitLength)
+{
+    Point3 p{3, -4, 12};
+    EXPECT_NEAR(p.normalized().norm(), 1.0f, 1e-6f);
+    // Zero vector stays zero rather than producing NaN.
+    EXPECT_EQ(Point3().normalized(), Point3());
+}
+
+TEST(Aabb, ExtendAndContains)
+{
+    Aabb box;
+    EXPECT_TRUE(box.empty());
+    box.extend({0, 0, 0});
+    box.extend({1, 2, 3});
+    EXPECT_FALSE(box.empty());
+    EXPECT_TRUE(box.contains({0.5f, 1.0f, 1.5f}));
+    EXPECT_FALSE(box.contains({2.0f, 0.0f, 0.0f}));
+    EXPECT_EQ(box.extent(), Point3(1, 2, 3));
+    EXPECT_FLOAT_EQ(box.maxExtent(), 3.0f);
+}
+
+TEST(Aabb, Dist2InsideIsZero)
+{
+    Aabb box;
+    box.extend({-1, -1, -1});
+    box.extend({1, 1, 1});
+    EXPECT_FLOAT_EQ(box.dist2({0, 0, 0}), 0.0f);
+    EXPECT_FLOAT_EQ(box.dist2({2, 0, 0}), 1.0f);
+    EXPECT_FLOAT_EQ(box.dist2({2, 2, 0}), 2.0f);
+}
+
+TEST(PointCloud, AddAndSize)
+{
+    PointCloud c;
+    EXPECT_TRUE(c.empty());
+    c.add({1, 2, 3});
+    c.add({4, 5, 6});
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c[1], Point3(4, 5, 6));
+    EXPECT_FALSE(c.hasLabels());
+}
+
+TEST(PointCloud, Labels)
+{
+    PointCloud c;
+    c.add({0, 0, 0}, 1);
+    c.add({1, 1, 1}, 2);
+    EXPECT_TRUE(c.hasLabels());
+    EXPECT_EQ(c.labels()[1], 2);
+    // Mixing labelled and unlabelled points is rejected.
+    EXPECT_THROW(c.add({2, 2, 2}), mesorasi::UsageError);
+}
+
+TEST(PointCloud, CentroidAndBounds)
+{
+    PointCloud c({{0, 0, 0}, {2, 2, 2}});
+    EXPECT_EQ(c.centroid(), Point3(1, 1, 1));
+    EXPECT_EQ(c.bounds().lo, Point3(0, 0, 0));
+    EXPECT_EQ(c.bounds().hi, Point3(2, 2, 2));
+}
+
+TEST(PointCloud, CentroidOfEmptyThrows)
+{
+    PointCloud c;
+    EXPECT_THROW(c.centroid(), mesorasi::UsageError);
+}
+
+TEST(PointCloud, NormalizeToUnitSphere)
+{
+    PointCloud c({{10, 0, 0}, {14, 0, 0}, {12, 3, 0}});
+    c.normalizeToUnitSphere();
+    float max_norm = 0.0f;
+    Point3 centroid = c.centroid();
+    for (size_t i = 0; i < c.size(); ++i)
+        max_norm = std::max(max_norm, c[i].norm());
+    EXPECT_NEAR(max_norm, 1.0f, 1e-5f);
+    EXPECT_NEAR(centroid.norm(), 0.0f, 1e-5f);
+}
+
+TEST(PointCloud, SelectPreservesOrderAndLabels)
+{
+    PointCloud c;
+    c.add({0, 0, 0}, 10);
+    c.add({1, 0, 0}, 11);
+    c.add({2, 0, 0}, 12);
+    PointCloud s = c.select({2, 0});
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_EQ(s[0], Point3(2, 0, 0));
+    EXPECT_EQ(s.labels()[0], 12);
+    EXPECT_EQ(s.labels()[1], 10);
+}
+
+TEST(PointCloud, SelectRejectsBadIndex)
+{
+    PointCloud c({{0, 0, 0}});
+    EXPECT_THROW(c.select({5}), mesorasi::UsageError);
+}
+
+TEST(PointCloud, AppendConcatenates)
+{
+    PointCloud a({{0, 0, 0}});
+    PointCloud b({{1, 1, 1}, {2, 2, 2}});
+    a.append(b);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a[2], Point3(2, 2, 2));
+}
+
+class ShapeSurfaceTest : public ::testing::Test
+{
+  protected:
+    mesorasi::Rng rng{42};
+    ShapeParams params{512, 0.0f, -1};
+};
+
+TEST_F(ShapeSurfaceTest, SpherePointsOnSurface)
+{
+    PointCloud c = makeSphere(rng, params, {1, 2, 3}, 2.0f);
+    ASSERT_EQ(c.size(), 512u);
+    for (size_t i = 0; i < c.size(); ++i)
+        EXPECT_NEAR(c[i].dist({1, 2, 3}), 2.0f, 1e-4f);
+}
+
+TEST_F(ShapeSurfaceTest, BoxPointsOnFaces)
+{
+    Point3 half{0.5f, 1.0f, 1.5f};
+    PointCloud c = makeBox(rng, params, {}, half);
+    for (size_t i = 0; i < c.size(); ++i) {
+        const Point3 &p = c[i];
+        bool on_face = std::abs(std::abs(p.x) - half.x) < 1e-5f ||
+                       std::abs(std::abs(p.y) - half.y) < 1e-5f ||
+                       std::abs(std::abs(p.z) - half.z) < 1e-5f;
+        EXPECT_TRUE(on_face);
+        EXPECT_LE(std::abs(p.x), half.x + 1e-5f);
+        EXPECT_LE(std::abs(p.y), half.y + 1e-5f);
+        EXPECT_LE(std::abs(p.z), half.z + 1e-5f);
+    }
+}
+
+TEST_F(ShapeSurfaceTest, CylinderWithinBounds)
+{
+    PointCloud c = makeCylinder(rng, params, {}, 0.5f, 2.0f);
+    for (size_t i = 0; i < c.size(); ++i) {
+        float r = std::sqrt(c[i].x * c[i].x + c[i].y * c[i].y);
+        EXPECT_LE(r, 0.5f + 1e-5f);
+        EXPECT_LE(std::abs(c[i].z), 1.0f + 1e-5f);
+        // Either on the lateral surface or on a cap.
+        bool lateral = std::abs(r - 0.5f) < 1e-4f;
+        bool cap = std::abs(std::abs(c[i].z) - 1.0f) < 1e-4f;
+        EXPECT_TRUE(lateral || cap);
+    }
+}
+
+TEST_F(ShapeSurfaceTest, TorusTubeRadius)
+{
+    float major = 0.7f, minor = 0.2f;
+    PointCloud c = makeTorus(rng, params, {}, major, minor);
+    for (size_t i = 0; i < c.size(); ++i) {
+        float ring = std::sqrt(c[i].x * c[i].x + c[i].y * c[i].y);
+        float tube = std::sqrt((ring - major) * (ring - major) +
+                               c[i].z * c[i].z);
+        EXPECT_NEAR(tube, minor, 1e-4f);
+    }
+}
+
+TEST_F(ShapeSurfaceTest, PlaneIsFlat)
+{
+    PointCloud c = makePlane(rng, params, {0, 0, 2}, 1.0f, 3.0f);
+    for (size_t i = 0; i < c.size(); ++i) {
+        EXPECT_NEAR(c[i].z, 2.0f, 1e-5f);
+        EXPECT_LE(std::abs(c[i].x), 0.5f + 1e-5f);
+        EXPECT_LE(std::abs(c[i].y), 1.5f + 1e-5f);
+    }
+}
+
+TEST_F(ShapeSurfaceTest, ConeWithinEnvelope)
+{
+    PointCloud c = makeCone(rng, params, {}, 0.5f, 1.0f);
+    for (size_t i = 0; i < c.size(); ++i) {
+        float r = std::sqrt(c[i].x * c[i].x + c[i].y * c[i].y);
+        float z = c[i].z + 0.5f; // base at z = -h/2
+        EXPECT_GE(z, -1e-5f);
+        EXPECT_LE(z, 1.0f + 1e-5f);
+        // Radius shrinks linearly toward the apex.
+        EXPECT_LE(r, 0.5f * (1.0f - z) + 1e-3f);
+    }
+}
+
+TEST_F(ShapeSurfaceTest, CapsuleWithinEnvelope)
+{
+    PointCloud c = makeCapsule(rng, params, {}, 0.3f, 1.0f);
+    for (size_t i = 0; i < c.size(); ++i) {
+        float r = std::sqrt(c[i].x * c[i].x + c[i].y * c[i].y);
+        EXPECT_LE(r, 0.3f + 1e-4f);
+        EXPECT_LE(std::abs(c[i].z), 0.5f + 0.3f + 1e-4f);
+    }
+}
+
+TEST_F(ShapeSurfaceTest, NoiseMovesPoints)
+{
+    ShapeParams noisy = params;
+    noisy.noiseStddev = 0.05f;
+    PointCloud c = makeSphere(rng, noisy, {}, 1.0f);
+    int off_surface = 0;
+    for (size_t i = 0; i < c.size(); ++i)
+        if (std::abs(c[i].norm() - 1.0f) > 1e-4f)
+            ++off_surface;
+    EXPECT_GT(off_surface, 400); // nearly all perturbed
+}
+
+TEST_F(ShapeSurfaceTest, LabelsAttached)
+{
+    ShapeParams labelled = params;
+    labelled.label = 5;
+    PointCloud c = makeBlob(rng, labelled, {}, 0.2f);
+    ASSERT_TRUE(c.hasLabels());
+    for (int32_t l : c.labels())
+        EXPECT_EQ(l, 5);
+}
+
+TEST(Transforms, RotateZPreservesRadiusAndZ)
+{
+    mesorasi::Rng rng(1);
+    ShapeParams p{128, 0.0f, -1};
+    PointCloud c = makeSphere(rng, p, {0.3f, -0.2f, 0.7f}, 1.0f);
+    PointCloud orig = c;
+    rotateZ(c, 1.234f);
+    for (size_t i = 0; i < c.size(); ++i) {
+        EXPECT_NEAR(c[i].z, orig[i].z, 1e-5f);
+        float r0 = std::sqrt(orig[i].x * orig[i].x +
+                             orig[i].y * orig[i].y);
+        float r1 = std::sqrt(c[i].x * c[i].x + c[i].y * c[i].y);
+        EXPECT_NEAR(r0, r1, 1e-4f);
+    }
+}
+
+TEST(Transforms, ScaleAboutPivot)
+{
+    PointCloud c({{2, 0, 0}});
+    scale(c, 2.0f, {1, 0, 0});
+    EXPECT_EQ(c[0], Point3(3, 0, 0));
+    EXPECT_THROW(scale(c, -1.0f), mesorasi::UsageError);
+}
+
+TEST(Transforms, Translate)
+{
+    PointCloud c({{1, 1, 1}});
+    translate(c, {1, 2, 3});
+    EXPECT_EQ(c[0], Point3(2, 3, 4));
+}
+
+TEST(Shapes, RejectBadParams)
+{
+    mesorasi::Rng rng(1);
+    ShapeParams p{0, 0.0f, -1};
+    EXPECT_THROW(makeSphere(rng, p), mesorasi::UsageError);
+    ShapeParams ok{8, 0.0f, -1};
+    EXPECT_THROW(makeTorus(rng, ok, {}, 0.1f, 0.5f),
+                 mesorasi::UsageError); // minor >= major
+}
+
+} // namespace
+} // namespace mesorasi::geom

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the analytic GPU cost model.
+ */
+#include <gtest/gtest.h>
+
+#include "core/trace.hpp"
+#include "hwsim/gpu_model.hpp"
+
+namespace mesorasi::hwsim {
+namespace {
+
+GpuModel
+gpu()
+{
+    return GpuModel(GpuConfig{}, DramConfig{});
+}
+
+TEST(Gpu, AllOpKindsCosted)
+{
+    GpuModel g = gpu();
+    std::vector<core::OpTrace> ops = {
+        core::makeMlpOp(1024, 3, 64, "mlp"),
+        core::makeFcOp(1, 1024, 512, "fc"),
+        core::makeSearchOp(512, 1024, 32, 3, "n"),
+        core::makeAggregateOp(512, 32, 128, 1024, "a"),
+        core::makeReduceOp(512, 32, 128, "r"),
+        core::makeSamplingOp(1024, 512, false, "s"),
+        core::makeInterpolateOp(2048, 128, 256, "i"),
+        core::makeConcatOp(1024, 320, "c"),
+        core::makeScatterOp(512, 32, 128, "sc"),
+    };
+    for (const auto &op : ops) {
+        GpuCost c = g.cost(op);
+        EXPECT_GT(c.timeMs, 0.0) << op.label;
+        EXPECT_GT(c.energyMj, 0.0) << op.label;
+    }
+}
+
+TEST(Gpu, LaunchOverheadIsFloor)
+{
+    GpuModel g = gpu();
+    auto tiny = core::makeMlpOp(1, 1, 1, "tiny");
+    GpuCost c = g.cost(tiny);
+    EXPECT_GE(c.timeMs, GpuConfig{}.kernelLaunchUs * 1e-3);
+}
+
+TEST(Gpu, SearchScalesWithCandidates)
+{
+    GpuModel g = gpu();
+    auto a = g.cost(core::makeSearchOp(512, 1024, 32, 3, "a"));
+    auto b = g.cost(core::makeSearchOp(512, 2048, 32, 3, "b"));
+    auto c = g.cost(core::makeSearchOp(512, 1024, 32, 64, "c"));
+    EXPECT_GT(b.timeMs, 1.5 * a.timeMs);
+    // Higher dimensionality adds distance-computation time, but the
+    // per-candidate selection kernel dominates, so growth is mild.
+    EXPECT_GT(c.timeMs, a.timeMs);
+    EXPECT_LT(c.timeMs, 3.0 * a.timeMs);
+}
+
+TEST(Gpu, ExactKnnCostlierThanBallQuery)
+{
+    GpuModel g = gpu();
+    auto knn = g.cost(core::makeSearchOp(512, 1024, 32, 3, "k", true));
+    auto ball = g.cost(core::makeSearchOp(512, 1024, 32, 3, "b", false));
+    EXPECT_GT(knn.timeMs, ball.timeMs);
+}
+
+TEST(Gpu, GatherSlowerWhenWorkingSetSpillsL1)
+{
+    GpuModel g = gpu();
+    // Same bytes moved, different table sizes: 12 KB fits L1 (96 KB);
+    // 512 KB does not (paper Sec. IV-C's PointNet++ example).
+    auto small = core::makeAggregateOp(512, 32, 3, 1024, "small");
+    auto large = core::makeAggregateOp(512, 32, 128, 1024, "large");
+    GpuCost cs = g.cost(small);
+    GpuCost cl = g.cost(large);
+    // Per-byte time (net of the fixed launch overhead) is worse for
+    // the large working set.
+    double launch = GpuConfig{}.kernelLaunchUs * 1e-3;
+    double per_byte_small =
+        (cs.timeMs - launch) / (small.bytesRead + small.bytesWritten);
+    double per_byte_large =
+        (cl.timeMs - launch) / (large.bytesRead + large.bytesWritten);
+    EXPECT_GT(per_byte_large, per_byte_small);
+}
+
+TEST(Gpu, MatmulComputeBoundForLargeDims)
+{
+    GpuModel g = gpu();
+    auto big = core::makeMlpOp(16384, 256, 256, "big");
+    GpuCost c = g.cost(big);
+    double compute_ms = static_cast<double>(big.macs) /
+                        (GpuConfig{}.peakGflops *
+                         GpuConfig{}.matmulEfficiency * 1e6);
+    EXPECT_NEAR(c.timeMs, compute_ms + GpuConfig{}.kernelLaunchUs * 1e-3,
+                compute_ms * 0.01);
+}
+
+TEST(Gpu, EnergyIsPowerTimesTime)
+{
+    GpuModel g = gpu();
+    auto op = core::makeMlpOp(4096, 64, 64, "e");
+    GpuCost c = g.cost(op);
+    EXPECT_NEAR(c.energyMj, c.timeMs * GpuConfig{}.busyPowerW, 1e-9);
+}
+
+TEST(Gpu, DramBytesReported)
+{
+    GpuModel g = gpu();
+    auto op = core::makeAggregateOp(128, 16, 64, 512, "d");
+    GpuCost c = g.cost(op);
+    EXPECT_EQ(c.dramBytes, op.bytesRead + op.bytesWritten);
+}
+
+} // namespace
+} // namespace mesorasi::hwsim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for point-cloud file I/O (XYZ and ascii PLY round trips).
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "geom/io.hpp"
+#include "geom/shapes.hpp"
+
+namespace mesorasi::geom {
+namespace {
+
+PointCloud
+sampleCloud(bool labelled)
+{
+    mesorasi::Rng rng(1);
+    ShapeParams p{64, 0.0f, labelled ? 3 : -1};
+    return makeSphere(rng, p, {0.5f, -1.0f, 2.0f}, 1.5f);
+}
+
+void
+expectSameCloud(const PointCloud &a, const PointCloud &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.hasLabels(), b.hasLabels());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i].x, b[i].x, 1e-4f);
+        EXPECT_NEAR(a[i].y, b[i].y, 1e-4f);
+        EXPECT_NEAR(a[i].z, b[i].z, 1e-4f);
+        if (a.hasLabels())
+            EXPECT_EQ(a.labels()[i], b.labels()[i]);
+    }
+}
+
+TEST(Xyz, RoundTripUnlabelled)
+{
+    PointCloud c = sampleCloud(false);
+    std::stringstream ss;
+    writeXyz(ss, c);
+    expectSameCloud(c, readXyz(ss));
+}
+
+TEST(Xyz, RoundTripLabelled)
+{
+    PointCloud c = sampleCloud(true);
+    std::stringstream ss;
+    writeXyz(ss, c);
+    PointCloud back = readXyz(ss);
+    ASSERT_TRUE(back.hasLabels());
+    expectSameCloud(c, back);
+}
+
+TEST(Xyz, SkipsCommentsAndBlanks)
+{
+    std::stringstream ss("# header\n\n1 2 3\n# mid\n4 5 6\n");
+    PointCloud c = readXyz(ss);
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c[1], Point3(4, 5, 6));
+}
+
+TEST(Xyz, RejectsMalformedLine)
+{
+    std::stringstream ss("1 2\n");
+    EXPECT_THROW(readXyz(ss), mesorasi::UsageError);
+}
+
+TEST(Ply, RoundTripUnlabelled)
+{
+    PointCloud c = sampleCloud(false);
+    std::stringstream ss;
+    writePly(ss, c);
+    expectSameCloud(c, readPly(ss));
+}
+
+TEST(Ply, RoundTripLabelled)
+{
+    PointCloud c = sampleCloud(true);
+    std::stringstream ss;
+    writePly(ss, c);
+    PointCloud back = readPly(ss);
+    ASSERT_TRUE(back.hasLabels());
+    expectSameCloud(c, back);
+}
+
+TEST(Ply, HeaderDeclaresVertexCountAndProps)
+{
+    PointCloud c = sampleCloud(true);
+    std::stringstream ss;
+    writePly(ss, c);
+    std::string header = ss.str().substr(0, ss.str().find("end_header"));
+    EXPECT_NE(header.find("element vertex 64"), std::string::npos);
+    EXPECT_NE(header.find("property int label"), std::string::npos);
+}
+
+TEST(Ply, RejectsNonPly)
+{
+    std::stringstream ss("obj\n");
+    EXPECT_THROW(readPly(ss), mesorasi::UsageError);
+}
+
+TEST(Ply, RejectsTruncatedBody)
+{
+    std::stringstream ss(
+        "ply\nformat ascii 1.0\nelement vertex 3\n"
+        "property float x\nproperty float y\nproperty float z\n"
+        "end_header\n1 2 3\n");
+    EXPECT_THROW(readPly(ss), mesorasi::UsageError);
+}
+
+TEST(Ply, RejectsBinaryFormat)
+{
+    std::stringstream ss(
+        "ply\nformat binary_little_endian 1.0\nelement vertex 0\n"
+        "property float x\nproperty float y\nproperty float z\n"
+        "end_header\n");
+    EXPECT_THROW(readPly(ss), mesorasi::UsageError);
+}
+
+TEST(IoFiles, FileRoundTrip)
+{
+    PointCloud c = sampleCloud(true);
+    std::string path = ::testing::TempDir() + "meso_io_test.ply";
+    writePlyFile(path, c);
+    expectSameCloud(c, readPlyFile(path));
+    std::string xyz = ::testing::TempDir() + "meso_io_test.xyz";
+    writeXyzFile(xyz, c);
+    expectSameCloud(c, readXyzFile(xyz));
+}
+
+TEST(IoFiles, MissingFileThrows)
+{
+    EXPECT_THROW(readXyzFile("/nonexistent/nope.xyz"),
+                 mesorasi::UsageError);
+}
+
+} // namespace
+} // namespace mesorasi::geom

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Integration tests: every zoo network runs end-to-end under all three
+ * pipelines with consistent shapes, traces, and NITs.
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "common/rng.hpp"
+#include "core/networks.hpp"
+#include "geom/datasets.hpp"
+
+namespace mesorasi::core {
+namespace {
+
+geom::PointCloud
+inputFor(const NetworkConfig &cfg, uint64_t seed = 99)
+{
+    if (cfg.task == Task::Segmentation) {
+        geom::ShapeNetSim sim(seed, cfg.numInputPoints);
+        return sim.sample(0).cloud;
+    }
+    geom::ModelNetSim sim(seed, cfg.numInputPoints);
+    return sim.sample(0).cloud;
+}
+
+TEST(Zoo, SevenNetworksConfigured)
+{
+    auto nets = zoo::allNetworks();
+    ASSERT_EQ(nets.size(), 7u);
+    for (const auto &n : nets)
+        EXPECT_NO_THROW(n.validate()) << n.name;
+}
+
+TEST(Zoo, CharacterizationSubsetIsFive)
+{
+    auto nets = zoo::characterizationNetworks();
+    ASSERT_EQ(nets.size(), 5u);
+    EXPECT_EQ(nets[0].name, "PointNet++ (c)");
+    EXPECT_EQ(nets[4].name, "F-PointNet");
+}
+
+TEST(NetworkConfig, ValidationCatchesErrors)
+{
+    NetworkConfig bad = zoo::pointnetppClassification();
+    bad.modules.clear();
+    EXPECT_THROW(bad.validate(), mesorasi::UsageError);
+
+    NetworkConfig bad2 = zoo::pointnetppSegmentation();
+    bad2.interpModules.pop_back();
+    EXPECT_THROW(bad2.validate(), mesorasi::UsageError);
+
+    NetworkConfig bad3 = zoo::fPointNet();
+    bad3.stage2Modules.clear();
+    EXPECT_THROW(bad3.validate(), mesorasi::UsageError);
+}
+
+class NetworkRun
+    : public ::testing::TestWithParam<std::tuple<int, PipelineKind>>
+{
+};
+
+TEST_P(NetworkRun, EndToEndProducesLogitsAndTrace)
+{
+    auto [net_idx, kind] = GetParam();
+    NetworkConfig cfg = zoo::allNetworks()[net_idx];
+    // Shrink inputs for test speed while keeping the structure intact.
+    NetworkExecutor exec(cfg, /*weightSeed=*/1);
+    geom::PointCloud cloud = inputFor(cfg);
+    RunResult r = exec.run(cloud, kind, /*runSeed=*/7);
+
+    if (cfg.task == Task::Classification) {
+        EXPECT_EQ(r.logits.rows(), 1);
+        EXPECT_EQ(r.logits.cols(), cfg.numClasses);
+    } else if (cfg.task == Task::Segmentation) {
+        EXPECT_EQ(r.logits.rows(), cfg.numInputPoints);
+        EXPECT_EQ(r.logits.cols(), cfg.numClasses);
+    } else {
+        EXPECT_EQ(r.logits.rows(), 1);
+        EXPECT_EQ(r.logits.cols(), cfg.stage2Outputs);
+    }
+
+    // NITs and IOs align; every aggregating trace module points at a
+    // valid table.
+    EXPECT_EQ(r.nits.size(), r.ios.size());
+    for (const auto &m : r.trace.modules) {
+        if (m.aggTableIndex >= 0) {
+            ASSERT_LT(static_cast<size_t>(m.aggTableIndex),
+                      r.nits.size());
+        }
+    }
+    EXPECT_GT(r.trace.totalMacs(), 0);
+}
+
+std::string
+runName(const ::testing::TestParamInfo<std::tuple<int, PipelineKind>>
+            &info)
+{
+    static const char *nets[] = {"PnppC",     "PnppS",  "DgcnnC",
+                                 "DgcnnS",    "FPointNet", "Ldgcnn",
+                                 "DensePoint"};
+    static const char *kinds[] = {"Original", "Delayed", "Ltd"};
+    return std::string(nets[std::get<0>(info.param)]) + "_" +
+           kinds[static_cast<int>(std::get<1>(info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNetsAllPipelines, NetworkRun,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(PipelineKind::Original,
+                                         PipelineKind::Delayed,
+                                         PipelineKind::LtdDelayed)),
+    runName);
+
+TEST(Network, DelayedReducesFeatureMacsAcrossZoo)
+{
+    for (const auto &cfg : zoo::allNetworks()) {
+        NetworkExecutor exec(cfg, 1);
+        NetworkTrace orig = exec.analyticTrace(PipelineKind::Original,
+                                               cfg.numInputPoints);
+        NetworkTrace del = exec.analyticTrace(PipelineKind::Delayed,
+                                              cfg.numInputPoints);
+        EXPECT_LT(del.macs(Phase::Feature), orig.macs(Phase::Feature))
+            << cfg.name;
+    }
+}
+
+TEST(Network, AnalyticTraceScalesWithInput)
+{
+    NetworkConfig cfg = zoo::pointnetppClassification();
+    NetworkExecutor exec(cfg, 1);
+    NetworkTrace small = exec.analyticTrace(PipelineKind::Original, 1024);
+    NetworkTrace big = exec.analyticTrace(PipelineKind::Original, 4096);
+    // MLP cost grows with the point count (roughly linearly).
+    EXPECT_GT(big.macs(Phase::Feature), 2 * small.macs(Phase::Feature));
+}
+
+TEST(Network, AnalyticIosChainPointCounts)
+{
+    NetworkConfig cfg = zoo::pointnetppClassification();
+    NetworkExecutor exec(cfg, 1);
+    auto ios = exec.analyticIos(1024);
+    ASSERT_EQ(ios.size(), 3u);
+    EXPECT_EQ(ios[0].nIn, 1024);
+    EXPECT_EQ(ios[0].nOut, 512);
+    EXPECT_EQ(ios[1].nIn, 512);
+    EXPECT_EQ(ios[1].nOut, 128);
+    EXPECT_EQ(ios[2].nOut, 1); // global
+    // Scaled input: centroid counts scale proportionally.
+    auto big = exec.analyticIos(2048);
+    EXPECT_EQ(big[0].nOut, 1024);
+}
+
+TEST(Network, RejectsWrongInputSize)
+{
+    NetworkConfig cfg = zoo::pointnetppClassification();
+    NetworkExecutor exec(cfg, 1);
+    geom::ModelNetSim sim(1, 256);
+    EXPECT_THROW(exec.run(sim.sample(0).cloud, PipelineKind::Original),
+                 mesorasi::UsageError);
+}
+
+TEST(Network, LinkedInputsGrowModuleInDims)
+{
+    NetworkConfig cfg = zoo::ldgcnn();
+    NetworkExecutor exec(cfg, 1);
+    auto ios = exec.analyticIos(cfg.numInputPoints);
+    // Module input dims: 3, 3+64, 3+64+64, 3+64+64+64.
+    ASSERT_EQ(ios.size(), 4u);
+    EXPECT_EQ(ios[0].mIn, 3);
+    EXPECT_EQ(ios[1].mIn, 67);
+    EXPECT_EQ(ios[2].mIn, 131);
+    EXPECT_EQ(ios[3].mIn, 195);
+}
+
+TEST(Network, DgcnnSearchesInFeatureSpace)
+{
+    NetworkConfig cfg = zoo::dgcnnClassification();
+    NetworkExecutor exec(cfg, 1);
+    auto ios = exec.analyticIos(cfg.numInputPoints);
+    EXPECT_EQ(ios[0].searchDim, 3);   // first module: features == coords
+    EXPECT_EQ(ios[1].searchDim, 64);  // then module outputs
+    EXPECT_EQ(ios[2].searchDim, 64);
+    EXPECT_EQ(ios[3].searchDim, 128);
+}
+
+TEST(Network, SegmentationDecoderRestoresPointCount)
+{
+    NetworkConfig cfg = zoo::pointnetppSegmentation();
+    NetworkExecutor exec(cfg, 1);
+    geom::PointCloud cloud = inputFor(cfg);
+    RunResult r = exec.run(cloud, PipelineKind::Delayed, 3);
+    EXPECT_EQ(r.logits.rows(), cfg.numInputPoints);
+}
+
+TEST(Network, SamePipelineSameSeedIsDeterministic)
+{
+    NetworkConfig cfg = zoo::pointnetppClassification();
+    NetworkExecutor exec(cfg, 5);
+    geom::PointCloud cloud = inputFor(cfg);
+    RunResult a = exec.run(cloud, PipelineKind::Delayed, 11);
+    RunResult b = exec.run(cloud, PipelineKind::Delayed, 11);
+    EXPECT_TRUE(a.logits.approxEqual(b.logits, 0.0f));
+}
+
+TEST(Network, FPointNetEmitsStage2Nits)
+{
+    NetworkConfig cfg = zoo::fPointNet();
+    NetworkExecutor exec(cfg, 1);
+    geom::KittiSim sim(7);
+    auto frame = sim.frame(3, 1, 1);
+    auto frustums = sim.frustums(frame, cfg.numInputPoints);
+    ASSERT_FALSE(frustums.empty());
+    RunResult r = exec.run(frustums[0], PipelineKind::Delayed, 13);
+    // 3 encoder modules + 2 stage-2 branches.
+    EXPECT_EQ(r.nits.size(), 5u);
+}
+
+} // namespace
+} // namespace mesorasi::core

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the NN layers and the hoisting forward variants the
+ * pipelines rely on.
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "nn/mlp.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace mesorasi::nn {
+namespace {
+
+using mesorasi::Rng;
+using tensor::Tensor;
+
+TEST(Linear, ShapesAndForward)
+{
+    Rng rng(1);
+    Linear l(rng, 3, 5, Activation::None);
+    Tensor x = tensor::uniform(rng, 4, 3, -1, 1);
+    Tensor y = l.forward(x);
+    EXPECT_EQ(y.rows(), 4);
+    EXPECT_EQ(y.cols(), 5);
+    EXPECT_EQ(l.inDim(), 3);
+    EXPECT_EQ(l.outDim(), 5);
+}
+
+TEST(Linear, ReluActivationApplied)
+{
+    Tensor w(1, 2, {1.0f, -1.0f});
+    Tensor b(1, 2, {0.0f, 0.0f});
+    Linear l(w, b, Activation::Relu);
+    Tensor x(1, 1, {2.0f});
+    Tensor y = l.forward(x);
+    EXPECT_FLOAT_EQ(y(0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(y(0, 1), 0.0f); // -2 clipped
+}
+
+TEST(Linear, LinearOnlySkipsActivation)
+{
+    Tensor w(1, 1, {-1.0f});
+    Linear l(w, Tensor(), Activation::Relu);
+    Tensor x(1, 1, {3.0f});
+    EXPECT_FLOAT_EQ(l.forward(x)(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(l.forwardLinearOnly(x)(0, 0), -3.0f);
+    EXPECT_FALSE(l.hasBias());
+}
+
+TEST(Linear, BiasShapeValidated)
+{
+    Tensor w(2, 3);
+    EXPECT_THROW(Linear(w, Tensor(1, 2), Activation::None),
+                 mesorasi::UsageError);
+}
+
+TEST(Linear, MacsAndParamBytes)
+{
+    Rng rng(2);
+    Linear l(rng, 8, 16);
+    EXPECT_EQ(l.macs(10), 10 * 8 * 16);
+    EXPECT_EQ(l.paramBytes(), (8 * 16 + 16) * 4);
+}
+
+TEST(Mlp, DimsChain)
+{
+    Rng rng(3);
+    Mlp mlp(rng, {3, 64, 64, 128});
+    EXPECT_EQ(mlp.numLayers(), 3u);
+    EXPECT_EQ(mlp.inDim(), 3);
+    EXPECT_EQ(mlp.outDim(), 128);
+    std::vector<int32_t> widths{64, 64, 128};
+    EXPECT_EQ(mlp.layerWidths(), widths);
+}
+
+TEST(Mlp, ForwardShape)
+{
+    Rng rng(4);
+    Mlp mlp(rng, {3, 8, 16});
+    Tensor x = tensor::uniform(rng, 5, 3, -1, 1);
+    Tensor y = mlp.forward(x);
+    EXPECT_EQ(y.rows(), 5);
+    EXPECT_EQ(y.cols(), 16);
+}
+
+TEST(Mlp, AddLayerValidatesChain)
+{
+    Rng rng(5);
+    Mlp mlp;
+    mlp.addLayer(Linear(rng, 3, 8));
+    EXPECT_THROW(mlp.addLayer(Linear(rng, 9, 4)), mesorasi::UsageError);
+}
+
+TEST(Mlp, MacsSumAcrossLayers)
+{
+    Rng rng(6);
+    Mlp mlp(rng, {3, 8, 16});
+    EXPECT_EQ(mlp.macs(10), 10 * (3 * 8 + 8 * 16));
+}
+
+TEST(Mlp, HoistedForwardsCompose)
+{
+    // forwardAfterFirstLinear(forwardFirstLinearOnly(x)) == forward(x):
+    // the Ltd-Mesorasi split must reproduce the plain forward exactly.
+    Rng rng(7);
+    Mlp mlp(rng, {4, 12, 6});
+    Tensor x = tensor::uniform(rng, 9, 4, -1, 1);
+    Tensor direct = mlp.forward(x);
+    Tensor split = mlp.forwardAfterFirstLinear(
+        mlp.forwardFirstLinearOnly(x));
+    EXPECT_TRUE(direct.approxEqual(split, 1e-5f));
+}
+
+TEST(Mlp, FirstLinearIsLinear)
+{
+    // The hoisted product must distribute over subtraction exactly.
+    Rng rng(8);
+    Mlp mlp(rng, {4, 12, 6});
+    Tensor a = tensor::uniform(rng, 3, 4, -1, 1);
+    Tensor b = tensor::uniform(rng, 3, 4, -1, 1);
+    Tensor diff(3, 4);
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 4; ++c)
+            diff(r, c) = a(r, c) - b(r, c);
+    Tensor lhs = mlp.forwardFirstLinearOnly(diff);
+    Tensor fa = mlp.forwardFirstLinearOnly(a);
+    Tensor fb = mlp.forwardFirstLinearOnly(b);
+    Tensor rhs(3, fa.cols());
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < fa.cols(); ++c)
+            rhs(r, c) = fa(r, c) - fb(r, c);
+    EXPECT_TRUE(lhs.approxEqual(rhs, 1e-5f));
+}
+
+TEST(Mlp, IdentityActivationMlpIsLinear)
+{
+    // With no nonlinearity the whole MLP distributes over subtraction —
+    // the limit case in which delayed-aggregation is exact (Eq. 3).
+    Rng rng(9);
+    Mlp mlp(rng, {4, 8, 5}, Activation::None, /*useBias=*/false);
+    Tensor a = tensor::uniform(rng, 2, 4, -1, 1);
+    Tensor b = tensor::uniform(rng, 2, 4, -1, 1);
+    Tensor diff(2, 4);
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 4; ++c)
+            diff(r, c) = a(r, c) - b(r, c);
+    Tensor lhs = mlp.forward(diff);
+    Tensor fa = mlp.forward(a);
+    Tensor fb = mlp.forward(b);
+    Tensor rhs(2, fa.cols());
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < fa.cols(); ++c)
+            rhs(r, c) = fa(r, c) - fb(r, c);
+    EXPECT_TRUE(lhs.approxEqual(rhs, 1e-5f));
+}
+
+TEST(Mlp, EmptyMlpRejected)
+{
+    Mlp mlp;
+    Tensor x(1, 1);
+    EXPECT_THROW(mlp.forward(x), mesorasi::UsageError);
+    Rng rng(1);
+    EXPECT_THROW(Mlp(rng, {3}), mesorasi::UsageError);
+}
+
+TEST(Mlp, ParamBytesPositive)
+{
+    Rng rng(10);
+    Mlp mlp(rng, {3, 64, 128});
+    EXPECT_EQ(mlp.paramBytes(),
+              (3 * 64 + 64) * 4 + (64 * 128 + 128) * 4);
+}
+
+} // namespace
+} // namespace mesorasi::nn

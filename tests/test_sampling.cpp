@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for centroid samplers: FPS, random, voxel grid.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <tuple>
+
+#include "common/check.hpp"
+#include "geom/sampling.hpp"
+#include "geom/shapes.hpp"
+
+namespace mesorasi::geom {
+namespace {
+
+PointCloud
+testCloud(int n, uint64_t seed = 1)
+{
+    mesorasi::Rng rng(seed);
+    ShapeParams p{n, 0.0f, -1};
+    return makeSphere(rng, p, {}, 1.0f);
+}
+
+TEST(Fps, ReturnsDistinctIndices)
+{
+    PointCloud c = testCloud(200);
+    auto idx = farthestPointSample(c, 50);
+    std::set<int32_t> s(idx.begin(), idx.end());
+    EXPECT_EQ(s.size(), 50u);
+}
+
+TEST(Fps, StartsAtStartIndex)
+{
+    PointCloud c = testCloud(100);
+    auto idx = farthestPointSample(c, 10, 7);
+    EXPECT_EQ(idx[0], 7);
+}
+
+TEST(Fps, SecondPickIsFarthestFromFirst)
+{
+    PointCloud c({{0, 0, 0}, {1, 0, 0}, {5, 0, 0}, {2, 0, 0}});
+    auto idx = farthestPointSample(c, 2, 0);
+    EXPECT_EQ(idx[1], 2); // (5,0,0) is farthest from (0,0,0)
+}
+
+TEST(Fps, BetterSpreadThanRandom)
+{
+    PointCloud c = testCloud(500, 3);
+    mesorasi::Rng rng(4);
+    auto fps = farthestPointSample(c, 40);
+    auto rnd = randomSample(rng, c, 40);
+    // FPS maximizes the minimum pairwise distance; random does not.
+    EXPECT_GT(minPairwiseDistance(c, fps),
+              minPairwiseDistance(c, rnd));
+}
+
+TEST(Fps, FullSampleIsPermutation)
+{
+    PointCloud c = testCloud(32);
+    auto idx = farthestPointSample(c, 32);
+    std::set<int32_t> s(idx.begin(), idx.end());
+    EXPECT_EQ(s.size(), 32u);
+}
+
+TEST(Fps, RejectsOverdraw)
+{
+    PointCloud c = testCloud(10);
+    EXPECT_THROW(farthestPointSample(c, 11), mesorasi::UsageError);
+    EXPECT_THROW(farthestPointSample(c, 5, 10), mesorasi::UsageError);
+}
+
+TEST(RandomSample, DistinctAndInRange)
+{
+    PointCloud c = testCloud(100);
+    mesorasi::Rng rng(5);
+    auto idx = randomSample(rng, c, 30);
+    std::set<int32_t> s(idx.begin(), idx.end());
+    EXPECT_EQ(s.size(), 30u);
+    for (int32_t i : idx) {
+        EXPECT_GE(i, 0);
+        EXPECT_LT(i, 100);
+    }
+}
+
+TEST(VoxelGrid, CoarseGridCollapsesToFewCells)
+{
+    PointCloud c = testCloud(1000);
+    auto idx = voxelGridSample(c, 10.0f); // one giant voxel
+    EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(VoxelGrid, FineGridKeepsAll)
+{
+    PointCloud c({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+    auto idx = voxelGridSample(c, 0.1f);
+    EXPECT_EQ(idx.size(), 3u);
+}
+
+TEST(VoxelGrid, RepresentativesAreFirstSeen)
+{
+    PointCloud c({{0.01f, 0, 0}, {0.02f, 0, 0}, {5, 0, 0}});
+    auto idx = voxelGridSample(c, 1.0f);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 0);
+    EXPECT_EQ(idx[1], 2);
+}
+
+TEST(VoxelGrid, SampledSpacingRespectsVoxelSize)
+{
+    PointCloud c = testCloud(2000, 6);
+    float vox = 0.4f;
+    auto idx = voxelGridSample(c, vox);
+    // Any two representatives must be at least one voxel apart in some
+    // axis -- so no two can be closer than ~0 (same cell collision is
+    // impossible); verify count shrinks meaningfully.
+    EXPECT_LT(idx.size(), 600u);
+    EXPECT_GT(idx.size(), 20u);
+}
+
+
+TEST(Morton, OrderIsPermutation)
+{
+    PointCloud c = testCloud(200, 7);
+    PointCloud m = mortonOrder(c);
+    ASSERT_EQ(m.size(), c.size());
+    // Same multiset of points.
+    auto key = [](const Point3 &p) {
+        return std::tuple<float, float, float>(p.x, p.y, p.z);
+    };
+    std::multiset<std::tuple<float, float, float>> a, b;
+    for (size_t i = 0; i < c.size(); ++i) {
+        a.insert(key(c[i]));
+        b.insert(key(m[i]));
+    }
+    EXPECT_EQ(a, b);
+}
+
+TEST(Morton, ImprovesIndexLocality)
+{
+    // After Morton ordering, spatially adjacent points should be closer
+    // in index space: the mean |i - j| over nearest-neighbor pairs
+    // drops versus random order.
+    PointCloud c = testCloud(500, 8);
+    PointCloud m = mortonOrder(c);
+    auto mean_nn_index_gap = [](const PointCloud &cloud) {
+        double acc = 0.0;
+        for (size_t i = 0; i < cloud.size(); ++i) {
+            float best = std::numeric_limits<float>::max();
+            size_t best_j = i;
+            for (size_t j = 0; j < cloud.size(); ++j) {
+                if (j == i)
+                    continue;
+                float d = cloud[i].dist2(cloud[j]);
+                if (d < best) {
+                    best = d;
+                    best_j = j;
+                }
+            }
+            acc += std::abs(static_cast<double>(i) -
+                            static_cast<double>(best_j));
+        }
+        return acc / cloud.size();
+    };
+    EXPECT_LT(mean_nn_index_gap(m), 0.5 * mean_nn_index_gap(c));
+}
+
+TEST(Morton, EmptyAndSingleton)
+{
+    PointCloud empty;
+    EXPECT_EQ(mortonOrder(empty).size(), 0u);
+    PointCloud one({{1, 2, 3}});
+    PointCloud m = mortonOrder(one);
+    ASSERT_EQ(m.size(), 1u);
+    EXPECT_EQ(m[0], Point3(1, 2, 3));
+}
+
+TEST(Morton, PreservesLabels)
+{
+    PointCloud c;
+    c.add({0, 0, 0}, 5);
+    c.add({9, 9, 9}, 7);
+    c.add({1, 1, 1}, 6);
+    PointCloud m = mortonOrder(c);
+    ASSERT_TRUE(m.hasLabels());
+    for (size_t i = 0; i < m.size(); ++i) {
+        if (m[i] == Point3(9, 9, 9))
+            EXPECT_EQ(m.labels()[i], 7);
+    }
+}
+
+TEST(MinPairwise, RequiresTwo)
+{
+    PointCloud c = testCloud(10);
+    EXPECT_THROW(minPairwiseDistance(c, {0}), mesorasi::UsageError);
+}
+
+} // namespace
+} // namespace mesorasi::geom

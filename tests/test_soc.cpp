@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the whole-SoC scheduler: mapping presets, overlap
+ * semantics, and the paper's headline orderings (baseline < Mesorasi-SW
+ * < Mesorasi-HW, NSE helps further).
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "core/networks.hpp"
+#include "geom/datasets.hpp"
+#include "hwsim/soc.hpp"
+
+namespace mesorasi::hwsim {
+namespace {
+
+using core::PipelineKind;
+
+struct Fixture
+{
+    core::NetworkConfig cfg = core::zoo::pointnetppClassification();
+    core::NetworkExecutor exec{cfg, 1};
+    core::RunResult orig;
+    core::RunResult delayed;
+    Soc soc{SocConfig::defaultTx2()};
+
+    Fixture()
+    {
+        geom::ModelNetSim sim(2, cfg.numInputPoints);
+        geom::PointCloud cloud = sim.sample(1).cloud;
+        orig = exec.run(cloud, PipelineKind::Original, 3);
+        delayed = exec.run(cloud, PipelineKind::Delayed, 3);
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+TEST(Mapping, Presets)
+{
+    EXPECT_EQ(Mapping::gpuOnly().feature, Unit::Gpu);
+    EXPECT_EQ(Mapping::baselineGpuNpu().feature, Unit::Npu);
+    EXPECT_FALSE(Mapping::baselineGpuNpu().overlapSearchFeature);
+    EXPECT_EQ(Mapping::mesorasiSw().aggregation, Unit::Gpu);
+    EXPECT_EQ(Mapping::mesorasiHw().aggregation, Unit::Au);
+    EXPECT_EQ(Mapping::mesorasiHw().withNse().search, Unit::Nse);
+}
+
+TEST(Soc, GpuOnlyTotalIsSerialSum)
+{
+    auto &f = fixture();
+    SocReport r = f.soc.simulate(f.orig, Mapping::gpuOnly());
+    EXPECT_NEAR(r.totalMs, r.phases.serialTotal(), 1e-9);
+    EXPECT_GT(r.totalMs, 0.0);
+    EXPECT_GT(r.gpuEnergyMj, 0.0);
+    EXPECT_EQ(r.npuEnergyMj, 0.0);
+}
+
+TEST(Soc, BaselineFasterThanGpuOnly)
+{
+    // Paper Sec. VII-D: the GPU+NPU baseline is ~1.8x faster than GPU.
+    auto &f = fixture();
+    SocReport gpu = f.soc.simulate(f.orig, Mapping::gpuOnly());
+    SocReport base = f.soc.simulate(f.orig, Mapping::baselineGpuNpu());
+    EXPECT_LT(base.totalMs, gpu.totalMs);
+    EXPECT_LT(base.totalEnergyMj(), gpu.totalEnergyMj());
+}
+
+TEST(Soc, MesorasiSwFasterThanBaseline)
+{
+    auto &f = fixture();
+    SocReport base = f.soc.simulate(f.orig, Mapping::baselineGpuNpu());
+    SocReport sw = f.soc.simulate(f.delayed, Mapping::mesorasiSw());
+    EXPECT_LT(sw.totalMs, base.totalMs);
+}
+
+TEST(Soc, MesorasiHwAggregationFasterThanSw)
+{
+    auto &f = fixture();
+    SocReport sw = f.soc.simulate(f.delayed, Mapping::mesorasiSw());
+    SocReport hw = f.soc.simulate(f.delayed, Mapping::mesorasiHw());
+    EXPECT_LT(hw.phases.aggregationMs, sw.phases.aggregationMs);
+    EXPECT_LE(hw.totalMs, sw.totalMs);
+    EXPECT_GT(hw.auEnergyMj, 0.0);
+    EXPECT_GT(hw.auStats.cycles, 0);
+}
+
+TEST(Soc, OverlapHidesShorterPhase)
+{
+    auto &f = fixture();
+    SocReport sw = f.soc.simulate(f.delayed, Mapping::mesorasiSw());
+    // With overlap the total is strictly less than the serial sum
+    // whenever both N and F are nonzero.
+    EXPECT_LT(sw.totalMs, sw.phases.serialTotal());
+}
+
+TEST(Soc, NoOverlapOnSameUnit)
+{
+    // GPU-only delayed: the paper observed TX2 cannot co-run both
+    // kernels, so same-unit mappings must not overlap.
+    auto &f = fixture();
+    SocReport r = f.soc.simulate(f.delayed, Mapping::gpuOnly(true));
+    EXPECT_NEAR(r.totalMs, r.phases.serialTotal(), 1e-9);
+}
+
+TEST(Soc, NseSpeedsUpSearch)
+{
+    auto &f = fixture();
+    SocReport hw = f.soc.simulate(f.delayed, Mapping::mesorasiHw());
+    SocReport nse =
+        f.soc.simulate(f.delayed, Mapping::mesorasiHw().withNse());
+    EXPECT_LT(nse.phases.searchMs, hw.phases.searchMs / 10.0);
+    EXPECT_LE(nse.totalMs, hw.totalMs);
+    EXPECT_GT(nse.nseEnergyMj, 0.0);
+}
+
+TEST(Soc, DelayedCutsDramTraffic)
+{
+    auto &f = fixture();
+    SocReport base = f.soc.simulate(f.orig, Mapping::baselineGpuNpu());
+    SocReport hw = f.soc.simulate(f.delayed, Mapping::mesorasiHw());
+    EXPECT_LT(hw.dramBytes, base.dramBytes);
+    EXPECT_LT(hw.dramEnergyMj, base.dramEnergyMj);
+}
+
+TEST(Soc, ReportPhasesSumToBusyTime)
+{
+    auto &f = fixture();
+    SocReport r = f.soc.simulate(f.orig, Mapping::baselineGpuNpu());
+    EXPECT_GT(r.phases.searchMs, 0.0);
+    EXPECT_GT(r.phases.featureMs, 0.0);
+    EXPECT_GT(r.phases.aggregationMs, 0.0);
+    EXPECT_GT(r.phases.otherMs, 0.0);
+}
+
+TEST(Soc, MismatchedNitIoRejected)
+{
+    auto &f = fixture();
+    std::vector<neighbor::NeighborIndexTable> nits = f.delayed.nits;
+    nits.pop_back();
+    EXPECT_THROW(f.soc.simulate(f.delayed.trace, nits, f.delayed.ios,
+                                Mapping::mesorasiHw()),
+                 mesorasi::UsageError);
+}
+
+TEST(Soc, AllSevenNetworksSimulate)
+{
+    Soc soc(SocConfig::defaultTx2());
+    for (const auto &cfg : core::zoo::allNetworks()) {
+        core::NetworkExecutor exec(cfg, 1);
+        geom::PointCloud cloud;
+        if (cfg.task == core::Task::Segmentation) {
+            geom::ShapeNetSim sim(5, cfg.numInputPoints);
+            cloud = sim.sample(1).cloud;
+        } else {
+            geom::ModelNetSim sim(5, cfg.numInputPoints);
+            cloud = sim.sample(1).cloud;
+        }
+        auto delayed = exec.run(cloud, PipelineKind::Delayed, 3);
+        SocReport hw = soc.simulate(delayed, Mapping::mesorasiHw());
+        EXPECT_GT(hw.totalMs, 0.0) << cfg.name;
+        EXPECT_GT(hw.totalEnergyMj(), 0.0) << cfg.name;
+    }
+}
+
+TEST(Soc, BiggerSystolicArrayShrinksSpeedupGap)
+{
+    // Fig. 21: with a larger array, feature time shrinks and the
+    // Mesorasi speedup over the baseline decreases.
+    auto &f = fixture();
+    auto speedup = [&](int32_t sa) {
+        SocConfig cfg = SocConfig::defaultTx2();
+        cfg.npu.systolicRows = cfg.npu.systolicCols = sa;
+        Soc soc(cfg);
+        SocReport base = soc.simulate(f.orig, Mapping::baselineGpuNpu());
+        SocReport hw = soc.simulate(f.delayed, Mapping::mesorasiHw());
+        return base.totalMs / hw.totalMs;
+    };
+    EXPECT_GT(speedup(8), speedup(48));
+}
+
+} // namespace
+} // namespace mesorasi::hwsim

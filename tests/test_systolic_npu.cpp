@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the systolic-array and NPU cost models.
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "core/trace.hpp"
+#include "hwsim/npu.hpp"
+#include "hwsim/systolic.hpp"
+
+namespace mesorasi::hwsim {
+namespace {
+
+NpuConfig
+npuCfg()
+{
+    return NpuConfig{};
+}
+
+TEST(Systolic, SingleTileCycles)
+{
+    SystolicArray sa(npuCfg());
+    // 16x16 array, one 16x16 weight tile, 100 rows streamed:
+    // 1 * (100 + 16 + 16) + 16 cycles.
+    SystolicCost c = sa.matmul(100, 16, 16);
+    EXPECT_EQ(c.weightTiles, 1);
+    EXPECT_EQ(c.cycles, 100 + 32 + 16);
+    EXPECT_EQ(c.macs, 100 * 16 * 16);
+}
+
+TEST(Systolic, TileCountsRoundUp)
+{
+    SystolicArray sa(npuCfg());
+    SystolicCost c = sa.matmul(10, 17, 33);
+    EXPECT_EQ(c.weightTiles, 2 * 3);
+}
+
+TEST(Systolic, UtilizationBounded)
+{
+    SystolicArray sa(npuCfg());
+    for (auto [m, k, n] : {std::tuple<int64_t, int64_t, int64_t>{1, 3, 64},
+                           {16384, 3, 64},
+                           {1024, 256, 256}}) {
+        SystolicCost c = sa.matmul(m, k, n);
+        EXPECT_GT(c.utilization, 0.0);
+        EXPECT_LE(c.utilization, 1.0);
+    }
+}
+
+TEST(Systolic, BigKNImprovesUtilization)
+{
+    SystolicArray sa(npuCfg());
+    // K=3 wastes 13 of 16 rows; K=256 fills the array.
+    double skinny = sa.matmul(10000, 3, 64).utilization;
+    double full = sa.matmul(10000, 256, 256).utilization;
+    EXPECT_GT(full, 2.0 * skinny);
+}
+
+TEST(Systolic, MoreRowsAmortizeFill)
+{
+    SystolicArray sa(npuCfg());
+    double few = sa.matmul(16, 16, 16).utilization;
+    double many = sa.matmul(4096, 16, 16).utilization;
+    EXPECT_GT(many, few);
+}
+
+TEST(Systolic, CyclesToMs)
+{
+    SystolicArray sa(npuCfg()); // 1 GHz
+    EXPECT_DOUBLE_EQ(sa.toMs(1'000'000), 1.0);
+}
+
+TEST(Systolic, RejectsDegenerate)
+{
+    SystolicArray sa(npuCfg());
+    EXPECT_THROW(sa.matmul(0, 3, 4), mesorasi::UsageError);
+}
+
+TEST(Npu, MatmulCostPositive)
+{
+    NpuModel npu(npuCfg(), DramConfig{}, EnergyConfig{});
+    auto op = core::makeMlpOp(1024, 3, 64, "l0");
+    NpuCost c = npu.cost(op);
+    EXPECT_GT(c.timeMs, 0.0);
+    EXPECT_GT(c.energyMj, 0.0);
+    EXPECT_EQ(c.macs, 1024 * 3 * 64);
+}
+
+TEST(Npu, SmallActivationsAvoidDram)
+{
+    NpuModel npu(npuCfg(), DramConfig{}, EnergyConfig{});
+    // 1024 x 128 fp32 output = 512 KB, fits the 1.5 MB buffer.
+    auto small = core::makeMlpOp(1024, 64, 128, "s");
+    NpuCost cs = npu.cost(small);
+    EXPECT_EQ(cs.dramBytes, 64 * 128 * 4); // weights only
+}
+
+TEST(Npu, LargeActivationsSpillToDram)
+{
+    NpuModel npu(npuCfg(), DramConfig{}, EnergyConfig{});
+    // 16384 x 128 output = 8 MB >> 1.5 MB buffer (the original
+    // pipeline's aggregated activations, paper Fig. 10).
+    auto big = core::makeMlpOp(16384, 64, 128, "b");
+    NpuCost cb = npu.cost(big);
+    EXPECT_GT(cb.dramBytes, 8 * 1024 * 1024);
+}
+
+TEST(Npu, DramBoundOpsSlowerThanCompute)
+{
+    NpuModel npu(npuCfg(), DramConfig{}, EnergyConfig{});
+    auto big = core::makeMlpOp(65536, 64, 128, "b");
+    NpuCost c = npu.cost(big);
+    EXPECT_GE(c.timeMs, c.computeMs);
+}
+
+TEST(Npu, ReduceCosted)
+{
+    NpuModel npu(npuCfg(), DramConfig{}, EnergyConfig{});
+    auto op = core::makeReduceOp(512, 32, 128, "r");
+    NpuCost c = npu.cost(op);
+    EXPECT_GT(c.timeMs, 0.0);
+    EXPECT_EQ(c.dramBytes, 0);
+}
+
+TEST(Npu, RejectsForeignOps)
+{
+    NpuModel npu(npuCfg(), DramConfig{}, EnergyConfig{});
+    auto op = core::makeSearchOp(512, 1024, 32, 3, "n");
+    EXPECT_THROW(npu.cost(op), mesorasi::UsageError);
+}
+
+TEST(Npu, BiggerArrayIsFaster)
+{
+    NpuConfig big = npuCfg();
+    big.systolicRows = big.systolicCols = 48;
+    NpuModel small_npu(npuCfg(), DramConfig{}, EnergyConfig{});
+    NpuModel big_npu(big, DramConfig{}, EnergyConfig{});
+    auto op = core::makeMlpOp(16384, 128, 256, "l");
+    EXPECT_LT(big_npu.cost(op).computeMs, small_npu.cost(op).computeMs);
+}
+
+} // namespace
+} // namespace mesorasi::hwsim

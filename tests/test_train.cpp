@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the trainer: gradient checks against finite differences,
+ * loss decrease, and above-chance accuracy under both pipelines.
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "train/grad_ops.hpp"
+#include "train/mini_net.hpp"
+
+namespace mesorasi::train {
+namespace {
+
+using mesorasi::Rng;
+using tensor::Tensor;
+
+TEST(GradOps, MatmulBackwardFiniteDifference)
+{
+    Rng rng(1);
+    Tensor a = tensor::uniform(rng, 3, 4, -1, 1);
+    Tensor b = tensor::uniform(rng, 4, 2, -1, 1);
+    // Loss = sum(A*B); dC = ones.
+    Tensor dC(3, 2);
+    dC.fill(1.0f);
+    Tensor dA, dB;
+    matmulBackward(a, b, dC, dA, dB);
+
+    float eps = 1e-3f;
+    auto loss = [&](const Tensor &aa, const Tensor &bb) {
+        Tensor c = tensor::matmul(aa, bb);
+        float s = 0;
+        for (int r = 0; r < c.rows(); ++r)
+            for (int cc = 0; cc < c.cols(); ++cc)
+                s += c(r, cc);
+        return s;
+    };
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            Tensor ap = a;
+            ap(r, c) += eps;
+            Tensor am = a;
+            am(r, c) -= eps;
+            float num = (loss(ap, b) - loss(am, b)) / (2 * eps);
+            EXPECT_NEAR(dA(r, c), num, 1e-2f);
+        }
+    }
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 2; ++c) {
+            Tensor bp = b;
+            bp(r, c) += eps;
+            Tensor bm = b;
+            bm(r, c) -= eps;
+            float num = (loss(a, bp) - loss(a, bm)) / (2 * eps);
+            EXPECT_NEAR(dB(r, c), num, 1e-2f);
+        }
+    }
+}
+
+TEST(GradOps, ReluBackwardMasks)
+{
+    Tensor y(1, 3, {0.0f, 2.0f, 0.0f});
+    Tensor dY(1, 3, {5.0f, 5.0f, 5.0f});
+    Tensor dX = reluBackward(y, dY);
+    EXPECT_FLOAT_EQ(dX(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(dX(0, 1), 5.0f);
+    EXPECT_FLOAT_EQ(dX(0, 2), 0.0f);
+}
+
+TEST(GradOps, BiasBackwardSumsColumns)
+{
+    Tensor dY(2, 2, {1, 2, 3, 4});
+    Tensor dB = biasBackward(dY);
+    EXPECT_FLOAT_EQ(dB(0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(dB(0, 1), 6.0f);
+}
+
+TEST(GradOps, GroupMaxBackwardRoutesToArgmax)
+{
+    // Two groups of two rows.
+    Tensor x(4, 1, {1, 5, 7, 2});
+    Tensor dY(2, 1, {10, 20});
+    Tensor dX = groupMaxBackward(x, 2, 2, dY);
+    EXPECT_FLOAT_EQ(dX(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(dX(1, 0), 10.0f); // argmax of group 0
+    EXPECT_FLOAT_EQ(dX(2, 0), 20.0f); // argmax of group 1
+    EXPECT_FLOAT_EQ(dX(3, 0), 0.0f);
+}
+
+TEST(GradOps, GatherBackwardScatterAdds)
+{
+    Tensor dG(3, 1, {1, 2, 4});
+    Tensor dX = gatherBackward({0, 2, 0}, dG, 4);
+    EXPECT_FLOAT_EQ(dX(0, 0), 5.0f); // 1 + 4
+    EXPECT_FLOAT_EQ(dX(2, 0), 2.0f);
+    EXPECT_FLOAT_EQ(dX(1, 0), 0.0f);
+}
+
+TEST(GradOps, SoftmaxCrossEntropyGradient)
+{
+    Tensor logits(1, 3, {1.0f, 2.0f, 0.5f});
+    Tensor dl;
+    double loss = softmaxCrossEntropy(logits, {1}, dl);
+    EXPECT_GT(loss, 0.0);
+    // Gradient sums to zero and is negative at the true class.
+    float sum = dl(0, 0) + dl(0, 1) + dl(0, 2);
+    EXPECT_NEAR(sum, 0.0f, 1e-5f);
+    EXPECT_LT(dl(0, 1), 0.0f);
+}
+
+TEST(GradOps, SoftmaxCrossEntropyFiniteDifference)
+{
+    Rng rng(3);
+    Tensor logits = tensor::uniform(rng, 1, 5, -1, 1);
+    Tensor dl;
+    softmaxCrossEntropy(logits, {2}, dl);
+    float eps = 1e-3f;
+    for (int c = 0; c < 5; ++c) {
+        Tensor lp = logits;
+        lp(0, c) += eps;
+        Tensor lm = logits;
+        lm(0, c) -= eps;
+        Tensor tmp;
+        double up = softmaxCrossEntropy(lp, {2}, tmp);
+        double dn = softmaxCrossEntropy(lm, {2}, tmp);
+        EXPECT_NEAR(dl(0, c), (up - dn) / (2 * eps), 1e-3f);
+    }
+}
+
+TEST(GradOps, AccuracyCounts)
+{
+    Tensor logits(2, 2, {3, 1, 0, 9});
+    EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(accuracy(logits, {1, 1}), 0.5);
+}
+
+TEST(GradOps, SgdStepMovesAgainstGradient)
+{
+    Tensor w(1, 1, {1.0f});
+    Tensor g(1, 1, {2.0f});
+    sgdStep(w, g, 0.1f, 0.0f);
+    EXPECT_FLOAT_EQ(w(0, 0), 0.8f);
+}
+
+TEST(MiniNet, LossDecreasesOriginal)
+{
+    MiniNetConfig cfg;
+    cfg.numPoints = 128;
+    cfg.numCentroids = 24;
+    cfg.k = 6;
+    cfg.numClasses = 4;
+    auto data = makeShapeDataset(1, 4, 8, cfg.numPoints);
+    MiniPointNet net(cfg, core::PipelineKind::Original, 2);
+    Rng rng(3);
+    double first = net.trainEpoch(data, rng);
+    double last = first;
+    for (int e = 0; e < 6; ++e)
+        last = net.trainEpoch(data, rng);
+    EXPECT_LT(last, first);
+}
+
+TEST(MiniNet, LossDecreasesDelayed)
+{
+    MiniNetConfig cfg;
+    cfg.numPoints = 128;
+    cfg.numCentroids = 24;
+    cfg.k = 6;
+    cfg.numClasses = 4;
+    auto data = makeShapeDataset(4, 4, 8, cfg.numPoints);
+    MiniPointNet net(cfg, core::PipelineKind::Delayed, 5);
+    Rng rng(6);
+    double first = net.trainEpoch(data, rng);
+    double last = first;
+    for (int e = 0; e < 6; ++e)
+        last = net.trainEpoch(data, rng);
+    EXPECT_LT(last, first);
+}
+
+TEST(MiniNet, TrainedBeatsChanceBothPipelines)
+{
+    MiniNetConfig cfg;
+    cfg.numPoints = 128;
+    cfg.numCentroids = 24;
+    cfg.k = 6;
+    cfg.numClasses = 4;
+    auto train_set = makeShapeDataset(7, 4, 12, cfg.numPoints);
+    auto test_set = makeShapeDataset(8, 4, 6, cfg.numPoints);
+
+    for (auto kind :
+         {core::PipelineKind::Original, core::PipelineKind::Delayed}) {
+        MiniPointNet net(cfg, kind, 9);
+        Rng rng(10);
+        for (int e = 0; e < 25; ++e)
+            net.trainEpoch(train_set, rng);
+        double acc = net.evaluate(test_set);
+        EXPECT_GT(acc, 0.4) << "pipeline "
+                            << core::pipelineName(kind)
+                            << " (chance = 0.25)";
+    }
+}
+
+TEST(MiniNet, ForwardDeterministic)
+{
+    MiniNetConfig cfg;
+    cfg.numPoints = 64;
+    cfg.numCentroids = 8;
+    cfg.k = 4;
+    auto data = makeShapeDataset(11, 2, 1, cfg.numPoints);
+    MiniPointNet net(cfg, core::PipelineKind::Delayed, 12);
+    Tensor a = net.forward(data[0].cloud);
+    Tensor b = net.forward(data[0].cloud);
+    EXPECT_TRUE(a.approxEqual(b, 0.0f));
+}
+
+TEST(MiniNet, RejectsWrongPointCount)
+{
+    MiniNetConfig cfg;
+    cfg.numPoints = 64;
+    auto data = makeShapeDataset(13, 2, 1, 32);
+    MiniPointNet net(cfg, core::PipelineKind::Original, 14);
+    EXPECT_THROW(net.forward(data[0].cloud), mesorasi::UsageError);
+}
+
+} // namespace
+} // namespace mesorasi::train

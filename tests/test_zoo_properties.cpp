@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Cross-network property sweeps: invariants that must hold for every
+ * network in the zoo, under every pipeline — trace consistency, NIT
+ * validity, shape chaining, and simulator orderings.
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <set>
+
+#include "core/analysis.hpp"
+#include "core/networks.hpp"
+#include "geom/datasets.hpp"
+#include "hwsim/soc.hpp"
+
+namespace mesorasi::core {
+namespace {
+
+geom::PointCloud
+inputFor(const NetworkConfig &cfg, uint64_t seed = 3)
+{
+    if (cfg.task == Task::Segmentation) {
+        geom::ShapeNetSim sim(seed, cfg.numInputPoints);
+        return sim.sample(1).cloud;
+    }
+    geom::ModelNetSim sim(seed, cfg.numInputPoints);
+    return sim.sample(1).cloud;
+}
+
+class ZooSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    NetworkConfig cfg_ = zoo::allNetworks()[GetParam()];
+};
+
+std::string
+zooName(const ::testing::TestParamInfo<int> &info)
+{
+    static const char *names[] = {"PnppC", "PnppS", "DgcnnC", "DgcnnS",
+                                  "FPointNet", "Ldgcnn", "DensePoint"};
+    return names[info.param];
+}
+
+TEST_P(ZooSweep, NitIndicesWithinModuleInputs)
+{
+    NetworkExecutor exec(cfg_, 1);
+    RunResult r = exec.run(inputFor(cfg_), PipelineKind::Delayed, 5);
+    ASSERT_EQ(r.nits.size(), r.ios.size());
+    for (size_t i = 0; i < r.nits.size(); ++i) {
+        EXPECT_LT(r.nits[i].maxReferencedIndex(), r.ios[i].nIn)
+            << cfg_.name << " module " << i;
+        EXPECT_EQ(r.nits[i].size(), r.ios[i].nOut) << cfg_.name;
+    }
+}
+
+TEST_P(ZooSweep, TraceMacsMatchBetweenRunAndAnalytic)
+{
+    NetworkExecutor exec(cfg_, 1);
+    for (auto kind : {PipelineKind::Original, PipelineKind::Delayed}) {
+        RunResult r = exec.run(inputFor(cfg_), kind, 5);
+        NetworkTrace analytic =
+            exec.analyticTrace(kind, cfg_.numInputPoints);
+        EXPECT_EQ(r.trace.macs(Phase::Feature),
+                  analytic.macs(Phase::Feature))
+            << cfg_.name << " " << pipelineName(kind);
+        EXPECT_EQ(r.trace.macs(Phase::Search),
+                  analytic.macs(Phase::Search))
+            << cfg_.name << " " << pipelineName(kind);
+    }
+}
+
+TEST_P(ZooSweep, DelayedNeverIncreasesFeatureMacs)
+{
+    NetworkExecutor exec(cfg_, 1);
+    auto orig = exec.analyticTrace(PipelineKind::Original,
+                                   cfg_.numInputPoints);
+    auto del = exec.analyticTrace(PipelineKind::Delayed,
+                                  cfg_.numInputPoints);
+    auto ltd = exec.analyticTrace(PipelineKind::LtdDelayed,
+                                  cfg_.numInputPoints);
+    EXPECT_LE(del.macs(Phase::Feature), orig.macs(Phase::Feature))
+        << cfg_.name;
+    // Ltd hoists only the first layer, so it sits between the two.
+    EXPECT_LE(del.macs(Phase::Feature), ltd.macs(Phase::Feature))
+        << cfg_.name;
+    EXPECT_LE(ltd.macs(Phase::Feature), orig.macs(Phase::Feature))
+        << cfg_.name;
+}
+
+TEST_P(ZooSweep, SearchCostIdenticalAcrossPipelines)
+{
+    NetworkExecutor exec(cfg_, 1);
+    auto orig = exec.analyticTrace(PipelineKind::Original,
+                                   cfg_.numInputPoints);
+    auto del = exec.analyticTrace(PipelineKind::Delayed,
+                                  cfg_.numInputPoints);
+    EXPECT_EQ(orig.macs(Phase::Search), del.macs(Phase::Search))
+        << cfg_.name << ": delayed-aggregation must not change N";
+}
+
+TEST_P(ZooSweep, DelayedAggregationMovesToOutputSpace)
+{
+    NetworkExecutor exec(cfg_, 1);
+    auto orig = exec.analyticTrace(PipelineKind::Original,
+                                   cfg_.numInputPoints);
+    auto del = exec.analyticTrace(PipelineKind::Delayed,
+                                  cfg_.numInputPoints);
+    // Wherever the network has non-global aggregating modules, the
+    // delayed pipeline gathers wider rows.
+    int64_t orig_bytes = 0, del_bytes = 0;
+    for (const auto &m : orig.modules)
+        orig_bytes += m.bytes(Phase::Aggregation);
+    for (const auto &m : del.modules)
+        del_bytes += m.bytes(Phase::Aggregation);
+    if (cfg_.linkedInputs) {
+        // Linked-input networks concatenate previous outputs, so the
+        // *input* features the original pipeline gathers can be wider
+        // than the module outputs the delayed pipeline gathers — the
+        // growth argument only holds for Mout > Min modules.
+        EXPECT_GT(del_bytes, 0) << cfg_.name;
+    } else {
+        EXPECT_GT(del_bytes, orig_bytes) << cfg_.name;
+    }
+}
+
+TEST_P(ZooSweep, ModuleIoChainsDimensions)
+{
+    NetworkExecutor exec(cfg_, 1);
+    RunResult r = exec.run(inputFor(cfg_), PipelineKind::Delayed, 5);
+    // Point counts never grow along the encoder.
+    int32_t prev = cfg_.numInputPoints;
+    for (size_t i = 0; i < r.ios.size(); ++i) {
+        if (r.ios[i].nIn == prev) // encoder chain (stage2 restarts)
+            EXPECT_LE(r.ios[i].nOut, r.ios[i].nIn) << cfg_.name;
+        prev = r.ios[i].nOut;
+    }
+}
+
+TEST_P(ZooSweep, OccupancyCoversNeighborBudget)
+{
+    NetworkExecutor exec(cfg_, 1);
+    RunResult r = exec.run(inputFor(cfg_), PipelineKind::Delayed, 5);
+    // Total occupancy mass equals the number of points that occur in
+    // at least one neighborhood, and the weighted sum equals the total
+    // neighbor slots.
+    for (const auto &nit : r.nits) {
+        Histogram h = neighborhoodOccupancy({nit});
+        int64_t weighted = 0;
+        for (const auto &[occ, cnt] : h.entries())
+            weighted += occ * static_cast<int64_t>(cnt);
+        EXPECT_EQ(weighted, nit.totalNeighbors());
+    }
+}
+
+TEST_P(ZooSweep, SocOrderingsHold)
+{
+    NetworkExecutor exec(cfg_, 1);
+    geom::PointCloud cloud = inputFor(cfg_);
+    RunResult orig = exec.run(cloud, PipelineKind::Original, 5);
+    RunResult del = exec.run(cloud, PipelineKind::Delayed, 5);
+
+    hwsim::Soc soc(hwsim::SocConfig::defaultTx2());
+    auto gpu = soc.simulate(orig, hwsim::Mapping::gpuOnly());
+    auto base = soc.simulate(orig, hwsim::Mapping::baselineGpuNpu());
+    auto sw = soc.simulate(del, hwsim::Mapping::mesorasiSw());
+    auto hw = soc.simulate(del, hwsim::Mapping::mesorasiHw());
+    auto nse = soc.simulate(del, hwsim::Mapping::mesorasiHw().withNse());
+
+    // The paper's headline orderings must hold for every network.
+    EXPECT_LT(base.totalMs, gpu.totalMs) << cfg_.name;
+    EXPECT_LE(sw.totalMs, base.totalMs * 1.001) << cfg_.name;
+    EXPECT_LE(hw.totalMs, sw.totalMs * 1.001) << cfg_.name;
+    EXPECT_LE(nse.totalMs, hw.totalMs * 1.001) << cfg_.name;
+    // The AU never *increases* aggregation time.
+    EXPECT_LE(hw.phases.aggregationMs, sw.phases.aggregationMs * 1.001)
+        << cfg_.name;
+    // Energy: the HW design wins against the baseline.
+    EXPECT_LT(hw.totalEnergyMj(), base.totalEnergyMj()) << cfg_.name;
+}
+
+TEST_P(ZooSweep, PackedNitFitsTwelveBitIndices)
+{
+    // The AU's NIT entries use 12-bit indices (Sec. VI): every module's
+    // input point count must stay under 4096 for the packing to be
+    // valid at the evaluated scales.
+    NetworkExecutor exec(cfg_, 1);
+    auto ios = exec.analyticIos(cfg_.numInputPoints);
+    for (const auto &io : ios)
+        EXPECT_LE(io.nIn, 4096) << cfg_.name << " " << io.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNetworks, ZooSweep, ::testing::Range(0, 7),
+                         zooName);
+
+} // namespace
+} // namespace mesorasi::core
