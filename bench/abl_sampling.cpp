@@ -15,8 +15,8 @@
 #include "common/table.hpp"
 #include "geom/datasets.hpp"
 #include "geom/sampling.hpp"
-#include "neighbor/kdtree.hpp"
 #include "neighbor/points_view.hpp"
+#include "neighbor/search_backend.hpp"
 
 using namespace mesorasi;
 
@@ -57,8 +57,9 @@ main()
 
             // Coverage: fraction of input points inside some group.
             neighbor::FlatPoints flat(cloud);
-            neighbor::KdTree tree(flat.view());
-            auto nit = tree.knnTable(idx, 32);
+            auto backend = neighbor::makeBackend(
+                neighbor::Backend::Auto, flat.view());
+            auto nit = backend->knnTable(idx, 32);
             std::set<int32_t> covered;
             for (const auto &e : nit.entries())
                 covered.insert(e.neighbors.begin(), e.neighbors.end());

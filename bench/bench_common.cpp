@@ -1,6 +1,93 @@
 #include "bench_common.hpp"
 
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/stats.hpp"
+
 namespace mesorasi::bench {
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream os;
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<int>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace
+
+BenchJsonWriter::BenchJsonWriter(std::string benchName)
+    : benchName_(std::move(benchName))
+{
+}
+
+void
+BenchJsonWriter::add(
+    const std::string &name,
+    std::vector<std::pair<std::string, std::string>> params,
+    const std::vector<double> &samplesMs)
+{
+    records_.push_back({name, std::move(params), samplesMs});
+}
+
+std::string
+BenchJsonWriter::path(const std::string &dir) const
+{
+    return dir + "/BENCH_" + benchName_ + ".json";
+}
+
+bool
+BenchJsonWriter::write(const std::string &dir) const
+{
+    std::ofstream out(path(dir));
+    if (!out) {
+        std::cerr << "warning: cannot write " << path(dir) << "\n";
+        return false;
+    }
+    out << "{\n  \"bench\": \"" << jsonEscape(benchName_)
+        << "\",\n  \"records\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+        const Record &r = records_[i];
+        double median = 0.0, p90 = 0.0;
+        if (!r.samplesMs.empty()) {
+            median = percentile(r.samplesMs, 50.0);
+            p90 = percentile(r.samplesMs, 90.0);
+        }
+        out << "    {\"name\": \"" << jsonEscape(r.name)
+            << "\", \"params\": {";
+        for (size_t j = 0; j < r.params.size(); ++j) {
+            out << (j ? ", " : "") << "\"" << jsonEscape(r.params[j].first)
+                << "\": \"" << jsonEscape(r.params[j].second) << "\"";
+        }
+        out << "}, \"samples\": " << r.samplesMs.size()
+            << ", \"median_ms\": " << median << ", \"p90_ms\": " << p90
+            << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+}
 
 geom::PointCloud
 inputFor(const core::NetworkConfig &cfg, uint64_t seed)

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/networks.hpp"
@@ -17,6 +18,44 @@
 #include "hwsim/soc.hpp"
 
 namespace mesorasi::bench {
+
+/**
+ * Machine-readable bench output: collects named sample sets and writes
+ * them as BENCH_<benchName>.json next to the human-readable tables, so
+ * the performance trajectory is tracked across PRs. Each record carries
+ * the bench-specific parameters plus median and p90 milliseconds.
+ */
+class BenchJsonWriter
+{
+  public:
+    /** @param benchName stem of the output file (BENCH_<stem>.json). */
+    explicit BenchJsonWriter(std::string benchName);
+
+    /** Record one timed configuration. @p samplesMs holds one wall
+     *  time per repetition; median/p90 are derived at write time. */
+    void add(const std::string &name,
+             std::vector<std::pair<std::string, std::string>> params,
+             const std::vector<double> &samplesMs);
+
+    /** Write BENCH_<benchName>.json into @p dir (default: cwd).
+     *  Returns false (and prints a warning) if the file can't be
+     *  opened. */
+    bool write(const std::string &dir = ".") const;
+
+    /** Output path the next write() call would use. */
+    std::string path(const std::string &dir = ".") const;
+
+  private:
+    struct Record
+    {
+        std::string name;
+        std::vector<std::pair<std::string, std::string>> params;
+        std::vector<double> samplesMs;
+    };
+
+    std::string benchName_;
+    std::vector<Record> records_;
+};
 
 /** Build the right synthetic input for a network (ModelNet-style for
  *  classification, ShapeNet-style for segmentation, a KITTI frustum

@@ -1,19 +1,36 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the substrate libraries: host
- * performance of neighbor search, tensor ops, pipelines, and the AU
- * simulator itself. These are engineering benchmarks of *this*
- * implementation, complementing the figure-reproduction benches.
+ * performance of the neighbor-search backends, tensor ops, pipelines,
+ * and the AU simulator itself. These are engineering benchmarks of
+ * *this* implementation, complementing the figure-reproduction benches.
+ *
+ * Besides the google-benchmark suite, main() measures the batched
+ * execution engine — a 16-cloud batch through BatchRunner, sequential
+ * vs 8 worker threads — and writes the machine-readable
+ * BENCH_micro_substrates.json consumed by the perf-trajectory tooling.
+ * Pass --batch-only to skip the google-benchmark suite.
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <tuple>
+#include <utility>
+
+#include "bench_common.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/batch_runner.hpp"
 #include "core/networks.hpp"
 #include "geom/sampling.hpp"
 #include "geom/shapes.hpp"
 #include "hwsim/agg_unit.hpp"
-#include "neighbor/brute_force.hpp"
-#include "neighbor/kdtree.hpp"
+#include "neighbor/search_backend.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
 
@@ -29,48 +46,70 @@ cloudOf(int n)
     return geom::makeTorus(rng, p, {}, 0.7f, 0.25f);
 }
 
-void
-BM_KdTreeBuild(benchmark::State &state)
+/** Backend under benchmark, selected by the Arg index into the sorted
+ *  registry names (state.range(1)). */
+std::string
+backendArg(int64_t i)
 {
-    auto cloud = cloudOf(static_cast<int>(state.range(0)));
-    neighbor::FlatPoints flat(cloud);
-    for (auto _ : state) {
-        neighbor::KdTree tree(flat.view());
-        benchmark::DoNotOptimize(tree.numNodes());
-    }
+    auto names = neighbor::registeredBackendNames();
+    return names[static_cast<size_t>(i) % names.size()];
 }
-BENCHMARK(BM_KdTreeBuild)->Arg(1024)->Arg(4096)->Arg(16384);
 
 void
-BM_KdTreeKnn(benchmark::State &state)
+BM_BackendBuild(benchmark::State &state)
 {
     auto cloud = cloudOf(static_cast<int>(state.range(0)));
     neighbor::FlatPoints flat(cloud);
-    neighbor::KdTree tree(flat.view());
+    std::string name = backendArg(state.range(1));
+    for (auto _ : state) {
+        auto backend = neighbor::makeBackendByName(name, flat.view());
+        benchmark::DoNotOptimize(backend.get());
+    }
+    state.SetLabel(name);
+}
+BENCHMARK(BM_BackendBuild)
+    ->ArgsProduct({{1024, 4096, 16384}, {0, 1, 2}});
+
+void
+BM_BackendKnn(benchmark::State &state)
+{
+    auto cloud = cloudOf(static_cast<int>(state.range(0)));
+    neighbor::FlatPoints flat(cloud);
+    std::string name = backendArg(state.range(1));
+    neighbor::SearchHints hints;
+    hints.k = 32;
+    auto backend = neighbor::makeBackendByName(name, flat.view(), hints);
     std::vector<int32_t> queries;
     for (int i = 0; i < state.range(0); i += 4)
         queries.push_back(i);
     for (auto _ : state) {
-        auto nit = tree.knnTable(queries, 32);
+        auto nit = backend->knnTable(queries, 32);
         benchmark::DoNotOptimize(nit.size());
     }
+    state.SetLabel(name);
 }
-BENCHMARK(BM_KdTreeKnn)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_BackendKnn)->ArgsProduct({{1024, 4096}, {0, 1, 2}});
 
 void
-BM_BruteForceKnn(benchmark::State &state)
+BM_BackendBall(benchmark::State &state)
 {
     auto cloud = cloudOf(static_cast<int>(state.range(0)));
     neighbor::FlatPoints flat(cloud);
+    std::string name = backendArg(state.range(1));
+    neighbor::SearchHints hints;
+    hints.k = 32;
+    hints.radius = 0.2f;
+    auto backend = neighbor::makeBackendByName(name, flat.view(), hints);
     std::vector<int32_t> queries;
     for (int i = 0; i < state.range(0); i += 4)
         queries.push_back(i);
     for (auto _ : state) {
-        auto nit = neighbor::knnBruteForce(flat.view(), queries, 32);
+        auto nit = backend->ballTable(queries, 0.2f, 32);
         benchmark::DoNotOptimize(nit.size());
     }
+    state.SetLabel(name);
 }
-BENCHMARK(BM_BruteForceKnn)->Arg(1024);
+BENCHMARK(BM_BackendBall)->ArgsProduct({{1024, 4096}, {0, 1, 2}});
 
 void
 BM_Fps(benchmark::State &state)
@@ -152,6 +191,101 @@ BM_AuSimulate(benchmark::State &state)
 }
 BENCHMARK(BM_AuSimulate);
 
+// ---------------------------------------------------------------------
+// Batched execution engine: 16 clouds, sequential vs 8 workers.
+// ---------------------------------------------------------------------
+
+constexpr int kBatchSize = 16;
+constexpr int kBatchThreads = 8;
+constexpr int kBatchReps = 3;
+
+void
+runBatchEngineBench(bench::BenchJsonWriter &json)
+{
+    core::NetworkConfig cfg = core::zoo::pointnetppClassification();
+    core::NetworkExecutor exec(cfg, /*weightSeed=*/1);
+
+    geom::ModelNetSim sim(17, cfg.numInputPoints);
+    std::vector<geom::PointCloud> clouds;
+    for (int i = 0; i < kBatchSize; ++i)
+        clouds.push_back(sim.sample().cloud);
+
+    core::BatchRunner sequential(exec, /*numThreads=*/1);
+    core::BatchRunner parallel(exec, kBatchThreads);
+
+    // Per-cloud latencies aggregate across every repetition so the
+    // table's wall and latency columns describe the same sample set.
+    auto measure = [&](const core::BatchRunner &runner) {
+        std::vector<double> wall, latencies;
+        for (int rep = 0; rep < kBatchReps; ++rep) {
+            core::BatchResult r = runner.run(
+                clouds, core::PipelineKind::Delayed, /*seedBase=*/7);
+            wall.push_back(r.wallMs);
+            for (const auto &item : r.items)
+                latencies.push_back(item.latencyMs);
+        }
+        return std::make_tuple(wall, percentile(latencies, 50.0),
+                               percentile(latencies, 90.0));
+    };
+
+    auto [seqWall, seqMed, seqP90] = measure(sequential);
+    auto [parWall, parMed, parP90] = measure(parallel);
+
+    double seqMedWall = percentile(seqWall, 50.0);
+    double parMedWall = percentile(parWall, 50.0);
+    double speedup = parMedWall > 0.0 ? seqMedWall / parMedWall : 0.0;
+
+    Table t("Batched execution engine — " + cfg.name + ", " +
+                std::to_string(kBatchSize) + " clouds (delayed pipeline)",
+            {"Mode", "Batch wall ms", "Median cloud ms", "p90 cloud ms",
+             "Clouds/s"});
+    t.addRow({"sequential", fmt(seqMedWall, 1), fmt(seqMed, 1),
+              fmt(seqP90, 1), fmt(kBatchSize * 1000.0 / seqMedWall, 1)});
+    t.addRow({std::to_string(kBatchThreads) + " threads",
+              fmt(parMedWall, 1), fmt(parMed, 1), fmt(parP90, 1),
+              fmt(kBatchSize * 1000.0 / parMedWall, 1)});
+    t.print();
+    std::cout << "speedup: " << fmtX(speedup) << "\n";
+
+    auto params = [&](const std::string &mode, int threads) {
+        return std::vector<std::pair<std::string, std::string>>{
+            {"network", cfg.name},
+            {"pipeline", "delayed"},
+            {"clouds", std::to_string(kBatchSize)},
+            {"threads", std::to_string(threads)},
+            {"mode", mode},
+        };
+    };
+    json.add("batch16_sequential", params("sequential", 1), seqWall);
+    json.add("batch16_parallel", params("parallel", kBatchThreads),
+             parWall);
+    json.add("batch16_speedup",
+             {{"metric", "x"},
+              {"value", fmt(speedup, 3)},
+              {"hw_threads",
+               std::to_string(ThreadPool::defaultThreads())}},
+             {});
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool batch_only = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--batch-only") == 0)
+            batch_only = true;
+
+    if (!batch_only) {
+        ::benchmark::Initialize(&argc, argv);
+        ::benchmark::RunSpecifiedBenchmarks();
+        ::benchmark::Shutdown();
+    }
+
+    bench::BenchJsonWriter json("micro_substrates");
+    runBatchEngineBench(json);
+    if (json.write())
+        std::cout << "wrote " << json.path() << "\n";
+    return 0;
+}

@@ -1,0 +1,170 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mesorasi {
+
+namespace {
+
+thread_local bool tls_inside_worker = false;
+
+} // namespace
+
+struct ThreadPool::Impl
+{
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> tasks;
+    mutable std::mutex mutex;
+    std::condition_variable wake;
+    bool stopping = false;
+
+    void
+    workerLoop()
+    {
+        tls_inside_worker = true;
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                wake.wait(lock,
+                          [&] { return stopping || !tasks.empty(); });
+                if (stopping && tasks.empty())
+                    return;
+                task = std::move(tasks.front());
+                tasks.pop_front();
+            }
+            task();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int32_t numThreads) : impl_(std::make_unique<Impl>())
+{
+    int32_t n = numThreads > 0 ? numThreads : defaultThreads();
+    // A single-thread pool runs everything inline; no workers needed.
+    if (n <= 1)
+        return;
+    impl_->workers.reserve(n);
+    for (int32_t i = 0; i < n; ++i)
+        impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->stopping = true;
+    }
+    impl_->wake.notify_all();
+    for (auto &w : impl_->workers)
+        w.join();
+}
+
+int32_t
+ThreadPool::size() const
+{
+    return std::max<int32_t>(1,
+                             static_cast<int32_t>(impl_->workers.size()));
+}
+
+void
+ThreadPool::parallelFor(int64_t n, int64_t grain, const RangeFn &fn) const
+{
+    if (n <= 0)
+        return;
+    MESO_REQUIRE(grain > 0, "grain must be positive, got " << grain);
+
+    // Inline when parallelism cannot help (or would self-deadlock: a
+    // worker blocking on its own pool's queue).
+    if (impl_->workers.empty() || tls_inside_worker || n <= grain) {
+        fn(0, n);
+        return;
+    }
+
+    int64_t max_chunks = static_cast<int64_t>(impl_->workers.size()) * 4;
+    int64_t chunks = std::min<int64_t>((n + grain - 1) / grain, max_chunks);
+    int64_t per = (n + chunks - 1) / chunks;
+    chunks = (n + per - 1) / per; // recompute so no chunk is empty
+
+    struct Shared
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        int64_t remaining = 0;
+        std::exception_ptr error;
+    } shared;
+    shared.remaining = chunks;
+
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        for (int64_t c = 0; c < chunks; ++c) {
+            int64_t begin = c * per;
+            int64_t end = std::min<int64_t>(n, begin + per);
+            impl_->tasks.emplace_back([&fn, &shared, begin, end] {
+                try {
+                    fn(begin, end);
+                } catch (...) {
+                    std::lock_guard<std::mutex> g(shared.mutex);
+                    if (!shared.error)
+                        shared.error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> g(shared.mutex);
+                if (--shared.remaining == 0)
+                    shared.done.notify_one();
+            });
+        }
+    }
+    impl_->wake.notify_all();
+
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    shared.done.wait(lock, [&] { return shared.remaining == 0; });
+    if (shared.error)
+        std::rethrow_exception(shared.error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(defaultThreads());
+    return pool;
+}
+
+int32_t
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("MESORASI_THREADS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<int32_t>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int32_t>(hw) : 1;
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return tls_inside_worker;
+}
+
+ThreadPool::ScopedForceInline::ScopedForceInline()
+    : prev_(tls_inside_worker)
+{
+    tls_inside_worker = true;
+}
+
+ThreadPool::ScopedForceInline::~ScopedForceInline()
+{
+    tls_inside_worker = prev_;
+}
+
+} // namespace mesorasi

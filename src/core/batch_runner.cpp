@@ -1,0 +1,114 @@
+#include "core/batch_runner.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace mesorasi::core {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+int32_t
+argmaxFirstRow(const tensor::Tensor &logits)
+{
+    if (logits.empty())
+        return -1;
+    const float *row = logits.row(0);
+    int32_t best = 0;
+    for (int32_t c = 1; c < logits.cols(); ++c)
+        if (row[c] > row[best])
+            best = c;
+    return best;
+}
+
+} // namespace
+
+double
+predictionAgreement(const BatchResult &a, const BatchResult &b)
+{
+    MESO_REQUIRE(a.items.size() == b.items.size(),
+                 "agreement over batches of " << a.items.size() << " vs "
+                                              << b.items.size());
+    if (a.items.empty())
+        return 1.0;
+    size_t same = 0;
+    for (size_t i = 0; i < a.items.size(); ++i)
+        if (a.items[i].predicted == b.items[i].predicted)
+            ++same;
+    return static_cast<double>(same) /
+           static_cast<double>(a.items.size());
+}
+
+BatchRunner::BatchRunner(const NetworkExecutor &exec, int32_t numThreads)
+    : exec_(exec)
+{
+    if (numThreads == 1)
+        sequential_ = true;
+    else if (numThreads > 1)
+        pool_ = std::make_unique<ThreadPool>(numThreads);
+}
+
+BatchRunner::~BatchRunner() = default;
+
+int32_t
+BatchRunner::numThreads() const
+{
+    if (sequential_)
+        return 1;
+    return pool_ ? pool_->size() : ThreadPool::global().size();
+}
+
+BatchResult
+BatchRunner::run(const std::vector<geom::PointCloud> &clouds,
+                 PipelineKind kind, uint64_t seedBase) const
+{
+    BatchResult out;
+    out.kind = kind;
+    out.items.resize(clouds.size());
+
+    auto runOne = [&](int64_t i) {
+        auto t0 = std::chrono::steady_clock::now();
+        BatchItemResult &item = out.items[i];
+        item.run = exec_.run(clouds[i], kind,
+                             seedBase + static_cast<uint64_t>(i));
+        item.predicted = argmaxFirstRow(item.run.logits);
+        item.latencyMs = msSince(t0);
+    };
+
+    auto batch0 = std::chrono::steady_clock::now();
+    if (sequential_) {
+        // Truly serial reference: inner parallel loops (matmul, table
+        // builders, aggregation) run inline too, so this measures the
+        // one-thread execution the parallel modes are compared against.
+        ThreadPool::ScopedForceInline serial;
+        for (int64_t i = 0; i < static_cast<int64_t>(clouds.size()); ++i)
+            runOne(i);
+    } else {
+        const ThreadPool &pool = pool_ ? *pool_ : ThreadPool::global();
+        pool.parallelFor(static_cast<int64_t>(clouds.size()),
+                         /*grain=*/1, [&](int64_t begin, int64_t end) {
+                             for (int64_t i = begin; i < end; ++i)
+                                 runOne(i);
+                         });
+    }
+    out.wallMs = msSince(batch0);
+
+    std::vector<double> latencies;
+    latencies.reserve(out.items.size());
+    for (const auto &item : out.items)
+        latencies.push_back(item.latencyMs);
+    out.latency = summarize(latencies);
+    out.p90LatencyMs =
+        latencies.empty() ? 0.0 : percentile(latencies, 90.0);
+    return out;
+}
+
+} // namespace mesorasi::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Batched network execution: many clouds through one NetworkExecutor.
+ *
+ * The production serving shape for the paper's workloads is a stream of
+ * frames (LiDAR sweeps, depth maps) pushed through one trained network.
+ * BatchRunner runs a batch of clouds concurrently across a thread pool
+ * — one cloud per task, the per-cloud seed fixed by batch index — and
+ * aggregates per-pipeline latency and prediction statistics. Because
+ * every parallelized loop in the library is deterministic per item, a
+ * batched run is bitwise identical to the sequential run of the same
+ * seeds, which the test suite asserts.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "core/network.hpp"
+
+namespace mesorasi::core {
+
+/** One cloud's outcome within a batch. */
+struct BatchItemResult
+{
+    RunResult run;            ///< full inference result
+    double latencyMs = 0.0;   ///< wall-clock of this cloud's inference
+    int32_t predicted = -1;   ///< argmax of the first logits row
+};
+
+/** Everything one batch execution produces. */
+struct BatchResult
+{
+    PipelineKind kind = PipelineKind::Delayed;
+    std::vector<BatchItemResult> items;
+    Summary latency;      ///< per-cloud latency summary (ms)
+    double p90LatencyMs = 0.0;
+    double wallMs = 0.0;  ///< end-to-end wall clock for the batch
+
+    /** Clouds per second over the batch wall clock. */
+    double
+    throughput() const
+    {
+        return wallMs > 0.0
+                   ? static_cast<double>(items.size()) * 1000.0 / wallMs
+                   : 0.0;
+    }
+};
+
+/** Fraction of items whose predicted class agrees between two batch
+ *  results (e.g. delayed vs original on the same clouds). */
+double predictionAgreement(const BatchResult &a, const BatchResult &b);
+
+/**
+ * Runs batches of clouds through a NetworkExecutor. The executor must
+ * outlive the runner.
+ */
+class BatchRunner
+{
+  public:
+    /**
+     * @param exec       shared (immutable) network executor
+     * @param numThreads cloud-level workers: 0 uses the process-global
+     *                   pool, 1 forces fully serial execution (inner
+     *                   parallelism disabled too — the single-thread
+     *                   reference), >= 2 gives the runner a dedicated
+     *                   pool of that size.
+     */
+    explicit BatchRunner(const NetworkExecutor &exec,
+                         int32_t numThreads = 0);
+    ~BatchRunner();
+
+    /**
+     * Execute every cloud under @p kind. Cloud i runs with seed
+     * @p seedBase + i, so results are independent of scheduling and of
+     * the thread count.
+     */
+    BatchResult run(const std::vector<geom::PointCloud> &clouds,
+                    PipelineKind kind, uint64_t seedBase = 1) const;
+
+    /** Cloud-level worker count in effect. */
+    int32_t numThreads() const;
+
+  private:
+    const NetworkExecutor &exec_;
+    std::unique_ptr<ThreadPool> pool_; ///< null: use the global pool
+    bool sequential_ = false;
+};
+
+} // namespace mesorasi::core

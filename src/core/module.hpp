@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "neighbor/search_backend.hpp"
 
 namespace mesorasi::core {
 
@@ -70,6 +71,15 @@ struct ModuleConfig
     SearchSpace space = SearchSpace::Coords;
     SamplingKind sampling = SamplingKind::Random;
     AggregationKind aggregation = AggregationKind::Difference;
+
+    /** Which search structure answers the N stage. Auto picks per
+     *  module from (N, k, radius, search dim); see chooseBackend. */
+    neighbor::Backend backend = neighbor::Backend::Auto;
+
+    /** Registry name of a custom search backend (see
+     *  registerSearchBackend); when non-empty it overrides `backend`,
+     *  so backends registered at runtime are selectable per module. */
+    std::string customBackend;
 
     /** Ball-query radius (only for SearchKind::Ball). */
     float radius = 0.2f;
@@ -127,6 +137,9 @@ struct InterpModuleConfig
     std::string name;
     int32_t numNeighbors = 3;
     std::vector<int32_t> mlpWidths;
+
+    /** Search structure for the 3-NN interpolation queries. */
+    neighbor::Backend backend = neighbor::Backend::Auto;
 
     int32_t
     outDim() const

@@ -84,6 +84,22 @@ NetworkExecutor::NetworkExecutor(NetworkConfig cfg, uint64_t weightSeed,
     : cfg_(std::move(cfg)), act_(act)
 {
     cfg_.validate();
+    // Resolve the network-wide backend default onto modules that did
+    // not pick one explicitly, so ModuleExecutor::search never needs to
+    // consult the network again.
+    if (cfg_.backend != neighbor::Backend::Auto) {
+        auto resolve = [&](ModuleConfig &m) {
+            if (m.backend == neighbor::Backend::Auto)
+                m.backend = cfg_.backend;
+        };
+        for (auto &m : cfg_.modules)
+            resolve(m);
+        for (auto &m : cfg_.stage2Modules)
+            resolve(m);
+        for (auto &m : cfg_.interpModules)
+            if (m.backend == neighbor::Backend::Auto)
+                m.backend = cfg_.backend;
+    }
     Rng wrng(weightSeed);
 
     // --- Encoder modules, tracking feature dims through links. ---

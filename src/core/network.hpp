@@ -41,6 +41,13 @@ struct NetworkConfig
     std::vector<ModuleConfig> modules;
 
     /**
+     * Network-wide search-backend default: applied to every module
+     * (encoder, stage-2, interpolation) whose own backend is still
+     * Auto. Auto keeps per-module automatic selection.
+     */
+    neighbor::Backend backend = neighbor::Backend::Auto;
+
+    /**
      * LDGCNN/DensePoint-style linked inputs: each module's input is the
      * concatenation of the original features and every previous module
      * output at the same resolution (the link chain resets when a module

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.hpp"
 #include "geom/sampling.hpp"
-#include "neighbor/kdtree.hpp"
+#include "neighbor/search_backend.hpp"
 #include "tensor/ops.hpp"
 
 namespace mesorasi::core {
@@ -90,10 +91,19 @@ ModuleExecutor::search(const ModuleState &in,
     const Tensor &space = cfg_.space == SearchSpace::Coords ? in.coords
                                                             : in.features;
     neighbor::PointsView view(space.data(), space.rows(), space.cols());
-    neighbor::KdTree tree(view);
+    neighbor::SearchHints hints;
+    hints.numQueries = static_cast<int32_t>(centroids.size());
+    hints.k = cfg_.k;
+    if (cfg_.search == SearchKind::Ball)
+        hints.radius = cfg_.radius;
+    auto backend =
+        cfg_.customBackend.empty()
+            ? neighbor::makeBackend(cfg_.backend, view, hints)
+            : neighbor::makeBackendByName(cfg_.customBackend, view,
+                                          hints);
     if (cfg_.search == SearchKind::Knn)
-        return tree.knnTable(centroids, cfg_.k);
-    return tree.ballTable(centroids, cfg_.radius, cfg_.k);
+        return backend->knnTable(centroids, cfg_.k);
+    return backend->ballTable(centroids, cfg_.radius, cfg_.k);
 }
 
 ModuleIo
@@ -263,36 +273,43 @@ ModuleExecutor::runOriginal(const ModuleState &in, Rng &samplerRng) const
 
     // Batch all NFMs into one (Nout*K) x In matrix so the shared MLP
     // runs as a single matrix product — exactly how the GPU/NPU sees it.
+    // Centroids write disjoint row blocks, so the gather parallelizes.
     Tensor batched(nOut * k, cfg_.mlpInDim(in.featureDim()));
     int32_t m = in.featureDim();
-    for (int32_t c = 0; c < nOut; ++c) {
-        const auto &entry = res.nit[c];
-        const float *cf = in.features.row(entry.centroid);
-        for (int32_t j = 0; j < k; ++j) {
-            const float *nf = in.features.row(entry.neighbors[j]);
-            float *row = batched.row(c * k + j);
-            if (cfg_.aggregation ==
-                AggregationKind::ConcatCentroidDifference) {
-                for (int32_t d = 0; d < m; ++d) {
-                    row[d] = cf[d];
-                    row[m + d] = nf[d] - cf[d];
+    ThreadPool::global().parallelFor(nOut, /*grain=*/16, [&](int64_t b,
+                                                             int64_t e) {
+        for (int64_t c = b; c < e; ++c) {
+            const auto &entry = res.nit[static_cast<int32_t>(c)];
+            const float *cf = in.features.row(entry.centroid);
+            for (int32_t j = 0; j < k; ++j) {
+                const float *nf = in.features.row(entry.neighbors[j]);
+                float *row = batched.row(static_cast<int32_t>(c) * k + j);
+                if (cfg_.aggregation ==
+                    AggregationKind::ConcatCentroidDifference) {
+                    for (int32_t d = 0; d < m; ++d) {
+                        row[d] = cf[d];
+                        row[m + d] = nf[d] - cf[d];
+                    }
+                } else {
+                    for (int32_t d = 0; d < m; ++d)
+                        row[d] = nf[d] - cf[d];
                 }
-            } else {
-                for (int32_t d = 0; d < m; ++d)
-                    row[d] = nf[d] - cf[d];
             }
         }
-    }
+    });
 
     Tensor feat = mlp_.forward(batched);
-    for (int32_t c = 0; c < nOut; ++c) {
+    ThreadPool::global().parallelFor(nOut, /*grain=*/16, [&](int64_t b,
+                                                             int64_t e) {
         std::vector<int32_t> rows(k);
-        for (int32_t j = 0; j < k; ++j)
-            rows[j] = c * k + j;
-        Tensor reduced = tensor::maxReduceRows(feat, rows);
-        std::copy(reduced.row(0), reduced.row(0) + cfg_.outDim(),
-                  out.row(c));
-    }
+        for (int64_t c = b; c < e; ++c) {
+            for (int32_t j = 0; j < k; ++j)
+                rows[j] = static_cast<int32_t>(c) * k + j;
+            Tensor reduced = tensor::maxReduceRows(feat, rows);
+            std::copy(reduced.row(0), reduced.row(0) + cfg_.outDim(),
+                      out.row(static_cast<int32_t>(c)));
+        }
+    });
 
     res.out.features = std::move(out);
     res.out.coords = centroidCoords(in, res.centroidIdx, false);
@@ -343,31 +360,41 @@ ModuleExecutor::runDelayed(const ModuleState &in, Rng &samplerRng) const
         if (l0.hasBias())
             tensor::addBiasInPlace(q, l0.bias());
 
-        for (int32_t c = 0; c < nOut; ++c) {
-            const auto &entry = res.nit[c];
-            Tensor gathered = tensor::gatherRows(p, entry.neighbors);
-            Tensor reduced = tensor::maxReduceRows(gathered);
-            const float *qr = q.row(entry.centroid);
-            for (int32_t d = 0; d < h; ++d) {
-                float v = reduced(0, d) + qr[d];
-                if (l0.activation() == nn::Activation::Relu)
-                    v = std::max(0.0f, v);
-                out(c, d) = v;
-            }
-        }
+        ThreadPool::global().parallelFor(
+            nOut, /*grain=*/16, [&](int64_t b, int64_t e) {
+                for (int64_t ci = b; ci < e; ++ci) {
+                    int32_t c = static_cast<int32_t>(ci);
+                    const auto &entry = res.nit[c];
+                    Tensor gathered =
+                        tensor::gatherRows(p, entry.neighbors);
+                    Tensor reduced = tensor::maxReduceRows(gathered);
+                    const float *qr = q.row(entry.centroid);
+                    for (int32_t d = 0; d < h; ++d) {
+                        float v = reduced(0, d) + qr[d];
+                        if (l0.activation() == nn::Activation::Relu)
+                            v = std::max(0.0f, v);
+                        out(c, d) = v;
+                    }
+                }
+            });
     } else {
         // Point Feature Table: the full MLP over raw input points.
         Tensor pft = mlp_.forward(in.features); // Nin x Mout
-        for (int32_t c = 0; c < nOut; ++c) {
-            const auto &entry = res.nit[c];
-            Tensor gathered = tensor::gatherRows(pft, entry.neighbors);
-            // Max-before-subtract: exact because subtraction of the
-            // centroid feature distributes over max.
-            Tensor reduced = tensor::maxReduceRows(gathered);
-            const float *cf = pft.row(entry.centroid);
-            for (int32_t d = 0; d < mOut; ++d)
-                out(c, d) = reduced(0, d) - cf[d];
-        }
+        ThreadPool::global().parallelFor(
+            nOut, /*grain=*/16, [&](int64_t b, int64_t e) {
+                for (int64_t ci = b; ci < e; ++ci) {
+                    int32_t c = static_cast<int32_t>(ci);
+                    const auto &entry = res.nit[c];
+                    Tensor gathered =
+                        tensor::gatherRows(pft, entry.neighbors);
+                    // Max-before-subtract: exact because subtraction of
+                    // the centroid feature distributes over max.
+                    Tensor reduced = tensor::maxReduceRows(gathered);
+                    const float *cf = pft.row(entry.centroid);
+                    for (int32_t d = 0; d < mOut; ++d)
+                        out(c, d) = reduced(0, d) - cf[d];
+                }
+            });
     }
 
     res.out.features = std::move(out);
@@ -404,27 +431,35 @@ ModuleExecutor::runLtd(const ModuleState &in, Rng &samplerRng) const
     int32_t h1 = pft1.cols();
 
     Tensor batched(nOut * k, h1);
-    for (int32_t c = 0; c < nOut; ++c) {
-        const auto &entry = res.nit[c];
-        const float *cf = pft1.row(entry.centroid);
-        for (int32_t j = 0; j < k; ++j) {
-            const float *nf = pft1.row(entry.neighbors[j]);
-            float *row = batched.row(c * k + j);
-            for (int32_t d = 0; d < h1; ++d)
-                row[d] = nf[d] - cf[d];
+    ThreadPool::global().parallelFor(nOut, /*grain=*/16, [&](int64_t b,
+                                                             int64_t e) {
+        for (int64_t ci = b; ci < e; ++ci) {
+            int32_t c = static_cast<int32_t>(ci);
+            const auto &entry = res.nit[c];
+            const float *cf = pft1.row(entry.centroid);
+            for (int32_t j = 0; j < k; ++j) {
+                const float *nf = pft1.row(entry.neighbors[j]);
+                float *row = batched.row(c * k + j);
+                for (int32_t d = 0; d < h1; ++d)
+                    row[d] = nf[d] - cf[d];
+            }
         }
-    }
+    });
 
     Tensor feat = mlp_.forwardAfterFirstLinear(batched);
     Tensor out(nOut, cfg_.outDim());
-    for (int32_t c = 0; c < nOut; ++c) {
+    ThreadPool::global().parallelFor(nOut, /*grain=*/16, [&](int64_t b,
+                                                             int64_t e) {
         std::vector<int32_t> rows(k);
-        for (int32_t j = 0; j < k; ++j)
-            rows[j] = c * k + j;
-        Tensor reduced = tensor::maxReduceRows(feat, rows);
-        std::copy(reduced.row(0), reduced.row(0) + cfg_.outDim(),
-                  out.row(c));
-    }
+        for (int64_t ci = b; ci < e; ++ci) {
+            int32_t c = static_cast<int32_t>(ci);
+            for (int32_t j = 0; j < k; ++j)
+                rows[j] = c * k + j;
+            Tensor reduced = tensor::maxReduceRows(feat, rows);
+            std::copy(reduced.row(0), reduced.row(0) + cfg_.outDim(),
+                      out.row(c));
+        }
+    });
 
     res.out.features = std::move(out);
     res.out.coords = centroidCoords(in, res.centroidIdx, false);
@@ -472,26 +507,37 @@ InterpExecutor::run(const ModuleState &fine,
 
     Tensor interp(nFine, coarseDim_);
     neighbor::PointsView view(coarse.coords.data(), nCoarse, 3);
-    neighbor::KdTree tree(view);
     int32_t kk = std::min(cfg_.numNeighbors, nCoarse);
-    for (int32_t i = 0; i < nFine; ++i) {
-        std::vector<int32_t> nn = tree.knn(fine.coords.row(i), kk);
-        // Inverse-distance weights, as in PointNet++ three_interpolate.
-        float wsum = 0.0f;
-        std::vector<float> w(nn.size());
-        for (size_t j = 0; j < nn.size(); ++j) {
-            float d2 = view.dist2To(nn[j], fine.coords.row(i));
-            w[j] = 1.0f / (d2 + 1e-8f);
-            wsum += w[j];
-        }
-        float *dst = interp.row(i);
-        for (size_t j = 0; j < nn.size(); ++j) {
-            const float *src = coarse.features.row(nn[j]);
-            float wj = w[j] / wsum;
-            for (int32_t d = 0; d < coarseDim_; ++d)
-                dst[d] += wj * src[d];
-        }
-    }
+    neighbor::SearchHints hints;
+    hints.numQueries = nFine;
+    hints.k = kk;
+    auto backend = neighbor::makeBackend(cfg_.backend, view, hints);
+    ThreadPool::global().parallelFor(
+        nFine, /*grain=*/32, [&](int64_t b, int64_t e) {
+            std::vector<float> w;
+            for (int64_t ii = b; ii < e; ++ii) {
+                int32_t i = static_cast<int32_t>(ii);
+                std::vector<int32_t> nn =
+                    backend->knn(fine.coords.row(i), kk);
+                // Inverse-distance weights, as in PointNet++
+                // three_interpolate.
+                float wsum = 0.0f;
+                w.assign(nn.size(), 0.0f);
+                for (size_t j = 0; j < nn.size(); ++j) {
+                    float d2 =
+                        view.dist2To(nn[j], fine.coords.row(i));
+                    w[j] = 1.0f / (d2 + 1e-8f);
+                    wsum += w[j];
+                }
+                float *dst = interp.row(i);
+                for (size_t j = 0; j < nn.size(); ++j) {
+                    const float *src = coarse.features.row(nn[j]);
+                    float wj = w[j] / wsum;
+                    for (int32_t d = 0; d < coarseDim_; ++d)
+                        dst[d] += wj * src[d];
+                }
+            }
+        });
 
     Tensor x = tensor::concatCols(interp, fine.features);
     ModuleResult res;

@@ -6,6 +6,47 @@
 
 namespace mesorasi::neighbor {
 
+std::vector<int32_t>
+knnScan(const PointsView &points, const float *query, int32_t k)
+{
+    MESO_REQUIRE(k > 0 && k <= points.size(),
+                 "k=" << k << " with " << points.size() << " points");
+    std::vector<std::pair<float, int32_t>> dists(points.size());
+    for (int32_t i = 0; i < points.size(); ++i)
+        dists[i] = {points.dist2To(i, query), i};
+    // Pair comparison sorts by (distance, index): ties break by index,
+    // the ordering contract shared by every search backend.
+    std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+    std::vector<int32_t> out(k);
+    for (int32_t j = 0; j < k; ++j)
+        out[j] = dists[j].second;
+    return out;
+}
+
+std::vector<int32_t>
+radiusScan(const PointsView &points, const float *query, float radius,
+           int32_t maxK)
+{
+    MESO_REQUIRE(radius > 0.0f, "radius must be positive");
+    float r2 = radius * radius;
+    std::vector<std::pair<float, int32_t>> found;
+    for (int32_t i = 0; i < points.size(); ++i) {
+        float d2 = points.dist2To(i, query);
+        if (d2 <= r2)
+            found.push_back({d2, i});
+    }
+    // Nearest first, ties by index, so truncation at maxK keeps the
+    // same set no matter which search structure answered the query.
+    std::sort(found.begin(), found.end());
+    std::vector<int32_t> out;
+    for (const auto &[d2, i] : found) {
+        if (maxK > 0 && static_cast<int32_t>(out.size()) >= maxK)
+            break;
+        out.push_back(i);
+    }
+    return out;
+}
+
 NeighborIndexTable
 knnBruteForce(const PointsView &points, const std::vector<int32_t> &queries,
               int32_t k)
@@ -13,19 +54,11 @@ knnBruteForce(const PointsView &points, const std::vector<int32_t> &queries,
     MESO_REQUIRE(k > 0 && k <= points.size(),
                  "k=" << k << " with " << points.size() << " points");
     NeighborIndexTable nit(k);
-
-    std::vector<std::pair<float, int32_t>> dists(points.size());
     for (int32_t q : queries) {
         MESO_REQUIRE(q >= 0 && q < points.size(), "query " << q);
-        for (int32_t i = 0; i < points.size(); ++i)
-            dists[i] = {points.dist2(q, i), i};
-        std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
-
         NitEntry entry;
         entry.centroid = q;
-        entry.neighbors.reserve(k);
-        for (int32_t j = 0; j < k; ++j)
-            entry.neighbors.push_back(dists[j].second);
+        entry.neighbors = knnScan(points, points.row(q), k);
         nit.add(std::move(entry));
     }
     return nit;
@@ -39,22 +72,16 @@ ballQueryBruteForce(const PointsView &points,
     MESO_REQUIRE(radius > 0.0f && maxK > 0,
                  "radius=" << radius << " maxK=" << maxK);
     NeighborIndexTable nit(maxK);
-    float r2 = radius * radius;
-
     for (int32_t q : queries) {
         MESO_REQUIRE(q >= 0 && q < points.size(), "query " << q);
         NitEntry entry;
         entry.centroid = q;
-        for (int32_t i = 0;
-             i < points.size() &&
-             static_cast<int32_t>(entry.neighbors.size()) < maxK;
-             ++i) {
-            if (points.dist2(q, i) <= r2)
-                entry.neighbors.push_back(i);
-        }
-        // The centroid is within its own ball, so the group is never
-        // empty; pad by repeating the first member (reference-code
-        // behaviour) to keep a rectangular NFM.
+        entry.neighbors = radiusScan(points, points.row(q), radius, maxK);
+        // Overfull balls keep the *nearest* maxK (the cross-backend
+        // ordering contract; the original reference kept the first maxK
+        // in index order instead). The centroid is within its own ball,
+        // so the group is never empty; pad by repeating the first
+        // member to keep a rectangular NFM, as the reference code does.
         if (padToMaxK && !entry.neighbors.empty()) {
             while (static_cast<int32_t>(entry.neighbors.size()) < maxK)
                 entry.neighbors.push_back(entry.neighbors.front());

@@ -15,6 +15,23 @@
 namespace mesorasi::neighbor {
 
 /**
+ * Exact k nearest neighbors of the external point @p query (dim
+ * floats) by exhaustive scan, sorted by (distance, index). The single
+ * source of truth for brute-force ordering semantics — the table
+ * builders below and the brute_force SearchBackend both delegate here.
+ */
+std::vector<int32_t> knnScan(const PointsView &points, const float *query,
+                             int32_t k);
+
+/**
+ * All points within @p radius of the external point @p query, sorted
+ * by (distance, index), truncated to @p maxK if maxK > 0.
+ */
+std::vector<int32_t> radiusScan(const PointsView &points,
+                                const float *query, float radius,
+                                int32_t maxK = -1);
+
+/**
  * Exact k nearest neighbors of each query point, by exhaustive scan.
  *
  * @param points   the searchable point set

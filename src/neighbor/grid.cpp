@@ -7,6 +7,169 @@
 
 namespace mesorasi::neighbor {
 
+// ---------------------------------------------------------------------
+// GridIndex
+// ---------------------------------------------------------------------
+
+GridIndex::GridIndex(const PointsView &points, float cellSize,
+                     const float *origin)
+    : points_(points), cellSize_(cellSize)
+{
+    MESO_REQUIRE(points.dim() == 3,
+                 "GridIndex is 3-D only, got dim " << points.dim());
+    MESO_REQUIRE(cellSize > 0.0f, "cell size must be positive");
+    MESO_REQUIRE(points.size() > 0, "cannot index an empty view");
+
+    if (origin) {
+        for (int32_t d = 0; d < 3; ++d)
+            origin_[d] = origin[d];
+    } else {
+        for (int32_t d = 0; d < 3; ++d)
+            origin_[d] = points.row(0)[d];
+        for (int32_t i = 1; i < points.size(); ++i) {
+            const float *p = points.row(i);
+            for (int32_t d = 0; d < 3; ++d)
+                origin_[d] = std::min(origin_[d], p[d]);
+        }
+    }
+
+    for (int32_t i = 0; i < points.size(); ++i) {
+        int64_t c[3];
+        cellOf(points.row(i), c);
+        for (int32_t d = 0; d < 3; ++d) {
+            loCell_[d] = i == 0 ? c[d] : std::min(loCell_[d], c[d]);
+            hiCell_[d] = i == 0 ? c[d] : std::max(hiCell_[d], c[d]);
+        }
+        cells_[key(c[0], c[1], c[2])].push_back(i);
+    }
+}
+
+void
+GridIndex::cellOf(const float *p, int64_t c[3]) const
+{
+    for (int32_t d = 0; d < 3; ++d)
+        c[d] = static_cast<int64_t>(
+            std::floor((p[d] - origin_[d]) / cellSize_));
+}
+
+int64_t
+GridIndex::key(int64_t cx, int64_t cy, int64_t cz) const
+{
+    // 21 signed bits per axis.
+    auto pack = [](int64_t v) { return (v + (1 << 20)) & 0x1fffff; };
+    return (pack(cx) << 42) | (pack(cy) << 21) | pack(cz);
+}
+
+std::vector<int32_t>
+GridIndex::radius(const float *query, float radius, int32_t maxK) const
+{
+    MESO_REQUIRE(radius > 0.0f, "radius must be positive");
+    float r2 = radius * radius;
+    int64_t reach =
+        static_cast<int64_t>(std::ceil(radius / cellSize_));
+
+    int64_t c[3];
+    cellOf(query, c);
+    std::vector<std::pair<float, int32_t>> found;
+    for (int64_t dx = -reach; dx <= reach; ++dx) {
+        for (int64_t dy = -reach; dy <= reach; ++dy) {
+            for (int64_t dz = -reach; dz <= reach; ++dz) {
+                auto it = cells_.find(key(c[0] + dx, c[1] + dy, c[2] + dz));
+                if (it == cells_.end())
+                    continue;
+                for (int32_t idx : it->second) {
+                    float d2 = points_.dist2To(idx, query);
+                    if (d2 <= r2)
+                        found.push_back({d2, idx});
+                }
+            }
+        }
+    }
+    // Default pair ordering is (distance, index): ties resolve
+    // deterministically and identically across all search backends.
+    std::sort(found.begin(), found.end());
+    std::vector<int32_t> out;
+    for (const auto &[d2, idx] : found) {
+        if (maxK > 0 && static_cast<int32_t>(out.size()) >= maxK)
+            break;
+        out.push_back(idx);
+    }
+    return out;
+}
+
+std::vector<int32_t>
+GridIndex::knn(const float *query, int32_t k) const
+{
+    MESO_REQUIRE(k > 0 && k <= points_.size(),
+                 "k=" << k << " with " << points_.size() << " points");
+
+    int64_t c[3];
+    cellOf(query, c);
+    // The farthest occupied cell bounds the shell expansion.
+    int64_t max_ring = 0;
+    for (int32_t d = 0; d < 3; ++d) {
+        max_ring = std::max(max_ring, std::abs(loCell_[d] - c[d]));
+        max_ring = std::max(max_ring, std::abs(hiCell_[d] - c[d]));
+    }
+
+    std::vector<std::pair<float, int32_t>> best; // kept sorted, size <= k
+    for (int64_t ring = 0; ring <= max_ring; ++ring) {
+        // Cells not yet scanned have Chebyshev distance >= ring, and a
+        // point there is at least (ring - 1) * cellSize away (the query
+        // may sit at the edge of its own cell), so once the k-th best
+        // distance is strictly inside that bound the answer is exact.
+        // Strict: at exactly the bound, an unscanned equidistant point
+        // with a smaller index could still win the tie-break.
+        if (static_cast<int32_t>(best.size()) == k && ring > 0) {
+            float bound = static_cast<float>(ring - 1) * cellSize_;
+            if (best.back().first < bound * bound)
+                break;
+        }
+        auto scanCell = [&](int64_t dx, int64_t dy, int64_t dz) {
+            auto it = cells_.find(key(c[0] + dx, c[1] + dy, c[2] + dz));
+            if (it == cells_.end())
+                return;
+            for (int32_t idx : it->second) {
+                std::pair<float, int32_t> cand{
+                    points_.dist2To(idx, query), idx};
+                if (static_cast<int32_t>(best.size()) == k &&
+                    !(cand < best.back()))
+                    continue;
+                best.insert(std::lower_bound(best.begin(), best.end(),
+                                             cand),
+                            cand);
+                if (static_cast<int32_t>(best.size()) > k)
+                    best.pop_back();
+            }
+        };
+        // Enumerate only the shell (Chebyshev distance == ring): the
+        // full dz column where dx or dy is already on the ring edge,
+        // otherwise just the two dz end caps.
+        for (int64_t dx = -ring; dx <= ring; ++dx) {
+            for (int64_t dy = -ring; dy <= ring; ++dy) {
+                if (std::abs(dx) == ring || std::abs(dy) == ring) {
+                    for (int64_t dz = -ring; dz <= ring; ++dz)
+                        scanCell(dx, dy, dz);
+                } else {
+                    scanCell(dx, dy, -ring);
+                    if (ring > 0)
+                        scanCell(dx, dy, ring);
+                }
+            }
+        }
+    }
+
+    std::vector<int32_t> out;
+    out.reserve(best.size());
+    for (const auto &[d2, idx] : best)
+        out.push_back(idx);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// UniformGrid
+// ---------------------------------------------------------------------
+
 UniformGrid::UniformGrid(const geom::PointCloud &cloud, float cellSize)
     : cloud_(cloud), cellSize_(cellSize)
 {

@@ -1,10 +1,16 @@
 /**
  * @file
- * Uniform-grid spatial index for 3-D radius queries.
+ * Uniform-grid spatial indexes for 3-D queries.
  *
  * Complements the KD-tree: for the LiDAR-scale clouds produced by
  * KittiSim, a flat grid with cell size ~= radius answers ball queries in
  * near-constant time per query. 3-D only (cells hash xyz).
+ *
+ * Two variants: GridIndex works over a dimension-generic PointsView
+ * (restricted to dim == 3) and additionally answers exact k-NN via
+ * expanding cell shells — it backs the "grid" SearchBackend. UniformGrid
+ * is the original PointCloud-based radius-only index kept for direct
+ * use on geom clouds.
  */
 #pragma once
 
@@ -14,8 +20,53 @@
 
 #include "geom/point_cloud.hpp"
 #include "neighbor/nit.hpp"
+#include "neighbor/points_view.hpp"
 
 namespace mesorasi::neighbor {
+
+/**
+ * Hash-grid over a 3-D PointsView; the view must outlive the index.
+ * Queries are exact: ball queries scan the cells overlapping the ball,
+ * k-NN expands Chebyshev cell shells until the k-th best distance is
+ * provably inside the scanned region.
+ */
+class GridIndex
+{
+  public:
+    /** @param points 3-D view to index
+     *  @param cellSize edge length of a grid cell (choose ~= query
+     *  radius, or ~ the expected k-NN range, for best performance)
+     *  @param origin optional precomputed per-axis minimum of the
+     *  points (3 floats); skips the min-scan pass when the caller
+     *  already has the bounding box. */
+    GridIndex(const PointsView &points, float cellSize,
+              const float *origin = nullptr);
+
+    /** k nearest neighbors of the external point @p query (3 floats),
+     *  sorted by (distance, index). */
+    std::vector<int32_t> knn(const float *query, int32_t k) const;
+
+    /** All points within @p radius of @p query, sorted by (distance,
+     *  index), truncated to maxK if maxK > 0. */
+    std::vector<int32_t> radius(const float *query, float radius,
+                                int32_t maxK = -1) const;
+
+    /** Number of occupied cells (diagnostics). */
+    size_t numCells() const { return cells_.size(); }
+
+    float cellSize() const { return cellSize_; }
+
+  private:
+    int64_t key(int64_t cx, int64_t cy, int64_t cz) const;
+    void cellOf(const float *p, int64_t c[3]) const;
+
+    PointsView points_;
+    float cellSize_;
+    float origin_[3] = {0.0f, 0.0f, 0.0f};
+    int64_t loCell_[3] = {0, 0, 0}; ///< cell-coordinate bounds
+    int64_t hiCell_[3] = {0, 0, 0};
+    std::unordered_map<int64_t, std::vector<int32_t>> cells_;
+};
 
 /** Hash-grid over a 3-D point cloud; the cloud must outlive the grid. */
 class UniformGrid

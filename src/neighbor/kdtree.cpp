@@ -81,7 +81,7 @@ KdTree::searchKnn(int32_t node, const float *query, int32_t k,
             if (static_cast<int32_t>(heap.size()) < k) {
                 heap.push_back({d2, idx});
                 std::push_heap(heap.begin(), heap.end());
-            } else if (d2 < heap.front().dist2) {
+            } else if (HeapItem{d2, idx} < heap.front()) {
                 std::pop_heap(heap.begin(), heap.end());
                 heap.back() = {d2, idx};
                 std::push_heap(heap.begin(), heap.end());
@@ -95,9 +95,10 @@ KdTree::searchKnn(int32_t node, const float *query, int32_t k,
     int32_t far = diff <= 0.0f ? nd.right : nd.left;
     searchKnn(near, query, k, heap);
     // Prune the far side if the splitting plane is farther than the
-    // current k-th best.
+    // current k-th best (<=: an equidistant point with a smaller index
+    // must still be visited for deterministic tie-breaking).
     if (static_cast<int32_t>(heap.size()) < k ||
-        diff * diff < heap.front().dist2)
+        diff * diff <= heap.front().dist2)
         searchKnn(far, query, k, heap);
 }
 
@@ -153,40 +154,6 @@ KdTree::radius(const float *query, float radius, int32_t maxK) const
         out.push_back(h.index);
     }
     return out;
-}
-
-NeighborIndexTable
-KdTree::knnTable(const std::vector<int32_t> &queries, int32_t k) const
-{
-    NeighborIndexTable nit(k);
-    for (int32_t q : queries) {
-        MESO_REQUIRE(q >= 0 && q < points_.size(), "query " << q);
-        NitEntry entry;
-        entry.centroid = q;
-        entry.neighbors = knn(points_.row(q), k);
-        nit.add(std::move(entry));
-    }
-    return nit;
-}
-
-NeighborIndexTable
-KdTree::ballTable(const std::vector<int32_t> &queries, float r,
-                  int32_t maxK, bool padToMaxK) const
-{
-    MESO_REQUIRE(maxK > 0, "maxK must be positive");
-    NeighborIndexTable nit(maxK);
-    for (int32_t q : queries) {
-        MESO_REQUIRE(q >= 0 && q < points_.size(), "query " << q);
-        NitEntry entry;
-        entry.centroid = q;
-        entry.neighbors = radius(points_.row(q), r, maxK);
-        if (padToMaxK && !entry.neighbors.empty()) {
-            while (static_cast<int32_t>(entry.neighbors.size()) < maxK)
-                entry.neighbors.push_back(entry.neighbors.front());
-        }
-        nit.add(std::move(entry));
-    }
-    return nit;
 }
 
 } // namespace mesorasi::neighbor

@@ -27,19 +27,12 @@ class KdTree
     std::vector<int32_t> knn(const float *query, int32_t k) const;
 
     /** All points within @p radius of @p query, nearest first,
-     *  truncated to @p maxK if maxK > 0. */
+     *  truncated to @p maxK if maxK > 0. NIT construction lives in
+     *  SearchBackend::knnTable/ballTable (the single copy of the
+     *  truncate-and-pad contract); wrap the tree in the "kdtree"
+     *  backend to build tables. */
     std::vector<int32_t> radius(const float *query, float radius,
                                 int32_t maxK = -1) const;
-
-    /** Build a NIT by running knn for each query index. */
-    NeighborIndexTable knnTable(const std::vector<int32_t> &queries,
-                                int32_t k) const;
-
-    /** Build a NIT by running a radius query for each query index;
-     *  pads to maxK by repeating the nearest member. */
-    NeighborIndexTable ballTable(const std::vector<int32_t> &queries,
-                                 float radius, int32_t maxK,
-                                 bool padToMaxK = true) const;
 
     /** Number of internal nodes (diagnostics). */
     int32_t numNodes() const { return static_cast<int32_t>(nodes_.size()); }
@@ -61,7 +54,13 @@ class KdTree
     {
         float dist2;
         int32_t index;
-        bool operator<(const HeapItem &o) const { return dist2 < o.dist2; }
+        // Ties break by index so results match the other backends
+        // deterministically.
+        bool
+        operator<(const HeapItem &o) const
+        {
+            return dist2 != o.dist2 ? dist2 < o.dist2 : index < o.index;
+        }
     };
 
     int32_t build(int32_t begin, int32_t end, int32_t depth);

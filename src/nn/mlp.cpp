@@ -1,5 +1,8 @@
 #include "nn/mlp.hpp"
 
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace mesorasi::nn {
@@ -25,10 +28,38 @@ tensor::Tensor
 Mlp::forward(const tensor::Tensor &x) const
 {
     MESO_REQUIRE(!layers_.empty(), "empty MLP");
-    tensor::Tensor y = layers_[0].forward(x);
-    for (size_t i = 1; i < layers_.size(); ++i)
-        y = layers_[i].forward(y);
-    return y;
+    const ThreadPool &pool = ThreadPool::global();
+    constexpr int64_t kMinRowsPerChunk = 256;
+    if (pool.size() <= 1 || ThreadPool::insideWorker() ||
+        layers_.size() < 2 || x.rows() < 2 * kMinRowsPerChunk) {
+        tensor::Tensor y = layers_[0].forward(x);
+        for (size_t i = 1; i < layers_.size(); ++i)
+            y = layers_[i].forward(y);
+        return y;
+    }
+
+    // Every row flows through the stack independently, so chunk the
+    // batch across workers: each chunk's intermediate activations stay
+    // cache-resident through all layers, and the result is bitwise
+    // identical to the serial pass.
+    tensor::Tensor out(x.rows(), outDim());
+    pool.parallelFor(
+        x.rows(), kMinRowsPerChunk, [&](int64_t begin, int64_t end) {
+            int32_t rows = static_cast<int32_t>(end - begin);
+            tensor::Tensor chunk(rows, x.cols());
+            for (int32_t r = 0; r < rows; ++r) {
+                const float *src = x.row(static_cast<int32_t>(begin) + r);
+                std::copy(src, src + x.cols(), chunk.row(r));
+            }
+            for (const auto &layer : layers_)
+                chunk = layer.forward(chunk);
+            for (int32_t r = 0; r < rows; ++r) {
+                const float *src = chunk.row(r);
+                std::copy(src, src + out.cols(),
+                          out.row(static_cast<int32_t>(begin) + r));
+            }
+        });
+    return out;
 }
 
 tensor::Tensor

@@ -4,7 +4,23 @@
 #include <cmath>
 #include <limits>
 
+#include "common/thread_pool.hpp"
+
 namespace mesorasi::tensor {
+
+namespace {
+
+/** Rows-per-chunk grain so small products stay serial: splitting a
+ *  matmul pays off only once each thread gets ~1M MACs. */
+int64_t
+matmulGrain(int64_t flopsPerRow)
+{
+    constexpr int64_t kMinFlopsPerChunk = 1 << 20;
+    return std::max<int64_t>(1, kMinFlopsPerChunk /
+                                    std::max<int64_t>(1, flopsPerRow));
+}
+
+} // namespace
 
 Tensor
 matmul(const Tensor &a, const Tensor &b)
@@ -12,19 +28,27 @@ matmul(const Tensor &a, const Tensor &b)
     MESO_REQUIRE(a.cols() == b.rows(), "matmul " << a.shapeStr() << " * "
                                                  << b.shapeStr());
     Tensor c(a.rows(), b.cols());
-    // ikj loop order: streams through b and c rows contiguously.
-    for (int32_t i = 0; i < a.rows(); ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (int32_t k = 0; k < a.cols(); ++k) {
-            float av = arow[k];
-            if (av == 0.0f)
-                continue;
-            const float *brow = b.row(k);
-            for (int32_t j = 0; j < b.cols(); ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    // Output rows are independent, so the row loop parallelizes with
+    // bitwise-identical results to the serial execution.
+    ThreadPool::global().parallelFor(
+        a.rows(),
+        matmulGrain(static_cast<int64_t>(a.cols()) * b.cols()),
+        [&](int64_t begin, int64_t end) {
+            for (int64_t i = begin; i < end; ++i) {
+                const float *arow = a.row(static_cast<int32_t>(i));
+                float *crow = c.row(static_cast<int32_t>(i));
+                // kj loop order: streams through b and c rows
+                // contiguously.
+                for (int32_t k = 0; k < a.cols(); ++k) {
+                    float av = arow[k];
+                    if (av == 0.0f)
+                        continue;
+                    const float *brow = b.row(k);
+                    for (int32_t j = 0; j < b.cols(); ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        });
     return c;
 }
 
@@ -33,20 +57,28 @@ addBiasInPlace(Tensor &x, const Tensor &bias)
 {
     MESO_REQUIRE(bias.rows() == 1 && bias.cols() == x.cols(),
                  "bias " << bias.shapeStr() << " for " << x.shapeStr());
-    for (int32_t r = 0; r < x.rows(); ++r) {
-        float *row = x.row(r);
-        const float *b = bias.row(0);
-        for (int32_t c = 0; c < x.cols(); ++c)
-            row[c] += b[c];
-    }
+    ThreadPool::global().parallelFor(
+        x.rows(), matmulGrain(x.cols()),
+        [&](int64_t begin, int64_t end) {
+            const float *b = bias.row(0);
+            for (int64_t r = begin; r < end; ++r) {
+                float *row = x.row(static_cast<int32_t>(r));
+                for (int32_t c = 0; c < x.cols(); ++c)
+                    row[c] += b[c];
+            }
+        });
 }
 
 void
 reluInPlace(Tensor &x)
 {
     float *d = x.data();
-    for (int64_t i = 0; i < x.numel(); ++i)
-        d[i] = std::max(0.0f, d[i]);
+    ThreadPool::global().parallelFor(
+        x.numel(), /*grain=*/1 << 20,
+        [&](int64_t begin, int64_t end) {
+            for (int64_t i = begin; i < end; ++i)
+                d[i] = std::max(0.0f, d[i]);
+        });
 }
 
 Tensor

@@ -4,10 +4,11 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "geom/datasets.hpp"
 #include "geom/sampling.hpp"
-#include "neighbor/kdtree.hpp"
 #include "neighbor/points_view.hpp"
+#include "neighbor/search_backend.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
 #include "train/grad_ops.hpp"
@@ -118,10 +119,18 @@ MiniPointNet::forwardImpl(const geom::PointCloud &cloud,
     // Deterministic FPS centroids + exact k-NN groups.
     c.centroids = geom::farthestPointSample(cloud, cfg_.numCentroids);
     neighbor::PointsView view(c.x.data(), c.x.rows(), 3);
-    neighbor::KdTree tree(view);
+    neighbor::SearchHints hints;
+    hints.numQueries = cfg_.numCentroids;
+    hints.k = cfg_.k;
+    auto backend =
+        neighbor::makeBackend(neighbor::Backend::Auto, view, hints);
     c.neighbors.resize(cfg_.numCentroids);
-    for (int32_t i = 0; i < cfg_.numCentroids; ++i)
-        c.neighbors[i] = tree.knn(c.x.row(c.centroids[i]), cfg_.k);
+    ThreadPool::global().parallelFor(
+        cfg_.numCentroids, /*grain=*/8, [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i)
+                c.neighbors[i] =
+                    backend->knn(c.x.row(c.centroids[i]), cfg_.k);
+        });
 
     int32_t nc = cfg_.numCentroids;
     int32_t k = cfg_.k;

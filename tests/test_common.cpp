@@ -1,16 +1,21 @@
 /**
  * @file
- * Unit tests for the common substrate: checks, RNG, statistics, tables.
+ * Unit tests for the common substrate: checks, RNG, statistics, tables,
+ * and the thread pool.
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 
 namespace mesorasi {
 namespace {
@@ -250,6 +255,76 @@ TEST(Table, Formatters)
     EXPECT_EQ(fmtPct(0.511, 1), "51.1%");
     EXPECT_EQ(fmtBytes(2048.0), "2.00 KB");
     EXPECT_EQ(fmtCount(1500.0), "1.50K");
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    for (auto &h : hits)
+        h.store(0); // C++17: atomic default-init is indeterminate
+    pool.parallelFor(1000, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RespectsGrainAndEmptyRange)
+{
+    ThreadPool pool(4);
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(100, /*grain=*/1000, [&](int64_t b, int64_t e) {
+        // Range smaller than the grain runs as one inline chunk.
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 100);
+        sum.fetch_add(e - b);
+    });
+    EXPECT_EQ(sum.load(), 100);
+    pool.parallelFor(0, [&](int64_t, int64_t) { FAIL(); });
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [&](int64_t b, int64_t) {
+                                      if (b >= 0)
+                                          MESO_REQUIRE(false, "inner");
+                                  }),
+                 UsageError);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(2);
+    std::atomic<int64_t> total{0};
+    // Inner loops issued from pool workers must run inline (no
+    // deadlock, full coverage).
+    pool.parallelFor(8, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+            ThreadPool::global().parallelFor(
+                10, [&](int64_t ib, int64_t ie) {
+                    EXPECT_TRUE(ThreadPool::insideWorker() ||
+                                ThreadPool::global().size() == 1);
+                    total.fetch_add(ie - ib);
+                });
+        }
+    });
+    EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    int64_t sum = 0; // no atomics needed: everything is inline
+    pool.parallelFor(100, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+            sum += i;
+    });
+    EXPECT_EQ(sum, 4950);
 }
 
 } // namespace

@@ -16,6 +16,7 @@
 #include "neighbor/kdtree.hpp"
 #include "neighbor/nit.hpp"
 #include "neighbor/points_view.hpp"
+#include "neighbor/search_backend.hpp"
 
 namespace mesorasi::neighbor {
 namespace {
@@ -137,14 +138,14 @@ TEST_P(KdTreeSweep, KnnMatchesBruteForce)
     Rng rng(1000 + n + dim + k);
     auto data = randomRows(rng, n, dim);
     PointsView v(data.data(), n, dim);
-    KdTree tree(v, 8);
+    auto tree = makeBackendByName("kdtree", v);
 
     std::vector<int32_t> queries;
     for (int32_t q = 0; q < n; q += std::max(1, n / 17))
         queries.push_back(q);
 
     auto ref = knnBruteForce(v, queries, k);
-    auto got = tree.knnTable(queries, k);
+    auto got = tree->knnTable(queries, k);
     ASSERT_EQ(ref.size(), got.size());
     for (int32_t i = 0; i < ref.size(); ++i) {
         // Distances must match exactly (sets may differ under ties, so
@@ -192,8 +193,8 @@ TEST(KdTree, BallTablePadsLikeBruteForce)
     Rng rng(7);
     auto data = randomRows(rng, 120, 3);
     PointsView v(data.data(), 120, 3);
-    KdTree tree(v);
-    auto a = tree.ballTable({3, 60}, 0.3f, 12);
+    auto tree = makeBackendByName("kdtree", v);
+    auto a = tree->ballTable({3, 60}, 0.3f, 12);
     auto b = ballQueryBruteForce(v, {3, 60}, 0.3f, 12);
     ASSERT_EQ(a.size(), b.size());
     for (int32_t i = 0; i < a.size(); ++i)
@@ -207,7 +208,8 @@ TEST(KdTree, RejectsBadQueries)
     PointsView v(data.data(), 10, 3);
     KdTree tree(v);
     EXPECT_THROW(tree.knn(v.row(0), 11), mesorasi::UsageError);
-    EXPECT_THROW(tree.knnTable({10}, 2), mesorasi::UsageError);
+    auto backend = makeBackendByName("kdtree", v);
+    EXPECT_THROW(backend->knnTable({10}, 2), mesorasi::UsageError);
 }
 
 TEST(Grid, RadiusMatchesBruteForce)
@@ -237,11 +239,11 @@ TEST(Grid, BallTableMatchesKdTree)
     geom::PointCloud cloud = geom::makeTorus(rng, p, {}, 0.7f, 0.2f);
     UniformGrid grid(cloud, 0.25f);
     FlatPoints flat(cloud);
-    KdTree tree(flat.view());
+    auto tree = makeBackendByName("kdtree", flat.view());
 
     std::vector<int32_t> queries{0, 50, 100, 150, 199};
     auto a = grid.ballTable(queries, 0.25f, 8);
-    auto b = tree.ballTable(queries, 0.25f, 8);
+    auto b = tree->ballTable(queries, 0.25f, 8);
     ASSERT_EQ(a.size(), b.size());
     for (int32_t i = 0; i < a.size(); ++i) {
         // Same group sizes and same nearest member.

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the pluggable search-backend layer: cross-backend parity
+ * (identical k-NN and ball-query results, ties broken by index), the
+ * name registry/factory, and the Auto selection policy.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <set>
+#include <tuple>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "neighbor/search_backend.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mesorasi::neighbor {
+namespace {
+
+using mesorasi::Rng;
+
+std::vector<float>
+randomRows(Rng &rng, int32_t n, int32_t dim)
+{
+    std::vector<float> data(static_cast<size_t>(n) * dim);
+    for (auto &v : data)
+        v = rng.uniform(-1.0f, 1.0f);
+    return data;
+}
+
+std::vector<int32_t>
+someQueries(int32_t n)
+{
+    std::vector<int32_t> q;
+    for (int32_t i = 0; i < n; i += std::max(1, n / 23))
+        q.push_back(i);
+    return q;
+}
+
+/** All registered backends applicable to a view of this dimension. */
+std::vector<std::string>
+applicableBackends(int32_t dim)
+{
+    std::vector<std::string> names = registeredBackendNames();
+    if (dim != 3)
+        names.erase(std::remove(names.begin(), names.end(), "grid"),
+                    names.end());
+    return names;
+}
+
+TEST(BackendParity, KnnIdenticalAcrossBackends)
+{
+    for (auto [n, dim, k] : {std::tuple<int32_t, int32_t, int32_t>{
+                                 400, 3, 16},
+                             {150, 3, 8},
+                             {200, 8, 12},
+                             {64, 32, 7}}) {
+        Rng rng(100 + n + dim);
+        auto data = randomRows(rng, n, dim);
+        PointsView v(data.data(), n, dim);
+        auto queries = someQueries(n);
+        SearchHints hints;
+        hints.numQueries = static_cast<int32_t>(queries.size());
+        hints.k = k;
+
+        auto ref = makeBackendByName("brute_force", v, hints)
+                       ->knnTable(queries, k);
+        for (const std::string &name : applicableBackends(dim)) {
+            auto got =
+                makeBackendByName(name, v, hints)->knnTable(queries, k);
+            ASSERT_EQ(ref.size(), got.size()) << name;
+            for (int32_t i = 0; i < ref.size(); ++i)
+                EXPECT_EQ(ref[i].neighbors, got[i].neighbors)
+                    << name << " n=" << n << " dim=" << dim
+                    << " query " << queries[i];
+        }
+    }
+}
+
+TEST(BackendParity, BallIdenticalAcrossBackends)
+{
+    for (auto [n, dim, maxK, radius] :
+         {std::tuple<int32_t, int32_t, int32_t, float>{400, 3, 12, 0.4f},
+          {150, 3, 64, 0.9f}, // large ball: exercises truncation
+          {200, 8, 16, 1.1f}}) {
+        Rng rng(200 + n + dim);
+        auto data = randomRows(rng, n, dim);
+        PointsView v(data.data(), n, dim);
+        auto queries = someQueries(n);
+        SearchHints hints;
+        hints.numQueries = static_cast<int32_t>(queries.size());
+        hints.k = maxK;
+        hints.radius = radius;
+
+        auto ref = makeBackendByName("brute_force", v, hints)
+                       ->ballTable(queries, radius, maxK);
+        for (const std::string &name : applicableBackends(dim)) {
+            auto got = makeBackendByName(name, v, hints)
+                           ->ballTable(queries, radius, maxK);
+            ASSERT_EQ(ref.size(), got.size()) << name;
+            for (int32_t i = 0; i < ref.size(); ++i)
+                EXPECT_EQ(ref[i].neighbors, got[i].neighbors)
+                    << name << " n=" << n << " dim=" << dim
+                    << " query " << queries[i];
+        }
+    }
+}
+
+TEST(BackendParity, UnpaddedBallKeepsShortGroups)
+{
+    Rng rng(5);
+    auto data = randomRows(rng, 120, 3);
+    PointsView v(data.data(), 120, 3);
+    std::vector<int32_t> queries{0, 17, 60, 119};
+    for (const std::string &name : applicableBackends(3)) {
+        auto nit = makeBackendByName(name, v)->ballTable(
+            queries, 0.05f, 8, /*padToMaxK=*/false);
+        for (int32_t i = 0; i < nit.size(); ++i) {
+            // Tight radius: groups may hold fewer than maxK members but
+            // always include the centroid itself.
+            EXPECT_GE(nit[i].neighbors.size(), 1u) << name;
+            EXPECT_EQ(nit[i].neighbors[0], queries[i]) << name;
+        }
+    }
+}
+
+TEST(BackendRegistry, ShipsThreeBackends)
+{
+    auto names = registeredBackendNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "brute_force"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "grid"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "kdtree"),
+              names.end());
+}
+
+TEST(BackendRegistry, NamesRoundTripAndRejectUnknown)
+{
+    EXPECT_EQ(backendFromName("auto"), Backend::Auto);
+    for (Backend b :
+         {Backend::BruteForce, Backend::Grid, Backend::KdTree})
+        EXPECT_EQ(backendFromName(backendName(b)), b);
+    EXPECT_THROW(backendFromName("octree"), mesorasi::UsageError);
+
+    Rng rng(6);
+    auto data = randomRows(rng, 10, 3);
+    PointsView v(data.data(), 10, 3);
+    EXPECT_THROW(makeBackendByName("octree", v), mesorasi::UsageError);
+}
+
+TEST(BackendRegistry, CustomBackendIsConstructible)
+{
+    registerSearchBackend(
+        "test_alias", [](const PointsView &p, const SearchHints &h) {
+            return makeBackendByName("brute_force", p, h);
+        });
+    Rng rng(7);
+    auto data = randomRows(rng, 20, 3);
+    PointsView v(data.data(), 20, 3);
+    auto backend = makeBackendByName("test_alias", v);
+    EXPECT_STREQ(backend->name(), "brute_force");
+    auto nit = backend->knnTable({0, 5}, 3);
+    EXPECT_EQ(nit.size(), 2);
+}
+
+TEST(AutoPolicy, PicksSensibleBackends)
+{
+    Rng rng(8);
+    auto small = randomRows(rng, 64, 3);
+    auto big = randomRows(rng, 4096, 3);
+    auto feat = randomRows(rng, 1024, 64);
+
+    SearchHints knn_hints;
+    knn_hints.k = 16;
+    SearchHints ball_hints;
+    ball_hints.k = 32;
+    ball_hints.radius = 0.2f;
+
+    // Tiny cloud: index construction never pays off.
+    EXPECT_EQ(chooseBackend({small.data(), 64, 3}, knn_hints),
+              Backend::BruteForce);
+    // 3-D ball query at scale: the grid.
+    EXPECT_EQ(chooseBackend({big.data(), 4096, 3}, ball_hints),
+              Backend::Grid);
+    // 3-D k-NN at scale: the KD-tree.
+    EXPECT_EQ(chooseBackend({big.data(), 4096, 3}, knn_hints),
+              Backend::KdTree);
+    // High-dimensional feature space (DGCNN): exhaustive scan.
+    EXPECT_EQ(chooseBackend({feat.data(), 1024, 64}, knn_hints),
+              Backend::BruteForce);
+
+    // makeBackend(Auto) constructs what the policy picked.
+    auto backend =
+        makeBackend(Backend::Auto, {big.data(), 4096, 3}, ball_hints);
+    EXPECT_STREQ(backend->name(), "grid");
+}
+
+TEST(AutoPolicy, GridRefusesNon3d)
+{
+    Rng rng(9);
+    auto data = randomRows(rng, 100, 5);
+    PointsView v(data.data(), 100, 5);
+    EXPECT_THROW(makeBackend(Backend::Grid, v), mesorasi::UsageError);
+}
+
+// --- Pipeline-level parity: the executor must produce identical
+// features no matter which backend answers the N stage. --------------
+
+core::ModuleState
+torusState(int32_t n)
+{
+    Rng rng(11);
+    core::ModuleState state;
+    state.coords = tensor::Tensor(n, 3);
+    for (int32_t i = 0; i < n; ++i) {
+        float u = rng.uniform(0.0f, 6.2831853f);
+        float w = rng.uniform(0.0f, 6.2831853f);
+        float r = 0.7f + 0.25f * std::cos(w);
+        state.coords(i, 0) = r * std::cos(u);
+        state.coords(i, 1) = r * std::sin(u);
+        state.coords(i, 2) = 0.25f * std::sin(w);
+    }
+    state.features = state.coords;
+    return state;
+}
+
+TEST(BackendRegistry, PipelineRoutesThroughCustomBackend)
+{
+    registerSearchBackend(
+        "counting", [](const PointsView &p, const SearchHints &h) {
+            return makeBackendByName("brute_force", p, h);
+        });
+    core::ModuleConfig cfg;
+    cfg.name = "m";
+    cfg.numCentroids = 32;
+    cfg.k = 8;
+    cfg.search = core::SearchKind::Knn;
+    cfg.customBackend = "counting";
+    cfg.mlpWidths = {16};
+    Rng wrng(3);
+    core::ModuleExecutor ex(cfg, 3, wrng);
+    core::ModuleState state = torusState(128);
+    Rng srng(4);
+    core::ModuleResult r =
+        ex.run(state, core::PipelineKind::Delayed, srng);
+    EXPECT_EQ(r.out.features.rows(), 32);
+
+    cfg.customBackend = "no_such_backend";
+    core::ModuleExecutor bad(cfg, 3, wrng);
+    Rng srng2(4);
+    EXPECT_THROW(bad.run(state, core::PipelineKind::Delayed, srng2),
+                 mesorasi::UsageError);
+}
+
+TEST(BackendParity, PipelineOutputsIdenticalAcrossBackends)
+{
+    core::ModuleState state = torusState(512);
+    for (core::SearchKind search :
+         {core::SearchKind::Knn, core::SearchKind::Ball}) {
+        std::optional<tensor::Tensor> ref;
+        for (Backend b :
+             {Backend::BruteForce, Backend::Grid, Backend::KdTree}) {
+            core::ModuleConfig cfg;
+            cfg.name = "m";
+            cfg.numCentroids = 128;
+            cfg.k = 16;
+            cfg.search = search;
+            cfg.radius = 0.3f;
+            cfg.backend = b;
+            cfg.mlpWidths = {32, 64};
+            Rng wrng(3);
+            core::ModuleExecutor ex(cfg, 3, wrng);
+            Rng srng(4);
+            core::ModuleResult r =
+                ex.run(state, core::PipelineKind::Delayed, srng);
+            if (!ref)
+                ref = r.out.features;
+            else
+                EXPECT_EQ(ref->maxAbsDiff(r.out.features), 0.0f)
+                    << "backend " << backendName(b);
+        }
+    }
+}
+
+} // namespace
+} // namespace mesorasi::neighbor
