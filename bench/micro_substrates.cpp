@@ -16,11 +16,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <tuple>
 #include <utility>
 
 #include "bench_common.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -192,6 +194,83 @@ BM_AuSimulate(benchmark::State &state)
 BENCHMARK(BM_AuSimulate);
 
 // ---------------------------------------------------------------------
+// Aggregation kernels: allocating gather+reduce vs the fused
+// zero-allocation gatherMaxReduceInto, over a representative PFT.
+// ---------------------------------------------------------------------
+
+constexpr int kAggReps = 7;
+
+void
+runAggKernelBench(bench::BenchJsonWriter &json)
+{
+    constexpr int32_t kPftRows = 4096;
+    constexpr int32_t kPftCols = 128;
+    constexpr int32_t kCentroids = 1024;
+    constexpr int32_t kGroup = 32;
+
+    Rng rng(23);
+    tensor::Tensor pft =
+        tensor::uniform(rng, kPftRows, kPftCols, -1.0f, 1.0f);
+    std::vector<std::vector<int32_t>> groups(kCentroids);
+    for (auto &g : groups)
+        g = rng.sampleWithoutReplacement(kPftRows, kGroup);
+
+    tensor::Tensor outUnfused(kCentroids, kPftCols);
+    tensor::Tensor outFused(kCentroids, kPftCols);
+
+    auto timeMs = [](const std::function<void()> &fn) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double, std::milli>(t1 - t0)
+            .count();
+    };
+
+    std::vector<double> unfused, fused;
+    for (int rep = 0; rep < kAggReps; ++rep) {
+        unfused.push_back(timeMs([&] {
+            for (int32_t c = 0; c < kCentroids; ++c) {
+                tensor::Tensor g = tensor::gatherRows(pft, groups[c]);
+                tensor::Tensor red = tensor::maxReduceRows(g);
+                std::copy(red.row(0), red.row(0) + kPftCols,
+                          outUnfused.row(c));
+            }
+        }));
+        fused.push_back(timeMs([&] {
+            for (int32_t c = 0; c < kCentroids; ++c)
+                tensor::gatherMaxReduceInto(outFused.row(c), pft,
+                                            groups[c]);
+        }));
+    }
+    MESO_CHECK(outFused.maxAbsDiff(outUnfused) == 0.0f,
+               "fused aggregation kernel diverged from unfused path");
+
+    Table t("Aggregation kernel — " + std::to_string(kCentroids) +
+                " centroids x k=" + std::to_string(kGroup) + " over " +
+                std::to_string(kPftRows) + "x" +
+                std::to_string(kPftCols) + " PFT",
+            {"Kernel", "Median ms", "p90 ms"});
+    t.addRow({"gatherRows + maxReduceRows", fmt(percentile(unfused, 50.0), 3),
+              fmt(percentile(unfused, 90.0), 3)});
+    t.addRow({"gatherMaxReduceInto (fused)", fmt(percentile(fused, 50.0), 3),
+              fmt(percentile(fused, 90.0), 3)});
+    t.print();
+
+    auto params = [&](const std::string &kernel) {
+        return std::vector<std::pair<std::string, std::string>>{
+            {"kernel", kernel},
+            {"pft_rows", std::to_string(kPftRows)},
+            {"pft_cols", std::to_string(kPftCols)},
+            {"centroids", std::to_string(kCentroids)},
+            {"k", std::to_string(kGroup)},
+        };
+    };
+    json.add("agg_kernel_unfused", params("gather_reduce"), unfused);
+    json.add("agg_kernel_fused", params("gather_max_reduce_into"),
+             fused);
+}
+
+// ---------------------------------------------------------------------
 // Batched execution engine: 16 clouds, sequential vs 8 workers.
 // ---------------------------------------------------------------------
 
@@ -284,6 +363,7 @@ main(int argc, char **argv)
     }
 
     bench::BenchJsonWriter json("micro_substrates");
+    runAggKernelBench(json);
     runBatchEngineBench(json);
     if (json.write())
         std::cout << "wrote " << json.path() << "\n";

@@ -1,0 +1,42 @@
+#include "common/workspace.hpp"
+
+#include "common/check.hpp"
+
+namespace mesorasi {
+
+float *
+Workspace::floats(int slot, size_t n)
+{
+    MESO_REQUIRE(slot >= 0 && slot < kNumSlots,
+                 "workspace slot " << slot << " out of range");
+    std::vector<float> &buf = slots_[slot];
+    if (buf.size() < n)
+        buf.resize(n);
+    return buf.data();
+}
+
+size_t
+Workspace::capacity(int slot) const
+{
+    MESO_REQUIRE(slot >= 0 && slot < kNumSlots,
+                 "workspace slot " << slot << " out of range");
+    return slots_[slot].size();
+}
+
+void
+Workspace::clear()
+{
+    for (auto &s : slots_) {
+        s.clear();
+        s.shrink_to_fit();
+    }
+}
+
+Workspace &
+Workspace::local()
+{
+    thread_local Workspace ws;
+    return ws;
+}
+
+} // namespace mesorasi

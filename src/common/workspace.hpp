@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-thread reusable scratch memory for allocation-free hot loops.
+ *
+ * The aggregation and MLP hot paths stream the same-shaped intermediate
+ * buffers millions of times per second (one activation block per row
+ * chunk, one reduction row per centroid). Allocating them per iteration
+ * turns the paper's memory-streaming workload into allocator traffic, so
+ * every thread — pool workers and the caller thread alike — owns a
+ * Workspace of grow-only slots that is warmed up on the first pass and
+ * then reused for the lifetime of the thread.
+ *
+ * Contract:
+ *  - Workspace::local() returns the calling thread's instance; buffers
+ *    must never be shared across threads or held across a parallelFor
+ *    boundary (a pool worker's slot belongs to that worker only).
+ *  - floats(slot, n) returns at least n floats, uninitialized. Capacity
+ *    only grows, so after one warm-up pass at the steady-state shape no
+ *    further heap allocation happens (the zero-allocation property the
+ *    fused kernels rely on; see tests/test_fused_ops.cpp).
+ *  - Distinct slots are independent — use different slots for buffers
+ *    that are alive simultaneously (e.g. ping/pong MLP activations).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mesorasi {
+
+class Workspace
+{
+  public:
+    /** Independent simultaneously-usable scratch buffers per thread. */
+    static constexpr int kNumSlots = 4;
+
+    // Slot reservations. The MLP forward path owns the first two as
+    // ping/pong activation buffers on every thread it runs on; any
+    // other per-thread scratch must use kScratch or above, or it will
+    // be clobbered by an MLP forward on the same thread.
+    static constexpr int kMlpPing = 0;
+    static constexpr int kMlpPong = 1;
+    static constexpr int kScratch = 2;
+
+    /**
+     * Scratch buffer of at least @p n floats in @p slot. Contents are
+     * unspecified; the pointer is invalidated by a later call with a
+     * larger @p n for the same slot, and stable otherwise.
+     */
+    float *floats(int slot, size_t n);
+
+    /** Current capacity (in floats) of @p slot. */
+    size_t capacity(int slot) const;
+
+    /** Release all slot memory (mainly for tests). */
+    void clear();
+
+    /** The calling thread's workspace (thread-local, lazily built). */
+    static Workspace &local();
+
+  private:
+    std::vector<float> slots_[kNumSlots];
+};
+
+} // namespace mesorasi

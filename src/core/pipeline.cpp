@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/thread_pool.hpp"
+#include "common/workspace.hpp"
 #include "geom/sampling.hpp"
 #include "neighbor/search_backend.hpp"
 #include "tensor/ops.hpp"
@@ -49,12 +50,17 @@ ModuleExecutor::sampleCentroids(const ModuleState &in,
     if (cfg_.search == SearchKind::Global) {
         return {0}; // single pseudo-centroid; unused by aggregation
     }
-    if (want == n || cfg_.sampling == SamplingKind::All) {
+    // SamplingKind::All promises every point becomes a centroid, so a
+    // smaller configured centroid count is a contradiction — reject it
+    // instead of silently falling through to random sampling.
+    MESO_REQUIRE(cfg_.sampling != SamplingKind::All || want == n,
+                 "module '" << cfg_.name << "': SamplingKind::All keeps "
+                 "all " << n << " points but numCentroids=" << want);
+    if (want == n) {
         std::vector<int32_t> all(n);
         for (int32_t i = 0; i < n; ++i)
             all[i] = i;
-        if (want == n)
-            return all;
+        return all;
     }
     std::vector<int32_t> picked;
     if (cfg_.sampling == SamplingKind::FarthestPoint) {
@@ -195,15 +201,13 @@ ModuleExecutor::analyticTrace(PipelineKind kind, int32_t nIn, int32_t mIn,
         break;
 
       case PipelineKind::LtdDelayed:
-        // Only the first matrix product is hoisted.
-        mt.ops.push_back(makeMlpOp(nIn, io.mlpInDim == mIn ? mIn : mIn,
-                                   cfg_.mlpWidths[0],
+        // Only the first matrix product is hoisted. Its input width is
+        // the MLP's real first-layer input dim — which for concat
+        // aggregation is 2*mIn (the W_d neighbor path plus the W_c
+        // centroid path, each mIn wide, applied per input point), so a
+        // single op at mlpInDim accounts for the full split product.
+        mt.ops.push_back(makeMlpOp(nIn, io.mlpInDim, cfg_.mlpWidths[0],
                                    cfg_.name + ".pft1"));
-        if (cfg_.aggregation ==
-            AggregationKind::ConcatCentroidDifference) {
-            mt.ops.push_back(makeMlpOp(nIn, mIn, cfg_.mlpWidths[0],
-                                       cfg_.name + ".pft1_c"));
-        }
         mt.ops.push_back(makeAggregateOp(io.nOut, io.k, cfg_.mlpWidths[0],
                                          nIn, cfg_.name + ".aggregate"));
         {
@@ -299,16 +303,14 @@ ModuleExecutor::runOriginal(const ModuleState &in, Rng &samplerRng) const
     });
 
     Tensor feat = mlp_.forward(batched);
+    // Each group is a contiguous k-row block of feat; reduce it straight
+    // into the output row — no index vector, no intermediate tensor.
     ThreadPool::global().parallelFor(nOut, /*grain=*/16, [&](int64_t b,
                                                              int64_t e) {
-        std::vector<int32_t> rows(k);
-        for (int64_t c = b; c < e; ++c) {
-            for (int32_t j = 0; j < k; ++j)
-                rows[j] = static_cast<int32_t>(c) * k + j;
-            Tensor reduced = tensor::maxReduceRows(feat, rows);
-            std::copy(reduced.row(0), reduced.row(0) + cfg_.outDim(),
-                      out.row(static_cast<int32_t>(c)));
-        }
+        for (int64_t c = b; c < e; ++c)
+            tensor::maxReduceRowsInto(out.row(static_cast<int32_t>(c)),
+                                      feat, static_cast<int32_t>(c) * k,
+                                      k);
     });
 
     res.out.features = std::move(out);
@@ -360,20 +362,23 @@ ModuleExecutor::runDelayed(const ModuleState &in, Rng &samplerRng) const
         if (l0.hasBias())
             tensor::addBiasInPlace(q, l0.bias());
 
+        bool isRelu = l0.activation() == nn::Activation::Relu;
         ThreadPool::global().parallelFor(
             nOut, /*grain=*/16, [&](int64_t b, int64_t e) {
                 for (int64_t ci = b; ci < e; ++ci) {
                     int32_t c = static_cast<int32_t>(ci);
                     const auto &entry = res.nit[c];
-                    Tensor gathered =
-                        tensor::gatherRows(p, entry.neighbors);
-                    Tensor reduced = tensor::maxReduceRows(gathered);
+                    // Fused gather + max straight into the output row,
+                    // then the centroid path and activation in place.
+                    float *orow = out.row(c);
+                    tensor::gatherMaxReduceInto(orow, p,
+                                                entry.neighbors);
                     const float *qr = q.row(entry.centroid);
                     for (int32_t d = 0; d < h; ++d) {
-                        float v = reduced(0, d) + qr[d];
-                        if (l0.activation() == nn::Activation::Relu)
+                        float v = orow[d] + qr[d];
+                        if (isRelu)
                             v = std::max(0.0f, v);
-                        out(c, d) = v;
+                        orow[d] = v;
                     }
                 }
             });
@@ -385,14 +390,15 @@ ModuleExecutor::runDelayed(const ModuleState &in, Rng &samplerRng) const
                 for (int64_t ci = b; ci < e; ++ci) {
                     int32_t c = static_cast<int32_t>(ci);
                     const auto &entry = res.nit[c];
-                    Tensor gathered =
-                        tensor::gatherRows(pft, entry.neighbors);
-                    // Max-before-subtract: exact because subtraction of
-                    // the centroid feature distributes over max.
-                    Tensor reduced = tensor::maxReduceRows(gathered);
+                    // Fused gather + max-before-subtract: exact because
+                    // subtraction of the centroid feature distributes
+                    // over max, and the K x Mout group never exists.
+                    float *orow = out.row(c);
+                    tensor::gatherMaxReduceInto(orow, pft,
+                                                entry.neighbors);
                     const float *cf = pft.row(entry.centroid);
                     for (int32_t d = 0; d < mOut; ++d)
-                        out(c, d) = reduced(0, d) - cf[d];
+                        orow[d] -= cf[d];
                 }
             });
     }
@@ -405,6 +411,15 @@ ModuleExecutor::runDelayed(const ModuleState &in, Rng &samplerRng) const
 ModuleResult
 ModuleExecutor::runLtd(const ModuleState &in, Rng &samplerRng) const
 {
+    if (cfg_.aggregation == AggregationKind::ConcatCentroidDifference) {
+        // For a single-layer module the limited hoisting covers the
+        // whole MLP, so Ltd coincides with the full delayed form.
+        // Delegate BEFORE the prologue: otherwise sampling and neighbor
+        // search run twice and the sampler RNG advances twice,
+        // desynchronizing Ltd runs from Delayed runs downstream.
+        return runDelayed(in, samplerRng);
+    }
+
     ModuleResult res = prologue(in, samplerRng);
     bool global = cfg_.search == SearchKind::Global;
     res.trace = analyticTrace(PipelineKind::LtdDelayed, in.numPoints(),
@@ -419,12 +434,6 @@ ModuleExecutor::runLtd(const ModuleState &in, Rng &samplerRng) const
 
     int32_t nOut = res.nit.size();
     int32_t k = cfg_.k;
-
-    if (cfg_.aggregation == AggregationKind::ConcatCentroidDifference) {
-        // For a single-layer module the limited hoisting covers the
-        // whole MLP, so Ltd coincides with the full delayed form.
-        return runDelayed(in, samplerRng);
-    }
 
     // Hoist only the first matrix product (exactly distributive).
     Tensor pft1 = mlp_.forwardFirstLinearOnly(in.features); // Nin x H1
@@ -448,16 +457,12 @@ ModuleExecutor::runLtd(const ModuleState &in, Rng &samplerRng) const
 
     Tensor feat = mlp_.forwardAfterFirstLinear(batched);
     Tensor out(nOut, cfg_.outDim());
+    // Contiguous k-row blocks reduce straight into the output rows.
     ThreadPool::global().parallelFor(nOut, /*grain=*/16, [&](int64_t b,
                                                              int64_t e) {
-        std::vector<int32_t> rows(k);
         for (int64_t ci = b; ci < e; ++ci) {
             int32_t c = static_cast<int32_t>(ci);
-            for (int32_t j = 0; j < k; ++j)
-                rows[j] = c * k + j;
-            Tensor reduced = tensor::maxReduceRows(feat, rows);
-            std::copy(reduced.row(0), reduced.row(0) + cfg_.outDim(),
-                      out.row(c));
+            tensor::maxReduceRowsInto(out.row(c), feat, c * k, k);
         }
     });
 
@@ -514,15 +519,16 @@ InterpExecutor::run(const ModuleState &fine,
     auto backend = neighbor::makeBackend(cfg_.backend, view, hints);
     ThreadPool::global().parallelFor(
         nFine, /*grain=*/32, [&](int64_t b, int64_t e) {
-            std::vector<float> w;
+            // Per-thread scratch for the inverse-distance weights.
+            float *w =
+                Workspace::local().floats(Workspace::kScratch, kk);
+            std::vector<int32_t> nn;
             for (int64_t ii = b; ii < e; ++ii) {
                 int32_t i = static_cast<int32_t>(ii);
-                std::vector<int32_t> nn =
-                    backend->knn(fine.coords.row(i), kk);
+                nn = backend->knn(fine.coords.row(i), kk);
                 // Inverse-distance weights, as in PointNet++
                 // three_interpolate.
                 float wsum = 0.0f;
-                w.assign(nn.size(), 0.0f);
                 for (size_t j = 0; j < nn.size(); ++j) {
                     float d2 =
                         view.dist2To(nn[j], fine.coords.row(i));

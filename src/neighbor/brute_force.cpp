@@ -79,13 +79,10 @@ ballQueryBruteForce(const PointsView &points,
         entry.neighbors = radiusScan(points, points.row(q), radius, maxK);
         // Overfull balls keep the *nearest* maxK (the cross-backend
         // ordering contract; the original reference kept the first maxK
-        // in index order instead). The centroid is within its own ball,
-        // so the group is never empty; pad by repeating the first
-        // member to keep a rectangular NFM, as the reference code does.
-        if (padToMaxK && !entry.neighbors.empty()) {
-            while (static_cast<int32_t>(entry.neighbors.size()) < maxK)
-                entry.neighbors.push_back(entry.neighbors.front());
-        }
+        // in index order instead). padBallEntry keeps the padding
+        // contract shared with SearchBackend::ballTable.
+        if (padToMaxK)
+            padBallEntry(entry, maxK);
         nit.add(std::move(entry));
     }
     return nit;

@@ -247,10 +247,9 @@ UniformGrid::ballTable(const std::vector<int32_t> &queries, float r,
         NitEntry entry;
         entry.centroid = q;
         entry.neighbors = radius(q, r, maxK);
-        if (padToMaxK && !entry.neighbors.empty()) {
-            while (static_cast<int32_t>(entry.neighbors.size()) < maxK)
-                entry.neighbors.push_back(entry.neighbors.front());
-        }
+        // Same padding contract as SearchBackend::ballTable.
+        if (padToMaxK)
+            padBallEntry(entry, maxK);
         nit.add(std::move(entry));
     }
     return nit;

@@ -25,6 +25,23 @@ struct NitEntry
 };
 
 /**
+ * The shared ball-query padding contract: an empty ball is seeded with
+ * the centroid itself (max over the pad is idempotent, and the centroid
+ * is the natural degenerate neighborhood), then the entry is padded to
+ * exactly @p maxK by repeating its nearest member. Every ballTable
+ * implementation must pad through this helper so the cross-backend
+ * parity contract stays in one place.
+ */
+inline void
+padBallEntry(NitEntry &entry, int32_t maxK)
+{
+    if (entry.neighbors.empty())
+        entry.neighbors.push_back(entry.centroid);
+    while (static_cast<int32_t>(entry.neighbors.size()) < maxK)
+        entry.neighbors.push_back(entry.neighbors.front());
+}
+
+/**
  * Table of neighbor indices for all centroids of one module. Rows may
  * have fewer than maxK neighbors (radius queries); k-NN rows always have
  * exactly k.

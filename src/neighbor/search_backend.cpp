@@ -84,11 +84,14 @@ SearchBackend::ballTable(const std::vector<int32_t> &queries, float r,
                 NitEntry &e = entries[i];
                 e.centroid = queries[i];
                 e.neighbors = radius(points_.row(queries[i]), r, maxK);
-                if (padToMaxK && !e.neighbors.empty()) {
-                    while (static_cast<int32_t>(e.neighbors.size()) <
-                           maxK)
-                        e.neighbors.push_back(e.neighbors.front());
-                }
+                // A ball query over the indexed set always contains
+                // its own center, but feature-space or custom backends
+                // may legitimately return nothing — padBallEntry seeds
+                // the padding with the centroid itself so consumers
+                // (executor group loops, the AU's non-empty-entry
+                // invariant) never see an empty or underfull entry.
+                if (padToMaxK)
+                    padBallEntry(e, maxK);
             }
         });
 

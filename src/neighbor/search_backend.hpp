@@ -88,7 +88,10 @@ class SearchBackend
                                 int32_t k) const;
 
     /** Build a NIT by running a radius query for each query index;
-     *  pads to maxK by repeating the nearest member. */
+     *  pads to maxK by repeating the nearest member. An empty ball is
+     *  padded with the centroid itself (max over the pad is idempotent
+     *  and the centroid is the natural degenerate neighborhood), so
+     *  padded entries always have exactly maxK neighbors. */
     NeighborIndexTable ballTable(const std::vector<int32_t> &queries,
                                  float radius, int32_t maxK,
                                  bool padToMaxK = true) const;

@@ -3,9 +3,109 @@
 #include <algorithm>
 
 #include "common/thread_pool.hpp"
+#include "common/workspace.hpp"
 #include "tensor/ops.hpp"
 
 namespace mesorasi::nn {
+
+namespace {
+
+constexpr int64_t kMinRowsPerChunk = 256;
+
+/** Bias + activation over a strided row block, in place. */
+void
+biasActBlock(float *dst, int64_t stride, int32_t rows, const Linear &layer)
+{
+    const float *b = layer.hasBias() ? layer.bias().row(0) : nullptr;
+    bool relu = layer.activation() == Activation::Relu;
+    int32_t w = layer.outDim();
+    for (int32_t r = 0; r < rows; ++r) {
+        float *row = dst + static_cast<int64_t>(r) * stride;
+        if (b)
+            for (int32_t c = 0; c < w; ++c)
+                row[c] += b[c];
+        if (relu)
+            for (int32_t c = 0; c < w; ++c)
+                row[c] = std::max(0.0f, row[c]);
+    }
+}
+
+/**
+ * Forward a row block through @p layers, writing the final activations
+ * into the caller-owned strided block @p out. Intermediate activations
+ * ping-pong between two Workspace slots, so the steady state allocates
+ * nothing; results are bitwise identical to the layer-by-layer tensor
+ * path (same matmul row kernel, same bias/activation element ops).
+ */
+void
+forwardBlockInto(const Linear *layers, size_t numLayers, const float *x,
+                 int64_t xStride, int32_t rows, float *out,
+                 int64_t outStride)
+{
+    int64_t maxW = 0;
+    for (size_t l = 0; l + 1 < numLayers; ++l)
+        maxW = std::max<int64_t>(maxW, layers[l].outDim());
+    Workspace &ws = Workspace::local();
+    float *ping =
+        ws.floats(Workspace::kMlpPing, static_cast<size_t>(rows) * maxW);
+    float *pong =
+        ws.floats(Workspace::kMlpPong, static_cast<size_t>(rows) * maxW);
+
+    const float *cur = x;
+    int64_t curStride = xStride;
+    float *next = ping;
+    for (size_t l = 0; l < numLayers; ++l) {
+        bool last = l + 1 == numLayers;
+        float *dst = last ? out : next;
+        int64_t dstStride = last ? outStride : layers[l].outDim();
+        tensor::matmulInto(dst, dstStride, cur, curStride, rows,
+                           layers[l].weight());
+        biasActBlock(dst, dstStride, rows, layers[l]);
+        cur = dst;
+        curStride = dstStride;
+        next = dst == ping ? pong : ping;
+    }
+}
+
+/** Chunked whole-tensor forward through layers [first, first+count). */
+void
+forwardChunked(const Linear *layers, size_t count, const tensor::Tensor &x,
+               tensor::Tensor &out)
+{
+    auto runBlock = [&](int64_t begin, int64_t end) {
+        forwardBlockInto(layers, count, x.row(static_cast<int32_t>(begin)),
+                         x.cols(), static_cast<int32_t>(end - begin),
+                         out.row(static_cast<int32_t>(begin)), out.cols());
+    };
+    const ThreadPool &pool = ThreadPool::global();
+    if (pool.size() <= 1 || ThreadPool::insideWorker()) {
+        // Serial, but still in cache-resident row chunks so the
+        // workspace stays small and every chunk's activations flow
+        // through the whole stack before the next chunk starts.
+        for (int64_t begin = 0; begin < x.rows();
+             begin += kMinRowsPerChunk)
+            runBlock(begin,
+                     std::min<int64_t>(x.rows(),
+                                       begin + kMinRowsPerChunk));
+        return;
+    }
+    // Adaptive grain matching matmul's: split only once each chunk
+    // carries ~1M MACs through the whole stack, so small wide inputs
+    // (a 128-point PFT through 128-wide layers) still fan out while
+    // tiny products stay inline. Chunking never changes the bytes:
+    // every row is independent.
+    int64_t flopsPerRow = 0;
+    for (size_t l = 0; l < count; ++l)
+        flopsPerRow += static_cast<int64_t>(layers[l].inDim()) *
+                       layers[l].outDim();
+    constexpr int64_t kMinFlopsPerChunk = 1 << 20;
+    int64_t grain = std::max<int64_t>(
+        1, kMinFlopsPerChunk / std::max<int64_t>(1, flopsPerRow));
+    pool.parallelFor(x.rows(), std::min(grain, kMinRowsPerChunk),
+                     runBlock);
+}
+
+} // namespace
 
 Mlp::Mlp(Rng &rng, const std::vector<int32_t> &dims, Activation act,
          bool useBias)
@@ -28,37 +128,15 @@ tensor::Tensor
 Mlp::forward(const tensor::Tensor &x) const
 {
     MESO_REQUIRE(!layers_.empty(), "empty MLP");
-    const ThreadPool &pool = ThreadPool::global();
-    constexpr int64_t kMinRowsPerChunk = 256;
-    if (pool.size() <= 1 || ThreadPool::insideWorker() ||
-        layers_.size() < 2 || x.rows() < 2 * kMinRowsPerChunk) {
-        tensor::Tensor y = layers_[0].forward(x);
-        for (size_t i = 1; i < layers_.size(); ++i)
-            y = layers_[i].forward(y);
-        return y;
-    }
-
+    MESO_REQUIRE(x.cols() == inDim(), "MLP expects " << inDim()
+                                                     << " inputs, got "
+                                                     << x.shapeStr());
     // Every row flows through the stack independently, so chunk the
-    // batch across workers: each chunk's intermediate activations stay
-    // cache-resident through all layers, and the result is bitwise
-    // identical to the serial pass.
+    // batch (across workers when profitable): each chunk's intermediate
+    // activations stay cache-resident in per-thread workspace buffers
+    // through all layers — the output tensor is the only allocation.
     tensor::Tensor out(x.rows(), outDim());
-    pool.parallelFor(
-        x.rows(), kMinRowsPerChunk, [&](int64_t begin, int64_t end) {
-            int32_t rows = static_cast<int32_t>(end - begin);
-            tensor::Tensor chunk(rows, x.cols());
-            for (int32_t r = 0; r < rows; ++r) {
-                const float *src = x.row(static_cast<int32_t>(begin) + r);
-                std::copy(src, src + x.cols(), chunk.row(r));
-            }
-            for (const auto &layer : layers_)
-                chunk = layer.forward(chunk);
-            for (int32_t r = 0; r < rows; ++r) {
-                const float *src = chunk.row(r);
-                std::copy(src, src + out.cols(),
-                          out.row(static_cast<int32_t>(begin) + r));
-            }
-        });
+    forwardChunked(layers_.data(), layers_.size(), x, out);
     return out;
 }
 
@@ -81,9 +159,11 @@ Mlp::forwardAfterFirstLinear(const tensor::Tensor &x) const
         tensor::addBiasInPlace(y, layers_[0].bias());
     if (layers_[0].activation() == Activation::Relu)
         tensor::reluInPlace(y);
-    for (size_t i = 1; i < layers_.size(); ++i)
-        y = layers_[i].forward(y);
-    return y;
+    if (layers_.size() == 1)
+        return y;
+    tensor::Tensor out(y.rows(), outDim());
+    forwardChunked(layers_.data() + 1, layers_.size() - 1, y, out);
+    return out;
 }
 
 int32_t

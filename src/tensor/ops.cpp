@@ -20,6 +20,22 @@ matmulGrain(int64_t flopsPerRow)
                                     std::max<int64_t>(1, flopsPerRow));
 }
 
+/** Shared per-row kernel of matmul/matmulInto: crow must be zeroed.
+ *  kj loop order streams through b and c rows contiguously; the zero
+ *  skip makes ReLU-sparse activations cheap. */
+inline void
+matmulRow(float *crow, const float *arow, const Tensor &b)
+{
+    for (int32_t k = 0; k < b.rows(); ++k) {
+        float av = arow[k];
+        if (av == 0.0f)
+            continue;
+        const float *brow = b.row(k);
+        for (int32_t j = 0; j < b.cols(); ++j)
+            crow[j] += av * brow[j];
+    }
+}
+
 } // namespace
 
 Tensor
@@ -34,22 +50,28 @@ matmul(const Tensor &a, const Tensor &b)
         a.rows(),
         matmulGrain(static_cast<int64_t>(a.cols()) * b.cols()),
         [&](int64_t begin, int64_t end) {
-            for (int64_t i = begin; i < end; ++i) {
-                const float *arow = a.row(static_cast<int32_t>(i));
-                float *crow = c.row(static_cast<int32_t>(i));
-                // kj loop order: streams through b and c rows
-                // contiguously.
-                for (int32_t k = 0; k < a.cols(); ++k) {
-                    float av = arow[k];
-                    if (av == 0.0f)
-                        continue;
-                    const float *brow = b.row(k);
-                    for (int32_t j = 0; j < b.cols(); ++j)
-                        crow[j] += av * brow[j];
-                }
-            }
+            for (int64_t i = begin; i < end; ++i)
+                matmulRow(c.row(static_cast<int32_t>(i)),
+                          a.row(static_cast<int32_t>(i)), b);
         });
     return c;
+}
+
+void
+matmulInto(float *dst, int64_t dstStride, const float *a, int64_t aStride,
+           int32_t rows, const Tensor &b)
+{
+    MESO_REQUIRE(dstStride >= b.cols() && aStride >= b.rows(),
+                 "matmulInto strides " << dstStride << "/" << aStride
+                                       << " for " << b.shapeStr());
+    // Serial over the block: this kernel is the body of already
+    // parallelized row-chunk loops (nn::Mlp::forward), so it must not
+    // allocate or spawn.
+    for (int32_t r = 0; r < rows; ++r) {
+        float *crow = dst + static_cast<int64_t>(r) * dstStride;
+        std::fill(crow, crow + b.cols(), 0.0f);
+        matmulRow(crow, a + static_cast<int64_t>(r) * aStride, b);
+    }
 }
 
 void
@@ -142,6 +164,46 @@ maxReduceRows(const Tensor &x, const std::vector<int32_t> &rows)
             o[c] = std::max(o[c], row[c]);
     }
     return out;
+}
+
+void
+maxReduceRowsInto(float *dst, const Tensor &x, int32_t rowBegin,
+                  int32_t numRows)
+{
+    MESO_REQUIRE(numRows > 0 && rowBegin >= 0 &&
+                     rowBegin + numRows <= x.rows(),
+                 "block reduce rows [" << rowBegin << ", "
+                                       << rowBegin + numRows << ") of "
+                                       << x.shapeStr());
+    // Seed with -inf, exactly like the index-list maxReduceRows
+    // overload this replaces — the choice is visible when inputs carry
+    // NaNs (std::max drops a NaN right operand), so matching it keeps
+    // the bitwise-parity contract unconditional.
+    std::fill(dst, dst + x.cols(),
+              -std::numeric_limits<float>::infinity());
+    for (int32_t r = 0; r < numRows; ++r) {
+        const float *row = x.row(rowBegin + r);
+        for (int32_t c = 0; c < x.cols(); ++c)
+            dst[c] = std::max(dst[c], row[c]);
+    }
+}
+
+void
+gatherMaxReduceInto(float *dst, const Tensor &src,
+                    const std::vector<int32_t> &rows)
+{
+    MESO_REQUIRE(!rows.empty(), "gather-reduce over no rows");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        MESO_REQUIRE(rows[i] >= 0 && rows[i] < src.rows(),
+                     "gather index " << rows[i] << " of " << src.rows());
+        const float *row = src.row(rows[i]);
+        if (i == 0) {
+            std::copy(row, row + src.cols(), dst);
+        } else {
+            for (int32_t c = 0; c < src.cols(); ++c)
+                dst[c] = std::max(dst[c], row[c]);
+        }
+    }
 }
 
 std::vector<int32_t>

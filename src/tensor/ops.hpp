@@ -42,6 +42,44 @@ Tensor maxReduceRows(const Tensor &x);
 /** Column-wise max over a subset of rows: returns 1 x C. */
 Tensor maxReduceRows(const Tensor &x, const std::vector<int32_t> &rows);
 
+// --- Fused workspace kernels ------------------------------------------
+//
+// The _Into variants write into caller-owned memory (typically a row of
+// a preallocated output tensor or a Workspace buffer) and allocate
+// nothing, so per-centroid hot loops stay free of allocator traffic.
+// Results are bitwise identical to the allocating compositions they
+// replace (gatherRows + maxReduceRows, matmul): same accumulation
+// order, max is exact.
+
+/**
+ * Column-wise max over the contiguous row block
+ * [rowBegin, rowBegin + numRows) of @p x, written to dst[0..cols).
+ * Bitwise equal to maxReduceRows(x, {rowBegin, ...}), including its
+ * -inf seed (NaNs on the right of std::max are dropped).
+ */
+void maxReduceRowsInto(float *dst, const Tensor &x, int32_t rowBegin,
+                       int32_t numRows);
+
+/**
+ * Fused gather + column-wise max: dst[c] = max_i src(rows[i], c),
+ * without materializing the K x M gathered group. Bitwise equal to
+ * maxReduceRows(gatherRows(src, rows)), including its first-row seed
+ * (a NaN in the first gathered row propagates, as there).
+ */
+void gatherMaxReduceInto(float *dst, const Tensor &src,
+                         const std::vector<int32_t> &rows);
+
+/**
+ * Strided-block matrix product into caller-owned memory:
+ * for r in [0, rows): dst[r*dstStride .. +b.cols) =
+ *   a[r*aStride .. +b.rows) * B.
+ * The destination block is zeroed first; strides are in floats and must
+ * be >= the respective logical widths. Bitwise equal to matmul() over
+ * the same rows (shared row kernel).
+ */
+void matmulInto(float *dst, int64_t dstStride, const float *a,
+                int64_t aStride, int32_t rows, const Tensor &b);
+
 /** Column-wise argmax over all rows: returns per-column winning row. */
 std::vector<int32_t> argmaxReduceRows(const Tensor &x);
 

@@ -153,13 +153,10 @@ MiniPointNet::forwardImpl(const geom::PointCloud &cloud,
         tensor::addBiasInPlace(c.h2, b2_);
         tensor::reluInPlace(c.h2);
         c.m = Tensor(nc, cfg_.hidden2);
-        for (int32_t i = 0; i < nc; ++i) {
-            std::vector<int32_t> rows(k);
-            for (int32_t j = 0; j < k; ++j)
-                rows[j] = i * k + j;
-            Tensor red = tensor::maxReduceRows(c.h2, rows);
-            std::copy(red.row(0), red.row(0) + cfg_.hidden2, c.m.row(i));
-        }
+        // Groups are contiguous k-row blocks of h2: fused block reduce
+        // straight into each output row, no per-centroid allocation.
+        for (int32_t i = 0; i < nc; ++i)
+            tensor::maxReduceRowsInto(c.m.row(i), c.h2, i * k, k);
     } else {
         // Delayed: PFT over raw points, gather + max - centroid.
         c.p1 = tensor::matmul(c.x, w1_);
@@ -170,11 +167,12 @@ MiniPointNet::forwardImpl(const geom::PointCloud &cloud,
         tensor::reluInPlace(c.p2);
         c.m = Tensor(nc, cfg_.hidden2);
         for (int32_t i = 0; i < nc; ++i) {
-            Tensor gathered = tensor::gatherRows(c.p2, c.neighbors[i]);
-            Tensor red = tensor::maxReduceRows(gathered);
+            // Fused gather + max; the K x M group is never materialized.
+            float *mrow = c.m.row(i);
+            tensor::gatherMaxReduceInto(mrow, c.p2, c.neighbors[i]);
             const float *cf = c.p2.row(c.centroids[i]);
             for (int32_t d = 0; d < cfg_.hidden2; ++d)
-                c.m(i, d) = red(0, d) - cf[d];
+                mrow[d] -= cf[d];
         }
     }
 

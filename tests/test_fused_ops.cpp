@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Fused gather-reduce / workspace kernel tests:
+ *
+ *  1. Bitwise parity: every fused _Into kernel must produce exactly the
+ *     bytes its allocating composition produces (gatherRows +
+ *     maxReduceRows, maxReduceRows over an index list, matmul), and the
+ *     workspace-based Mlp::forward must match the layer-by-layer path.
+ *  2. Zero allocation: after one warm-up pass, the fused kernels and
+ *     the MLP's steady state must not touch the heap (verified with a
+ *     global operator new hook counting on the calling thread).
+ *  3. Workspace reuse: grow-only slots with stable pointers once warm.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <new>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/workspace.hpp"
+#include "nn/mlp.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+
+// --- Test allocator hook ----------------------------------------------
+//
+// Counts operator-new calls made by the calling thread while enabled.
+// thread_local so pool workers and gtest internals on other threads
+// never perturb the count; the hot-path tests force inline execution so
+// all work happens on this thread.
+
+namespace {
+
+thread_local int64_t t_alloc_count = 0;
+thread_local bool t_count_allocs = false;
+
+struct AllocCounterScope
+{
+    AllocCounterScope()
+    {
+        t_alloc_count = 0;
+        t_count_allocs = true;
+    }
+    ~AllocCounterScope() { t_count_allocs = false; }
+    int64_t count() const { return t_alloc_count; }
+};
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    if (t_count_allocs)
+        ++t_alloc_count;
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace mesorasi::tensor {
+namespace {
+
+using mesorasi::Rng;
+using mesorasi::ThreadPool;
+using mesorasi::Workspace;
+
+Tensor
+randomTensor(uint64_t seed, int32_t rows, int32_t cols)
+{
+    Rng rng(seed);
+    return uniform(rng, rows, cols, -2.0f, 2.0f);
+}
+
+bool
+bitwiseEqualRow(const float *a, const float *b, int32_t n)
+{
+    return std::memcmp(a, b, static_cast<size_t>(n) * sizeof(float)) == 0;
+}
+
+// --- Bitwise parity ----------------------------------------------------
+
+TEST(FusedOps, GatherMaxReduceMatchesUnfusedBitwise)
+{
+    Tensor x = randomTensor(1, 200, 33);
+    Rng rng(2);
+    for (int trial = 0; trial < 8; ++trial) {
+        int32_t k = static_cast<int32_t>(rng.uniformInt(1, 32));
+        std::vector<int32_t> rows;
+        for (int32_t j = 0; j < k; ++j)
+            rows.push_back(
+                static_cast<int32_t>(rng.uniformInt(0, x.rows() - 1)));
+        Tensor unfused = maxReduceRows(gatherRows(x, rows));
+        std::vector<float> fused(x.cols());
+        gatherMaxReduceInto(fused.data(), x, rows);
+        EXPECT_TRUE(bitwiseEqualRow(fused.data(), unfused.row(0),
+                                    x.cols()))
+            << "trial " << trial;
+    }
+}
+
+TEST(FusedOps, GatherMaxReduceHandlesDuplicateIndices)
+{
+    Tensor x = randomTensor(3, 16, 5);
+    std::vector<int32_t> rows{7, 7, 7, 7}; // ball-query padding pattern
+    std::vector<float> fused(x.cols());
+    gatherMaxReduceInto(fused.data(), x, rows);
+    EXPECT_TRUE(bitwiseEqualRow(fused.data(), x.row(7), x.cols()));
+}
+
+TEST(FusedOps, GatherMaxReduceRejectsBadInput)
+{
+    Tensor x = randomTensor(4, 8, 3);
+    std::vector<float> dst(3);
+    EXPECT_THROW(gatherMaxReduceInto(dst.data(), x, {}),
+                 mesorasi::UsageError);
+    EXPECT_THROW(gatherMaxReduceInto(dst.data(), x, {8}),
+                 mesorasi::UsageError);
+}
+
+TEST(FusedOps, BlockMaxReduceMatchesIndexListBitwise)
+{
+    Tensor x = randomTensor(5, 96, 17);
+    for (int32_t begin : {0, 8, 64}) {
+        int32_t k = 13;
+        std::vector<int32_t> rows;
+        for (int32_t j = 0; j < k; ++j)
+            rows.push_back(begin + j);
+        Tensor unfused = maxReduceRows(x, rows);
+        std::vector<float> fused(x.cols());
+        maxReduceRowsInto(fused.data(), x, begin, k);
+        EXPECT_TRUE(bitwiseEqualRow(fused.data(), unfused.row(0),
+                                    x.cols()));
+    }
+    std::vector<float> dst(17);
+    EXPECT_THROW(maxReduceRowsInto(dst.data(), x, 90, 13),
+                 mesorasi::UsageError);
+    EXPECT_THROW(maxReduceRowsInto(dst.data(), x, 0, 0),
+                 mesorasi::UsageError);
+}
+
+TEST(FusedOps, ReductionsMatchUnfusedSeedsUnderNan)
+{
+    // The two unfused compositions seed differently: the index-list
+    // maxReduceRows starts from -inf (std::max drops a NaN right
+    // operand), while maxReduceRows(gathered) starts from the first
+    // row (a first-row NaN propagates). Each fused kernel must match
+    // its own composition byte-for-byte even with NaNs present.
+    float nan = std::numeric_limits<float>::quiet_NaN();
+    Tensor x = randomTensor(15, 6, 4);
+    x(2, 1) = nan; // first row of the block below
+    x(4, 3) = nan;
+
+    std::vector<int32_t> rows{2, 3, 4};
+    Tensor listRef = maxReduceRows(x, rows);
+    std::vector<float> blockFused(x.cols());
+    maxReduceRowsInto(blockFused.data(), x, 2, 3);
+    EXPECT_TRUE(bitwiseEqualRow(blockFused.data(), listRef.row(0),
+                                x.cols()));
+
+    Tensor gatherRef = maxReduceRows(gatherRows(x, rows));
+    std::vector<float> gatherFused(x.cols());
+    gatherMaxReduceInto(gatherFused.data(), x, rows);
+    EXPECT_TRUE(bitwiseEqualRow(gatherFused.data(), gatherRef.row(0),
+                                x.cols()));
+}
+
+TEST(FusedOps, MatmulIntoMatchesMatmulBitwise)
+{
+    Tensor a = randomTensor(6, 40, 24);
+    Tensor b = randomTensor(7, 24, 31);
+    Tensor expect = matmul(a, b);
+
+    // Write into a strided block (stride > cols on both sides) embedded
+    // in a larger buffer, with a poisoned background to catch stray
+    // writes.
+    int64_t dstStride = b.cols() + 5;
+    std::vector<float> dst(static_cast<size_t>(a.rows()) * dstStride,
+                           -1234.5f);
+    matmulInto(dst.data(), dstStride, a.data(), a.cols(), a.rows(), b);
+    for (int32_t r = 0; r < a.rows(); ++r) {
+        EXPECT_TRUE(bitwiseEqualRow(dst.data() + r * dstStride,
+                                    expect.row(r), b.cols()))
+            << "row " << r;
+        for (int64_t pad = b.cols(); pad < dstStride; ++pad)
+            EXPECT_EQ(dst[r * dstStride + pad], -1234.5f);
+    }
+
+    // A strided input block (submatrix of a wider activation buffer).
+    int64_t aStride = a.cols() + 3;
+    std::vector<float> wide(static_cast<size_t>(a.rows()) * aStride,
+                            9.0f);
+    for (int32_t r = 0; r < a.rows(); ++r)
+        std::memcpy(wide.data() + r * aStride, a.row(r),
+                    sizeof(float) * a.cols());
+    std::vector<float> dst2(static_cast<size_t>(a.rows()) * b.cols());
+    matmulInto(dst2.data(), b.cols(), wide.data(), aStride, a.rows(), b);
+    for (int32_t r = 0; r < a.rows(); ++r)
+        EXPECT_TRUE(bitwiseEqualRow(dst2.data() + r * b.cols(),
+                                    expect.row(r), b.cols()));
+
+    EXPECT_THROW(matmulInto(dst2.data(), b.cols() - 1, a.data(),
+                            a.cols(), a.rows(), b),
+                 mesorasi::UsageError);
+}
+
+TEST(FusedOps, MlpForwardMatchesLayerwiseBitwise)
+{
+    Rng wrng(11);
+    nn::Mlp mlp(wrng, {12, 20, 28, 16}, nn::Activation::Relu);
+    Tensor x = randomTensor(12, 700, 12); // crosses the chunk boundary
+
+    Tensor fused = mlp.forward(x);
+    Tensor ref = x;
+    for (size_t l = 0; l < mlp.numLayers(); ++l)
+        ref = mlp.layer(l).forward(ref);
+
+    ASSERT_EQ(fused.rows(), ref.rows());
+    ASSERT_EQ(fused.cols(), ref.cols());
+    EXPECT_TRUE(bitwiseEqualRow(fused.data(), ref.data(),
+                                static_cast<int32_t>(fused.numel())));
+}
+
+TEST(FusedOps, MlpForwardAfterFirstLinearMatchesLayerwise)
+{
+    Rng wrng(13);
+    nn::Mlp mlp(wrng, {8, 24, 16}, nn::Activation::Relu);
+    Tensor x = randomTensor(14, 90, 8);
+    Tensor pre = mlp.forwardFirstLinearOnly(x);
+    Tensor fused = mlp.forwardAfterFirstLinear(pre);
+    EXPECT_EQ(fused.maxAbsDiff(mlp.forward(x)), 0.0f);
+}
+
+// --- Workspace ---------------------------------------------------------
+
+TEST(WorkspaceTest, SlotsGrowMonotonicallyWithStablePointers)
+{
+    Workspace ws;
+    float *p1 = ws.floats(0, 100);
+    EXPECT_GE(ws.capacity(0), 100u);
+    float *p2 = ws.floats(0, 50); // smaller request: no realloc
+    EXPECT_EQ(p1, p2);
+    EXPECT_GE(ws.capacity(0), 100u);
+    ws.floats(0, 400);
+    EXPECT_GE(ws.capacity(0), 400u);
+    float *p3 = ws.floats(0, 400);
+    EXPECT_EQ(p3, ws.floats(0, 399));
+    // Slots are independent.
+    float *q = ws.floats(1, 10);
+    EXPECT_NE(p3, q);
+    EXPECT_THROW(ws.floats(Workspace::kNumSlots, 1),
+                 mesorasi::UsageError);
+}
+
+TEST(WorkspaceTest, LocalIsPerThreadAndPersistent)
+{
+    float *main1 = Workspace::local().floats(3, 64);
+    float *main2 = Workspace::local().floats(3, 64);
+    EXPECT_EQ(main1, main2);
+}
+
+// --- Zero allocation ---------------------------------------------------
+
+TEST(ZeroAlloc, FusedKernelsDoNotAllocate)
+{
+    ThreadPool::ScopedForceInline inline_guard;
+    Tensor pft = randomTensor(21, 256, 32);
+    Tensor w = randomTensor(22, 32, 24);
+    Rng rng(23);
+    std::vector<int32_t> rows = rng.sampleWithoutReplacement(256, 16);
+    std::vector<float> dst(16 * 24);
+
+    // Warm up (first call may fault pages, etc.), then count.
+    gatherMaxReduceInto(dst.data(), pft, rows);
+    maxReduceRowsInto(dst.data(), pft, 8, 16);
+    matmulInto(dst.data(), 24, pft.row(0), 32, 16, w);
+
+    AllocCounterScope counter;
+    gatherMaxReduceInto(dst.data(), pft, rows);
+    maxReduceRowsInto(dst.data(), pft, 8, 16);
+    matmulInto(dst.data(), 24, pft.row(0), 32, 16, w);
+    EXPECT_EQ(counter.count(), 0);
+}
+
+TEST(ZeroAlloc, MlpSteadyStateAllocatesOnlyTheOutputTensor)
+{
+    ThreadPool::ScopedForceInline inline_guard;
+    Rng wrng(31);
+    nn::Mlp mlp(wrng, {16, 32, 32, 24}, nn::Activation::Relu);
+    Tensor x = randomTensor(32, 300, 16);
+
+    Tensor warm = mlp.forward(x); // grows the workspace slots
+
+    int64_t allocs;
+    Tensor steady(0, 0);
+    {
+        AllocCounterScope counter;
+        steady = mlp.forward(x);
+        allocs = counter.count();
+    }
+    // The returned tensor's data vector is the only permitted
+    // allocation; the intermediate activations live in the warmed
+    // per-thread workspace.
+    EXPECT_LE(allocs, 1);
+    EXPECT_EQ(steady.maxAbsDiff(warm), 0.0f);
+}
+
+} // namespace
+} // namespace mesorasi::tensor

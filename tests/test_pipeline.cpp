@@ -238,6 +238,95 @@ TEST(Pipeline, FeatureSpaceSearchUsesFeatures)
     EXPECT_EQ(ex2.analyticIo(100, 16).searchDim, 3);
 }
 
+TEST(Pipeline, LtdConcatAdvancesSamplerRngOnce)
+{
+    // runLtd delegates concat modules to runDelayed; the delegation must
+    // happen BEFORE the prologue, or sampling + search run twice and the
+    // sampler RNG advances twice, desynchronizing every downstream
+    // module between Ltd and Delayed runs.
+    ModuleConfig m;
+    m.name = "ec";
+    m.numCentroids = 32; // random subset: consumes sampler RNG draws
+    m.k = 6;
+    m.search = SearchKind::Knn;
+    m.space = SearchSpace::Features;
+    m.sampling = SamplingKind::Random;
+    m.aggregation = AggregationKind::ConcatCentroidDifference;
+    m.mlpWidths = {16};
+
+    Rng wrng(41);
+    ModuleExecutor ex(m, 3, wrng, nn::Activation::Relu);
+    ModuleState in = makeState(128, 42);
+    Rng sLtd(77), sDel(77);
+    ModuleResult ltd = ex.run(in, PipelineKind::LtdDelayed, sLtd);
+    ModuleResult del = ex.run(in, PipelineKind::Delayed, sDel);
+    EXPECT_EQ(ltd.centroidIdx, del.centroidIdx);
+    EXPECT_EQ(ltd.out.features.maxAbsDiff(del.out.features), 0.0f);
+    // The streams stay synchronized after the module executes.
+    EXPECT_EQ(sLtd.uniformInt(0, 1 << 30), sDel.uniformInt(0, 1 << 30));
+}
+
+TEST(Pipeline, SamplingAllWithFewerCentroidsIsRejected)
+{
+    // SamplingKind::All promises Nout == Nin; a smaller configured
+    // centroid count used to silently fall through to random sampling.
+    ModuleConfig m = diffModule({8}, 32, 4);
+    m.sampling = SamplingKind::All;
+    Rng wrng(45);
+    ModuleExecutor ex(m, 3, wrng);
+    ModuleState in = makeState(64, 46);
+    Rng s(1);
+    EXPECT_THROW(ex.run(in, PipelineKind::Delayed, s),
+                 mesorasi::UsageError);
+}
+
+TEST(Pipeline, SamplingAllKeepsEveryPointInOrder)
+{
+    ModuleConfig m = diffModule({8}, 0, 4);
+    m.sampling = SamplingKind::All;
+    Rng wrng(47);
+    ModuleExecutor ex(m, 3, wrng);
+    ModuleState in = makeState(64, 48);
+    Rng s(2);
+    ModuleResult r = ex.run(in, PipelineKind::Delayed, s);
+    ASSERT_EQ(static_cast<int32_t>(r.centroidIdx.size()), 64);
+    for (int32_t i = 0; i < 64; ++i)
+        EXPECT_EQ(r.centroidIdx[i], i);
+}
+
+TEST(Pipeline, UnderfullBallsPadWithCentroidAcrossBackends)
+{
+    // A radius so tight that every ball holds only its own center must
+    // not crash the grouped executors (they index neighbors[j] for
+    // j < k) under any pipeline or backend.
+    for (neighbor::Backend backend :
+         {neighbor::Backend::BruteForce, neighbor::Backend::Grid,
+          neighbor::Backend::KdTree}) {
+        ModuleConfig m = diffModule({8, 12}, 16, 6);
+        m.search = SearchKind::Ball;
+        m.radius = 1e-4f;
+        m.backend = backend;
+        Rng wrng(49);
+        ModuleExecutor ex(m, 3, wrng);
+        ModuleState in = makeState(128, 50);
+        for (PipelineKind kind :
+             {PipelineKind::Original, PipelineKind::Delayed,
+              PipelineKind::LtdDelayed}) {
+            Rng s(5);
+            ModuleResult r = ex.run(in, kind, s);
+            EXPECT_EQ(r.out.features.rows(), 16)
+                << neighbor::backendName(backend) << "/"
+                << pipelineName(kind);
+            for (const auto &entry : r.nit.entries()) {
+                ASSERT_EQ(static_cast<int32_t>(entry.neighbors.size()),
+                          6);
+                for (int32_t nb : entry.neighbors)
+                    EXPECT_EQ(nb, entry.centroid);
+            }
+        }
+    }
+}
+
 TEST(Pipeline, ConcatRequiresSingleLayer)
 {
     ModuleConfig m = diffModule({8, 16});
@@ -287,6 +376,55 @@ TEST(PipelineTrace, SearchOpsIdenticalAcrossPipelines)
         if (op.phase == Phase::Search)
             sb += op.macs;
     EXPECT_EQ(sa, sb);
+}
+
+TEST(PipelineTrace, LtdPft1EmitsActualFirstLayerInputDim)
+{
+    auto findOp = [](const ModuleTrace &t,
+                     const std::string &label) -> const OpTrace * {
+        for (const auto &op : t.ops)
+            if (op.label == label)
+                return &op;
+        return nullptr;
+    };
+
+    // Difference aggregation: the first layer consumes mIn directly.
+    Rng wrng(51);
+    ModuleExecutor ex(diffModule({16, 24}), 3, wrng);
+    ModuleTrace t = ex.analyticTrace(PipelineKind::LtdDelayed, 256, 3);
+    const OpTrace *pft1 = findOp(t, "m.pft1");
+    ASSERT_NE(pft1, nullptr);
+    EXPECT_EQ(pft1->inDim, 3);
+    EXPECT_EQ(pft1->macs, 256 * 3 * 16);
+
+    // Concat aggregation: the first layer is 2*mIn wide (W_d neighbor
+    // path + W_c centroid path), and a single pft1 op at mlpInDim
+    // accounts for the full split product — no separate pft1_c.
+    ModuleConfig ec;
+    ec.name = "ec";
+    ec.numCentroids = 0;
+    ec.k = 8;
+    ec.search = SearchKind::Knn;
+    ec.space = SearchSpace::Features;
+    ec.sampling = SamplingKind::All;
+    ec.aggregation = AggregationKind::ConcatCentroidDifference;
+    ec.mlpWidths = {24};
+    ModuleExecutor ex2(ec, 3, wrng);
+    ModuleTrace t2 = ex2.analyticTrace(PipelineKind::LtdDelayed, 256, 3);
+    const OpTrace *cpft1 = findOp(t2, "ec.pft1");
+    ASSERT_NE(cpft1, nullptr);
+    EXPECT_EQ(cpft1->inDim, 6);
+    EXPECT_EQ(cpft1->macs, 256 * 6 * 24);
+    EXPECT_EQ(findOp(t2, "ec.pft1_c"), nullptr);
+
+    // The hoisted MACs equal the Delayed pipeline's split form
+    // (pft_d + pft_c), which computes the same product.
+    ModuleTrace td = ex2.analyticTrace(PipelineKind::Delayed, 256, 3);
+    const OpTrace *pftd = findOp(td, "ec.pft_d");
+    const OpTrace *pftc = findOp(td, "ec.pft_c");
+    ASSERT_NE(pftd, nullptr);
+    ASSERT_NE(pftc, nullptr);
+    EXPECT_EQ(cpft1->macs, pftd->macs + pftc->macs);
 }
 
 TEST(PipelineTrace, MlpOpMacsAreRowsInOut)

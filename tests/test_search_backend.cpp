@@ -15,6 +15,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/pipeline.hpp"
+#include "hwsim/agg_unit.hpp"
 #include "neighbor/search_backend.hpp"
 #include "tensor/tensor.hpp"
 
@@ -126,6 +127,70 @@ TEST(BackendParity, UnpaddedBallKeepsShortGroups)
             EXPECT_EQ(nit[i].neighbors[0], queries[i]) << name;
         }
     }
+}
+
+TEST(BackendParity, UnderfullBallsPadToMaxKAcrossBackends)
+{
+    // A radius so tight that every ball holds only its own center: all
+    // three backends must pad the entry to exactly maxK copies of the
+    // centroid, so executors that index neighbors[j] for j < k and the
+    // AU's non-empty-entry invariant stay safe.
+    Rng rng(8);
+    auto data = randomRows(rng, 120, 3);
+    PointsView v(data.data(), 120, 3);
+    std::vector<int32_t> queries{0, 17, 60, 119};
+    for (const std::string &name : applicableBackends(3)) {
+        auto nit =
+            makeBackendByName(name, v)->ballTable(queries, 1e-5f, 8);
+        ASSERT_EQ(nit.size(), static_cast<int32_t>(queries.size()))
+            << name;
+        for (int32_t i = 0; i < nit.size(); ++i) {
+            ASSERT_EQ(nit[i].neighbors.size(), 8u) << name;
+            for (int32_t n : nit[i].neighbors)
+                EXPECT_EQ(n, queries[i]) << name;
+        }
+    }
+}
+
+TEST(BackendParity, EmptyBallsPadWithCentroid)
+{
+    // A backend may legitimately return nothing inside the radius
+    // (approximate or filtered indexes, external-query adapters);
+    // ballTable must still emit full entries seeded with the centroid.
+    class EmptyBackend final : public SearchBackend
+    {
+      public:
+        explicit EmptyBackend(const PointsView &p) : SearchBackend(p) {}
+        const char *name() const override { return "empty"; }
+        std::vector<int32_t>
+        knn(const float *, int32_t) const override
+        {
+            return {};
+        }
+        std::vector<int32_t>
+        radius(const float *, float, int32_t) const override
+        {
+            return {};
+        }
+    };
+
+    Rng rng(9);
+    auto data = randomRows(rng, 30, 3);
+    PointsView v(data.data(), 30, 3);
+    EmptyBackend backend(v);
+    std::vector<int32_t> queries{3, 11, 29};
+    auto nit = backend.ballTable(queries, 0.5f, 4);
+    ASSERT_EQ(nit.size(), 3);
+    for (int32_t i = 0; i < nit.size(); ++i) {
+        ASSERT_EQ(nit[i].neighbors.size(), 4u);
+        for (int32_t n : nit[i].neighbors)
+            EXPECT_EQ(n, queries[i]);
+    }
+    // The padded table satisfies the AU's non-empty-entry requirement.
+    hwsim::AggregationUnit au(hwsim::AuConfig{}, hwsim::NpuConfig{},
+                              hwsim::EnergyConfig{});
+    auto stats = au.aggregate(nit, 30, 8);
+    EXPECT_GT(stats.cycles, 0);
 }
 
 TEST(BackendRegistry, ShipsThreeBackends)
