@@ -19,6 +19,76 @@ thread_local bool tls_inside_worker = false;
 
 } // namespace
 
+/**
+ * Shared task state. A task is *claimed* exactly once — either by the
+ * worker that pops it off the queue or by a waiter running it inline —
+ * so the body executes exactly once whichever side gets there first.
+ */
+struct TaskHandle::State
+{
+    std::mutex mutex;
+    std::condition_variable done;
+    std::function<void()> fn;
+    bool claimed = false;
+    bool finished = false;
+    std::exception_ptr error;
+
+    void
+    runIfUnclaimed()
+    {
+        std::function<void()> task;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (claimed)
+                return;
+            claimed = true;
+            task = std::move(fn);
+        }
+        // Run as a pool task even on the waiter's thread, so nested
+        // parallelFor calls inline exactly as they would on a worker.
+        bool prev = tls_inside_worker;
+        tls_inside_worker = true;
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
+        tls_inside_worker = prev;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            error = err;
+            finished = true;
+        }
+        done.notify_all();
+    }
+};
+
+TaskHandle::TaskHandle(std::shared_ptr<State> state)
+    : state_(std::move(state))
+{
+}
+
+void
+TaskHandle::wait() const
+{
+    MESO_REQUIRE(state_, "waiting on an empty TaskHandle");
+    state_->runIfUnclaimed(); // inline unless a worker got there first
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->done.wait(lock, [&] { return state_->finished; });
+    if (state_->error)
+        std::rethrow_exception(state_->error);
+}
+
+bool
+TaskHandle::finished() const
+{
+    if (!state_)
+        return false;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->finished;
+}
+
 struct ThreadPool::Impl
 {
     std::vector<std::thread> workers;
@@ -129,6 +199,24 @@ ThreadPool::parallelFor(int64_t n, int64_t grain, const RangeFn &fn) const
     shared.done.wait(lock, [&] { return shared.remaining == 0; });
     if (shared.error)
         std::rethrow_exception(shared.error);
+}
+
+TaskHandle
+ThreadPool::submit(std::function<void()> fn) const
+{
+    MESO_REQUIRE(fn, "submit needs a callable task");
+    auto state = std::make_shared<TaskHandle::State>();
+    state->fn = std::move(fn);
+    if (!impl_->workers.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(impl_->mutex);
+            impl_->tasks.emplace_back(
+                [state] { state->runIfUnclaimed(); });
+        }
+        impl_->wake.notify_one();
+    }
+    // No workers: the task stays with the handle and runs on wait().
+    return TaskHandle(state);
 }
 
 ThreadPool &

@@ -93,11 +93,39 @@ BatchRunner::run(const std::vector<geom::PointCloud> &clouds,
             runOne(i);
     } else {
         const ThreadPool &pool = pool_ ? *pool_ : ThreadPool::global();
-        pool.parallelFor(static_cast<int64_t>(clouds.size()),
-                         /*grain=*/1, [&](int64_t begin, int64_t end) {
-                             for (int64_t i = begin; i < end; ++i)
-                                 runOne(i);
-                         });
+        if (pool.size() < 2) {
+            // No workers to overlap on; run the clouds back to back.
+            for (int64_t i = 0; i < static_cast<int64_t>(clouds.size());
+                 ++i)
+                runOne(i);
+        } else {
+            // One combined stage graph over the whole batch: every
+            // cloud's network graph is an independent subgraph, so the
+            // scheduler pipelines clouds across each other instead of
+            // pinning one cloud per task.
+            StageGraph g;
+            std::vector<std::pair<size_t, size_t>> ranges;
+            ranges.reserve(clouds.size());
+            for (size_t i = 0; i < clouds.size(); ++i) {
+                size_t first = static_cast<size_t>(g.size());
+                exec_.appendRunStages(
+                    g, clouds[i], kind,
+                    seedBase + static_cast<uint64_t>(i),
+                    &out.items[i].run, "c" + std::to_string(i));
+                ranges.emplace_back(first, static_cast<size_t>(g.size()));
+            }
+            StageTimeline tl = StageScheduler::run(
+                g, pool, SchedulePolicy::Overlapped);
+            for (size_t i = 0; i < clouds.size(); ++i) {
+                BatchItemResult &item = out.items[i];
+                item.run.timeline =
+                    tl.slice(ranges[i].first, ranges[i].second);
+                // A cloud's latency is its time in flight: first stage
+                // start to last stage end within the shared schedule.
+                item.latencyMs = item.run.timeline.wallMs;
+                item.predicted = argmaxFirstRow(item.run.logits);
+            }
+        }
     }
     out.wallMs = msSince(batch0);
 

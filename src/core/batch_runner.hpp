@@ -4,12 +4,14 @@
  *
  * The production serving shape for the paper's workloads is a stream of
  * frames (LiDAR sweeps, depth maps) pushed through one trained network.
- * BatchRunner runs a batch of clouds concurrently across a thread pool
- * — one cloud per task, the per-cloud seed fixed by batch index — and
- * aggregates per-pipeline latency and prediction statistics. Because
- * every parallelized loop in the library is deterministic per item, a
- * batched run is bitwise identical to the sequential run of the same
- * seeds, which the test suite asserts.
+ * BatchRunner appends every cloud's whole-network stage graph into one
+ * StageGraph — the per-cloud seed fixed by batch index — and hands the
+ * combined graph to a single StageScheduler, so stages of independent
+ * clouds pipeline across each other (and Search ‖ Feature overlaps
+ * inside each delayed module). Because every RNG decision is pre-drawn
+ * at graph-build time and stages communicate only through declared
+ * dependencies, a batched run is bitwise identical to the sequential
+ * run of the same seeds, which the test suite asserts.
  */
 #pragma once
 
@@ -27,7 +29,13 @@ namespace mesorasi::core {
 struct BatchItemResult
 {
     RunResult run;            ///< full inference result
-    double latencyMs = 0.0;   ///< wall-clock of this cloud's inference
+    /** Wall-clock of this cloud's inference. In the combined-graph
+     *  parallel mode this is the cloud's *in-flight* time (first stage
+     *  start to last stage end within the shared schedule) — the
+     *  latency a concurrently-served request observes, which includes
+     *  time-sharing with the other clouds and is therefore larger than
+     *  the cloud's pure compute time. */
+    double latencyMs = 0.0;
     int32_t predicted = -1;   ///< argmax of the first logits row
 };
 

@@ -1,0 +1,191 @@
+#include "core/scheduler.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace mesorasi::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+StageTiming
+timingOf(const Stage &stage)
+{
+    StageTiming t;
+    t.kind = stage.kind;
+    t.group = stage.group;
+    t.name = stage.name;
+    return t;
+}
+
+/** Shared bookkeeping of one overlapped run. */
+struct OverlappedRun
+{
+    const StageGraph &graph;
+    const ThreadPool &pool;
+
+    std::mutex mutex;
+    std::condition_variable done;
+    std::vector<int32_t> remainingDeps;
+    std::vector<std::vector<StageId>> dependents;
+    std::vector<StageTiming> timings;
+    Clock::time_point t0;
+    int32_t finished = 0;
+    int32_t inflight = 0;
+    std::exception_ptr error;
+
+    explicit OverlappedRun(const StageGraph &g, const ThreadPool &p)
+        : graph(g), pool(p)
+    {
+        size_t n = static_cast<size_t>(g.size());
+        remainingDeps.resize(n, 0);
+        dependents.resize(n);
+        timings.reserve(n);
+        for (StageId id = 0; id < g.size(); ++id) {
+            timings.push_back(timingOf(g.stage(id)));
+            for (StageId d : g.stage(id).deps)
+                dependents[static_cast<size_t>(d)].push_back(id);
+            remainingDeps[static_cast<size_t>(id)] =
+                static_cast<int32_t>(g.stage(id).deps.size());
+        }
+        t0 = Clock::now();
+    }
+
+    /** Submit @p ids to the pool; inflight already accounts for them. */
+    void
+    launch(const std::vector<StageId> &ids)
+    {
+        for (StageId id : ids)
+            pool.submit([this, id] { execute(id); });
+    }
+
+    void
+    execute(StageId id)
+    {
+        const Stage &stage = graph.stage(id);
+        StageTiming &timing = timings[static_cast<size_t>(id)];
+        timing.startMs = msSince(t0);
+        std::exception_ptr err;
+        try {
+            stage.fn();
+        } catch (...) {
+            err = std::current_exception();
+        }
+        timing.endMs = msSince(t0);
+
+        std::vector<StageId> ready;
+        bool terminal = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++finished;
+            --inflight;
+            if (err && !error)
+                error = err;
+            if (!error) {
+                for (StageId d : dependents[static_cast<size_t>(id)])
+                    if (--remainingDeps[static_cast<size_t>(d)] == 0)
+                        ready.push_back(d);
+            }
+            inflight += static_cast<int32_t>(ready.size());
+            terminal = finished == graph.size() ||
+                       (error != nullptr && inflight == 0);
+            // Notify while still holding the lock: the waiter owns this
+            // object and may destroy it the moment it can re-acquire
+            // the mutex, so nothing may touch members after release.
+            if (terminal)
+                done.notify_all();
+        }
+        if (!terminal)
+            launch(ready); // `this` stays alive: ready counts as inflight
+    }
+
+    StageTimeline
+    runToCompletion()
+    {
+        std::vector<StageId> roots;
+        for (StageId id = 0; id < graph.size(); ++id)
+            if (graph.stage(id).deps.empty())
+                roots.push_back(id);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            inflight = static_cast<int32_t>(roots.size());
+        }
+        launch(roots);
+
+        std::unique_lock<std::mutex> lock(mutex);
+        done.wait(lock, [&] {
+            return finished == graph.size() || (error && inflight == 0);
+        });
+        if (error)
+            std::rethrow_exception(error);
+
+        StageTimeline out;
+        out.stages = std::move(timings);
+        out.wallMs = msSince(t0);
+        return out;
+    }
+};
+
+} // namespace
+
+const char *
+schedulePolicyName(SchedulePolicy policy)
+{
+    switch (policy) {
+      case SchedulePolicy::Auto: return "auto";
+      case SchedulePolicy::Sequential: return "sequential";
+      case SchedulePolicy::Overlapped: return "overlapped";
+    }
+    return "?";
+}
+
+StageTimeline
+StageScheduler::runSequential(const StageGraph &graph)
+{
+    StageTimeline out;
+    out.stages.reserve(static_cast<size_t>(graph.size()));
+    Clock::time_point t0 = Clock::now();
+    for (StageId id = 0; id < graph.size(); ++id) {
+        const Stage &stage = graph.stage(id);
+        StageTiming t = timingOf(stage);
+        t.startMs = msSince(t0);
+        stage.fn();
+        t.endMs = msSince(t0);
+        out.stages.push_back(std::move(t));
+    }
+    out.wallMs = msSince(t0);
+    return out;
+}
+
+StageTimeline
+StageScheduler::run(const StageGraph &graph, const ThreadPool &pool,
+                    SchedulePolicy policy)
+{
+    if (graph.empty())
+        return StageTimeline{};
+    if (policy == SchedulePolicy::Auto)
+        policy = pool.size() >= 2 && !ThreadPool::insideWorker()
+                     ? SchedulePolicy::Overlapped
+                     : SchedulePolicy::Sequential;
+    if (policy == SchedulePolicy::Sequential)
+        return runSequential(graph);
+    // Overlapped scheduling needs workers to make progress while the
+    // caller blocks; a workerless pool degenerates to sequential.
+    if (pool.size() < 2)
+        return runSequential(graph);
+    OverlappedRun run(graph, pool);
+    return run.runToCompletion();
+}
+
+} // namespace mesorasi::core

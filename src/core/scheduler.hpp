@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Stage-graph scheduler: runs a StageGraph sequentially or with
+ * independent stages genuinely in flight on a thread pool.
+ *
+ * Correctness contract: stage bodies are deterministic and communicate
+ * only through their declared dependencies, and every RNG decision is
+ * pre-drawn at graph-build time — so the overlapped schedule is bitwise
+ * identical to the sequential one; only the recorded StageTimeline
+ * differs. The test suite asserts this across all pipelines and search
+ * backends (tests/test_stage_graph.cpp).
+ */
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "core/stage_graph.hpp"
+
+namespace mesorasi::core {
+
+/** How a stage graph is walked. */
+enum class SchedulePolicy
+{
+    /** Overlapped when the pool has >= 2 workers and the caller is not
+     *  itself a pool worker; sequential otherwise. */
+    Auto,
+    /** Insertion order on the calling thread (the serial reference). */
+    Sequential,
+    /** Dependency-driven on the pool; independent stages run
+     *  concurrently (the paper's N ‖ F overlap, in software). Note the
+     *  trade: stage bodies run on pool workers, where nested
+     *  parallelFor calls inline (the pool's deadlock/oversubscription
+     *  rule), so Overlapped trades loop-level parallelism for
+     *  stage-level parallelism. It wins when independent stages have
+     *  comparable cost (delayed modules, batched clouds); Sequential
+     *  keeps the inner loops fanned out across the whole pool and can
+     *  be faster for a single chain-shaped graph on many cores. */
+    Overlapped,
+};
+
+/** Human-readable policy name. */
+const char *schedulePolicyName(SchedulePolicy policy);
+
+class StageScheduler
+{
+  public:
+    /**
+     * Execute every stage of @p graph respecting its dependencies and
+     * return the measured timeline. The first stage exception is
+     * rethrown after in-flight stages drain. Blocks until done.
+     */
+    static StageTimeline run(const StageGraph &graph,
+                             const ThreadPool &pool,
+                             SchedulePolicy policy = SchedulePolicy::Auto);
+
+    /** Sequential walk in insertion order on the calling thread. */
+    static StageTimeline runSequential(const StageGraph &graph);
+};
+
+} // namespace mesorasi::core

@@ -1,0 +1,184 @@
+#include "core/stage_graph.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mesorasi::core {
+
+const char *
+stageKindName(StageKind kind)
+{
+    switch (kind) {
+      case StageKind::Sample: return "sample";
+      case StageKind::Search: return "search";
+      case StageKind::Feature: return "feature";
+      case StageKind::Aggregate: return "aggregate";
+      case StageKind::Epilogue: return "epilogue";
+    }
+    return "?";
+}
+
+Phase
+stagePhase(StageKind kind)
+{
+    switch (kind) {
+      case StageKind::Sample: return Phase::Other;
+      case StageKind::Search: return Phase::Search;
+      case StageKind::Feature: return Phase::Feature;
+      case StageKind::Aggregate: return Phase::Aggregation;
+      case StageKind::Epilogue: return Phase::Other;
+    }
+    return Phase::Other;
+}
+
+StageId
+StageGraph::add(StageKind kind, std::string group, std::string name,
+                std::function<void()> fn, std::vector<StageId> deps)
+{
+    MESO_REQUIRE(fn, "stage '" << name << "' needs a body");
+    StageId id = size();
+    for (StageId d : deps)
+        MESO_REQUIRE(d >= 0 && d < id,
+                     "stage '" << name << "': dependency " << d
+                               << " is not an earlier stage");
+    Stage s;
+    s.kind = kind;
+    s.group = std::move(group);
+    s.name = std::move(name);
+    s.fn = std::move(fn);
+    s.deps = std::move(deps);
+    stages_.push_back(std::move(s));
+    return id;
+}
+
+const Stage &
+StageGraph::stage(StageId id) const
+{
+    MESO_REQUIRE(id >= 0 && id < size(), "bad stage id " << id);
+    return stages_[static_cast<size_t>(id)];
+}
+
+bool
+StageGraph::dependsOn(StageId later, StageId earlier) const
+{
+    MESO_REQUIRE(later >= 0 && later < size() && earlier >= 0 &&
+                     earlier < size(),
+                 "bad stage ids " << later << ", " << earlier);
+    if (later <= earlier)
+        return false;
+    // Deps always point backwards, so a reverse walk terminates.
+    std::vector<bool> reaches(static_cast<size_t>(later) + 1, false);
+    reaches[static_cast<size_t>(later)] = true;
+    for (StageId id = later; id >= earlier; --id) {
+        if (!reaches[static_cast<size_t>(id)])
+            continue;
+        for (StageId d : stages_[static_cast<size_t>(id)].deps) {
+            if (d == earlier)
+                return true;
+            reaches[static_cast<size_t>(d)] = true;
+        }
+    }
+    return false;
+}
+
+void
+StageGraph::keepAlive(std::shared_ptr<void> ctx)
+{
+    keepalive_.push_back(std::move(ctx));
+}
+
+double
+StageTimeline::serializedMs() const
+{
+    double sum = 0.0;
+    for (const auto &s : stages)
+        sum += s.durationMs();
+    return sum;
+}
+
+double
+StageTimeline::phaseMs(Phase phase) const
+{
+    double sum = 0.0;
+    for (const auto &s : stages)
+        if (stagePhase(s.kind) == phase)
+            sum += s.durationMs();
+    return sum;
+}
+
+double
+StageTimeline::overlapMs(StageKind a, StageKind b) const
+{
+    double sum = 0.0;
+    for (const auto &sa : stages) {
+        if (sa.kind != a)
+            continue;
+        for (const auto &sb : stages) {
+            if (sb.kind != b)
+                continue;
+            double lo = std::max(sa.startMs, sb.startMs);
+            double hi = std::min(sa.endMs, sb.endMs);
+            if (hi > lo)
+                sum += hi - lo;
+        }
+    }
+    return sum;
+}
+
+double
+StageTimeline::overlapFraction(StageKind a, StageKind b) const
+{
+    double ta = 0.0, tb = 0.0;
+    for (const auto &s : stages) {
+        if (s.kind == a)
+            ta += s.durationMs();
+        if (s.kind == b)
+            tb += s.durationMs();
+    }
+    double shorter = std::min(ta, tb);
+    if (shorter <= 0.0)
+        return 0.0;
+    return overlapMs(a, b) / shorter;
+}
+
+StageTimeline
+StageTimeline::slice(size_t first, size_t last) const
+{
+    MESO_REQUIRE(first <= last && last <= stages.size(),
+                 "bad timeline slice [" << first << ", " << last << ")");
+    StageTimeline out;
+    out.stages.assign(stages.begin() + static_cast<ptrdiff_t>(first),
+                      stages.begin() + static_cast<ptrdiff_t>(last));
+    if (out.stages.empty())
+        return out;
+    double lo = out.stages.front().startMs;
+    double hi = out.stages.front().endMs;
+    for (const auto &s : out.stages) {
+        lo = std::min(lo, s.startMs);
+        hi = std::max(hi, s.endMs);
+    }
+    out.wallMs = hi - lo;
+    return out;
+}
+
+StageTimeline
+StageTimeline::group(const std::string &name) const
+{
+    StageTimeline out;
+    for (const auto &s : stages)
+        if (s.group == name)
+            out.stages.push_back(s);
+    if (out.stages.empty())
+        return out;
+    double lo = out.stages.front().startMs;
+    double hi = out.stages.front().endMs;
+    for (const auto &s : out.stages) {
+        lo = std::min(lo, s.startMs);
+        hi = std::max(hi, s.endMs);
+    }
+    out.wallMs = hi - lo;
+    return out;
+}
+
+} // namespace mesorasi::core

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Stage graphs: module execution as a small program of dependent stages.
+ *
+ * The paper's headline claim (Fig. 8) is that delayed aggregation makes
+ * neighbor search (N) independent of feature computation (F), so the two
+ * can run concurrently. To make that overlap *real* in software — not
+ * just an analytic fiction inside hwsim — module execution is decomposed
+ * into stages (Sample, Search, Feature, Aggregate, Epilogue) whose true
+ * data dependencies form a DAG:
+ *
+ *   Original:  Sample → Search → Aggregate → Feature → Epilogue
+ *   Delayed:   Sample → Search ─┐
+ *              Feature ─────────┴→ Aggregate → Epilogue
+ *   Ltd:       Sample → Search ─┐
+ *              Feature(pft1) ───┴→ Aggregate → Feature(tail) → Epilogue
+ *
+ * A StageGraph is built per run (graph construction pre-draws every RNG
+ * decision, so scheduling order can never change results) and handed to
+ * core::StageScheduler, which either walks it sequentially or keeps
+ * independent stages in flight on a thread pool. Either way it records a
+ * measured StageTimeline — the empirical counterpart of hwsim's analytic
+ * overlap model.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace mesorasi::core {
+
+/** The stage alphabet; maps onto the paper's N / A / F phase split. */
+enum class StageKind
+{
+    Sample,    ///< centroid selection (pre-drawn RNG, FPS, iota)
+    Search,    ///< N: neighbor queries against the search backend
+    Feature,   ///< F: MLP matrix products (PFT, NFM batch, reductions)
+    Aggregate, ///< A: gather / fused gather-reduce of neighbor rows
+    Epilogue,  ///< glue: output coords, result harvesting, heads
+};
+
+/** Human-readable stage-kind name. */
+const char *stageKindName(StageKind kind);
+
+/** Phase a stage's measured time is accounted to (Fig. 5's split). */
+Phase stagePhase(StageKind kind);
+
+/** Index of a stage within its graph. */
+using StageId = int32_t;
+
+/** One schedulable unit of work. */
+struct Stage
+{
+    StageKind kind = StageKind::Epilogue;
+    std::string group; ///< owning module (or "cloud/module" in a batch)
+    std::string name;  ///< full label, e.g. "sa1.search"
+    std::function<void()> fn;
+    std::vector<StageId> deps; ///< all strictly smaller than own id
+};
+
+/**
+ * A DAG of stages. Dependencies must point at already-added stages, so
+ * insertion order is always a valid topological order and cycles are
+ * impossible by construction.
+ */
+class StageGraph
+{
+  public:
+    /** Append a stage. @p deps must all be valid earlier ids. */
+    StageId add(StageKind kind, std::string group, std::string name,
+                std::function<void()> fn, std::vector<StageId> deps = {});
+
+    int32_t size() const { return static_cast<int32_t>(stages_.size()); }
+    bool empty() const { return stages_.empty(); }
+    const Stage &stage(StageId id) const;
+    const std::vector<Stage> &stages() const { return stages_; }
+
+    /** True when @p later (transitively) depends on @p earlier. */
+    bool dependsOn(StageId later, StageId earlier) const;
+
+    /** Tie a per-run context's lifetime to the graph (stage lambdas
+     *  capture raw pointers into it). */
+    void keepAlive(std::shared_ptr<void> ctx);
+
+  private:
+    std::vector<Stage> stages_;
+    std::vector<std::shared_ptr<void>> keepalive_;
+};
+
+/** Measured wall-time interval of one executed stage. */
+struct StageTiming
+{
+    StageKind kind = StageKind::Epilogue;
+    std::string group;
+    std::string name;
+    double startMs = 0.0; ///< relative to the graph run's start
+    double endMs = 0.0;
+
+    double durationMs() const { return endMs - startMs; }
+};
+
+/**
+ * The measured timeline of one graph run: per-stage intervals plus the
+ * end-to-end wall clock. Entries are ordered by StageId, so a slice of
+ * a batch graph by stage range yields one cloud's timeline.
+ */
+struct StageTimeline
+{
+    std::vector<StageTiming> stages;
+    double wallMs = 0.0; ///< overlapped end-to-end time of the run
+
+    /** Sum of all stage durations — the fully serialized time. */
+    double serializedMs() const;
+
+    /** Summed durations of the stages accounted to @p phase. */
+    double phaseMs(Phase phase) const;
+
+    /** Summed pairwise interval intersection between stages of kind
+     *  @p a and stages of kind @p b — the measured N ‖ F overlap when
+     *  called with (Search, Feature). */
+    double overlapMs(StageKind a, StageKind b) const;
+
+    /** overlapMs as a fraction of the shorter of the two kinds' total
+     *  busy time (0 when either kind never ran). */
+    double overlapFraction(StageKind a, StageKind b) const;
+
+    /** Timeline of stages [first, last) — one cloud of a batch run. */
+    StageTimeline slice(size_t first, size_t last) const;
+
+    /** Timeline restricted to one stage group (module). */
+    StageTimeline group(const std::string &name) const;
+};
+
+} // namespace mesorasi::core

@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Tests for the stage-graph execution engine — the software realization
+ * of the paper's N ‖ F overlap (Fig. 8). Three claims are load-bearing:
+ *
+ *  1. Structure: Delayed/Ltd graphs declare Search and Feature as
+ *     independent (no edge in either direction), while Original is a
+ *     chain — the delayed-aggregation dependence structure, verbatim.
+ *  2. Concurrency: with >= 2 workers the scheduler genuinely runs
+ *     independent stages at the same time (asserted with a rendezvous
+ *     that can only complete when both stages are in flight, plus
+ *     stage timestamps).
+ *  3. Determinism: overlapped execution is bitwise identical to
+ *     sequential execution across all 3 pipelines x all 3 neighbor
+ *     backends, and stable under repeated runs — RNG decisions are
+ *     pre-drawn at graph-build time, so the schedule cannot matter.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/batch_runner.hpp"
+#include "core/pipeline.hpp"
+#include "core/scheduler.hpp"
+#include "geom/datasets.hpp"
+#include "geom/shapes.hpp"
+#include "hwsim/soc.hpp"
+
+namespace mesorasi::core {
+namespace {
+
+using mesorasi::Rng;
+using tensor::Tensor;
+
+ModuleState
+makeState(int32_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    geom::ShapeParams p{n, 0.0f, -1};
+    geom::PointCloud cloud = geom::makeTorus(rng, p, {}, 0.7f, 0.25f);
+    ModuleState s;
+    s.coords = Tensor(n, 3);
+    for (int32_t i = 0; i < n; ++i) {
+        s.coords(i, 0) = cloud[i].x;
+        s.coords(i, 1) = cloud[i].y;
+        s.coords(i, 2) = cloud[i].z;
+    }
+    s.features = s.coords;
+    return s;
+}
+
+ModuleConfig
+knnModule(neighbor::Backend backend = neighbor::Backend::Auto)
+{
+    ModuleConfig m;
+    m.name = "m";
+    m.numCentroids = 64;
+    m.k = 8;
+    m.search = SearchKind::Knn;
+    m.backend = backend;
+    m.mlpWidths = {16, 24};
+    return m;
+}
+
+StageId
+findStage(const StageGraph &g, const std::string &name)
+{
+    for (StageId id = 0; id < g.size(); ++id)
+        if (g.stage(id).name == name)
+            return id;
+    ADD_FAILURE() << "no stage named " << name;
+    return -1;
+}
+
+bool
+sameEntries(const neighbor::NeighborIndexTable &a,
+            const neighbor::NeighborIndexTable &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (int32_t i = 0; i < a.size(); ++i)
+        if (a[i].centroid != b[i].centroid ||
+            a[i].neighbors != b[i].neighbors)
+            return false;
+    return true;
+}
+
+// --- 1. Graph structure -----------------------------------------------
+
+TEST(StageGraphStructure, DelayedHasNoSearchFeatureEdge)
+{
+    for (PipelineKind kind :
+         {PipelineKind::Delayed, PipelineKind::LtdDelayed}) {
+        Rng wrng(1);
+        ModuleExecutor ex(knnModule(), 3, wrng);
+        ModuleState in = makeState(256, 2);
+        ModuleResult res;
+        Rng srng(3);
+        StageGraph g = ex.buildGraph(in, kind, srng, &res);
+
+        StageId sample = findStage(g, "m.sample");
+        StageId search = findStage(g, "m.search");
+        StageId feature = findStage(g, "m.feature");
+        StageId agg = findStage(g, "m.aggregate");
+
+        // Feature is a root: it depends on nothing, and in particular
+        // not on Search — the delayed-aggregation independence claim.
+        EXPECT_TRUE(g.stage(feature).deps.empty()) << pipelineName(kind);
+        EXPECT_FALSE(g.dependsOn(feature, search)) << pipelineName(kind);
+        EXPECT_FALSE(g.dependsOn(feature, sample)) << pipelineName(kind);
+        // Search only needs the centroids.
+        EXPECT_EQ(g.stage(search).deps, std::vector<StageId>{sample});
+        // Aggregation joins both sides.
+        EXPECT_TRUE(g.dependsOn(agg, search));
+        EXPECT_TRUE(g.dependsOn(agg, feature));
+    }
+}
+
+TEST(StageGraphStructure, LtdTailRunsAfterAggregation)
+{
+    Rng wrng(5);
+    ModuleExecutor ex(knnModule(), 3, wrng);
+    ModuleState in = makeState(128, 6);
+    ModuleResult res;
+    Rng srng(7);
+    StageGraph g =
+        ex.buildGraph(in, PipelineKind::LtdDelayed, srng, &res);
+    StageId tail = findStage(g, "m.feature.tail");
+    EXPECT_TRUE(g.dependsOn(tail, findStage(g, "m.aggregate")));
+    EXPECT_TRUE(g.dependsOn(tail, findStage(g, "m.search")));
+    EXPECT_FALSE(g.dependsOn(findStage(g, "m.feature"),
+                             findStage(g, "m.search")));
+}
+
+TEST(StageGraphStructure, OriginalIsAChain)
+{
+    Rng wrng(9);
+    ModuleExecutor ex(knnModule(), 3, wrng);
+    ModuleState in = makeState(128, 10);
+    ModuleResult res;
+    Rng srng(11);
+    StageGraph g = ex.buildGraph(in, PipelineKind::Original, srng, &res);
+    // sample → search → aggregate → feature → epilogue, transitively.
+    StageId order[] = {
+        findStage(g, "m.sample"), findStage(g, "m.search"),
+        findStage(g, "m.aggregate"), findStage(g, "m.feature"),
+        findStage(g, "m.epilogue")};
+    for (size_t i = 1; i < 5; ++i)
+        EXPECT_TRUE(g.dependsOn(order[i], order[i - 1])) << i;
+}
+
+TEST(StageGraphStructure, RejectsForwardDependencies)
+{
+    StageGraph g;
+    StageId a = g.add(StageKind::Sample, "t", "a", [] {});
+    EXPECT_THROW(g.add(StageKind::Search, "t", "b", [] {}, {a + 1}),
+                 mesorasi::UsageError);
+    EXPECT_THROW(g.add(StageKind::Search, "t", "c", [] {}, {-1}),
+                 mesorasi::UsageError);
+}
+
+// --- 2. The scheduler genuinely overlaps independent stages -----------
+
+TEST(StageScheduler, SearchAndFeatureExecuteConcurrently)
+{
+    // A Delayed-shaped graph whose Search and Feature bodies rendezvous:
+    // each signals its own start and then blocks until it has seen the
+    // other side start. Completion is only possible when the scheduler
+    // has both stages in flight at once — a serializing scheduler would
+    // time out. Stage timestamps must show the measured overlap too.
+    ThreadPool pool(4);
+    ASSERT_GE(pool.size(), 2);
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool searchStarted = false, featureStarted = false;
+    bool searchSawFeature = false, featureSawSearch = false;
+    auto rendezvous = [&](bool &mine, bool &theirs, bool &sawThem) {
+        std::unique_lock<std::mutex> lock(m);
+        mine = true;
+        cv.notify_all();
+        sawThem = cv.wait_for(lock, std::chrono::seconds(20),
+                              [&] { return theirs; });
+    };
+
+    StageGraph g;
+    StageId sample = g.add(StageKind::Sample, "m", "m.sample", [] {});
+    StageId search = g.add(
+        StageKind::Search, "m", "m.search",
+        [&] {
+            rendezvous(searchStarted, featureStarted, searchSawFeature);
+        },
+        {sample});
+    StageId feature = g.add(StageKind::Feature, "m", "m.feature", [&] {
+        rendezvous(featureStarted, searchStarted, featureSawSearch);
+    });
+    g.add(StageKind::Aggregate, "m", "m.aggregate", [] {},
+          {search, feature});
+
+    StageTimeline tl =
+        StageScheduler::run(g, pool, SchedulePolicy::Overlapped);
+
+    EXPECT_TRUE(searchSawFeature);
+    EXPECT_TRUE(featureSawSearch);
+    // The measured intervals overlap and the timeline exposes it.
+    EXPECT_GT(tl.overlapMs(StageKind::Search, StageKind::Feature), 0.0);
+    EXPECT_GT(tl.overlapFraction(StageKind::Search, StageKind::Feature),
+              0.0);
+}
+
+TEST(StageScheduler, SequentialAndOverlappedRecordEveryStage)
+{
+    Rng wrng(13);
+    ModuleExecutor ex(knnModule(), 3, wrng);
+    ModuleState in = makeState(256, 14);
+    ThreadPool pool(4);
+    for (SchedulePolicy policy :
+         {SchedulePolicy::Sequential, SchedulePolicy::Overlapped}) {
+        Rng srng(15);
+        ModuleResult r =
+            ex.run(in, PipelineKind::Delayed, srng, pool, policy);
+        ASSERT_EQ(r.timeline.stages.size(), 5u)
+            << schedulePolicyName(policy);
+        for (const auto &s : r.timeline.stages) {
+            EXPECT_GE(s.endMs, s.startMs) << s.name;
+            EXPECT_EQ(s.group, "m");
+        }
+        EXPECT_GT(r.timeline.wallMs, 0.0);
+        EXPECT_GE(r.timeline.serializedMs(), 0.0);
+        // The measured timeline feeds hwsim's phase vocabulary.
+        hwsim::MeasuredTimeline mt = hwsim::summarizeMeasured(r.timeline);
+        EXPECT_NEAR(mt.phases.searchMs + mt.phases.featureMs +
+                        mt.phases.aggregationMs + mt.phases.otherMs,
+                    mt.serializedMs, 1e-9);
+    }
+}
+
+TEST(StageScheduler, PropagatesStageExceptions)
+{
+    ThreadPool pool(4);
+    for (SchedulePolicy policy :
+         {SchedulePolicy::Sequential, SchedulePolicy::Overlapped}) {
+        StageGraph g;
+        StageId a = g.add(StageKind::Sample, "t", "a", [] {});
+        g.add(StageKind::Search, "t", "b",
+              [] { MESO_REQUIRE(false, "stage failed"); }, {a});
+        g.add(StageKind::Epilogue, "t", "c", [] {}, {a});
+        EXPECT_THROW(StageScheduler::run(g, pool, policy),
+                     mesorasi::UsageError)
+            << schedulePolicyName(policy);
+    }
+}
+
+// --- 3. Async determinism ---------------------------------------------
+
+TEST(AsyncDeterminism, ModuleBitwiseIdenticalAcrossPipelinesAndBackends)
+{
+    ThreadPool pool(4);
+    ModuleState in = makeState(512, 20);
+    for (neighbor::Backend backend :
+         {neighbor::Backend::BruteForce, neighbor::Backend::Grid,
+          neighbor::Backend::KdTree}) {
+        for (PipelineKind kind :
+             {PipelineKind::Original, PipelineKind::Delayed,
+              PipelineKind::LtdDelayed}) {
+            ModuleConfig cfg = knnModule(backend);
+            Rng wrng(21);
+            ModuleExecutor ex(cfg, 3, wrng);
+
+            Rng s1(22);
+            ModuleResult seq = ex.run(in, kind, s1, pool,
+                                      SchedulePolicy::Sequential);
+            const char *tag = pipelineName(kind);
+            SCOPED_TRACE(std::string(tag) + "/" +
+                         neighbor::backendName(backend));
+            // Overlapped must match sequential bitwise, run after run.
+            for (int rep = 0; rep < 3; ++rep) {
+                Rng s2(22);
+                ModuleResult ovl = ex.run(in, kind, s2, pool,
+                                          SchedulePolicy::Overlapped);
+                EXPECT_EQ(seq.out.features.maxAbsDiff(ovl.out.features),
+                          0.0f)
+                    << "rep " << rep;
+                EXPECT_EQ(seq.out.coords.maxAbsDiff(ovl.out.coords),
+                          0.0f);
+                EXPECT_EQ(seq.centroidIdx, ovl.centroidIdx);
+                EXPECT_TRUE(sameEntries(seq.nit, ovl.nit));
+            }
+            // The sampler stream advances identically either way.
+            Rng s3(22);
+            ModuleResult again = ex.run(in, kind, s3, pool,
+                                        SchedulePolicy::Overlapped);
+            EXPECT_EQ(s1.uniformInt(0, 1 << 30),
+                      s3.uniformInt(0, 1 << 30));
+            EXPECT_EQ(seq.out.features.maxAbsDiff(again.out.features),
+                      0.0f);
+        }
+    }
+}
+
+TEST(AsyncDeterminism, BallSearchModuleIdenticalOverlapped)
+{
+    // Ball queries pad underfull groups; the padding must not depend on
+    // the schedule either.
+    ThreadPool pool(4);
+    ModuleState in = makeState(256, 30);
+    for (neighbor::Backend backend :
+         {neighbor::Backend::BruteForce, neighbor::Backend::Grid,
+          neighbor::Backend::KdTree}) {
+        ModuleConfig cfg = knnModule(backend);
+        cfg.search = SearchKind::Ball;
+        cfg.radius = 0.25f;
+        Rng wrng(31);
+        ModuleExecutor ex(cfg, 3, wrng);
+        Rng s1(32), s2(32);
+        ModuleResult seq = ex.run(in, PipelineKind::Delayed, s1, pool,
+                                  SchedulePolicy::Sequential);
+        ModuleResult ovl = ex.run(in, PipelineKind::Delayed, s2, pool,
+                                  SchedulePolicy::Overlapped);
+        EXPECT_EQ(seq.out.features.maxAbsDiff(ovl.out.features), 0.0f)
+            << neighbor::backendName(backend);
+        EXPECT_TRUE(sameEntries(seq.nit, ovl.nit));
+    }
+}
+
+NetworkConfig
+tinyNetwork()
+{
+    NetworkConfig cfg;
+    cfg.name = "tiny";
+    cfg.task = Task::Classification;
+    cfg.numInputPoints = 256;
+    cfg.numClasses = 10;
+    ModuleConfig sa1;
+    sa1.name = "sa1";
+    sa1.numCentroids = 128;
+    sa1.k = 16;
+    sa1.search = SearchKind::Ball;
+    sa1.radius = 0.25f;
+    sa1.mlpWidths = {16, 32};
+    cfg.modules.push_back(sa1);
+    ModuleConfig sa2;
+    sa2.name = "sa2";
+    sa2.numCentroids = 32;
+    sa2.k = 8;
+    sa2.search = SearchKind::Knn;
+    sa2.mlpWidths = {32, 64};
+    cfg.modules.push_back(sa2);
+    ModuleConfig global;
+    global.name = "global";
+    global.search = SearchKind::Global;
+    global.mlpWidths = {64};
+    cfg.modules.push_back(global);
+    cfg.headWidths = {32};
+    return cfg;
+}
+
+TEST(AsyncDeterminism, NetworkBitwiseIdenticalAcrossPipelinesAndBackends)
+{
+    ThreadPool pool(4);
+    geom::ModelNetSim sim(40, 256);
+    geom::PointCloud cloud = sim.sample().cloud;
+    for (neighbor::Backend backend :
+         {neighbor::Backend::BruteForce, neighbor::Backend::Grid,
+          neighbor::Backend::KdTree}) {
+        NetworkConfig cfg = tinyNetwork();
+        cfg.backend = backend;
+        NetworkExecutor exec(cfg, /*weightSeed=*/1);
+        for (PipelineKind kind :
+             {PipelineKind::Original, PipelineKind::Delayed,
+              PipelineKind::LtdDelayed}) {
+            SCOPED_TRACE(std::string(pipelineName(kind)) + "/" +
+                         neighbor::backendName(backend));
+            RunResult seq = exec.run(cloud, kind, 7, pool,
+                                     SchedulePolicy::Sequential);
+            for (int rep = 0; rep < 2; ++rep) {
+                RunResult ovl = exec.run(cloud, kind, 7, pool,
+                                         SchedulePolicy::Overlapped);
+                EXPECT_EQ(seq.logits.maxAbsDiff(ovl.logits), 0.0f)
+                    << "rep " << rep;
+                ASSERT_EQ(seq.nits.size(), ovl.nits.size());
+                for (size_t i = 0; i < seq.nits.size(); ++i)
+                    EXPECT_TRUE(sameEntries(seq.nits[i], ovl.nits[i]));
+            }
+        }
+    }
+}
+
+TEST(AsyncDeterminism, NetworkTimelineCoversEveryModule)
+{
+    ThreadPool pool(4);
+    geom::ModelNetSim sim(41, 256);
+    NetworkExecutor exec(tinyNetwork(), 1);
+    RunResult r = exec.run(sim.sample().cloud, PipelineKind::Delayed, 7,
+                           pool, SchedulePolicy::Overlapped);
+    for (const char *group : {"sa1", "sa2", "global", "head"}) {
+        StageTimeline mt = r.timeline.group(group);
+        EXPECT_FALSE(mt.stages.empty()) << group;
+    }
+    // Delayed N-A-F modules expose a measured N ‖ F overlap summary.
+    hwsim::MeasuredTimeline m =
+        hwsim::summarizeMeasured(r.timeline.group("sa1"));
+    EXPECT_GT(m.phases.searchMs, 0.0);
+    EXPECT_GT(m.phases.featureMs, 0.0);
+    EXPECT_GE(m.searchFeatureOverlapFraction, 0.0);
+    EXPECT_LE(m.searchFeatureOverlapFraction, 1.0);
+}
+
+TEST(AsyncDeterminism, BatchGraphMatchesSequentialBitwise)
+{
+    // The batch runner folds every cloud's graph into one schedule; the
+    // combined schedule must still be bitwise faithful per cloud.
+    NetworkExecutor exec(tinyNetwork(), 1);
+    geom::ModelNetSim sim(42, 256);
+    std::vector<geom::PointCloud> clouds;
+    for (int i = 0; i < 4; ++i)
+        clouds.push_back(sim.sample().cloud);
+
+    BatchRunner sequential(exec, /*numThreads=*/1);
+    BatchRunner overlapped(exec, /*numThreads=*/4);
+    BatchResult a = sequential.run(clouds, PipelineKind::Delayed, 7);
+    for (int rep = 0; rep < 2; ++rep) {
+        BatchResult b = overlapped.run(clouds, PipelineKind::Delayed, 7);
+        ASSERT_EQ(a.items.size(), b.items.size());
+        for (size_t i = 0; i < a.items.size(); ++i) {
+            EXPECT_EQ(a.items[i].run.logits.maxAbsDiff(
+                          b.items[i].run.logits),
+                      0.0f)
+                << "cloud " << i << " rep " << rep;
+            EXPECT_GT(b.items[i].latencyMs, 0.0);
+            EXPECT_FALSE(b.items[i].run.timeline.stages.empty());
+        }
+    }
+}
+
+} // namespace
+} // namespace mesorasi::core
