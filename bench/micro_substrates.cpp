@@ -24,6 +24,7 @@
 #include "bench_common.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -39,6 +40,52 @@
 namespace {
 
 using namespace mesorasi;
+
+// ---------------------------------------------------------------------
+// Interleaved A/B sampling.
+//
+// Back-to-back sample blocks (all A reps, then all B reps) let one
+// load spike or frequency step land entirely on one variant, which is
+// how p90 inversions like "fused slower than unfused" ended up in
+// BENCH json on earlier runs. Instead every repetition times each
+// variant once, rotating which variant goes first so slow drift
+// cancels too, and one discarded warmup pass per variant pre-faults
+// buffers and warms caches before anything is recorded.
+// ---------------------------------------------------------------------
+
+double
+timeMs(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/** Run @p variants round-robin for @p reps recorded repetitions (plus
+ *  one discarded warmup pass each); returns per-variant samples. */
+std::vector<std::vector<double>>
+runInterleaved(int reps, const std::vector<std::function<void()>> &variants)
+{
+    std::vector<std::vector<double>> samples(variants.size());
+    for (const auto &v : variants)
+        v(); // warmup, discarded
+    for (int rep = 0; rep < reps; ++rep) {
+        for (size_t i = 0; i < variants.size(); ++i) {
+            size_t vi = (rep + i) % variants.size();
+            samples[vi].push_back(timeMs(variants[vi]));
+        }
+    }
+    return samples;
+}
+
+/** The effective SIMD lane width, recorded in every BENCH record so
+ *  scalar-vs-SIMD runs are distinguishable in the perf trajectory. */
+std::string
+simdWidthStr(bool forcedScalar = false)
+{
+    return std::to_string(forcedScalar ? 1 : simd::width());
+}
 
 geom::PointCloud
 cloudOf(int n)
@@ -195,7 +242,9 @@ BENCHMARK(BM_AuSimulate);
 
 // ---------------------------------------------------------------------
 // Aggregation kernels: allocating gather+reduce vs the fused
-// zero-allocation gatherMaxReduceInto, over a representative PFT.
+// zero-allocation gatherMaxReduceInto (SIMD and forced-scalar), over a
+// representative PFT. Variants are sampled interleaved (see
+// runInterleaved above).
 // ---------------------------------------------------------------------
 
 constexpr int kAggReps = 7;
@@ -217,33 +266,40 @@ runAggKernelBench(bench::BenchJsonWriter &json)
 
     tensor::Tensor outUnfused(kCentroids, kPftCols);
     tensor::Tensor outFused(kCentroids, kPftCols);
+    tensor::Tensor outScalar(kCentroids, kPftCols);
 
-    auto timeMs = [](const std::function<void()> &fn) {
-        auto t0 = std::chrono::steady_clock::now();
-        fn();
-        auto t1 = std::chrono::steady_clock::now();
-        return std::chrono::duration<double, std::milli>(t1 - t0)
-            .count();
-    };
-
-    std::vector<double> unfused, fused;
-    for (int rep = 0; rep < kAggReps; ++rep) {
-        unfused.push_back(timeMs([&] {
-            for (int32_t c = 0; c < kCentroids; ++c) {
-                tensor::Tensor g = tensor::gatherRows(pft, groups[c]);
-                tensor::Tensor red = tensor::maxReduceRows(g);
-                std::copy(red.row(0), red.row(0) + kPftCols,
-                          outUnfused.row(c));
-            }
-        }));
-        fused.push_back(timeMs([&] {
-            for (int32_t c = 0; c < kCentroids; ++c)
-                tensor::gatherMaxReduceInto(outFused.row(c), pft,
-                                            groups[c]);
-        }));
-    }
+    auto samples = runInterleaved(
+        kAggReps,
+        {[&] {
+             for (int32_t c = 0; c < kCentroids; ++c) {
+                 tensor::Tensor g = tensor::gatherRows(pft, groups[c]);
+                 tensor::Tensor red = tensor::maxReduceRows(g);
+                 std::copy(red.row(0), red.row(0) + kPftCols,
+                           outUnfused.row(c));
+             }
+         },
+         [&] {
+             for (int32_t c = 0; c < kCentroids; ++c)
+                 tensor::gatherMaxReduceInto(outFused.row(c), pft,
+                                             groups[c]);
+         },
+         [&] {
+             // Restore the prior flag (not plain false) so a
+             // MESORASI_FORCE_SCALAR=1 run stays scalar throughout.
+             bool prev = simd::forceScalar();
+             simd::setForceScalar(true);
+             for (int32_t c = 0; c < kCentroids; ++c)
+                 tensor::gatherMaxReduceInto(outScalar.row(c), pft,
+                                             groups[c]);
+             simd::setForceScalar(prev);
+         }});
+    const auto &unfused = samples[0];
+    const auto &fused = samples[1];
+    const auto &fusedScalar = samples[2];
     MESO_CHECK(outFused.maxAbsDiff(outUnfused) == 0.0f,
                "fused aggregation kernel diverged from unfused path");
+    MESO_CHECK(outFused.maxAbsDiff(outScalar) == 0.0f,
+               "SIMD aggregation kernel diverged from forced-scalar");
 
     Table t("Aggregation kernel — " + std::to_string(kCentroids) +
                 " centroids x k=" + std::to_string(kGroup) + " over " +
@@ -254,20 +310,94 @@ runAggKernelBench(bench::BenchJsonWriter &json)
               fmt(percentile(unfused, 90.0), 3)});
     t.addRow({"gatherMaxReduceInto (fused)", fmt(percentile(fused, 50.0), 3),
               fmt(percentile(fused, 90.0), 3)});
+    t.addRow({"gatherMaxReduceInto (forced scalar)",
+              fmt(percentile(fusedScalar, 50.0), 3),
+              fmt(percentile(fusedScalar, 90.0), 3)});
     t.print();
 
-    auto params = [&](const std::string &kernel) {
+    auto params = [&](const std::string &kernel, bool forcedScalar) {
         return std::vector<std::pair<std::string, std::string>>{
             {"kernel", kernel},
             {"pft_rows", std::to_string(kPftRows)},
             {"pft_cols", std::to_string(kPftCols)},
             {"centroids", std::to_string(kCentroids)},
             {"k", std::to_string(kGroup)},
+            {"simd_width", simdWidthStr(forcedScalar)},
         };
     };
-    json.add("agg_kernel_unfused", params("gather_reduce"), unfused);
-    json.add("agg_kernel_fused", params("gather_max_reduce_into"),
+    json.add("agg_kernel_unfused", params("gather_reduce", false),
+             unfused);
+    json.add("agg_kernel_fused", params("gather_max_reduce_into", false),
              fused);
+    json.add("agg_kernel_fused_scalar",
+             params("gather_max_reduce_into", true), fusedScalar);
+}
+
+// ---------------------------------------------------------------------
+// Matmul substrate: the register-blocked SIMD kernel vs the forced
+// scalar reference on the PFT-shaped product every module runs
+// (single-thread, so the ratio is pure SIMD, not threading).
+// ---------------------------------------------------------------------
+
+constexpr int kMatmulReps = 9;
+
+void
+runMatmulSimdBench(bench::BenchJsonWriter &json)
+{
+    constexpr int32_t kRows = 2048;
+    constexpr int32_t kInner = 64;
+    constexpr int32_t kCols = 128;
+
+    Rng rng(31);
+    tensor::Tensor a = tensor::uniform(rng, kRows, kInner, -1.0f, 1.0f);
+    tensor::Tensor b = tensor::uniform(rng, kInner, kCols, -1.0f, 1.0f);
+    tensor::Tensor outSimd(kRows, kCols);
+    tensor::Tensor outScalar(kRows, kCols);
+
+    auto samples = runInterleaved(
+        kMatmulReps,
+        {[&] {
+             bool prev = simd::forceScalar();
+             simd::setForceScalar(true);
+             tensor::matmulInto(outScalar.data(), kCols, a.data(),
+                                kInner, kRows, b);
+             simd::setForceScalar(prev);
+         },
+         [&] {
+             tensor::matmulInto(outSimd.data(), kCols, a.data(), kInner,
+                                kRows, b);
+         }});
+    const auto &scalar = samples[0];
+    const auto &simdSamples = samples[1];
+    MESO_CHECK(outSimd.maxAbsDiff(outScalar) == 0.0f,
+               "SIMD matmul diverged from forced-scalar kernel");
+
+    double medScalar = percentile(scalar, 50.0);
+    double medSimd = percentile(simdSamples, 50.0);
+    Table t("Matmul kernel — " + std::to_string(kRows) + "x" +
+                std::to_string(kInner) + " * " + std::to_string(kInner) +
+                "x" + std::to_string(kCols) + " (single thread)",
+            {"Kernel", "Median ms", "p90 ms"});
+    t.addRow({"forced scalar", fmt(medScalar, 3),
+              fmt(percentile(scalar, 90.0), 3)});
+    t.addRow({std::string("simd (") + simd::kIsa + ", width " +
+                  std::to_string(simd::kWidth) + ")",
+              fmt(medSimd, 3), fmt(percentile(simdSamples, 90.0), 3)});
+    t.print();
+    std::cout << "matmul simd speedup: "
+              << fmtX(medSimd > 0.0 ? medScalar / medSimd : 0.0) << "\n";
+
+    auto params = [&](bool forcedScalar) {
+        return std::vector<std::pair<std::string, std::string>>{
+            {"rows", std::to_string(kRows)},
+            {"inner", std::to_string(kInner)},
+            {"cols", std::to_string(kCols)},
+            {"isa", simd::kIsa},
+            {"simd_width", simdWidthStr(forcedScalar)},
+        };
+    };
+    json.add("matmul_scalar", params(true), scalar);
+    json.add("matmul_simd", params(false), simdSamples);
 }
 
 // ---------------------------------------------------------------------
@@ -304,32 +434,30 @@ runModuleOverlapBench(bench::BenchJsonWriter &json)
     in.features = in.coords;
 
     ThreadPool pool(4);
-    auto timeMs = [](const std::function<void()> &fn) {
-        auto t0 = std::chrono::steady_clock::now();
-        fn();
-        auto t1 = std::chrono::steady_clock::now();
-        return std::chrono::duration<double, std::milli>(t1 - t0)
-            .count();
-    };
-
-    std::vector<double> serial, overlapped, overlapFrac;
+    std::vector<double> overlapFrac;
     tensor::Tensor serialOut, overlapOut;
-    for (int rep = 0; rep < kModuleReps; ++rep) {
-        serial.push_back(timeMs([&] {
-            Rng srng(5);
-            auto r = ex.run(in, core::PipelineKind::Delayed, srng, pool,
-                            core::SchedulePolicy::Sequential);
-            serialOut = std::move(r.out.features);
-        }));
-        overlapped.push_back(timeMs([&] {
-            Rng srng(5);
-            auto r = ex.run(in, core::PipelineKind::Delayed, srng, pool,
-                            core::SchedulePolicy::Overlapped);
-            overlapFrac.push_back(r.timeline.overlapFraction(
-                core::StageKind::Search, core::StageKind::Feature));
-            overlapOut = std::move(r.out.features);
-        }));
-    }
+    auto samples = runInterleaved(
+        kModuleReps,
+        {[&] {
+             Rng srng(5);
+             auto r = ex.run(in, core::PipelineKind::Delayed, srng, pool,
+                             core::SchedulePolicy::Sequential);
+             serialOut = std::move(r.out.features);
+         },
+         [&] {
+             Rng srng(5);
+             auto r = ex.run(in, core::PipelineKind::Delayed, srng, pool,
+                             core::SchedulePolicy::Overlapped);
+             overlapFrac.push_back(r.timeline.overlapFraction(
+                 core::StageKind::Search, core::StageKind::Feature));
+             overlapOut = std::move(r.out.features);
+         }});
+    const auto &serial = samples[0];
+    const auto &overlapped = samples[1];
+    // The overlapped lambda also fires during runInterleaved's
+    // discarded warmup pass; drop that cold sample so the recorded
+    // overlap fraction matches the recorded timings.
+    overlapFrac.erase(overlapFrac.begin());
     MESO_CHECK(serialOut.maxAbsDiff(overlapOut) == 0.0f,
                "overlapped module execution diverged from serial");
 
@@ -354,6 +482,7 @@ runModuleOverlapBench(bench::BenchJsonWriter &json)
             {"k", std::to_string(kGroup)},
             {"pipeline", "delayed"},
             {"hw_threads", std::to_string(ThreadPool::defaultThreads())},
+            {"simd_width", simdWidthStr()},
             {"caveat", "1-hw-thread containers timeslice the pool; "
                        "overlap gains need real cores"},
         };
@@ -365,7 +494,8 @@ runModuleOverlapBench(bench::BenchJsonWriter &json)
              {{"metric", "fraction_of_min_phase"},
               {"value", fmt(percentile(overlapFrac, 50.0), 3)},
               {"hw_threads",
-               std::to_string(ThreadPool::defaultThreads())}},
+               std::to_string(ThreadPool::defaultThreads())},
+              {"simd_width", simdWidthStr()}},
              {});
 }
 
@@ -432,6 +562,7 @@ runBatchEngineBench(bench::BenchJsonWriter &json)
             {"clouds", std::to_string(kBatchSize)},
             {"threads", std::to_string(threads)},
             {"mode", mode},
+            {"simd_width", simdWidthStr()},
         };
     };
     json.add("batch16_sequential", params("sequential", 1), seqWall);
@@ -441,7 +572,8 @@ runBatchEngineBench(bench::BenchJsonWriter &json)
              {{"metric", "x"},
               {"value", fmt(speedup, 3)},
               {"hw_threads",
-               std::to_string(ThreadPool::defaultThreads())}},
+               std::to_string(ThreadPool::defaultThreads())},
+              {"simd_width", simdWidthStr()}},
              {});
 }
 
@@ -462,6 +594,7 @@ main(int argc, char **argv)
     }
 
     bench::BenchJsonWriter json("micro_substrates");
+    runMatmulSimdBench(json);
     runAggKernelBench(json);
     runModuleOverlapBench(json);
     runBatchEngineBench(json);

@@ -1,0 +1,43 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mesorasi::simd {
+
+namespace {
+
+/** Relaxed is enough: the flag is only flipped between parallel
+ *  regions (see setForceScalar), the atomic just keeps the reads from
+ *  racing on paper. */
+std::atomic<bool> &
+forceFlag()
+{
+    static std::atomic<bool> flag = [] {
+        const char *env = std::getenv("MESORASI_FORCE_SCALAR");
+        return env != nullptr && *env != '\0' &&
+               std::strcmp(env, "0") != 0;
+    }();
+    return flag;
+}
+
+} // namespace
+
+bool
+forceScalar()
+{
+#if defined(MESORASI_FORCE_SCALAR)
+    return true;
+#else
+    return forceFlag().load(std::memory_order_relaxed);
+#endif
+}
+
+void
+setForceScalar(bool force)
+{
+    forceFlag().store(force, std::memory_order_relaxed);
+}
+
+} // namespace mesorasi::simd

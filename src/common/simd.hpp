@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Portable SIMD abstraction for the compute substrate.
+ *
+ * Mesorasi's premise is that delayed aggregation turns irregular gather
+ * work into regular streaming matrix/reduce work that dense hardware
+ * executes efficiently. On the host, "dense hardware" means the vector
+ * units, so every hot kernel (matmul, max-reduce, gather-reduce, bias /
+ * ReLU / batchnorm epilogues, neighbor dist2 batches) is written against
+ * this header instead of raw intrinsics.
+ *
+ * Design:
+ *  - One compile-time lane width, picked from the target ISA: AVX2
+ *    (8 x f32), SSE2 (4 x f32), NEON (4 x f32), or a scalar stand-in
+ *    (1 x f32). There is no runtime CPUID dispatch: the binary is built
+ *    for one width, and CI builds the matrix (baseline SSE2, -mavx2,
+ *    and -DMESORASI_FORCE_SCALAR=1).
+ *  - VecF is a thin value wrapper: load/store (always unaligned — tensor
+ *    rows and workspace buffers carry no alignment guarantee, and
+ *    unaligned loads are free on every target we build for), broadcast,
+ *    add/sub/mul, compare-less-than and blend.
+ *  - Bitwise scalar parity is a hard contract. Kernels built on VecF
+ *    must produce byte-identical results to their scalar fallbacks, so
+ *    the header deliberately exposes no FMA (mul+add keeps scalar
+ *    rounding) and no native min/max: maxOrdered() and relu() are
+ *    implemented as cmpLt + blend so they replicate std::max's exact
+ *    NaN and signed-zero behavior (std::max(a,b) keeps `a` unless
+ *    a < b; MAXPS would instead return the second operand on NaN and
+ *    on +/-0 ties).
+ *  - Scalar forcing: defining MESORASI_FORCE_SCALAR at compile time
+ *    removes the vector paths entirely; setting the MESORASI_FORCE_SCALAR
+ *    environment variable (or calling setForceScalar) disables them at
+ *    runtime, which is what the parity tests and the scalar-vs-SIMD
+ *    bench records use. Kernels consult enabled() once per call.
+ *
+ * The dispatch seam for future backends: kernels keep their scalar
+ * signatures (pointers + strides + row counts) and select an
+ * implementation internally. A GPU/NPU backend can slot in behind the
+ * same kernel signatures by adding a third implementation and a wider
+ * dispatch enum — callers never name an ISA.
+ */
+#pragma once
+
+#include <cstdint>
+
+#if defined(MESORASI_FORCE_SCALAR)
+#define MESORASI_SIMD_SCALAR 1
+#elif defined(__AVX2__)
+#define MESORASI_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define MESORASI_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define MESORASI_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define MESORASI_SIMD_SCALAR 1
+#endif
+
+namespace mesorasi::simd {
+
+/**
+ * Runtime kill switch for the vector paths. Initialized once from the
+ * MESORASI_FORCE_SCALAR environment variable; tests and benches flip it
+ * with setForceScalar() to compare both implementations inside one
+ * process. Always true when compiled with -DMESORASI_FORCE_SCALAR.
+ */
+bool forceScalar();
+
+/** Override the runtime force-scalar flag (no-op when the scalar build
+ *  was selected at compile time). Not thread-safe against concurrent
+ *  kernels; flip it only between parallel regions. */
+void setForceScalar(bool force);
+
+// ---------------------------------------------------------------------
+// VecF: one register of kWidth packed f32 lanes.
+// ---------------------------------------------------------------------
+
+#if defined(MESORASI_SIMD_AVX2)
+
+inline constexpr int kWidth = 8;
+inline constexpr const char *kIsa = "avx2";
+
+struct VecF
+{
+    __m256 v;
+
+    static VecF load(const float *p) { return {_mm256_loadu_ps(p)}; }
+    static VecF broadcast(float x) { return {_mm256_set1_ps(x)}; }
+    static VecF zero() { return {_mm256_setzero_ps()}; }
+    void store(float *p) const { _mm256_storeu_ps(p, v); }
+};
+
+inline VecF add(VecF a, VecF b) { return {_mm256_add_ps(a.v, b.v)}; }
+inline VecF sub(VecF a, VecF b) { return {_mm256_sub_ps(a.v, b.v)}; }
+inline VecF mul(VecF a, VecF b) { return {_mm256_mul_ps(a.v, b.v)}; }
+
+/** All-ones lanes where a < b (ordered: NaN compares false). */
+inline VecF
+cmpLt(VecF a, VecF b)
+{
+    return {_mm256_cmp_ps(a.v, b.v, _CMP_LT_OQ)};
+}
+
+/** Lane-wise mask ? a : b (mask lanes must be all-ones or all-zero). */
+inline VecF
+blend(VecF mask, VecF a, VecF b)
+{
+    return {_mm256_blendv_ps(b.v, a.v, mask.v)};
+}
+
+#elif defined(MESORASI_SIMD_SSE2)
+
+inline constexpr int kWidth = 4;
+inline constexpr const char *kIsa = "sse2";
+
+struct VecF
+{
+    __m128 v;
+
+    static VecF load(const float *p) { return {_mm_loadu_ps(p)}; }
+    static VecF broadcast(float x) { return {_mm_set1_ps(x)}; }
+    static VecF zero() { return {_mm_setzero_ps()}; }
+    void store(float *p) const { _mm_storeu_ps(p, v); }
+};
+
+inline VecF add(VecF a, VecF b) { return {_mm_add_ps(a.v, b.v)}; }
+inline VecF sub(VecF a, VecF b) { return {_mm_sub_ps(a.v, b.v)}; }
+inline VecF mul(VecF a, VecF b) { return {_mm_mul_ps(a.v, b.v)}; }
+
+inline VecF cmpLt(VecF a, VecF b) { return {_mm_cmplt_ps(a.v, b.v)}; }
+
+inline VecF
+blend(VecF mask, VecF a, VecF b)
+{
+    return {_mm_or_ps(_mm_and_ps(mask.v, a.v),
+                      _mm_andnot_ps(mask.v, b.v))};
+}
+
+#elif defined(MESORASI_SIMD_NEON)
+
+inline constexpr int kWidth = 4;
+inline constexpr const char *kIsa = "neon";
+
+struct VecF
+{
+    float32x4_t v;
+
+    static VecF load(const float *p) { return {vld1q_f32(p)}; }
+    static VecF broadcast(float x) { return {vdupq_n_f32(x)}; }
+    static VecF zero() { return {vdupq_n_f32(0.0f)}; }
+    void store(float *p) const { vst1q_f32(p, v); }
+};
+
+inline VecF add(VecF a, VecF b) { return {vaddq_f32(a.v, b.v)}; }
+inline VecF sub(VecF a, VecF b) { return {vsubq_f32(a.v, b.v)}; }
+inline VecF mul(VecF a, VecF b) { return {vmulq_f32(a.v, b.v)}; }
+
+inline VecF
+cmpLt(VecF a, VecF b)
+{
+    return {vreinterpretq_f32_u32(vcltq_f32(a.v, b.v))};
+}
+
+inline VecF
+blend(VecF mask, VecF a, VecF b)
+{
+    return {vbslq_f32(vreinterpretq_u32_f32(mask.v), a.v, b.v)};
+}
+
+#else // MESORASI_SIMD_SCALAR
+
+inline constexpr int kWidth = 1;
+inline constexpr const char *kIsa = "scalar";
+
+struct VecF
+{
+    float v;
+
+    static VecF load(const float *p) { return {*p}; }
+    static VecF broadcast(float x) { return {x}; }
+    static VecF zero() { return {0.0f}; }
+    void store(float *p) const { *p = v; }
+};
+
+inline VecF add(VecF a, VecF b) { return {a.v + b.v}; }
+inline VecF sub(VecF a, VecF b) { return {a.v - b.v}; }
+inline VecF mul(VecF a, VecF b) { return {a.v * b.v}; }
+inline VecF cmpLt(VecF a, VecF b) { return {a.v < b.v ? 1.0f : 0.0f}; }
+inline VecF blend(VecF m, VecF a, VecF b) { return {m.v != 0.0f ? a.v : b.v}; }
+
+#endif
+
+/** std::max(a, b) per lane, bit-for-bit: keeps `a` unless a < b, so
+ *  NaN in `b` is dropped, NaN in `a` propagates, and a +0/-0 tie keeps
+ *  `a` — exactly the scalar semantics every reduce kernel relies on.
+ *
+ *  On x86 this is a single MAXPS with *swapped* operands: MAX(SRC1,
+ *  SRC2) returns SRC1 only when SRC1 > SRC2 and otherwise SRC2 —
+ *  including both NaN cases and +0/-0 ties — so MAX(b, a) is exactly
+ *  (a < b) ? b : a. NEON's vmax quietens NaNs differently, so it (and
+ *  the scalar stand-in) use the explicit cmpLt + blend form. */
+inline VecF
+maxOrdered(VecF a, VecF b)
+{
+#if defined(MESORASI_SIMD_AVX2)
+    return {_mm256_max_ps(b.v, a.v)};
+#elif defined(MESORASI_SIMD_SSE2)
+    return {_mm_max_ps(b.v, a.v)};
+#else
+    return blend(cmpLt(a, b), b, a);
+#endif
+}
+
+/** std::max(0.0f, x) per lane, bit-for-bit: NaN and -0.0 map to +0.0
+ *  (MAX(x, 0) keeps x only when x > 0, so every other input — NaN,
+ *  -0.0, negatives — yields the +0.0 of the second operand, exactly
+ *  like the scalar (0 < x) ? x : 0). */
+inline VecF
+relu(VecF x)
+{
+    VecF z = VecF::zero();
+#if defined(MESORASI_SIMD_AVX2)
+    return {_mm256_max_ps(x.v, z.v)};
+#elif defined(MESORASI_SIMD_SSE2)
+    return {_mm_max_ps(x.v, z.v)};
+#else
+    return blend(cmpLt(z, x), x, z);
+#endif
+}
+
+/** True when the vector kernels should run: compiled lane width > 1 and
+ *  the runtime force-scalar flag is off. Hot kernels test this once per
+ *  call and fall back to their scalar reference loops otherwise. */
+inline bool
+enabled()
+{
+    return kWidth > 1 && !forceScalar();
+}
+
+/** Effective lane width of the kernels as currently dispatched
+ *  (1 when forced scalar) — recorded in BENCH json params. */
+inline int
+width()
+{
+    return enabled() ? kWidth : 1;
+}
+
+} // namespace mesorasi::simd

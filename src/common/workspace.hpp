@@ -32,15 +32,23 @@ class Workspace
 {
   public:
     /** Independent simultaneously-usable scratch buffers per thread. */
-    static constexpr int kNumSlots = 4;
+    static constexpr int kNumSlots = 6;
 
     // Slot reservations. The MLP forward path owns the first two as
     // ping/pong activation buffers on every thread it runs on; any
     // other per-thread scratch must use kScratch or above, or it will
-    // be clobbered by an MLP forward on the same thread.
+    // be clobbered by an MLP forward on the same thread. The two
+    // distance slots belong to the batched neighbor dist2 kernels:
+    // kDistSoA holds the gathered SoA candidate coordinates inside
+    // dist2Batch itself, kDistOut is for the caller's d2 result array.
+    // They are separate from kScratch because neighbor queries run
+    // inside loops that already hold kScratch pointers (e.g. the
+    // interp executor's weight buffer).
     static constexpr int kMlpPing = 0;
     static constexpr int kMlpPong = 1;
     static constexpr int kScratch = 2;
+    static constexpr int kDistSoA = 3;
+    static constexpr int kDistOut = 4;
 
     /**
      * Scratch buffer of at least @p n floats in @p slot. Contents are

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/workspace.hpp"
+#include "neighbor/dist_batch.hpp"
 
 namespace mesorasi::neighbor {
 
@@ -11,9 +13,16 @@ knnScan(const PointsView &points, const float *query, int32_t k)
 {
     MESO_REQUIRE(k > 0 && k <= points.size(),
                  "k=" << k << " with " << points.size() << " points");
-    std::vector<std::pair<float, int32_t>> dists(points.size());
-    for (int32_t i = 0; i < points.size(); ++i)
-        dists[i] = {points.dist2To(i, query), i};
+    int32_t n = points.size();
+    // Batched distance pass (SIMD over candidates), then rank. The d2
+    // values are bitwise identical to per-point dist2To, so the
+    // (distance, index) order — and therefore the result — is too.
+    float *d2 = Workspace::local().floats(Workspace::kDistOut,
+                                          static_cast<size_t>(n));
+    dist2Range(points, 0, n, query, d2);
+    std::vector<std::pair<float, int32_t>> dists(n);
+    for (int32_t i = 0; i < n; ++i)
+        dists[i] = {d2[i], i};
     // Pair comparison sorts by (distance, index): ties break by index,
     // the ordering contract shared by every search backend.
     std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
@@ -29,11 +38,14 @@ radiusScan(const PointsView &points, const float *query, float radius,
 {
     MESO_REQUIRE(radius > 0.0f, "radius must be positive");
     float r2 = radius * radius;
+    int32_t n = points.size();
+    float *d2 = Workspace::local().floats(Workspace::kDistOut,
+                                          static_cast<size_t>(n));
+    dist2Range(points, 0, n, query, d2);
     std::vector<std::pair<float, int32_t>> found;
-    for (int32_t i = 0; i < points.size(); ++i) {
-        float d2 = points.dist2To(i, query);
-        if (d2 <= r2)
-            found.push_back({d2, i});
+    for (int32_t i = 0; i < n; ++i) {
+        if (d2[i] <= r2)
+            found.push_back({d2[i], i});
     }
     // Nearest first, ties by index, so truncation at maxK keeps the
     // same set no matter which search structure answered the query.

@@ -1,0 +1,93 @@
+#include "neighbor/dist_batch.hpp"
+
+#include "common/simd.hpp"
+#include "common/workspace.hpp"
+
+namespace mesorasi::neighbor {
+
+namespace {
+
+using simd::VecF;
+
+/** SoA 3-D kernel body: xs/ys/zs hold the gathered candidate
+ *  coordinates. Each lane runs the scalar accumulation sequence
+ *  (dx*dx) + dy*dy + dz*dz for one candidate. */
+void
+dist2Soa3(const float *xs, const float *ys, const float *zs, int32_t n,
+          const float *query, float *out)
+{
+    const VecF qx = VecF::broadcast(query[0]);
+    const VecF qy = VecF::broadcast(query[1]);
+    const VecF qz = VecF::broadcast(query[2]);
+    constexpr int W = simd::kWidth;
+    int32_t i = 0;
+    for (; i + W <= n; i += W) {
+        VecF dx = sub(VecF::load(xs + i), qx);
+        VecF dy = sub(VecF::load(ys + i), qy);
+        VecF dz = sub(VecF::load(zs + i), qz);
+        VecF acc = mul(dx, dx);
+        acc = add(acc, mul(dy, dy));
+        acc = add(acc, mul(dz, dz));
+        acc.store(out + i);
+    }
+    for (; i < n; ++i) {
+        float dx = xs[i] - query[0];
+        float dy = ys[i] - query[1];
+        float dz = zs[i] - query[2];
+        float acc = dx * dx;
+        acc += dy * dy;
+        acc += dz * dz;
+        out[i] = acc;
+    }
+}
+
+/** Gather rows into the per-thread SoA scratch; @p rowOf lets the
+ *  same fill serve index lists (rowOf = idx[i]) and ranges. */
+template <class RowOf>
+void
+dist2Batch3(const PointsView &points, int32_t n, RowOf rowOf,
+            const float *query, float *out)
+{
+    float *scratch = Workspace::local().floats(
+        Workspace::kDistSoA, static_cast<size_t>(n) * 3);
+    float *xs = scratch;
+    float *ys = scratch + n;
+    float *zs = scratch + 2 * static_cast<size_t>(n);
+    for (int32_t i = 0; i < n; ++i) {
+        const float *p = points.row(rowOf(i));
+        xs[i] = p[0];
+        ys[i] = p[1];
+        zs[i] = p[2];
+    }
+    dist2Soa3(xs, ys, zs, n, query, out);
+}
+
+} // namespace
+
+void
+dist2Batch(const PointsView &points, const int32_t *idx, int32_t n,
+           const float *query, float *out)
+{
+    if (simd::enabled() && points.dim() == 3 && n >= simd::kWidth) {
+        dist2Batch3(points, n, [&](int32_t i) { return idx[i]; }, query,
+                    out);
+        return;
+    }
+    for (int32_t i = 0; i < n; ++i)
+        out[i] = points.dist2To(idx[i], query);
+}
+
+void
+dist2Range(const PointsView &points, int32_t begin, int32_t n,
+           const float *query, float *out)
+{
+    if (simd::enabled() && points.dim() == 3 && n >= simd::kWidth) {
+        dist2Batch3(points, n, [&](int32_t i) { return begin + i; },
+                    query, out);
+        return;
+    }
+    for (int32_t i = 0; i < n; ++i)
+        out[i] = points.dist2To(begin + i, query);
+}
+
+} // namespace mesorasi::neighbor

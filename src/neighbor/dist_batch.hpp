@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Batched squared-distance kernels for the neighbor-search backends.
+ *
+ * Every backend's inner loop is the same shape: given a candidate index
+ * list (a grid cell, a KD-tree leaf, or the whole point set), compute
+ * d2 = ||p[idx[i]] - q||^2 for each candidate and then filter/rank.
+ * These kernels batch that loop: for 3-D views the candidate
+ * coordinates are gathered into a small SoA scratch (per-thread
+ * Workspace slot kDistSoA) and the arithmetic runs one SIMD lane per
+ * candidate; other dimensionalities (feature-space search) fall back to
+ * the scalar PointsView::dist2To loop.
+ *
+ * Bitwise contract: out[i] is byte-identical to points.dist2To(idx[i],
+ * query) in every path — the per-candidate accumulation is dx*dx, then
+ * + dy*dy, then + dz*dz with mul+add, the exact op sequence of the
+ * scalar accumulator (whose +0.0f seed is a bitwise no-op because a
+ * square is never -0.0). Neighbor *results* therefore cannot differ
+ * between the SIMD and scalar builds: identical distances sort and
+ * tie-break identically.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "neighbor/points_view.hpp"
+
+namespace mesorasi::neighbor {
+
+/**
+ * out[i] = points.dist2To(idx[i], query) for i in [0, n), bitwise.
+ * Uses the calling thread's Workspace (slot kDistSoA) as gather
+ * scratch; never allocates once the slot is warm.
+ */
+void dist2Batch(const PointsView &points, const int32_t *idx, int32_t n,
+                const float *query, float *out);
+
+/**
+ * out[i] = points.dist2To(begin + i, query) for i in [0, n), bitwise —
+ * the contiguous-range variant the brute-force scans use.
+ */
+void dist2Range(const PointsView &points, int32_t begin, int32_t n,
+                const float *query, float *out);
+
+} // namespace mesorasi::neighbor

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
+#include "common/workspace.hpp"
+#include "neighbor/dist_batch.hpp"
 
 namespace mesorasi::neighbor {
 
@@ -33,6 +36,10 @@ GridIndex::GridIndex(const PointsView &points, float cellSize,
         }
     }
 
+    // CSR build: key every point, sort (key, index) pairs — ascending
+    // index within a cell, matching the old hash map's push_back order
+    // — then lay the cells out contiguously.
+    std::vector<std::pair<int64_t, int32_t>> keyed(points.size());
     for (int32_t i = 0; i < points.size(); ++i) {
         int64_t c[3];
         cellOf(points.row(i), c);
@@ -40,8 +47,30 @@ GridIndex::GridIndex(const PointsView &points, float cellSize,
             loCell_[d] = i == 0 ? c[d] : std::min(loCell_[d], c[d]);
             hiCell_[d] = i == 0 ? c[d] : std::max(hiCell_[d], c[d]);
         }
-        cells_[key(c[0], c[1], c[2])].push_back(i);
+        keyed[i] = {key(c[0], c[1], c[2]), i};
     }
+    std::sort(keyed.begin(), keyed.end());
+
+    cellPoints_.resize(keyed.size());
+    for (size_t i = 0; i < keyed.size(); ++i) {
+        if (i == 0 || keyed[i].first != keyed[i - 1].first) {
+            cellKeys_.push_back(keyed[i].first);
+            cellStart_.push_back(static_cast<int32_t>(i));
+        }
+        cellPoints_[i] = keyed[i].second;
+    }
+    cellStart_.push_back(static_cast<int32_t>(keyed.size()));
+}
+
+GridIndex::CellSpan
+GridIndex::findCell(int64_t k) const
+{
+    auto it = std::lower_bound(cellKeys_.begin(), cellKeys_.end(), k);
+    if (it == cellKeys_.end() || *it != k)
+        return {};
+    size_t cell = static_cast<size_t>(it - cellKeys_.begin());
+    return {cellPoints_.data() + cellStart_[cell],
+            cellStart_[cell + 1] - cellStart_[cell]};
 }
 
 void
@@ -74,13 +103,19 @@ GridIndex::radius(const float *query, float radius, int32_t maxK) const
     for (int64_t dx = -reach; dx <= reach; ++dx) {
         for (int64_t dy = -reach; dy <= reach; ++dy) {
             for (int64_t dz = -reach; dz <= reach; ++dz) {
-                auto it = cells_.find(key(c[0] + dx, c[1] + dy, c[2] + dz));
-                if (it == cells_.end())
+                CellSpan span =
+                    findCell(key(c[0] + dx, c[1] + dy, c[2] + dz));
+                if (span.count == 0)
                     continue;
-                for (int32_t idx : it->second) {
-                    float d2 = points_.dist2To(idx, query);
-                    if (d2 <= r2)
-                        found.push_back({d2, idx});
+                // One batched (SIMD) distance pass over the cell's
+                // contiguous candidate span, then the in-ball filter.
+                float *d2 = Workspace::local().floats(
+                    Workspace::kDistOut,
+                    static_cast<size_t>(span.count));
+                dist2Batch(points_, span.begin, span.count, query, d2);
+                for (int32_t i = 0; i < span.count; ++i) {
+                    if (d2[i] <= r2)
+                        found.push_back({d2[i], span.begin[i]});
                 }
             }
         }
@@ -126,12 +161,15 @@ GridIndex::knn(const float *query, int32_t k) const
                 break;
         }
         auto scanCell = [&](int64_t dx, int64_t dy, int64_t dz) {
-            auto it = cells_.find(key(c[0] + dx, c[1] + dy, c[2] + dz));
-            if (it == cells_.end())
+            CellSpan span =
+                findCell(key(c[0] + dx, c[1] + dy, c[2] + dz));
+            if (span.count == 0)
                 return;
-            for (int32_t idx : it->second) {
-                std::pair<float, int32_t> cand{
-                    points_.dist2To(idx, query), idx};
+            float *d2 = Workspace::local().floats(
+                Workspace::kDistOut, static_cast<size_t>(span.count));
+            dist2Batch(points_, span.begin, span.count, query, d2);
+            for (int32_t i = 0; i < span.count; ++i) {
+                std::pair<float, int32_t> cand{d2[i], span.begin[i]};
                 if (static_cast<int32_t>(best.size()) == k &&
                     !(cand < best.back()))
                     continue;

@@ -25,10 +25,18 @@
 namespace mesorasi::neighbor {
 
 /**
- * Hash-grid over a 3-D PointsView; the view must outlive the index.
+ * Grid over a 3-D PointsView; the view must outlive the index.
  * Queries are exact: ball queries scan the cells overlapping the ball,
  * k-NN expands Chebyshev cell shells until the k-th best distance is
  * provably inside the scanned region.
+ *
+ * Occupied cells are stored in a flat CSR layout — sorted cell keys, a
+ * prefix-offset array, and one contiguous point-index array (cell-major,
+ * ascending index within each cell) — instead of a per-cell
+ * std::vector hash map. Cell lookup is a binary search over the sorted
+ * keys; iterating a cell walks a contiguous span, which feeds the
+ * batched SIMD dist2 kernels directly and allocates nothing after
+ * build.
  */
 class GridIndex
 {
@@ -52,20 +60,36 @@ class GridIndex
                                 int32_t maxK = -1) const;
 
     /** Number of occupied cells (diagnostics). */
-    size_t numCells() const { return cells_.size(); }
+    size_t numCells() const { return cellKeys_.size(); }
 
     float cellSize() const { return cellSize_; }
 
   private:
+    /** Contiguous point-index span of one occupied cell. */
+    struct CellSpan
+    {
+        const int32_t *begin = nullptr;
+        int32_t count = 0;
+    };
+
     int64_t key(int64_t cx, int64_t cy, int64_t cz) const;
     void cellOf(const float *p, int64_t c[3]) const;
+
+    /** CSR lookup: span of the cell with @p key (count 0 if empty). */
+    CellSpan findCell(int64_t key) const;
 
     PointsView points_;
     float cellSize_;
     float origin_[3] = {0.0f, 0.0f, 0.0f};
     int64_t loCell_[3] = {0, 0, 0}; ///< cell-coordinate bounds
     int64_t hiCell_[3] = {0, 0, 0};
-    std::unordered_map<int64_t, std::vector<int32_t>> cells_;
+
+    // CSR cell storage: cellKeys_ (ascending), cellStart_
+    // (numCells + 1 offsets into cellPoints_), cellPoints_ (point ids,
+    // cell-major, ascending within a cell).
+    std::vector<int64_t> cellKeys_;
+    std::vector<int32_t> cellStart_;
+    std::vector<int32_t> cellPoints_;
 };
 
 /** Hash-grid over a 3-D point cloud; the cloud must outlive the grid. */

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/workspace.hpp"
+#include "neighbor/dist_batch.hpp"
 
 namespace mesorasi::neighbor {
 
@@ -75,9 +77,15 @@ KdTree::searchKnn(int32_t node, const float *query, int32_t k,
 {
     const Node &nd = nodes_[node];
     if (nd.count > 0) {
-        for (int32_t i = nd.start; i < nd.start + nd.count; ++i) {
-            int32_t idx = order_[i];
-            float d2 = points_.dist2To(idx, query);
+        // Leaf: one batched (SIMD) distance pass over the leaf's
+        // contiguous order_ span, then the heap update per candidate.
+        float *d2s = Workspace::local().floats(
+            Workspace::kDistOut, static_cast<size_t>(nd.count));
+        dist2Batch(points_, order_.data() + nd.start, nd.count, query,
+                   d2s);
+        for (int32_t i = 0; i < nd.count; ++i) {
+            int32_t idx = order_[nd.start + i];
+            float d2 = d2s[i];
             if (static_cast<int32_t>(heap.size()) < k) {
                 heap.push_back({d2, idx});
                 std::push_heap(heap.begin(), heap.end());
@@ -108,11 +116,13 @@ KdTree::searchRadius(int32_t node, const float *query, float r2,
 {
     const Node &nd = nodes_[node];
     if (nd.count > 0) {
-        for (int32_t i = nd.start; i < nd.start + nd.count; ++i) {
-            int32_t idx = order_[i];
-            float d2 = points_.dist2To(idx, query);
-            if (d2 <= r2)
-                found.push_back({d2, idx});
+        float *d2s = Workspace::local().floats(
+            Workspace::kDistOut, static_cast<size_t>(nd.count));
+        dist2Batch(points_, order_.data() + nd.start, nd.count, query,
+                   d2s);
+        for (int32_t i = 0; i < nd.count; ++i) {
+            if (d2s[i] <= r2)
+                found.push_back({d2s[i], order_[nd.start + i]});
         }
         return;
     }

@@ -4,11 +4,14 @@
 #include <cmath>
 #include <limits>
 
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 
 namespace mesorasi::tensor {
 
 namespace {
+
+using simd::VecF;
 
 /** Rows-per-chunk grain so small products stay serial: splitting a
  *  matmul pays off only once each thread gets ~1M MACs. */
@@ -20,11 +23,22 @@ matmulGrain(int64_t flopsPerRow)
                                     std::max<int64_t>(1, flopsPerRow));
 }
 
-/** Shared per-row kernel of matmul/matmulInto: crow must be zeroed.
- *  kj loop order streams through b and c rows contiguously; the zero
- *  skip makes ReLU-sparse activations cheap. */
+// ---------------------------------------------------------------------
+// Matmul row kernels.
+//
+// Both implementations accumulate every output element c[r][j] as
+// sum_k a[r][k] * b[k][j] in ascending-k order with mul+add (no FMA)
+// from a +0.0f seed, skipping k where a[r][k] == 0 — so the vector
+// path is bitwise identical to the scalar path: vector lanes across j
+// are independent elements, and register blocking across rows shares
+// only the b-row loads, never the per-element accumulation.
+// ---------------------------------------------------------------------
+
+/** Scalar reference kernel: crow must be zeroed. kj loop order streams
+ *  through b and c rows contiguously; the zero skip makes ReLU-sparse
+ *  activations cheap. */
 inline void
-matmulRow(float *crow, const float *arow, const Tensor &b)
+matmulRowScalar(float *crow, const float *arow, const Tensor &b)
 {
     for (int32_t k = 0; k < b.rows(); ++k) {
         float av = arow[k];
@@ -34,6 +48,145 @@ matmulRow(float *crow, const float *arow, const Tensor &b)
         for (int32_t j = 0; j < b.cols(); ++j)
             crow[j] += av * brow[j];
     }
+}
+
+/**
+ * Inner j-tile of the vector kernel: TJ vectors wide over R output
+ * rows, accumulators held in registers across the whole k loop (the
+ * scalar path instead re-loads and re-stores the output row on every k
+ * iteration), with each b-row tile load shared by all R rows. The
+ * production shape is R=2 x TJ=4: 8 accumulators + 4 b-row registers
+ * live, which fits the 16-register file of both SSE2 and AVX2 without
+ * spills.
+ */
+template <int R, int TJ>
+inline void
+matmulTile(float *const crow[R], const float *const arow[R], int32_t j,
+           const Tensor &b)
+{
+    constexpr int W = simd::kWidth;
+    const int32_t K = b.rows();
+    VecF acc[R][TJ];
+    for (int r = 0; r < R; ++r)
+        for (int t = 0; t < TJ; ++t)
+            acc[r][t] = VecF::zero();
+    for (int32_t k = 0; k < K; ++k) {
+        const float *brow = b.row(k) + j;
+        VecF bv[TJ];
+        for (int t = 0; t < TJ; ++t)
+            bv[t] = VecF::load(brow + t * W);
+        for (int r = 0; r < R; ++r) {
+            float av = arow[r][k];
+            if (av == 0.0f)
+                continue;
+            VecF v = VecF::broadcast(av);
+            for (int t = 0; t < TJ; ++t)
+                acc[r][t] = add(acc[r][t], mul(v, bv[t]));
+        }
+    }
+    for (int r = 0; r < R; ++r)
+        for (int t = 0; t < TJ; ++t)
+            acc[r][t].store(crow[r] + j + t * W);
+}
+
+/** Vector kernel over R output rows at once: wide 4-vector j-tiles,
+ *  then narrower 1-vector tiles, then a scalar column tail (same
+ *  per-element mul+add sequence, so still bitwise identical). */
+template <int R>
+inline void
+matmulRowsSimd(float *dst, int64_t dstStride, const float *a,
+               int64_t aStride, const Tensor &b)
+{
+    constexpr int W = simd::kWidth;
+    const int32_t K = b.rows();
+    const int32_t M = b.cols();
+    const float *arow[R];
+    float *crow[R];
+    for (int r = 0; r < R; ++r) {
+        arow[r] = a + static_cast<int64_t>(r) * aStride;
+        crow[r] = dst + static_cast<int64_t>(r) * dstStride;
+    }
+
+    int32_t j = 0;
+    for (; j + 4 * W <= M; j += 4 * W)
+        matmulTile<R, 4>(crow, arow, j, b);
+    for (; j + W <= M; j += W)
+        matmulTile<R, 1>(crow, arow, j, b);
+    for (; j < M; ++j) {
+        for (int r = 0; r < R; ++r) {
+            float acc = 0.0f;
+            for (int32_t k = 0; k < K; ++k) {
+                float av = arow[r][k];
+                if (av == 0.0f)
+                    continue;
+                acc += av * b.row(k)[j];
+            }
+            crow[r][j] = acc;
+        }
+    }
+}
+
+/** Shared strided-block matmul body of matmul()/matmulInto():
+ *  width-dispatched between the register-blocked vector kernel and the
+ *  scalar reference row kernel. */
+void
+matmulRowsInto(float *dst, int64_t dstStride, const float *a,
+               int64_t aStride, int32_t rows, const Tensor &b)
+{
+    if (simd::enabled()) {
+        int32_t r = 0;
+        for (; r + 2 <= rows; r += 2)
+            matmulRowsSimd<2>(dst + static_cast<int64_t>(r) * dstStride,
+                              dstStride,
+                              a + static_cast<int64_t>(r) * aStride,
+                              aStride, b);
+        for (; r < rows; ++r)
+            matmulRowsSimd<1>(dst + static_cast<int64_t>(r) * dstStride,
+                              dstStride,
+                              a + static_cast<int64_t>(r) * aStride,
+                              aStride, b);
+        return;
+    }
+    for (int32_t r = 0; r < rows; ++r) {
+        float *crow = dst + static_cast<int64_t>(r) * dstStride;
+        std::fill(crow, crow + b.cols(), 0.0f);
+        matmulRowScalar(crow, a + static_cast<int64_t>(r) * aStride, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Column-wise max helpers. maxOrdered replicates std::max bit-for-bit
+// (NaN on the right is dropped, NaN on the left propagates), so the
+// reduce kernels keep their NaN-propagation contract in both paths.
+// ---------------------------------------------------------------------
+
+/** dst[c] = std::max(dst[c], src[c]) for c in [0, cols). The vector
+ *  loop is unrolled 4 wide so its loop overhead matches what the
+ *  compiler gives the scalar reference. */
+inline void
+maxIntoRow(float *dst, const float *src, int32_t cols)
+{
+    int32_t c = 0;
+    if (simd::enabled()) {
+        constexpr int W = simd::kWidth;
+        for (; c + 4 * W <= cols; c += 4 * W) {
+            maxOrdered(VecF::load(dst + c), VecF::load(src + c))
+                .store(dst + c);
+            maxOrdered(VecF::load(dst + c + W), VecF::load(src + c + W))
+                .store(dst + c + W);
+            maxOrdered(VecF::load(dst + c + 2 * W),
+                       VecF::load(src + c + 2 * W))
+                .store(dst + c + 2 * W);
+            maxOrdered(VecF::load(dst + c + 3 * W),
+                       VecF::load(src + c + 3 * W))
+                .store(dst + c + 3 * W);
+        }
+        for (; c + W <= cols; c += W)
+            maxOrdered(VecF::load(dst + c), VecF::load(src + c))
+                .store(dst + c);
+    }
+    for (; c < cols; ++c)
+        dst[c] = std::max(dst[c], src[c]);
 }
 
 } // namespace
@@ -50,9 +203,9 @@ matmul(const Tensor &a, const Tensor &b)
         a.rows(),
         matmulGrain(static_cast<int64_t>(a.cols()) * b.cols()),
         [&](int64_t begin, int64_t end) {
-            for (int64_t i = begin; i < end; ++i)
-                matmulRow(c.row(static_cast<int32_t>(i)),
-                          a.row(static_cast<int32_t>(i)), b);
+            matmulRowsInto(c.row(static_cast<int32_t>(begin)), c.cols(),
+                           a.row(static_cast<int32_t>(begin)), a.cols(),
+                           static_cast<int32_t>(end - begin), b);
         });
     return c;
 }
@@ -67,11 +220,7 @@ matmulInto(float *dst, int64_t dstStride, const float *a, int64_t aStride,
     // Serial over the block: this kernel is the body of already
     // parallelized row-chunk loops (nn::Mlp::forward), so it must not
     // allocate or spawn.
-    for (int32_t r = 0; r < rows; ++r) {
-        float *crow = dst + static_cast<int64_t>(r) * dstStride;
-        std::fill(crow, crow + b.cols(), 0.0f);
-        matmulRow(crow, a + static_cast<int64_t>(r) * aStride, b);
-    }
+    matmulRowsInto(dst, dstStride, a, aStride, rows, b);
 }
 
 void
@@ -82,12 +231,11 @@ addBiasInPlace(Tensor &x, const Tensor &bias)
     ThreadPool::global().parallelFor(
         x.rows(), matmulGrain(x.cols()),
         [&](int64_t begin, int64_t end) {
-            const float *b = bias.row(0);
-            for (int64_t r = begin; r < end; ++r) {
-                float *row = x.row(static_cast<int32_t>(r));
-                for (int32_t c = 0; c < x.cols(); ++c)
-                    row[c] += b[c];
-            }
+            biasReluBlockInPlace(x.row(static_cast<int32_t>(begin)),
+                                 x.cols(),
+                                 static_cast<int32_t>(end - begin),
+                                 x.cols(), bias.row(0),
+                                 /*applyRelu=*/false);
         });
 }
 
@@ -98,7 +246,13 @@ reluInPlace(Tensor &x)
     ThreadPool::global().parallelFor(
         x.numel(), /*grain=*/1 << 20,
         [&](int64_t begin, int64_t end) {
-            for (int64_t i = begin; i < end; ++i)
+            int64_t i = begin;
+            if (simd::enabled()) {
+                constexpr int W = simd::kWidth;
+                for (; i + W <= end; i += W)
+                    simd::relu(VecF::load(d + i)).store(d + i);
+            }
+            for (; i < end; ++i)
                 d[i] = std::max(0.0f, d[i]);
         });
 }
@@ -112,6 +266,35 @@ relu(const Tensor &x)
 }
 
 void
+biasReluBlockInPlace(float *dst, int64_t stride, int32_t rows,
+                     int32_t cols, const float *bias, bool applyRelu)
+{
+    for (int32_t r = 0; r < rows; ++r) {
+        float *row = dst + static_cast<int64_t>(r) * stride;
+        int32_t c = 0;
+        if (simd::enabled()) {
+            constexpr int W = simd::kWidth;
+            for (; c + W <= cols; c += W) {
+                VecF v = VecF::load(row + c);
+                if (bias)
+                    v = add(v, VecF::load(bias + c));
+                if (applyRelu)
+                    v = simd::relu(v);
+                v.store(row + c);
+            }
+        }
+        for (; c < cols; ++c) {
+            float v = row[c];
+            if (bias)
+                v += bias[c];
+            if (applyRelu)
+                v = std::max(0.0f, v);
+            row[c] = v;
+        }
+    }
+}
+
+void
 batchNormInPlace(Tensor &x, const Tensor &gamma, const Tensor &beta,
                  const Tensor &mean, const Tensor &var, float eps)
 {
@@ -121,6 +304,8 @@ batchNormInPlace(Tensor &x, const Tensor &gamma, const Tensor &beta,
                      var.rows() == 1 && var.cols() == x.cols(),
                  "batchnorm parameter shape mismatch for "
                      << x.shapeStr());
+    // The per-column scale/shift fold is shared by both paths, so the
+    // rsqrt never enters the parity equation.
     std::vector<float> scale(x.cols()), shift(x.cols());
     for (int32_t c = 0; c < x.cols(); ++c) {
         float inv = 1.0f / std::sqrt(var(0, c) + eps);
@@ -129,7 +314,15 @@ batchNormInPlace(Tensor &x, const Tensor &gamma, const Tensor &beta,
     }
     for (int32_t r = 0; r < x.rows(); ++r) {
         float *row = x.row(r);
-        for (int32_t c = 0; c < x.cols(); ++c)
+        int32_t c = 0;
+        if (simd::enabled()) {
+            constexpr int W = simd::kWidth;
+            for (; c + W <= x.cols(); c += W)
+                add(mul(VecF::load(row + c), VecF::load(&scale[c])),
+                    VecF::load(&shift[c]))
+                    .store(row + c);
+        }
+        for (; c < x.cols(); ++c)
             row[c] = row[c] * scale[c] + shift[c];
     }
 }
@@ -139,14 +332,9 @@ maxReduceRows(const Tensor &x)
 {
     MESO_REQUIRE(x.rows() > 0, "max-reduce of empty tensor");
     Tensor out(1, x.cols());
-    for (int32_t c = 0; c < x.cols(); ++c)
-        out(0, c) = x(0, c);
-    for (int32_t r = 1; r < x.rows(); ++r) {
-        const float *row = x.row(r);
-        float *o = out.row(0);
-        for (int32_t c = 0; c < x.cols(); ++c)
-            o[c] = std::max(o[c], row[c]);
-    }
+    std::copy(x.row(0), x.row(0) + x.cols(), out.row(0));
+    for (int32_t r = 1; r < x.rows(); ++r)
+        maxIntoRow(out.row(0), x.row(r), x.cols());
     return out;
 }
 
@@ -158,10 +346,7 @@ maxReduceRows(const Tensor &x, const std::vector<int32_t> &rows)
     out.fill(-std::numeric_limits<float>::infinity());
     for (int32_t r : rows) {
         MESO_REQUIRE(r >= 0 && r < x.rows(), "row " << r);
-        const float *row = x.row(r);
-        float *o = out.row(0);
-        for (int32_t c = 0; c < x.cols(); ++c)
-            o[c] = std::max(o[c], row[c]);
+        maxIntoRow(out.row(0), x.row(r), x.cols());
     }
     return out;
 }
@@ -181,11 +366,8 @@ maxReduceRowsInto(float *dst, const Tensor &x, int32_t rowBegin,
     // the bitwise-parity contract unconditional.
     std::fill(dst, dst + x.cols(),
               -std::numeric_limits<float>::infinity());
-    for (int32_t r = 0; r < numRows; ++r) {
-        const float *row = x.row(rowBegin + r);
-        for (int32_t c = 0; c < x.cols(); ++c)
-            dst[c] = std::max(dst[c], row[c]);
-    }
+    for (int32_t r = 0; r < numRows; ++r)
+        maxIntoRow(dst, x.row(rowBegin + r), x.cols());
 }
 
 void
@@ -197,12 +379,10 @@ gatherMaxReduceInto(float *dst, const Tensor &src,
         MESO_REQUIRE(rows[i] >= 0 && rows[i] < src.rows(),
                      "gather index " << rows[i] << " of " << src.rows());
         const float *row = src.row(rows[i]);
-        if (i == 0) {
+        if (i == 0)
             std::copy(row, row + src.cols(), dst);
-        } else {
-            for (int32_t c = 0; c < src.cols(); ++c)
-                dst[c] = std::max(dst[c], row[c]);
-        }
+        else
+            maxIntoRow(dst, row, src.cols());
     }
 }
 
@@ -252,7 +432,14 @@ subtractRowInPlace(Tensor &x, const Tensor &sub)
     const float *s = sub.row(0);
     for (int32_t r = 0; r < x.rows(); ++r) {
         float *row = x.row(r);
-        for (int32_t c = 0; c < x.cols(); ++c)
+        int32_t c = 0;
+        if (simd::enabled()) {
+            constexpr int W = simd::kWidth;
+            for (; c + W <= x.cols(); c += W)
+                simd::sub(VecF::load(row + c), VecF::load(s + c))
+                    .store(row + c);
+        }
+        for (; c < x.cols(); ++c)
             row[c] -= s[c];
     }
 }

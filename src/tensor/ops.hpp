@@ -80,6 +80,19 @@ void gatherMaxReduceInto(float *dst, const Tensor &src,
 void matmulInto(float *dst, int64_t dstStride, const float *a,
                 int64_t aStride, int32_t rows, const Tensor &b);
 
+/**
+ * Fused bias + ReLU epilogue over a strided row block, in place:
+ * row[c] = max(0, row[c] + bias[c]) with either part optional
+ * (@p bias may be null, @p applyRelu may be false). One pass over the
+ * block instead of separate bias and activation sweeps — the MLP
+ * forward path runs this right after matmulInto so each activation row
+ * is touched once while still cache-hot. Bitwise equal to
+ * addBiasInPlace followed by reluInPlace over the same elements.
+ */
+void biasReluBlockInPlace(float *dst, int64_t stride, int32_t rows,
+                          int32_t cols, const float *bias,
+                          bool applyRelu);
+
 /** Column-wise argmax over all rows: returns per-column winning row. */
 std::vector<int32_t> argmaxReduceRows(const Tensor &x);
 
