@@ -30,6 +30,7 @@
 #include "common/thread_pool.hpp"
 #include "core/batch_runner.hpp"
 #include "core/networks.hpp"
+#include "core/plan/plan_compiler.hpp"
 #include "geom/sampling.hpp"
 #include "geom/shapes.hpp"
 #include "hwsim/agg_unit.hpp"
@@ -500,6 +501,88 @@ runModuleOverlapBench(bench::BenchJsonWriter &json)
 }
 
 // ---------------------------------------------------------------------
+// Compile-once plan runtime: per-request stage-graph rebuild vs one
+// compiled ExecutionPlan evaluated over a warm context — the
+// compile/eval split's cost trajectory (plus the one-off compile).
+// ---------------------------------------------------------------------
+
+constexpr int kPlanReps = 9;
+
+void
+runPlanRuntimeBench(bench::BenchJsonWriter &json)
+{
+    core::NetworkConfig cfg = core::zoo::pointnetppClassification();
+    core::NetworkExecutor exec(cfg, /*weightSeed=*/1);
+
+    geom::ModelNetSim sim(17, cfg.numInputPoints);
+    geom::PointCloud cloud = sim.sample().cloud;
+
+    // One-off compile cost (AOT shapes, backend resolution, arena plan).
+    std::vector<double> compileMs;
+    for (int rep = 0; rep < 5; ++rep)
+        compileMs.push_back(timeMs([&] {
+            auto p = core::plan::PlanCompiler::compile(
+                exec, core::PipelineKind::Delayed);
+            MESO_CHECK(p.stats().numSteps > 0, "empty plan");
+        }));
+
+    core::plan::ExecutionPlan plan = core::plan::PlanCompiler::compile(
+        exec, core::PipelineKind::Delayed);
+    auto ctx = plan.makeContext();
+    plan.execute(cloud, 7, *ctx); // warm the context
+
+    tensor::Tensor graphOut, planOut;
+    auto samples = runInterleaved(
+        kPlanReps,
+        {[&] {
+             // Today's serving path: rebuild the stage graph, re-infer
+             // shapes, re-select backends, run, harvest.
+             auto r = exec.run(cloud, core::PipelineKind::Delayed, 7);
+             graphOut = std::move(r.logits);
+         },
+         [&] {
+             planOut = plan.execute(cloud, 7, *ctx);
+         }});
+    const auto &rebuild = samples[0];
+    const auto &planExec = samples[1];
+    MESO_CHECK(planOut.maxAbsDiff(graphOut) == 0.0f,
+               "compiled plan diverged from per-run graph path");
+
+    double medRebuild = percentile(rebuild, 50.0);
+    double medPlan = percentile(planExec, 50.0);
+    Table t("Plan runtime — " + cfg.name + " (delayed pipeline)",
+            {"Path", "Median ms", "p90 ms"});
+    t.addRow({"graph rebuild per run", fmt(medRebuild, 3),
+              fmt(percentile(rebuild, 90.0), 3)});
+    t.addRow({"plan execute (compiled)", fmt(medPlan, 3),
+              fmt(percentile(planExec, 90.0), 3)});
+    t.addRow({"plan compile (one-off)", fmt(percentile(compileMs, 50.0), 3),
+              fmt(percentile(compileMs, 90.0), 3)});
+    t.print();
+    std::cout << "plan speedup over rebuild-per-run: "
+              << fmtX(medPlan > 0.0 ? medRebuild / medPlan : 0.0)
+              << "   arena "
+              << plan.stats().arenaFloats * 4 / 1024 << " KiB vs "
+              << plan.stats().naiveFloats * 4 / 1024
+              << " KiB unaliased\n";
+
+    auto params = [&](const std::string &path) {
+        return std::vector<std::pair<std::string, std::string>>{
+            {"network", cfg.name},
+            {"pipeline", "delayed"},
+            {"path", path},
+            {"arena_kib",
+             std::to_string(plan.stats().arenaFloats * 4 / 1024)},
+            {"hw_threads", std::to_string(ThreadPool::defaultThreads())},
+            {"simd_width", simdWidthStr()},
+        };
+    };
+    json.add("graph_rebuild_per_run", params("graph_rebuild"), rebuild);
+    json.add("plan_execute", params("plan_execute"), planExec);
+    json.add("plan_compile", params("plan_compile"), compileMs);
+}
+
+// ---------------------------------------------------------------------
 // Batched execution engine: 16 clouds, sequential vs 8 workers.
 // ---------------------------------------------------------------------
 
@@ -597,6 +680,7 @@ main(int argc, char **argv)
     runMatmulSimdBench(json);
     runAggKernelBench(json);
     runModuleOverlapBench(json);
+    runPlanRuntimeBench(json);
     runBatchEngineBench(json);
     if (json.write())
         std::cout << "wrote " << json.path() << "\n";

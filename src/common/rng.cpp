@@ -43,18 +43,27 @@ Rng::bernoulli(double p)
 std::vector<int32_t>
 Rng::sampleWithoutReplacement(int32_t n, int32_t k)
 {
+    std::vector<int32_t> out;
+    sampleWithoutReplacementInto(n, k, out);
+    return out;
+}
+
+void
+Rng::sampleWithoutReplacementInto(int32_t n, int32_t k,
+                                  std::vector<int32_t> &out)
+{
     MESO_REQUIRE(k >= 0 && k <= n,
                  "cannot draw " << k << " distinct samples from " << n);
-    std::vector<int32_t> all(n);
+    out.resize(static_cast<size_t>(n));
     for (int32_t i = 0; i < n; ++i)
-        all[i] = i;
+        out[static_cast<size_t>(i)] = i;
     // Partial Fisher-Yates: only the first k positions are needed.
     for (int32_t i = 0; i < k; ++i) {
         int32_t j = static_cast<int32_t>(uniformInt(i, n - 1));
-        std::swap(all[i], all[j]);
+        std::swap(out[static_cast<size_t>(i)],
+                  out[static_cast<size_t>(j)]);
     }
-    all.resize(k);
-    return all;
+    out.resize(static_cast<size_t>(k));
 }
 
 Rng

@@ -54,6 +54,15 @@ class Rng
     /** Draw k distinct indices from [0, n) (k <= n). */
     std::vector<int32_t> sampleWithoutReplacement(int32_t n, int32_t k);
 
+    /**
+     * sampleWithoutReplacement into a reusable vector: @p out is used
+     * as the Fisher-Yates pool (resized to n, then truncated to k), so
+     * a warm vector of capacity >= n makes the draw allocation-free.
+     * The draw sequence is identical to sampleWithoutReplacement.
+     */
+    void sampleWithoutReplacementInto(int32_t n, int32_t k,
+                                      std::vector<int32_t> &out);
+
     /** Split off an independent child generator (for parallel streams). */
     Rng fork();
 

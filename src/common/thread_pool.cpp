@@ -146,16 +146,21 @@ ThreadPool::size() const
                              static_cast<int32_t>(impl_->workers.size()));
 }
 
+bool
+ThreadPool::willRunInline(int64_t n, int64_t grain) const
+{
+    MESO_REQUIRE(grain > 0, "grain must be positive, got " << grain);
+    // Inline when parallelism cannot help (or would self-deadlock: a
+    // worker blocking on its own pool's queue).
+    return impl_->workers.empty() || tls_inside_worker || n <= grain;
+}
+
 void
 ThreadPool::parallelFor(int64_t n, int64_t grain, const RangeFn &fn) const
 {
     if (n <= 0)
         return;
-    MESO_REQUIRE(grain > 0, "grain must be positive, got " << grain);
-
-    // Inline when parallelism cannot help (or would self-deadlock: a
-    // worker blocking on its own pool's queue).
-    if (impl_->workers.empty() || tls_inside_worker || n <= grain) {
+    if (willRunInline(n, grain)) {
         fn(0, n);
         return;
     }

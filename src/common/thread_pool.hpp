@@ -79,11 +79,36 @@ class ThreadPool
      */
     void parallelFor(int64_t n, int64_t grain, const RangeFn &fn) const;
 
+    /**
+     * parallelFor for capturing lambdas: skips the std::function
+     * wrapper when the loop runs inline, because the wrapper's heap
+     * allocation would break the zero-allocation contract of the hot
+     * serving paths (compiled-plan steps, fused kernels) on forced-
+     * inline / single-thread executions. The dispatched (pool) path is
+     * unchanged.
+     */
+    template <class Fn>
+    void
+    parallelFor(int64_t n, int64_t grain, const Fn &fn) const
+    {
+        if (willRunInline(n, grain)) {
+            if (n > 0)
+                fn(static_cast<int64_t>(0), n);
+            return;
+        }
+        parallelFor(n, grain, RangeFn(fn));
+    }
+
     /** parallelFor with a default grain of 1. */
     void parallelFor(int64_t n, const RangeFn &fn) const
     {
         parallelFor(n, 1, fn);
     }
+
+    /** True when a parallelFor of this shape runs inline on the caller
+     *  (no workers, nested inside a pool task, or n <= grain). Throws
+     *  on a non-positive grain, like parallelFor. */
+    bool willRunInline(int64_t n, int64_t grain) const;
 
     /**
      * Enqueue @p fn as an independent task and return a waitable handle.

@@ -26,6 +26,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace mesorasi {
 
 class Workspace
@@ -66,8 +68,64 @@ class Workspace
     /** The calling thread's workspace (thread-local, lazily built). */
     static Workspace &local();
 
+    /**
+     * Debug-build ownership assertion for the slot reservations above.
+     * The fixed-slot contract is convention-enforced: if two live users
+     * on one thread pick the same slot, the second floats() call
+     * silently clobbers the first user's data (the risk the reservation
+     * comment documents). ScopedClaim makes that a hard error in debug
+     * builds: every slot user brackets its use in a claim, and a second
+     * overlapping claim of the same slot on the same thread throws
+     * InternalError. Release builds compile the guard away entirely.
+     *
+     * This remains the contract for code not yet on a compiled plan's
+     * arena (core/plan/arena.hpp), which supersedes fixed slots for the
+     * plan evaluation path by assigning per-plan offsets from liveness.
+     */
+    class ScopedClaim
+    {
+      public:
+        ScopedClaim(Workspace &ws, int slot)
+#ifndef NDEBUG
+            : ws_(&ws), slot_(slot)
+        {
+            MESO_CHECK(slot >= 0 && slot < kNumSlots,
+                       "workspace slot " << slot << " out of range");
+            MESO_CHECK(!ws_->claimed_[slot_],
+                       "workspace slot " << slot_
+                                         << " already claimed by a live "
+                                            "user on this thread");
+            ws_->claimed_[slot_] = true;
+        }
+#else
+        {
+            (void)ws;
+            (void)slot;
+        }
+#endif
+
+        ~ScopedClaim()
+        {
+#ifndef NDEBUG
+            ws_->claimed_[slot_] = false;
+#endif
+        }
+
+        ScopedClaim(const ScopedClaim &) = delete;
+        ScopedClaim &operator=(const ScopedClaim &) = delete;
+
+#ifndef NDEBUG
+      private:
+        Workspace *ws_;
+        int slot_;
+#endif
+    };
+
   private:
     std::vector<float> slots_[kNumSlots];
+#ifndef NDEBUG
+    bool claimed_[kNumSlots] = {};
+#endif
 };
 
 } // namespace mesorasi

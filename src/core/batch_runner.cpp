@@ -29,6 +29,19 @@ argmaxFirstRow(const tensor::Tensor &logits)
     return best;
 }
 
+/** Fill the latency/percentile summary fields from the items. */
+void
+summarizeLatencies(BatchResult &out)
+{
+    std::vector<double> latencies;
+    latencies.reserve(out.items.size());
+    for (const auto &item : out.items)
+        latencies.push_back(item.latencyMs);
+    out.latency = summarize(latencies);
+    out.p90LatencyMs =
+        latencies.empty() ? 0.0 : percentile(latencies, 90.0);
+}
+
 } // namespace
 
 double
@@ -128,14 +141,54 @@ BatchRunner::run(const std::vector<geom::PointCloud> &clouds,
         }
     }
     out.wallMs = msSince(batch0);
+    summarizeLatencies(out);
+    return out;
+}
 
-    std::vector<double> latencies;
-    latencies.reserve(out.items.size());
-    for (const auto &item : out.items)
-        latencies.push_back(item.latencyMs);
-    out.latency = summarize(latencies);
-    out.p90LatencyMs =
-        latencies.empty() ? 0.0 : percentile(latencies, 90.0);
+BatchResult
+BatchRunner::run(const plan::ExecutionPlan &plan,
+                 const std::vector<geom::PointCloud> &clouds,
+                 uint64_t seedBase, plan::ContextPool *ctxPool) const
+{
+    BatchResult out;
+    out.kind = plan.pipeline();
+    out.items.resize(clouds.size());
+
+    plan::ContextPool localPool(plan);
+    plan::ContextPool &contexts = ctxPool ? *ctxPool : localPool;
+
+    auto runOne = [&](int64_t i) {
+        auto t0 = std::chrono::steady_clock::now();
+        std::unique_ptr<plan::PlanContext> ctx = contexts.acquire();
+        const tensor::Tensor &logits = plan.execute(
+            clouds[i], seedBase + static_cast<uint64_t>(i), *ctx);
+        BatchItemResult &item = out.items[i];
+        item.run.logits = logits; // copy out before the ctx is recycled
+        item.predicted = argmaxFirstRow(logits);
+        contexts.release(std::move(ctx));
+        item.latencyMs = msSince(t0);
+    };
+
+    auto batch0 = std::chrono::steady_clock::now();
+    if (sequential_) {
+        // The truly serial reference, as in the graph path.
+        ThreadPool::ScopedForceInline serial;
+        for (int64_t i = 0; i < static_cast<int64_t>(clouds.size()); ++i)
+            runOne(i);
+    } else {
+        // Cloud-level parallelism: one plan evaluation per pool task,
+        // each on its own context; inner loops run inline on workers
+        // (the pool's nesting rule), so results stay bitwise identical
+        // to the serial walk of the same seeds.
+        const ThreadPool &pool = pool_ ? *pool_ : ThreadPool::global();
+        pool.parallelFor(static_cast<int64_t>(clouds.size()),
+                         /*grain=*/1, [&](int64_t lo, int64_t hi) {
+                             for (int64_t i = lo; i < hi; ++i)
+                                 runOne(i);
+                         });
+    }
+    out.wallMs = msSince(batch0);
+    summarizeLatencies(out);
     return out;
 }
 

@@ -22,6 +22,7 @@
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "core/network.hpp"
+#include "core/plan/execution_plan.hpp"
 
 namespace mesorasi::core {
 
@@ -88,6 +89,22 @@ class BatchRunner
      */
     BatchResult run(const std::vector<geom::PointCloud> &clouds,
                     PipelineKind kind, uint64_t seedBase = 1) const;
+
+    /**
+     * Plan-cached serving loop: evaluate every cloud through one
+     * compiled ExecutionPlan (cloud i with seed @p seedBase + i, the
+     * same seeds as the graph path, so predictions and logits match it
+     * bitwise). The hot path does zero graph construction and zero
+     * shape inference; evaluation contexts come from @p ctxPool when
+     * provided — pass a pool owned by the caller to keep contexts warm
+     * across batches and reps — else from a call-local pool. Items
+     * carry logits and predictions only: the serving path skips
+     * trace/NIT/timeline capture.
+     */
+    BatchResult run(const plan::ExecutionPlan &plan,
+                    const std::vector<geom::PointCloud> &clouds,
+                    uint64_t seedBase = 1,
+                    plan::ContextPool *ctxPool = nullptr) const;
 
     /** Cloud-level worker count in effect. */
     int32_t numThreads() const;

@@ -142,6 +142,24 @@ class NetworkExecutor
     const ModuleExecutor &module(size_t i) const { return *modules_[i]; }
     size_t numModules() const { return modules_.size(); }
 
+    // --- Compiled-plan introspection ----------------------------------
+    // core::plan::PlanCompiler walks the executor once at compile time;
+    // these expose the weight holders and dim bookkeeping it needs.
+    /** Effective feature dim entering module @p i (after links). */
+    int32_t moduleInDim(size_t i) const { return moduleInDims_[i]; }
+    const nn::Mlp &head() const { return *head_; }
+    /** Global MLP of the concat head (null otherwise). */
+    const nn::Mlp *globalMlp() const { return globalMlp_.get(); }
+    const InterpExecutor &interp(size_t i) const { return *interps_[i]; }
+    size_t numInterps() const { return interps_.size(); }
+    const ModuleExecutor &stage2Module(size_t i) const
+    { return *stage2Modules_[i]; }
+    size_t numStage2Modules() const { return stage2Modules_.size(); }
+    /** Detection regression head (null outside detection). */
+    const nn::Mlp *stage2Head() const { return stage2Head_.get(); }
+    int32_t headInDim() const { return headInDim_; }
+    int32_t concatDim() const { return concatDim_; }
+
   private:
     struct DimFlow; // tracks feature dims through links/concats
 

@@ -690,8 +690,9 @@ InterpExecutor::run(const ModuleState &fine,
     ThreadPool::global().parallelFor(
         nFine, /*grain=*/32, [&](int64_t b, int64_t e) {
             // Per-thread scratch for the inverse-distance weights.
-            float *w =
-                Workspace::local().floats(Workspace::kScratch, kk);
+            Workspace &ws = Workspace::local();
+            Workspace::ScopedClaim claim(ws, Workspace::kScratch);
+            float *w = ws.floats(Workspace::kScratch, kk);
             std::vector<int32_t> nn;
             for (int64_t ii = b; ii < e; ++ii) {
                 int32_t i = static_cast<int32_t>(ii);

@@ -1,0 +1,123 @@
+#include "core/plan/arena.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace mesorasi::core::plan {
+
+namespace {
+
+constexpr int64_t kAlignFloats = 16; // 64-byte lines
+
+int64_t
+alignUp(int64_t v)
+{
+    return (v + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+bool
+livesOverlap(const ArenaBuffer &a, const ArenaBuffer &b)
+{
+    return a.firstStep <= b.lastStep && b.firstStep <= a.lastStep;
+}
+
+} // namespace
+
+int32_t
+ArenaPlanner::add(int64_t numFloats, int32_t step)
+{
+    MESO_REQUIRE(numFloats > 0, "arena buffer of " << numFloats
+                                                   << " floats");
+    MESO_REQUIRE(!planned_, "arena already planned");
+    ArenaBuffer b;
+    b.floats = numFloats;
+    b.firstStep = step;
+    b.lastStep = step;
+    buffers_.push_back(b);
+    return static_cast<int32_t>(buffers_.size()) - 1;
+}
+
+void
+ArenaPlanner::extendLive(int32_t id, int32_t step)
+{
+    MESO_REQUIRE(id >= 0 && id < static_cast<int32_t>(buffers_.size()),
+                 "arena buffer " << id);
+    MESO_REQUIRE(!planned_, "arena already planned");
+    buffers_[id].firstStep = std::min(buffers_[id].firstStep, step);
+    buffers_[id].lastStep = std::max(buffers_[id].lastStep, step);
+}
+
+int64_t
+ArenaPlanner::plan()
+{
+    MESO_REQUIRE(!planned_, "arena already planned");
+    planned_ = true;
+
+    // Largest-first placement order, ties by id for determinism.
+    std::vector<int32_t> order(buffers_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+        if (buffers_[a].floats != buffers_[b].floats)
+            return buffers_[a].floats > buffers_[b].floats;
+        return a < b;
+    });
+
+    std::vector<int32_t> placed;
+    for (int32_t id : order) {
+        ArenaBuffer &b = buffers_[id];
+        // Collect the occupied intervals of live-overlapping buffers,
+        // then first-fit the lowest aligned gap that holds b.
+        std::vector<std::pair<int64_t, int64_t>> busy;
+        for (int32_t pid : placed) {
+            const ArenaBuffer &p = buffers_[pid];
+            if (livesOverlap(b, p))
+                busy.emplace_back(p.offset, p.offset + p.floats);
+        }
+        std::sort(busy.begin(), busy.end());
+        int64_t at = 0;
+        for (const auto &[lo, hi] : busy) {
+            if (at + b.floats <= lo)
+                break;
+            at = std::max(at, alignUp(hi));
+        }
+        b.offset = at;
+        placed.push_back(id);
+        total_ = std::max(total_, at + b.floats);
+    }
+    return total_;
+}
+
+int64_t
+ArenaPlanner::offset(int32_t id) const
+{
+    MESO_REQUIRE(planned_, "arena not planned yet");
+    MESO_REQUIRE(id >= 0 && id < static_cast<int32_t>(buffers_.size()),
+                 "arena buffer " << id);
+    return buffers_[id].offset;
+}
+
+int64_t
+ArenaPlanner::naiveFloats() const
+{
+    int64_t acc = 0;
+    for (const auto &b : buffers_)
+        acc += alignUp(b.floats);
+    return acc;
+}
+
+const ArenaBuffer &
+ArenaPlanner::buffer(int32_t id) const
+{
+    MESO_REQUIRE(id >= 0 && id < static_cast<int32_t>(buffers_.size()),
+                 "arena buffer " << id);
+    return buffers_[id];
+}
+
+Arena::Arena(int64_t numFloats)
+    : data_(static_cast<size_t>(numFloats), 0.0f)
+{
+}
+
+} // namespace mesorasi::core::plan

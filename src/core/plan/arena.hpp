@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Arena memory planning for compiled execution plans.
+ *
+ * A compiled ExecutionPlan knows every intermediate buffer's size and
+ * lifetime ahead of time (shapes are inferred at compile time and the
+ * step sequence is fixed), which is exactly the situation the paper's
+ * SoC is in when it sizes its NIT/PFT buffers at configuration time
+ * (Sec. VI). ArenaPlanner runs a liveness analysis over the plan's step
+ * sequence and packs the buffers into one flat float arena: buffers
+ * whose live ranges never overlap share the same bytes. This replaces
+ * the fragile fixed Workspace::kNumSlots reservations for the plan
+ * evaluation path — each plan carries its own offset assignment instead
+ * of a global slot convention.
+ *
+ * The planner is deliberately simple: greedy first-fit over buffers
+ * ordered by size (the classic linear-scan register-allocation shape,
+ * as used by graph compilers for activation arenas). It is exact about
+ * correctness — overlapping lifetimes never share bytes — and
+ * best-effort about packing.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mesorasi::core::plan {
+
+/** One logical buffer's size, lifetime, and (after plan()) offset. */
+struct ArenaBuffer
+{
+    int64_t floats = 0;    ///< size in floats
+    int32_t firstStep = 0; ///< step index that produces the buffer
+    int32_t lastStep = 0;  ///< last step index that reads it
+    int64_t offset = -1;   ///< assigned float offset (after plan())
+};
+
+/**
+ * Liveness-driven offset assignment. Register every buffer while the
+ * plan is being compiled (extending live ranges as later consumers are
+ * discovered), then call plan() once to assign offsets.
+ */
+class ArenaPlanner
+{
+  public:
+    /** Register a buffer of @p numFloats live from @p step; returns its
+     *  id. The live range grows via extendLive as uses are added. */
+    int32_t add(int64_t numFloats, int32_t step);
+
+    /** Extend buffer @p id's live range to cover @p step. */
+    void extendLive(int32_t id, int32_t step);
+
+    /**
+     * Assign offsets: buffers are placed largest-first at the lowest
+     * offset where they overlap no already-placed buffer with an
+     * intersecting live range. Returns the arena size in floats.
+     * Offsets are 16-float (64-byte) aligned so arena rows start on
+     * cache lines.
+     */
+    int64_t plan();
+
+    /** Assigned offset of buffer @p id (plan() must have run). */
+    int64_t offset(int32_t id) const;
+
+    /** Total planned arena size in floats (after plan()). */
+    int64_t totalFloats() const { return total_; }
+
+    /** Sum of all buffer sizes — the no-aliasing footprint the plan
+     *  is measured against. */
+    int64_t naiveFloats() const;
+
+    size_t numBuffers() const { return buffers_.size(); }
+    const ArenaBuffer &buffer(int32_t id) const;
+
+  private:
+    std::vector<ArenaBuffer> buffers_;
+    int64_t total_ = 0;
+    bool planned_ = false;
+};
+
+/**
+ * The backing storage of one PlanContext: a single flat float buffer
+ * sized by the planner. Allocated once when the context is created and
+ * never resized, so plan evaluation performs no heap allocation for
+ * intermediates.
+ */
+class Arena
+{
+  public:
+    explicit Arena(int64_t numFloats);
+
+    float *at(int64_t offset) { return data_.data() + offset; }
+    const float *at(int64_t offset) const { return data_.data() + offset; }
+
+    int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  private:
+    std::vector<float> data_;
+};
+
+} // namespace mesorasi::core::plan

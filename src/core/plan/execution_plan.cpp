@@ -1,0 +1,85 @@
+#include "core/plan/execution_plan.hpp"
+
+#include "common/check.hpp"
+
+namespace mesorasi::core::plan {
+
+PlanContext::PlanContext(const ExecutionPlan &plan)
+    : plan_(&plan), arena_(plan.stats().arenaFloats),
+      logits_(plan.logitsRows(), plan.logitsCols())
+{
+    mods_.resize(plan.modules().size());
+    for (size_t i = 0; i < mods_.size(); ++i) {
+        const PlanModuleInfo &info = plan.modules()[i];
+        mods_[i].centroids.resize(
+            static_cast<size_t>(info.global ? 1 : info.io.nOut));
+        if (!info.global)
+            mods_[i].nitFlat.resize(static_cast<size_t>(info.io.nOut) *
+                                    info.io.k);
+    }
+    sampleScratch_.reserve(static_cast<size_t>(plan.numInputPoints()));
+}
+
+float *
+PlanContext::buf(int32_t id)
+{
+    return arena_.at(plan_->offsetOf(id));
+}
+
+const tensor::Tensor &
+ExecutionPlan::execute(const geom::PointCloud &cloud, uint64_t runSeed,
+                       PlanContext &ctx) const
+{
+    MESO_REQUIRE(ctx.plan_ == this,
+                 "context was built for a different plan");
+    MESO_REQUIRE(static_cast<int32_t>(cloud.size()) == numInputPoints_,
+                 "plan expects " << numInputPoints_ << " points, got "
+                                 << cloud.size());
+    ctx.cloud_ = &cloud;
+    ctx.rng_ = Rng(runSeed);
+    for (const auto &step : steps_)
+        step.fn(ctx);
+    return ctx.logits_;
+}
+
+std::unique_ptr<PlanContext>
+ExecutionPlan::makeContext() const
+{
+    auto ctx = std::make_unique<PlanContext>(*this);
+    // Interp-decoder networks keep per-level ModuleState copies so the
+    // decoder (which runs through InterpExecutor) sees real tensors.
+    for (const auto &[n, m] : levelShapes_) {
+        ModuleState s;
+        s.coords = tensor::Tensor(n, 3);
+        s.features = tensor::Tensor(n, m);
+        ctx->levels_.push_back(std::move(s));
+    }
+    return ctx;
+}
+
+std::unique_ptr<PlanContext>
+ContextPool::acquire()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!free_.empty()) {
+            auto ctx = std::move(free_.back());
+            free_.pop_back();
+            return ctx;
+        }
+    }
+    return plan_.makeContext();
+}
+
+void
+ContextPool::release(std::unique_ptr<PlanContext> ctx)
+{
+    if (!ctx)
+        return;
+    MESO_REQUIRE(&ctx->plan() == &plan_,
+                 "context returned to the wrong pool");
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(ctx));
+}
+
+} // namespace mesorasi::core::plan

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Compile-once execution plans: the hot serving path of the library.
+ *
+ * Every NetworkExecutor::run today rebuilds its stage graph, re-infers
+ * shapes, and re-selects search backends per request. The paper's SoC
+ * does all of that work once, at configuration time, when it sizes the
+ * NIT/PFT buffers for a fixed network (Sec. VI) — and graph compilers
+ * (TVM, MIGraphX) make the same split in software: an expensive compile
+ * producing an immutable program, then a tight evaluation loop.
+ *
+ * ExecutionPlan is that immutable program: a fixed sequence of step
+ * closures (sample, search, feature, aggregate, head) with every tensor
+ * shape inferred ahead of time, every Backend::Auto resolved at compile
+ * time against the hwsim analytic cost model, and every intermediate
+ * buffer assigned an offset in a liveness-planned arena (core/plan/
+ * arena.hpp). Evaluation walks the steps over a reusable PlanContext:
+ * no graph construction, no shape inference, and — for the compiled
+ * compute path on the cached brute-force backend — no heap allocation
+ * after the first evaluation warms the context (asserted with an
+ * operator-new hook in tests/test_plan.cpp). Index-building backends
+ * (kdtree, grid) still allocate their per-request index; their query
+ * paths are allocation-free via the *Into API.
+ *
+ * Results are bitwise identical to the per-run stage-graph path: the
+ * steps run the same kernels in the same accumulation order, sampler
+ * RNG draws replay the exact stream NetworkExecutor::appendRunStages
+ * pre-draws, and all backends agree bitwise on neighbor results
+ * (tests/test_plan.cpp asserts parity across 3 pipelines x 3 backends).
+ *
+ * Concurrency: the plan is immutable after compile; every concurrent
+ * evaluation needs its own PlanContext (ContextPool recycles warm
+ * contexts across requests). The plan borrows the NetworkExecutor it
+ * was compiled from — the executor must outlive the plan.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/plan/arena.hpp"
+#include "geom/point_cloud.hpp"
+#include "neighbor/search_backend.hpp"
+
+namespace mesorasi::core::plan {
+
+class ExecutionPlan;
+
+/** AOT-compiled facts about one N-A-F module. */
+struct PlanModuleInfo
+{
+    std::string name;
+    ModuleIo io;             ///< AOT-inferred shapes
+    PipelineKind effective = PipelineKind::Delayed; ///< after Ltd folding
+    bool global = false;     ///< SearchKind::Global (no search/NIT)
+    neighbor::Backend backend = neighbor::Backend::BruteForce; ///< resolved
+    std::string customBackend; ///< registry name; overrides backend
+};
+
+/** Compile-time footprint summary. */
+struct PlanStats
+{
+    int64_t arenaFloats = 0; ///< planned (aliased) arena size
+    int64_t naiveFloats = 0; ///< sum of all buffers without aliasing
+    int32_t numSteps = 0;
+    int32_t numBuffers = 0;
+};
+
+/** Per-module mutable evaluation state (reused across executions). */
+struct PlanModuleCtx
+{
+    std::vector<int32_t> centroids; ///< resolved centroid indices
+    std::vector<int32_t> nitFlat;   ///< nOut x k neighbor ids, row-major
+    /** Backend cached across executions. Only backends with no
+     *  data-dependent build (brute force) are cached; index-building
+     *  backends are rebuilt per execution. */
+    std::unique_ptr<neighbor::SearchBackend> cachedBackend;
+};
+
+/**
+ * The mutable half of one evaluation: the arena, reusable index
+ * storage, and the logits output. Create via ExecutionPlan::makeContext
+ * and reuse across executions — the first execution warms every
+ * grow-only buffer, after which the compiled compute path performs no
+ * heap allocation. One context per concurrent evaluation.
+ *
+ * Members are an internal contract between the plan compiler's step
+ * closures and the runtime; user code should treat a context as opaque
+ * apart from logits().
+ */
+struct PlanContext
+{
+    explicit PlanContext(const ExecutionPlan &plan);
+
+    /** The plan this context was built for. */
+    const ExecutionPlan &plan() const { return *plan_; }
+
+    /** The last execution's logits. */
+    const tensor::Tensor &logits() const { return logits_; }
+
+    /** Arena pointer of plan buffer @p id. */
+    float *buf(int32_t id);
+
+    // --- internal state touched by compiled steps -------------------
+    const ExecutionPlan *plan_ = nullptr;
+    Arena arena_;
+    tensor::Tensor logits_;
+    std::vector<PlanModuleCtx> mods_;     ///< encoder modules
+    std::vector<int32_t> sampleScratch_;  ///< Fisher-Yates pool
+    std::vector<ModuleState> levels_;     ///< interp-decoder level copies
+    const geom::PointCloud *cloud_ = nullptr;
+    Rng rng_{0};                          ///< reseeded per execution
+};
+
+/** One compiled step: a closure over AOT shapes and arena buffer ids. */
+struct PlanStep
+{
+    StageKind kind = StageKind::Epilogue;
+    std::string name;
+    std::function<void(PlanContext &)> fn;
+};
+
+class ExecutionPlan
+{
+  public:
+    ExecutionPlan(ExecutionPlan &&) = default;
+    ExecutionPlan &operator=(ExecutionPlan &&) = default;
+
+    /**
+     * Evaluate one cloud. @p runSeed drives centroid sampling exactly
+     * as NetworkExecutor::run's seed does; identical seeds produce
+     * bitwise-identical logits to the per-run graph path. Returns
+     * @p ctx's logits tensor. Thread-safe across distinct contexts.
+     */
+    const tensor::Tensor &execute(const geom::PointCloud &cloud,
+                                  uint64_t runSeed,
+                                  PlanContext &ctx) const;
+
+    /** Build a fresh evaluation context (all storage preallocated to
+     *  the plan's AOT shapes). */
+    std::unique_ptr<PlanContext> makeContext() const;
+
+    PipelineKind pipeline() const { return kind_; }
+    int32_t numInputPoints() const { return numInputPoints_; }
+    int32_t logitsRows() const { return logitsRows_; }
+    int32_t logitsCols() const { return logitsCols_; }
+    const PlanStats &stats() const { return stats_; }
+    const std::vector<PlanModuleInfo> &modules() const { return modules_; }
+    /** Detection stage-2 branch infos (empty outside detection). */
+    const std::vector<PlanModuleInfo> &stage2Modules() const
+    { return stage2_; }
+    const std::vector<PlanStep> &steps() const { return steps_; }
+
+    /** Arena offset of buffer @p id. */
+    int64_t offsetOf(int32_t id) const { return offsets_[id]; }
+
+  private:
+    friend class PlanCompiler;
+    ExecutionPlan() = default;
+
+    PipelineKind kind_ = PipelineKind::Delayed;
+    int32_t numInputPoints_ = 0;
+    int32_t logitsRows_ = 0;
+    int32_t logitsCols_ = 0;
+    std::vector<PlanModuleInfo> modules_;
+    std::vector<PlanModuleInfo> stage2_;
+    std::vector<int64_t> offsets_;  ///< per-buffer arena offsets
+    std::vector<PlanStep> steps_;
+    /** (numPoints, featureDim) per encoder level; non-empty only for
+     *  interp-decoder networks, which keep level copies in the ctx. */
+    std::vector<std::pair<int32_t, int32_t>> levelShapes_;
+    PlanStats stats_;
+};
+
+/**
+ * Thread-safe recycler of warm PlanContexts for concurrent serving
+ * (BatchRunner's plan-cached path). acquire() hands out a free context
+ * or builds a new one; release() returns it warm for the next request.
+ */
+class ContextPool
+{
+  public:
+    explicit ContextPool(const ExecutionPlan &plan) : plan_(plan) {}
+
+    std::unique_ptr<PlanContext> acquire();
+    void release(std::unique_ptr<PlanContext> ctx);
+
+  private:
+    const ExecutionPlan &plan_;
+    std::mutex mutex_;
+    std::vector<std::unique_ptr<PlanContext>> free_;
+};
+
+} // namespace mesorasi::core::plan

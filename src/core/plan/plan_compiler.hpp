@@ -1,0 +1,74 @@
+/**
+ * @file
+ * PlanCompiler: one walk over a NetworkExecutor produces an immutable
+ * ExecutionPlan.
+ *
+ * The compile does, once, everything the per-run path re-does per
+ * request:
+ *
+ *  - AOT shape inference: every module boundary's (nIn, mIn, nOut,
+ *    mOut, k, searchDim) is derived from the network configuration —
+ *    point counts are statically known because each module keeps
+ *    centroids(n) points.
+ *  - Backend resolution: every Backend::Auto is resolved to a concrete
+ *    backend at compile time against the hwsim analytic search-cost
+ *    model (GpuConfig's calibrated per-candidate costs), instead of the
+ *    per-run chooseBackend heuristic. All backends agree bitwise on
+ *    results, so resolution never changes outputs — only cost.
+ *  - Memory planning: every intermediate (PFTs, NFM batches, level
+ *    features, head buffers) is registered with the ArenaPlanner and
+ *    assigned a liveness-aliased arena offset.
+ *  - Step compilation: the pipeline bodies are baked into closures over
+ *    buffer ids and AOT shapes, replaying the exact kernels and RNG
+ *    stream of the stage-graph path (bitwise-identical logits; see
+ *    tests/test_plan.cpp).
+ *
+ * The executor must outlive the plan (the plan borrows its weights).
+ */
+#pragma once
+
+#include "core/network.hpp"
+#include "core/plan/execution_plan.hpp"
+
+namespace mesorasi::core::plan {
+
+struct CompileOptions
+{
+    /**
+     * Resolve Backend::Auto with the hwsim analytic cost model
+     * (default). When false the compiler replays the per-run
+     * chooseBackend shape heuristic instead — useful for isolating the
+     * cost model's decisions.
+     */
+    bool costModelBackendSelection = true;
+};
+
+class PlanCompiler
+{
+  public:
+    /** Compile @p exec under @p kind into an immutable plan. */
+    static ExecutionPlan compile(const NetworkExecutor &exec,
+                                 PipelineKind kind,
+                                 const CompileOptions &opts = {});
+
+    /**
+     * Resolve Backend::Auto for one module shape. @p knnQuery
+     * distinguishes k-NN from ball workloads (they carry different
+     * per-candidate costs in the hwsim model). Exposed for tests and
+     * benches.
+     */
+    static neighbor::Backend
+    resolveAutoBackend(const ModuleIo &io, bool knnQuery,
+                       const CompileOptions &opts = {});
+
+    /**
+     * Analytic cost (ms) of answering one module's N stage with
+     * @p backend: per-candidate distance costs from hwsim::GpuConfig
+     * plus per-execution index build charges. Grid on a non-3-D space
+     * returns +inf (infeasible).
+     */
+    static double plannedSearchCostMs(neighbor::Backend backend,
+                                      const ModuleIo &io, bool knnQuery);
+};
+
+} // namespace mesorasi::core::plan

@@ -8,41 +8,31 @@
 
 namespace mesorasi::neighbor {
 
-std::vector<int32_t>
-knnScan(const PointsView &points, const float *query, int32_t k)
+namespace {
+
+/** Grow-only per-thread (distance, index) ranking scratch shared by
+ *  the scan kernels, so the Into variants never allocate once warm. */
+std::vector<std::pair<float, int32_t>> &
+rankScratch()
 {
-    MESO_REQUIRE(k > 0 && k <= points.size(),
-                 "k=" << k << " with " << points.size() << " points");
-    int32_t n = points.size();
-    // Batched distance pass (SIMD over candidates), then rank. The d2
-    // values are bitwise identical to per-point dist2To, so the
-    // (distance, index) order — and therefore the result — is too.
-    float *d2 = Workspace::local().floats(Workspace::kDistOut,
-                                          static_cast<size_t>(n));
-    dist2Range(points, 0, n, query, d2);
-    std::vector<std::pair<float, int32_t>> dists(n);
-    for (int32_t i = 0; i < n; ++i)
-        dists[i] = {d2[i], i};
-    // Pair comparison sorts by (distance, index): ties break by index,
-    // the ordering contract shared by every search backend.
-    std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
-    std::vector<int32_t> out(k);
-    for (int32_t j = 0; j < k; ++j)
-        out[j] = dists[j].second;
-    return out;
+    static thread_local std::vector<std::pair<float, int32_t>> scratch;
+    return scratch;
 }
 
-std::vector<int32_t>
-radiusScan(const PointsView &points, const float *query, float radius,
-           int32_t maxK)
+/** Fill the ranking scratch with the in-ball (d2, index) pairs of
+ *  @p query, sorted nearest first with ties by index. */
+void
+collectInBall(const PointsView &points, const float *query, float radius,
+              std::vector<std::pair<float, int32_t>> &found)
 {
     MESO_REQUIRE(radius > 0.0f, "radius must be positive");
     float r2 = radius * radius;
     int32_t n = points.size();
-    float *d2 = Workspace::local().floats(Workspace::kDistOut,
-                                          static_cast<size_t>(n));
+    Workspace &ws = Workspace::local();
+    Workspace::ScopedClaim claim(ws, Workspace::kDistOut);
+    float *d2 = ws.floats(Workspace::kDistOut, static_cast<size_t>(n));
     dist2Range(points, 0, n, query, d2);
-    std::vector<std::pair<float, int32_t>> found;
+    found.clear();
     for (int32_t i = 0; i < n; ++i) {
         if (d2[i] <= r2)
             found.push_back({d2[i], i});
@@ -50,6 +40,63 @@ radiusScan(const PointsView &points, const float *query, float radius,
     // Nearest first, ties by index, so truncation at maxK keeps the
     // same set no matter which search structure answered the query.
     std::sort(found.begin(), found.end());
+}
+
+} // namespace
+
+void
+knnScanInto(const PointsView &points, const float *query, int32_t k,
+            int32_t *out)
+{
+    MESO_REQUIRE(k > 0 && k <= points.size(),
+                 "k=" << k << " with " << points.size() << " points");
+    int32_t n = points.size();
+    // Batched distance pass (SIMD over candidates), then rank. The d2
+    // values are bitwise identical to per-point dist2To, so the
+    // (distance, index) order — and therefore the result — is too.
+    Workspace &ws = Workspace::local();
+    Workspace::ScopedClaim claim(ws, Workspace::kDistOut);
+    float *d2 = ws.floats(Workspace::kDistOut, static_cast<size_t>(n));
+    dist2Range(points, 0, n, query, d2);
+    std::vector<std::pair<float, int32_t>> &dists = rankScratch();
+    dists.resize(static_cast<size_t>(n));
+    for (int32_t i = 0; i < n; ++i)
+        dists[static_cast<size_t>(i)] = {d2[i], i};
+    // Pair comparison sorts by (distance, index): ties break by index,
+    // the ordering contract shared by every search backend.
+    std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+    for (int32_t j = 0; j < k; ++j)
+        out[j] = dists[static_cast<size_t>(j)].second;
+}
+
+std::vector<int32_t>
+knnScan(const PointsView &points, const float *query, int32_t k)
+{
+    std::vector<int32_t> out(static_cast<size_t>(k));
+    knnScanInto(points, query, k, out.data());
+    return out;
+}
+
+int32_t
+radiusScanInto(const PointsView &points, const float *query, float radius,
+               int32_t maxK, int32_t *out)
+{
+    MESO_REQUIRE(maxK > 0, "radiusScanInto needs a positive maxK");
+    std::vector<std::pair<float, int32_t>> &found = rankScratch();
+    collectInBall(points, query, radius, found);
+    int32_t count =
+        std::min<int32_t>(maxK, static_cast<int32_t>(found.size()));
+    for (int32_t j = 0; j < count; ++j)
+        out[j] = found[static_cast<size_t>(j)].second;
+    return count;
+}
+
+std::vector<int32_t>
+radiusScan(const PointsView &points, const float *query, float radius,
+           int32_t maxK)
+{
+    std::vector<std::pair<float, int32_t>> &found = rankScratch();
+    collectInBall(points, query, radius, found);
     std::vector<int32_t> out;
     for (const auto &[d2, i] : found) {
         if (maxK > 0 && static_cast<int32_t>(out.size()) >= maxK)

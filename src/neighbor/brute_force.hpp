@@ -32,6 +32,22 @@ std::vector<int32_t> radiusScan(const PointsView &points,
                                 int32_t maxK = -1);
 
 /**
+ * knnScan into caller-owned memory: writes exactly k indices to
+ * out[0..k). Identical results to knnScan; ranking scratch lives in
+ * grow-only per-thread storage, so the steady state never allocates
+ * (the compiled-plan serving contract).
+ */
+void knnScanInto(const PointsView &points, const float *query, int32_t k,
+                 int32_t *out);
+
+/**
+ * radiusScan into caller-owned memory (@p maxK must be positive):
+ * writes up to maxK indices to @p out and returns the count written.
+ */
+int32_t radiusScanInto(const PointsView &points, const float *query,
+                       float radius, int32_t maxK, int32_t *out);
+
+/**
  * Exact k nearest neighbors of each query point, by exhaustive scan.
  *
  * @param points   the searchable point set

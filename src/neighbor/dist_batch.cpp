@@ -48,8 +48,10 @@ void
 dist2Batch3(const PointsView &points, int32_t n, RowOf rowOf,
             const float *query, float *out)
 {
-    float *scratch = Workspace::local().floats(
-        Workspace::kDistSoA, static_cast<size_t>(n) * 3);
+    Workspace &ws = Workspace::local();
+    Workspace::ScopedClaim claim(ws, Workspace::kDistSoA);
+    float *scratch =
+        ws.floats(Workspace::kDistSoA, static_cast<size_t>(n) * 3);
     float *xs = scratch;
     float *ys = scratch + n;
     float *zs = scratch + 2 * static_cast<size_t>(n);

@@ -89,8 +89,21 @@ GridIndex::key(int64_t cx, int64_t cy, int64_t cz) const
     return (pack(cx) << 42) | (pack(cy) << 21) | pack(cz);
 }
 
-std::vector<int32_t>
-GridIndex::radius(const float *query, float radius, int32_t maxK) const
+namespace {
+
+/** Grow-only per-thread ranking scratch for the grid query cores. */
+std::vector<std::pair<float, int32_t>> &
+gridRankScratch()
+{
+    static thread_local std::vector<std::pair<float, int32_t>> scratch;
+    return scratch;
+}
+
+} // namespace
+
+void
+GridIndex::collectBall(const float *query, float radius,
+                       std::vector<std::pair<float, int32_t>> &found) const
 {
     MESO_REQUIRE(radius > 0.0f, "radius must be positive");
     float r2 = radius * radius;
@@ -99,7 +112,7 @@ GridIndex::radius(const float *query, float radius, int32_t maxK) const
 
     int64_t c[3];
     cellOf(query, c);
-    std::vector<std::pair<float, int32_t>> found;
+    found.clear();
     for (int64_t dx = -reach; dx <= reach; ++dx) {
         for (int64_t dy = -reach; dy <= reach; ++dy) {
             for (int64_t dz = -reach; dz <= reach; ++dz) {
@@ -109,9 +122,10 @@ GridIndex::radius(const float *query, float radius, int32_t maxK) const
                     continue;
                 // One batched (SIMD) distance pass over the cell's
                 // contiguous candidate span, then the in-ball filter.
-                float *d2 = Workspace::local().floats(
-                    Workspace::kDistOut,
-                    static_cast<size_t>(span.count));
+                Workspace &ws = Workspace::local();
+                Workspace::ScopedClaim claim(ws, Workspace::kDistOut);
+                float *d2 = ws.floats(Workspace::kDistOut,
+                                      static_cast<size_t>(span.count));
                 dist2Batch(points_, span.begin, span.count, query, d2);
                 for (int32_t i = 0; i < span.count; ++i) {
                     if (d2[i] <= r2)
@@ -123,6 +137,13 @@ GridIndex::radius(const float *query, float radius, int32_t maxK) const
     // Default pair ordering is (distance, index): ties resolve
     // deterministically and identically across all search backends.
     std::sort(found.begin(), found.end());
+}
+
+std::vector<int32_t>
+GridIndex::radius(const float *query, float radius, int32_t maxK) const
+{
+    std::vector<std::pair<float, int32_t>> &found = gridRankScratch();
+    collectBall(query, radius, found);
     std::vector<int32_t> out;
     for (const auto &[d2, idx] : found) {
         if (maxK > 0 && static_cast<int32_t>(out.size()) >= maxK)
@@ -132,11 +153,27 @@ GridIndex::radius(const float *query, float radius, int32_t maxK) const
     return out;
 }
 
-std::vector<int32_t>
-GridIndex::knn(const float *query, int32_t k) const
+int32_t
+GridIndex::radiusInto(const float *query, float radius, int32_t maxK,
+                      int32_t *out) const
+{
+    MESO_REQUIRE(maxK > 0, "radiusInto needs a positive maxK");
+    std::vector<std::pair<float, int32_t>> &found = gridRankScratch();
+    collectBall(query, radius, found);
+    int32_t count =
+        std::min<int32_t>(maxK, static_cast<int32_t>(found.size()));
+    for (int32_t j = 0; j < count; ++j)
+        out[j] = found[static_cast<size_t>(j)].second;
+    return count;
+}
+
+void
+GridIndex::collectKnn(const float *query, int32_t k,
+                      std::vector<std::pair<float, int32_t>> &best) const
 {
     MESO_REQUIRE(k > 0 && k <= points_.size(),
                  "k=" << k << " with " << points_.size() << " points");
+    best.clear();
 
     int64_t c[3];
     cellOf(query, c);
@@ -147,7 +184,7 @@ GridIndex::knn(const float *query, int32_t k) const
         max_ring = std::max(max_ring, std::abs(hiCell_[d] - c[d]));
     }
 
-    std::vector<std::pair<float, int32_t>> best; // kept sorted, size <= k
+    // best is kept sorted with size <= k.
     for (int64_t ring = 0; ring <= max_ring; ++ring) {
         // Cells not yet scanned have Chebyshev distance >= ring, and a
         // point there is at least (ring - 1) * cellSize away (the query
@@ -165,8 +202,10 @@ GridIndex::knn(const float *query, int32_t k) const
                 findCell(key(c[0] + dx, c[1] + dy, c[2] + dz));
             if (span.count == 0)
                 return;
-            float *d2 = Workspace::local().floats(
-                Workspace::kDistOut, static_cast<size_t>(span.count));
+            Workspace &ws = Workspace::local();
+            Workspace::ScopedClaim claim(ws, Workspace::kDistOut);
+            float *d2 = ws.floats(Workspace::kDistOut,
+                                  static_cast<size_t>(span.count));
             dist2Batch(points_, span.begin, span.count, query, d2);
             for (int32_t i = 0; i < span.count; ++i) {
                 std::pair<float, int32_t> cand{d2[i], span.begin[i]};
@@ -196,7 +235,22 @@ GridIndex::knn(const float *query, int32_t k) const
             }
         }
     }
+}
 
+void
+GridIndex::knnInto(const float *query, int32_t k, int32_t *out) const
+{
+    std::vector<std::pair<float, int32_t>> &best = gridRankScratch();
+    collectKnn(query, k, best);
+    for (size_t i = 0; i < best.size(); ++i)
+        out[i] = best[i].second;
+}
+
+std::vector<int32_t>
+GridIndex::knn(const float *query, int32_t k) const
+{
+    std::vector<std::pair<float, int32_t>> &best = gridRankScratch();
+    collectKnn(query, k, best);
     std::vector<int32_t> out;
     out.reserve(best.size());
     for (const auto &[d2, idx] : best)

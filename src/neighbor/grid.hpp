@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "geom/point_cloud.hpp"
@@ -59,6 +60,15 @@ class GridIndex
     std::vector<int32_t> radius(const float *query, float radius,
                                 int32_t maxK = -1) const;
 
+    /** knn into caller-owned memory (exactly k indices): identical
+     *  results, candidate ranking in grow-only per-thread scratch. */
+    void knnInto(const float *query, int32_t k, int32_t *out) const;
+
+    /** radius into caller-owned memory (@p maxK must be positive):
+     *  writes up to maxK indices, returns the count. */
+    int32_t radiusInto(const float *query, float radius, int32_t maxK,
+                       int32_t *out) const;
+
     /** Number of occupied cells (diagnostics). */
     size_t numCells() const { return cellKeys_.size(); }
 
@@ -77,6 +87,14 @@ class GridIndex
 
     /** CSR lookup: span of the cell with @p key (count 0 if empty). */
     CellSpan findCell(int64_t key) const;
+
+    // Shared query cores: fill (d2, index) pairs, sorted by (distance,
+    // index), into caller scratch — the single copy of the cell-scan
+    // logic behind both the allocating and the Into query paths.
+    void collectBall(const float *query, float radius,
+                     std::vector<std::pair<float, int32_t>> &found) const;
+    void collectKnn(const float *query, int32_t k,
+                    std::vector<std::pair<float, int32_t>> &best) const;
 
     PointsView points_;
     float cellSize_;

@@ -79,8 +79,10 @@ KdTree::searchKnn(int32_t node, const float *query, int32_t k,
     if (nd.count > 0) {
         // Leaf: one batched (SIMD) distance pass over the leaf's
         // contiguous order_ span, then the heap update per candidate.
-        float *d2s = Workspace::local().floats(
-            Workspace::kDistOut, static_cast<size_t>(nd.count));
+        Workspace &ws = Workspace::local();
+        Workspace::ScopedClaim claim(ws, Workspace::kDistOut);
+        float *d2s =
+            ws.floats(Workspace::kDistOut, static_cast<size_t>(nd.count));
         dist2Batch(points_, order_.data() + nd.start, nd.count, query,
                    d2s);
         for (int32_t i = 0; i < nd.count; ++i) {
@@ -116,8 +118,10 @@ KdTree::searchRadius(int32_t node, const float *query, float r2,
 {
     const Node &nd = nodes_[node];
     if (nd.count > 0) {
-        float *d2s = Workspace::local().floats(
-            Workspace::kDistOut, static_cast<size_t>(nd.count));
+        Workspace &ws = Workspace::local();
+        Workspace::ScopedClaim claim(ws, Workspace::kDistOut);
+        float *d2s =
+            ws.floats(Workspace::kDistOut, static_cast<size_t>(nd.count));
         dist2Batch(points_, order_.data() + nd.start, nd.count, query,
                    d2s);
         for (int32_t i = 0; i < nd.count; ++i) {
@@ -134,27 +138,52 @@ KdTree::searchRadius(int32_t node, const float *query, float r2,
         searchRadius(far, query, r2, found);
 }
 
-std::vector<int32_t>
-KdTree::knn(const float *query, int32_t k) const
+void
+KdTree::knnInto(const float *query, int32_t k, int32_t *out) const
 {
     MESO_REQUIRE(k > 0 && k <= points_.size(),
                  "k=" << k << " with " << points_.size() << " points");
-    std::vector<HeapItem> heap;
-    heap.reserve(k);
+    // Grow-only per-thread traversal heap: the Into path's only
+    // scratch, so steady-state queries never allocate.
+    static thread_local std::vector<HeapItem> heap;
+    heap.clear();
     searchKnn(0, query, k, heap);
     std::sort_heap(heap.begin(), heap.end());
-    std::vector<int32_t> out;
-    out.reserve(heap.size());
-    for (const auto &h : heap)
-        out.push_back(h.index);
+    for (size_t i = 0; i < heap.size(); ++i)
+        out[i] = heap[i].index;
+}
+
+std::vector<int32_t>
+KdTree::knn(const float *query, int32_t k) const
+{
+    std::vector<int32_t> out(static_cast<size_t>(k));
+    knnInto(query, k, out.data());
     return out;
+}
+
+int32_t
+KdTree::radiusInto(const float *query, float radius, int32_t maxK,
+                   int32_t *out) const
+{
+    MESO_REQUIRE(radius > 0.0f && maxK > 0,
+                 "radius=" << radius << " maxK=" << maxK);
+    static thread_local std::vector<HeapItem> found;
+    found.clear();
+    searchRadius(0, query, radius * radius, found);
+    std::sort(found.begin(), found.end());
+    int32_t count =
+        std::min<int32_t>(maxK, static_cast<int32_t>(found.size()));
+    for (int32_t j = 0; j < count; ++j)
+        out[j] = found[static_cast<size_t>(j)].index;
+    return count;
 }
 
 std::vector<int32_t>
 KdTree::radius(const float *query, float radius, int32_t maxK) const
 {
     MESO_REQUIRE(radius > 0.0f, "radius must be positive");
-    std::vector<HeapItem> found;
+    static thread_local std::vector<HeapItem> found;
+    found.clear();
     searchRadius(0, query, radius * radius, found);
     std::sort(found.begin(), found.end());
     std::vector<int32_t> out;

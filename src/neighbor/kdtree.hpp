@@ -26,6 +26,16 @@ class KdTree
     /** k nearest neighbors of the external point @p query (dim floats). */
     std::vector<int32_t> knn(const float *query, int32_t k) const;
 
+    /** knn into caller-owned memory (exactly k indices): identical
+     *  results, with the traversal heap in grow-only per-thread scratch
+     *  so the steady state never allocates. */
+    void knnInto(const float *query, int32_t k, int32_t *out) const;
+
+    /** radius into caller-owned memory (@p maxK must be positive):
+     *  writes up to maxK indices, returns the count. */
+    int32_t radiusInto(const float *query, float radius, int32_t maxK,
+                       int32_t *out) const;
+
     /** All points within @p radius of @p query, nearest first,
      *  truncated to @p maxK if maxK > 0. NIT construction lives in
      *  SearchBackend::knnTable/ballTable (the single copy of the

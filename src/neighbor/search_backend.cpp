@@ -39,6 +39,23 @@ backendFromName(const std::string &name)
     MESO_REQUIRE(false, "unknown search backend '" << name << "'");
 }
 
+void
+SearchBackend::knnInto(const float *query, int32_t k, int32_t *out) const
+{
+    std::vector<int32_t> nn = knn(query, k);
+    std::copy(nn.begin(), nn.end(), out);
+}
+
+int32_t
+SearchBackend::radiusInto(const float *query, float r, int32_t maxK,
+                          int32_t *out) const
+{
+    MESO_REQUIRE(maxK > 0, "radiusInto needs a positive maxK");
+    std::vector<int32_t> nn = radius(query, r, maxK);
+    std::copy(nn.begin(), nn.end(), out);
+    return static_cast<int32_t>(nn.size());
+}
+
 // ---------------------------------------------------------------------
 // Shared table builders: per-centroid queries fan out across the pool.
 // ---------------------------------------------------------------------
@@ -128,6 +145,19 @@ class BruteForceBackend final : public SearchBackend
     {
         return radiusScan(points_, query, r, maxK);
     }
+
+    void
+    knnInto(const float *query, int32_t k, int32_t *out) const override
+    {
+        knnScanInto(points_, query, k, out);
+    }
+
+    int32_t
+    radiusInto(const float *query, float r, int32_t maxK,
+               int32_t *out) const override
+    {
+        return radiusScanInto(points_, query, r, maxK, out);
+    }
 };
 
 class KdTreeBackend final : public SearchBackend
@@ -150,6 +180,19 @@ class KdTreeBackend final : public SearchBackend
     radius(const float *query, float r, int32_t maxK) const override
     {
         return tree_.radius(query, r, maxK);
+    }
+
+    void
+    knnInto(const float *query, int32_t k, int32_t *out) const override
+    {
+        tree_.knnInto(query, k, out);
+    }
+
+    int32_t
+    radiusInto(const float *query, float r, int32_t maxK,
+               int32_t *out) const override
+    {
+        return tree_.radiusInto(query, r, maxK, out);
     }
 
   private:
@@ -176,6 +219,19 @@ class GridBackend final : public SearchBackend
     radius(const float *query, float r, int32_t maxK) const override
     {
         return grid_.radius(query, r, maxK);
+    }
+
+    void
+    knnInto(const float *query, int32_t k, int32_t *out) const override
+    {
+        grid_.knnInto(query, k, out);
+    }
+
+    int32_t
+    radiusInto(const float *query, float r, int32_t maxK,
+               int32_t *out) const override
+    {
+        return grid_.radiusInto(query, r, maxK, out);
     }
 
   private:

@@ -83,6 +83,22 @@ class SearchBackend
     virtual std::vector<int32_t> radius(const float *query, float radius,
                                         int32_t maxK = -1) const = 0;
 
+    /**
+     * knn into caller-owned memory: writes exactly k indices to
+     * out[0..k). Identical results to knn(). The base implementation
+     * delegates to knn() (and allocates); the shipped backends override
+     * it with grow-only per-thread scratch so compiled-plan serving
+     * loops stay allocation-free in steady state.
+     */
+    virtual void knnInto(const float *query, int32_t k,
+                         int32_t *out) const;
+
+    /** radius into caller-owned memory (@p maxK must be positive):
+     *  writes up to maxK indices to @p out, returns the count. Same
+     *  override contract as knnInto. */
+    virtual int32_t radiusInto(const float *query, float radius,
+                               int32_t maxK, int32_t *out) const;
+
     /** Build a NIT by running knn for each query index. */
     NeighborIndexTable knnTable(const std::vector<int32_t> &queries,
                                 int32_t k) const;

@@ -39,6 +39,8 @@ forwardBlockInto(const Linear *layers, size_t numLayers, const float *x,
     for (size_t l = 0; l + 1 < numLayers; ++l)
         maxW = std::max<int64_t>(maxW, layers[l].outDim());
     Workspace &ws = Workspace::local();
+    Workspace::ScopedClaim claimPing(ws, Workspace::kMlpPing);
+    Workspace::ScopedClaim claimPong(ws, Workspace::kMlpPong);
     float *ping =
         ws.floats(Workspace::kMlpPing, static_cast<size_t>(rows) * maxW);
     float *pong =
@@ -60,26 +62,25 @@ forwardBlockInto(const Linear *layers, size_t numLayers, const float *x,
     }
 }
 
-/** Chunked whole-tensor forward through layers [first, first+count). */
+/** Chunked strided forward through layers [first, first+count). */
 void
-forwardChunked(const Linear *layers, size_t count, const tensor::Tensor &x,
-               tensor::Tensor &out)
+forwardChunked(const Linear *layers, size_t count, const float *x,
+               int64_t xStride, int32_t rows, float *out,
+               int64_t outStride)
 {
     auto runBlock = [&](int64_t begin, int64_t end) {
-        forwardBlockInto(layers, count, x.row(static_cast<int32_t>(begin)),
-                         x.cols(), static_cast<int32_t>(end - begin),
-                         out.row(static_cast<int32_t>(begin)), out.cols());
+        forwardBlockInto(layers, count, x + begin * xStride, xStride,
+                         static_cast<int32_t>(end - begin),
+                         out + begin * outStride, outStride);
     };
     const ThreadPool &pool = ThreadPool::global();
     if (pool.size() <= 1 || ThreadPool::insideWorker()) {
         // Serial, but still in cache-resident row chunks so the
         // workspace stays small and every chunk's activations flow
         // through the whole stack before the next chunk starts.
-        for (int64_t begin = 0; begin < x.rows();
-             begin += kMinRowsPerChunk)
+        for (int64_t begin = 0; begin < rows; begin += kMinRowsPerChunk)
             runBlock(begin,
-                     std::min<int64_t>(x.rows(),
-                                       begin + kMinRowsPerChunk));
+                     std::min<int64_t>(rows, begin + kMinRowsPerChunk));
         return;
     }
     // Adaptive grain matching matmul's: split only once each chunk
@@ -94,8 +95,7 @@ forwardChunked(const Linear *layers, size_t count, const tensor::Tensor &x,
     constexpr int64_t kMinFlopsPerChunk = 1 << 20;
     int64_t grain = std::max<int64_t>(
         1, kMinFlopsPerChunk / std::max<int64_t>(1, flopsPerRow));
-    pool.parallelFor(x.rows(), std::min(grain, kMinRowsPerChunk),
-                     runBlock);
+    pool.parallelFor(rows, std::min(grain, kMinRowsPerChunk), runBlock);
 }
 
 } // namespace
@@ -129,8 +129,24 @@ Mlp::forward(const tensor::Tensor &x) const
     // activations stay cache-resident in per-thread workspace buffers
     // through all layers — the output tensor is the only allocation.
     tensor::Tensor out(x.rows(), outDim());
-    forwardChunked(layers_.data(), layers_.size(), x, out);
+    forwardChunked(layers_.data(), layers_.size(), x.data(), x.cols(),
+                   x.rows(), out.data(), out.cols());
     return out;
+}
+
+void
+Mlp::forwardInto(const float *x, int64_t xStride, int32_t rows,
+                 float *out, int64_t outStride, size_t firstLayer) const
+{
+    MESO_REQUIRE(firstLayer < layers_.size(),
+                 "forwardInto from layer " << firstLayer << " of "
+                                           << layers_.size());
+    MESO_REQUIRE(xStride >= layers_[firstLayer].inDim() &&
+                     outStride >= outDim(),
+                 "forwardInto strides " << xStride << "/" << outStride);
+    forwardChunked(layers_.data() + firstLayer,
+                   layers_.size() - firstLayer, x, xStride, rows, out,
+                   outStride);
 }
 
 tensor::Tensor
@@ -155,7 +171,8 @@ Mlp::forwardAfterFirstLinear(const tensor::Tensor &x) const
     if (layers_.size() == 1)
         return y;
     tensor::Tensor out(y.rows(), outDim());
-    forwardChunked(layers_.data() + 1, layers_.size() - 1, y, out);
+    forwardChunked(layers_.data() + 1, layers_.size() - 1, y.data(),
+                   y.cols(), y.rows(), out.data(), out.cols());
     return out;
 }
 

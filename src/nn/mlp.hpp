@@ -38,6 +38,19 @@ class Mlp
     tensor::Tensor forward(const tensor::Tensor &x) const;
 
     /**
+     * Forward @p rows input rows through layers [firstLayer, end) into
+     * caller-owned strided memory — the allocation-free twin of
+     * forward() used by compiled execution plans (intermediates stay in
+     * the per-thread Workspace ping/pong slots; the destination block
+     * is the only output storage). Bitwise identical to forward() /
+     * forwardAfterFirstLinear()'s tail over the same rows: shared
+     * chunked row kernel.
+     */
+    void forwardInto(const float *x, int64_t xStride, int32_t rows,
+                     float *out, int64_t outStride,
+                     size_t firstLayer = 0) const;
+
+    /**
      * Forward where only the *first* layer's matrix product runs, without
      * bias/activation — the Ltd-Mesorasi (GNN-style) hoisting applies
      * the first MVM before aggregation because it alone is linear.

@@ -360,29 +360,62 @@ maxReduceRowsInto(float *dst, const Tensor &x, int32_t rowBegin,
                  "block reduce rows [" << rowBegin << ", "
                                        << rowBegin + numRows << ") of "
                                        << x.shapeStr());
+    maxReduceRowsInto(dst, x.row(rowBegin), x.cols(), x.cols(), numRows);
+}
+
+void
+maxReduceRowsInto(float *dst, const float *src, int64_t stride,
+                  int32_t cols, int32_t numRows)
+{
+    MESO_REQUIRE(numRows > 0 && stride >= cols,
+                 "block reduce of " << numRows << " rows, stride "
+                                    << stride << " < " << cols);
     // Seed with -inf, exactly like the index-list maxReduceRows
     // overload this replaces — the choice is visible when inputs carry
     // NaNs (std::max drops a NaN right operand), so matching it keeps
     // the bitwise-parity contract unconditional.
-    std::fill(dst, dst + x.cols(),
+    std::fill(dst, dst + cols,
               -std::numeric_limits<float>::infinity());
     for (int32_t r = 0; r < numRows; ++r)
-        maxIntoRow(dst, x.row(rowBegin + r), x.cols());
+        maxIntoRow(dst, src + static_cast<int64_t>(r) * stride, cols);
+}
+
+void
+maxReduceAllRowsInto(float *dst, const float *src, int64_t stride,
+                     int32_t cols, int32_t numRows)
+{
+    MESO_REQUIRE(numRows > 0 && stride >= cols,
+                 "max-reduce of " << numRows << " rows, stride "
+                                  << stride << " < " << cols);
+    // First-row seed, exactly like maxReduceRows(x).
+    std::copy(src, src + cols, dst);
+    for (int32_t r = 1; r < numRows; ++r)
+        maxIntoRow(dst, src + static_cast<int64_t>(r) * stride, cols);
 }
 
 void
 gatherMaxReduceInto(float *dst, const Tensor &src,
                     const std::vector<int32_t> &rows)
 {
-    MESO_REQUIRE(!rows.empty(), "gather-reduce over no rows");
-    for (size_t i = 0; i < rows.size(); ++i) {
-        MESO_REQUIRE(rows[i] >= 0 && rows[i] < src.rows(),
-                     "gather index " << rows[i] << " of " << src.rows());
-        const float *row = src.row(rows[i]);
+    gatherMaxReduceInto(dst, src.data(), src.cols(), src.cols(),
+                        src.rows(), rows.data(),
+                        static_cast<int32_t>(rows.size()));
+}
+
+void
+gatherMaxReduceInto(float *dst, const float *src, int64_t stride,
+                    int32_t cols, int32_t srcRows, const int32_t *rows,
+                    int32_t count)
+{
+    MESO_REQUIRE(count > 0, "gather-reduce over no rows");
+    for (int32_t i = 0; i < count; ++i) {
+        MESO_REQUIRE(rows[i] >= 0 && rows[i] < srcRows,
+                     "gather index " << rows[i] << " of " << srcRows);
+        const float *row = src + static_cast<int64_t>(rows[i]) * stride;
         if (i == 0)
-            std::copy(row, row + src.cols(), dst);
+            std::copy(row, row + cols, dst);
         else
-            maxIntoRow(dst, row, src.cols());
+            maxIntoRow(dst, row, cols);
     }
 }
 

@@ -69,6 +69,33 @@ void maxReduceRowsInto(float *dst, const Tensor &x, int32_t rowBegin,
 void gatherMaxReduceInto(float *dst, const Tensor &src,
                          const std::vector<int32_t> &rows);
 
+// --- Raw-span twins ---------------------------------------------------
+//
+// Compiled execution plans (core/plan) keep their intermediates in a
+// flat liveness-planned arena rather than in Tensors, so the reduce
+// kernels they run need raw (pointer + stride) sources. Each twin
+// shares the Tensor overload's inner kernel (same seed, same
+// accumulation order), so results stay bitwise identical to the
+// stage-graph path the plan replaces.
+
+/** maxReduceRowsInto over a raw row block: column-wise max of numRows
+ *  rows of src (stride floats apart), -inf seed, written to
+ *  dst[0..cols). */
+void maxReduceRowsInto(float *dst, const float *src, int64_t stride,
+                       int32_t cols, int32_t numRows);
+
+/** maxReduceRows(x) over a raw row block: first-row seed (bitwise like
+ *  the Tensor overload), then column-wise max of the remaining rows. */
+void maxReduceAllRowsInto(float *dst, const float *src, int64_t stride,
+                          int32_t cols, int32_t numRows);
+
+/** gatherMaxReduceInto from a raw source: dst[c] = max_i
+ *  src[rows[i]*stride + c], first-gathered-row seed. @p srcRows bounds
+ *  the gather indices. */
+void gatherMaxReduceInto(float *dst, const float *src, int64_t stride,
+                         int32_t cols, int32_t srcRows,
+                         const int32_t *rows, int32_t count);
+
 /**
  * Strided-block matrix product into caller-owned memory:
  * for r in [0, rows): dst[r*dstStride .. +b.cols) =
