@@ -573,6 +573,7 @@ runPlanRuntimeBench(bench::BenchJsonWriter &json)
             {"path", path},
             {"arena_kib",
              std::to_string(plan.stats().arenaFloats * 4 / 1024)},
+            {"passes", core::plan::passesEnabled({}) ? "on" : "off"},
             {"hw_threads", std::to_string(ThreadPool::defaultThreads())},
             {"simd_width", simdWidthStr()},
         };
@@ -580,6 +581,92 @@ runPlanRuntimeBench(bench::BenchJsonWriter &json)
     json.add("graph_rebuild_per_run", params("graph_rebuild"), rebuild);
     json.add("plan_execute", params("plan_execute"), planExec);
     json.add("plan_compile", params("plan_compile"), compileMs);
+}
+
+// ---------------------------------------------------------------------
+// Plan optimizer: the same network compiled with the pass pipeline off
+// (the raw emitted step list) vs on (dead-step elimination, epilogue
+// fusion, PFT layout selection), executed over warm contexts. Logits
+// must match bitwise; the optimized plan should never be slower, and
+// the detection network (whose dead encoder tail DCE drops) should be
+// measurably faster.
+// ---------------------------------------------------------------------
+
+constexpr int kOptReps = 7;
+
+void
+runPlanOptimizerBench(bench::BenchJsonWriter &json)
+{
+    struct Case
+    {
+        core::NetworkConfig cfg;
+        core::PipelineKind kind;
+    };
+    std::vector<Case> cases;
+    for (auto kind :
+         {core::PipelineKind::Original, core::PipelineKind::Delayed,
+          core::PipelineKind::LtdDelayed})
+        cases.push_back({core::zoo::pointnetppClassification(), kind});
+    cases.push_back({core::zoo::fPointNet(), core::PipelineKind::Delayed});
+
+    Table t("Plan optimizer — pass pipeline off vs on (warm contexts)",
+            {"Network / pipeline", "Off ms", "On ms", "Steps",
+             "Arena KiB"});
+    for (const Case &c : cases) {
+        core::NetworkExecutor exec(c.cfg, /*weightSeed=*/1);
+        geom::ModelNetSim sim(17, c.cfg.numInputPoints);
+        geom::PointCloud cloud = sim.sample().cloud;
+
+        core::plan::CompileOptions off, on;
+        off.passes.enable = core::plan::PassOptions::Enable::Off;
+        on.passes.enable = core::plan::PassOptions::Enable::On;
+        core::plan::ExecutionPlan planOff =
+            core::plan::PlanCompiler::compile(exec, c.kind, off);
+        core::plan::ExecutionPlan planOn =
+            core::plan::PlanCompiler::compile(exec, c.kind, on);
+        auto ctxOff = planOff.makeContext();
+        auto ctxOn = planOn.makeContext();
+
+        tensor::Tensor outOff, outOn;
+        auto samples = runInterleaved(
+            kOptReps,
+            {[&] { outOff = planOff.execute(cloud, 7, *ctxOff); },
+             [&] { outOn = planOn.execute(cloud, 7, *ctxOn); }});
+        const auto &unopt = samples[0];
+        const auto &opt = samples[1];
+        MESO_CHECK(outOn.maxAbsDiff(outOff) == 0.0f,
+                   "optimized plan diverged from unoptimized plan on "
+                       << c.cfg.name);
+
+        const auto &st = planOn.stats();
+        std::string label =
+            c.cfg.name + " / " + pipelineName(c.kind);
+        t.addRow({label, fmt(percentile(unopt, 50.0), 3),
+                  fmt(percentile(opt, 50.0), 3),
+                  std::to_string(st.numSteps) + " (was " +
+                      std::to_string(st.numStepsPrePass) + ")",
+                  std::to_string(st.arenaFloats * 4 / 1024) + " (was " +
+                      std::to_string(st.arenaFloatsPrePass * 4 / 1024) +
+                      ")"});
+
+        auto params = [&](const std::string &passes,
+                          const core::plan::PlanStats &s) {
+            return std::vector<std::pair<std::string, std::string>>{
+                {"network", c.cfg.name},
+                {"pipeline", pipelineName(c.kind)},
+                {"passes", passes},
+                {"steps_removed", std::to_string(s.stepsRemoved)},
+                {"fusions_applied", std::to_string(s.fusionsApplied)},
+                {"arena_kib_post",
+                 std::to_string(s.arenaFloats * 4 / 1024)},
+                {"simd_width", simdWidthStr()},
+            };
+        };
+        json.add("plan_execute", params("off", planOff.stats()), unopt);
+        json.add("plan_execute_optimized", params("on", planOn.stats()),
+                 opt);
+    }
+    t.print();
 }
 
 // ---------------------------------------------------------------------
@@ -681,6 +768,7 @@ main(int argc, char **argv)
     runAggKernelBench(json);
     runModuleOverlapBench(json);
     runPlanRuntimeBench(json);
+    runPlanOptimizerBench(json);
     runBatchEngineBench(json);
     if (json.write())
         std::cout << "wrote " << json.path() << "\n";

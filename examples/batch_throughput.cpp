@@ -21,6 +21,7 @@
  * bitwise identical to the rebuild-per-run path.
  */
 #include <chrono>
+#include <cstring>
 #include <iostream>
 
 #include "common/table.hpp"
@@ -35,10 +36,27 @@
 using namespace mesorasi;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool dumpPlan = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--dump-plan") == 0)
+            dumpPlan = true;
+
     core::NetworkConfig cfg = core::zoo::pointnetppClassification();
     core::NetworkExecutor exec(cfg, /*weightSeed=*/1);
+
+    // --dump-plan: print the optimized step listing (step kinds,
+    // buffer shapes and arena offsets, pass annotations and
+    // statistics) and exit — the debugging view of the optimizer
+    // pipeline's output.
+    if (dumpPlan) {
+        core::plan::ExecutionPlan plan =
+            core::plan::PlanCompiler::compile(
+                exec, core::PipelineKind::Delayed);
+        plan.dump(std::cout);
+        return 0;
+    }
 
     // 1. A batch of 16 synthetic ModelNet clouds.
     geom::ModelNetSim sim(17, cfg.numInputPoints);

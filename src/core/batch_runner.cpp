@@ -1,5 +1,6 @@
 #include "core/batch_runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/check.hpp"
@@ -63,6 +64,15 @@ predictionAgreement(const BatchResult &a, const BatchResult &b)
 BatchRunner::BatchRunner(const NetworkExecutor &exec, int32_t numThreads)
     : exec_(exec)
 {
+    // Clamp the requested worker count to what the hardware can
+    // actually run: oversubscribed cloud-level workers only time-slice
+    // each other (batch16_parallel regressed below sequential on a
+    // 1-hw-thread container). defaultThreads() honors MESORASI_THREADS,
+    // so oversubscription remains reachable for tests via the env.
+    if (numThreads > 1) {
+        int32_t cap = std::max(1, ThreadPool::defaultThreads());
+        numThreads = std::min(numThreads, cap);
+    }
     if (numThreads == 1)
         sequential_ = true;
     else if (numThreads > 1)

@@ -76,7 +76,11 @@ class BatchRunner
      *                   pool, 1 forces fully serial execution (inner
      *                   parallelism disabled too — the single-thread
      *                   reference), >= 2 gives the runner a dedicated
-     *                   pool of that size.
+     *                   pool of that size, clamped to the hardware
+     *                   thread count (ThreadPool::defaultThreads) so a
+     *                   large request never oversubscribes a small
+     *                   machine into time-slicing. Set MESORASI_THREADS
+     *                   to raise the clamp for oversubscription tests.
      */
     explicit BatchRunner(const NetworkExecutor &exec,
                          int32_t numThreads = 0);

@@ -1,6 +1,10 @@
 #include "core/plan/execution_plan.hpp"
 
+#include <iomanip>
+#include <ostream>
+
 #include "common/check.hpp"
+#include "core/plan/step_ir.hpp"
 
 namespace mesorasi::core::plan {
 
@@ -40,6 +44,85 @@ ExecutionPlan::execute(const geom::PointCloud &cloud, uint64_t runSeed,
     for (const auto &step : steps_)
         step.fn(ctx);
     return ctx.logits_;
+}
+
+void
+ExecutionPlan::dump(std::ostream &os) const
+{
+    os << "plan: pipeline=" << pipelineName(kind_) << " input="
+       << numInputPoints_ << "pts logits=" << logitsRows_ << "x"
+       << logitsCols_ << "\n";
+    os << "steps: " << steps_.size();
+    if (stats_.numStepsPrePass != static_cast<int32_t>(steps_.size()))
+        os << " (pre-pass " << stats_.numStepsPrePass << ")";
+    os << "\n";
+
+    auto describe = [&](int32_t id) {
+        std::string s = resourceName(id);
+        if (id >= 0 &&
+            id < static_cast<int32_t>(bufferShapes_.size())) {
+            const BufferShape &bs =
+                bufferShapes_[static_cast<size_t>(id)];
+            s += "[" + std::to_string(bs.rows) + "x" +
+                 std::to_string(bs.cols);
+            if (bs.ld != bs.cols)
+                s += "/ld" + std::to_string(bs.ld);
+            s += "@" + std::to_string(offsets_[static_cast<size_t>(id)]) +
+                 "]";
+        }
+        return s;
+    };
+    for (size_t i = 0; i < steps_.size(); ++i) {
+        const PlanStep &st = steps_[i];
+        os << "  [" << std::setw(3) << i << "] " << std::left
+           << std::setw(10) << stageKindName(st.kind) << std::setw(28)
+           << st.name << std::right;
+        const char *sep = " w:";
+        for (int32_t id : st.writes) {
+            os << sep << describe(id);
+            sep = ",";
+        }
+        sep = " r:";
+        for (int32_t id : st.reads) {
+            os << sep << describe(id);
+            sep = ",";
+        }
+        if (!st.note.empty())
+            os << "  // " << st.note;
+        os << "\n";
+    }
+
+    os << "arena: " << stats_.arenaFloats << " floats ("
+       << stats_.arenaFloats * 4 / 1024 << " KiB)";
+    if (stats_.arenaFloatsPrePass != stats_.arenaFloats)
+        os << ", pre-pass " << stats_.arenaFloatsPrePass << " floats";
+    os << ", naive " << stats_.naiveFloats << ", buffers "
+       << stats_.numBuffers << "\n";
+
+    os << "modules:\n";
+    for (const PlanModuleInfo &m : modules_) {
+        os << "  " << m.name << ": ";
+        if (m.global)
+            os << "global";
+        else if (!m.customBackend.empty())
+            os << "backend=" << m.customBackend;
+        else
+            os << "backend=" << neighbor::backendName(m.backend);
+        os << " pipeline=" << pipelineName(m.effective) << "\n";
+    }
+    for (const PlanModuleInfo &m : stage2_)
+        os << "  " << m.name << ": stage2 global\n";
+
+    os << "passes:\n";
+    for (const PassStat &p : passStats_) {
+        os << "  " << p.pass << ": "
+           << (p.ran ? "ran" : "skipped");
+        if (p.ran)
+            os << " steps_removed=" << p.stepsRemoved
+               << " fusions=" << p.fusionsApplied
+               << " layouts=" << p.layoutsChanged;
+        os << "\n";
+    }
 }
 
 std::unique_ptr<PlanContext>

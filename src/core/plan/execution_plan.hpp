@@ -37,6 +37,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -69,6 +70,39 @@ struct PlanStats
     int64_t naiveFloats = 0; ///< sum of all buffers without aliasing
     int32_t numSteps = 0;
     int32_t numBuffers = 0;
+
+    // Pre-optimizer footprint (equal to the post numbers when the pass
+    // pipeline is disabled via MESORASI_PLAN_PASSES=0 or
+    // CompileOptions).
+    int64_t arenaFloatsPrePass = 0;
+    int32_t numStepsPrePass = 0;
+    // Aggregated over all passes that ran.
+    int32_t stepsRemoved = 0;
+    int32_t fusionsApplied = 0;
+    int32_t layoutsChanged = 0;
+};
+
+/** Per-pass statistics recorded by the optimizer pipeline. */
+struct PassStat
+{
+    std::string pass;
+    /** False when the pass was skipped (e.g. a numerics-changing pass
+     *  without the explicit opt-in). */
+    bool ran = false;
+    int32_t stepsRemoved = 0;
+    int32_t fusionsApplied = 0;
+    int32_t layoutsChanged = 0;
+};
+
+/** Shape of one arena buffer. @p ld is the leading dimension in floats
+ *  (>= cols; larger when the layout pass padded rows to cache lines). */
+struct BufferShape
+{
+    int64_t rows = 0;
+    int32_t cols = 0;
+    int32_t ld = 0;
+
+    int64_t floats() const { return rows * ld; }
 };
 
 /** Per-module mutable evaluation state (reused across executions). */
@@ -117,12 +151,18 @@ struct PlanContext
     Rng rng_{0};                          ///< reseeded per execution
 };
 
-/** One compiled step: a closure over AOT shapes and arena buffer ids. */
+/** One compiled step: a closure over AOT shapes and arena buffer ids.
+ *  The declared read/write sets (arena buffer ids >= 0, virtual
+ *  resources < 0 — see step_ir.hpp) and the pass annotation are kept
+ *  for ExecutionPlan::dump; execution only walks fn. */
 struct PlanStep
 {
     StageKind kind = StageKind::Epilogue;
     std::string name;
     std::function<void(PlanContext &)> fn;
+    std::vector<int32_t> reads;
+    std::vector<int32_t> writes;
+    std::string note; ///< optimizer annotation ("fused ...", layout)
 };
 
 class ExecutionPlan
@@ -156,8 +196,25 @@ class ExecutionPlan
     { return stage2_; }
     const std::vector<PlanStep> &steps() const { return steps_; }
 
+    /** Per-pass optimizer statistics, in pipeline order. Skipped
+     *  passes (pipeline disabled, numerics gate) have ran=false. */
+    const std::vector<PassStat> &passStats() const { return passStats_; }
+
+    /** Shapes (incl. chosen leading dimensions) of all arena buffers. */
+    const std::vector<BufferShape> &bufferShapes() const
+    { return bufferShapes_; }
+
     /** Arena offset of buffer @p id. */
     int64_t offsetOf(int32_t id) const { return offsets_[id]; }
+
+    /**
+     * Human-readable plan listing: one line per step (stage kind, name,
+     * written/read buffers with shapes and arena offsets, optimizer
+     * annotations), then the arena summary, resolved backends, and
+     * per-pass statistics. Debugging aid for the optimizer pipeline
+     * (`batch_throughput --dump-plan`).
+     */
+    void dump(std::ostream &os) const;
 
   private:
     friend class PlanCompiler;
@@ -170,7 +227,9 @@ class ExecutionPlan
     std::vector<PlanModuleInfo> modules_;
     std::vector<PlanModuleInfo> stage2_;
     std::vector<int64_t> offsets_;  ///< per-buffer arena offsets
+    std::vector<BufferShape> bufferShapes_;
     std::vector<PlanStep> steps_;
+    std::vector<PassStat> passStats_;
     /** (numPoints, featureDim) per encoder level; non-empty only for
      *  interp-decoder networks, which keep level copies in the ctx. */
     std::vector<std::pair<int32_t, int32_t>> levelShapes_;

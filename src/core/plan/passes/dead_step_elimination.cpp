@@ -1,0 +1,70 @@
+#include <unordered_set>
+
+#include "core/plan/passes/pass.hpp"
+
+namespace mesorasi::core::plan {
+
+namespace {
+
+/**
+ * Backward liveness from root steps. A step is live when it is a root
+ * (writes an observable output) or when something it writes is needed
+ * by a later live step; live steps mark everything they read as
+ * needed.
+ *
+ * Writes never kill needs: several steps here write a resource
+ * partially (detection's per-branch reduces into one pooled row,
+ * in-place epilogues), so treating any write as a full redefinition
+ * would be unsound. The over-approximation only keeps extra steps —
+ * never removes a needed one — and partial writers additionally list
+ * their written resource among their reads.
+ *
+ * Removal is numerics-preserving by construction: the surviving steps
+ * run unchanged, and a removed step's outputs were read by nobody.
+ * That includes the sampler pre-draw step — it is one all-or-nothing
+ * step, so the RNG stream either replays exactly or (when no surviving
+ * step reads any drawn centroid list) is skipped entirely.
+ */
+class DeadStepElimination final : public Pass
+{
+  public:
+    const char *name() const override { return "dead_step_elim"; }
+
+    void
+    run(PlanIR &ir, const PassOptions &, PassStat &stat) override
+    {
+        std::unordered_set<int32_t> needed;
+        std::vector<bool> live(ir.steps.size(), false);
+        for (size_t i = ir.steps.size(); i-- > 0;) {
+            const StepIR &s = ir.steps[i];
+            bool keep = s.root;
+            for (int32_t id : s.writes)
+                keep = keep || needed.count(id) != 0;
+            if (!keep)
+                continue;
+            live[i] = true;
+            for (int32_t id : s.reads)
+                needed.insert(id);
+        }
+
+        std::vector<StepIR> kept;
+        kept.reserve(ir.steps.size());
+        for (size_t i = 0; i < ir.steps.size(); ++i) {
+            if (live[i])
+                kept.push_back(std::move(ir.steps[i]));
+            else
+                ++stat.stepsRemoved;
+        }
+        ir.steps = std::move(kept);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeDeadStepElimination()
+{
+    return std::make_unique<DeadStepElimination>();
+}
+
+} // namespace mesorasi::core::plan

@@ -1,0 +1,266 @@
+#include <algorithm>
+#include <numeric>
+
+#include "core/plan/passes/pass.hpp"
+#include "hwsim/config.hpp"
+
+namespace mesorasi::core::plan {
+
+namespace {
+
+constexpr int32_t kLineBytes = 64; ///< DRAM/cache line
+constexpr int32_t kAlignFloats = 16; ///< one line of floats
+
+int32_t
+alignedLd(int32_t cols)
+{
+    return (cols + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+/** All buffer operands of one descriptor op. */
+void
+eachOperand(const OpDesc &d, const std::function<void(int32_t)> &fn)
+{
+    fn(d.in);
+    fn(d.out);
+    fn(d.aux);
+}
+
+bool
+descReferences(const StepIR &s, int32_t buf)
+{
+    bool hit = false;
+    auto check = [&](int32_t id) { hit = hit || id == buf; };
+    eachOperand(s.desc, check);
+    for (const OpDesc &d : s.tail)
+        eachOperand(d, check);
+    return hit;
+}
+
+bool
+touches(const StepIR &s, int32_t buf)
+{
+    auto has = [&](const std::vector<int32_t> &v) {
+        return std::find(v.begin(), v.end(), buf) != v.end();
+    };
+    return has(s.reads) || has(s.writes);
+}
+
+} // namespace
+
+PftLayout
+chooseAlignedLayout(const GatherProfile &p, const hwsim::GpuConfig &gpu)
+{
+    int64_t rowBytes = 4LL * p.cols;
+    int32_t ld = alignedLd(p.cols);
+    if (rowBytes <= 0 || ld == p.cols)
+        return PftLayout::RowMajor; // already line-aligned
+    // Rows packed back to back start at offsets cycling through the
+    // multiples of gcd(rowBytes, line) modulo the line size, so a
+    // gathered row touches this many lines on average...
+    int64_t g = std::gcd(rowBytes, static_cast<int64_t>(kLineBytes));
+    double avgLines =
+        static_cast<double>(rowBytes - g) / kLineBytes + 1.0;
+    // ...while a line-aligned row always touches the minimum.
+    double alignedLines =
+        static_cast<double>((rowBytes + kLineBytes - 1) / kLineBytes);
+    if (avgLines <= alignedLines)
+        return PftLayout::RowMajor;
+    // Gathers run at the large-set efficiency (random rows of a PFT
+    // that spills L1); the padding cost is the extra bytes streamed
+    // when producing the buffer. GB/s is numerically bytes/ns.
+    double benefitNs = static_cast<double>(p.gatheredRows) *
+                       (avgLines - alignedLines) * kLineBytes /
+                       (gpu.dramBandwidthGBs * gpu.gatherEffLarge);
+    double padNs = static_cast<double>(p.producedRows) *
+                   static_cast<double>(ld * 4 - rowBytes) /
+                   (gpu.dramBandwidthGBs * gpu.streamEff);
+    return benefitNs > padNs ? PftLayout::AlignedBlocked
+                             : PftLayout::RowMajor;
+}
+
+namespace {
+
+/**
+ * Chooses the PFT storage layout per buffer. Candidates are the
+ * buffers gathered from by an AggGatherMax consumer — the random-row
+ * reads the paper's Aggregation Unit banks its PFT buffer for. When
+ * the hwsim gather profile says line-aligned rows save more DRAM
+ * traffic than the padding costs to produce, the buffer's leading
+ * dimension is padded to a 64-byte multiple.
+ *
+ * The rewrite is numerics-preserving: padding floats are never read
+ * (every kernel touches exactly cols floats per row) and per-element
+ * accumulation order is unchanged, so changesNumerics() stays false. A
+ * layout that reordered reductions would have to return true there and
+ * would default off.
+ *
+ * Mechanics: when every step touching the buffer is a descriptor op,
+ * the leading dimension changes in place (strides freeze at bake
+ * time). Otherwise — some producer/consumer is an opaque Generic
+ * closure with its stride already baked — an explicit PackRows
+ * conversion step is inserted after the producer and only the
+ * descriptor-op gather consumers are rewired to the aligned copy.
+ */
+class PftLayoutSelection final : public Pass
+{
+  public:
+    const char *name() const override { return "pft_layout"; }
+
+    void
+    run(PlanIR &ir, const PassOptions &opts, PassStat &stat) override
+    {
+        if (opts.forceLayout == PftLayout::RowMajor)
+            return;
+        const hwsim::GpuConfig gpu;
+
+        // Profile gather traffic per buffer.
+        std::vector<GatherProfile> prof(ir.bufs.size());
+        for (size_t b = 0; b < ir.bufs.size(); ++b) {
+            prof[b].producedRows = ir.bufs[b].rows;
+            prof[b].cols = ir.bufs[b].cols;
+        }
+        auto addGather = [&](const OpDesc &d) {
+            if (d.op == OpKind::AggGatherMax && d.in >= 0)
+                prof[static_cast<size_t>(d.in)].gatheredRows +=
+                    d.rows * d.k;
+        };
+        for (const StepIR &s : ir.steps) {
+            addGather(s.desc);
+            for (const OpDesc &d : s.tail)
+                addGather(d);
+        }
+
+        // apply() may append aligned-copy buffers; only the buffers
+        // that existed at profile time are candidates.
+        const size_t profiled = ir.bufs.size();
+        for (size_t b = 0; b < profiled; ++b) {
+            if (prof[b].gatheredRows == 0)
+                continue;
+            if (ir.bufs[b].ld != ir.bufs[b].cols)
+                continue; // already rewritten
+            PftLayout want =
+                opts.forceLayout == PftLayout::AlignedBlocked
+                    ? PftLayout::AlignedBlocked
+                    : chooseAlignedLayout(prof[b], gpu);
+            if (want != PftLayout::AlignedBlocked)
+                continue;
+            if (alignedLd(ir.bufs[b].cols) == ir.bufs[b].cols)
+                continue;
+            apply(ir, static_cast<int32_t>(b), stat);
+        }
+    }
+
+  private:
+    static void
+    apply(PlanIR &ir, int32_t b, PassStat &stat)
+    {
+        size_t bi = static_cast<size_t>(b);
+        bool allDesc = true;
+        for (const StepIR &s : ir.steps)
+            if (touches(s, b) &&
+                (s.desc.op == OpKind::Generic || !descReferences(s, b)))
+                allDesc = false;
+
+        if (allDesc) {
+            ir.bufs[bi].ld = alignedLd(ir.bufs[bi].cols);
+            annotateProducer(ir, b, "layout(" + resourceName(b) +
+                                        ")=aligned16");
+            ++stat.layoutsChanged;
+            return;
+        }
+
+        // Opaque producer/consumer in the way: materialize an aligned
+        // copy right after the producer and rewire the gather
+        // consumers that are rewritable.
+        size_t prod = ir.steps.size();
+        for (size_t i = 0; i < ir.steps.size(); ++i) {
+            auto &w = ir.steps[i].writes;
+            if (std::find(w.begin(), w.end(), b) != w.end()) {
+                prod = i;
+                break;
+            }
+        }
+        if (prod == ir.steps.size())
+            return; // no producer: leave it alone
+
+        int32_t nb = static_cast<int32_t>(ir.bufs.size());
+        ir.bufs.push_back(BufferShape{ir.bufs[bi].rows,
+                                      ir.bufs[bi].cols,
+                                      alignedLd(ir.bufs[bi].cols)});
+
+        StepIR pack;
+        pack.kind = StageKind::Epilogue;
+        pack.name = "layout.pack." + resourceName(b);
+        pack.desc.op = OpKind::PackRows;
+        pack.desc.in = b;
+        pack.desc.out = nb;
+        pack.desc.rows = ir.bufs[bi].rows;
+        pack.desc.cols = ir.bufs[bi].cols;
+        pack.reads = {b};
+        pack.writes = {nb};
+        pack.note = "layout convert to aligned16";
+        ir.steps.insert(ir.steps.begin() +
+                            static_cast<std::ptrdiff_t>(prod) + 1,
+                        std::move(pack));
+
+        bool rewired = false;
+        for (size_t i = prod + 2; i < ir.steps.size(); ++i) {
+            StepIR &s = ir.steps[i];
+            if (s.desc.op == OpKind::Generic)
+                continue;
+            bool changed = false;
+            auto rewire = [&](OpDesc &d) {
+                if (d.op == OpKind::AggGatherMax && d.in == b) {
+                    d.in = nb;
+                    changed = true;
+                }
+            };
+            rewire(s.desc);
+            for (OpDesc &d : s.tail)
+                rewire(d);
+            if (!changed)
+                continue;
+            rewired = true;
+            if (!descReferences(s, b))
+                std::replace(s.reads.begin(), s.reads.end(), b, nb);
+            else if (std::find(s.reads.begin(), s.reads.end(), nb) ==
+                     s.reads.end())
+                s.reads.push_back(nb);
+            if (s.note.empty())
+                s.note = "gathers aligned copy " + resourceName(nb);
+        }
+        if (!rewired) {
+            // Nobody could be rewired: drop the conversion again.
+            ir.steps.erase(ir.steps.begin() +
+                           static_cast<std::ptrdiff_t>(prod) + 1);
+            ir.bufs.pop_back();
+            return;
+        }
+        ++stat.layoutsChanged;
+    }
+
+    static void
+    annotateProducer(PlanIR &ir, int32_t b, const std::string &note)
+    {
+        for (StepIR &s : ir.steps) {
+            auto &w = s.writes;
+            if (std::find(w.begin(), w.end(), b) != w.end()) {
+                if (!s.note.empty())
+                    s.note += "; ";
+                s.note += note;
+                return;
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makePftLayoutSelection()
+{
+    return std::make_unique<PftLayoutSelection>();
+}
+
+} // namespace mesorasi::core::plan

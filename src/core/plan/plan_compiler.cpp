@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "core/plan/step_ir.hpp"
 #include "geom/sampling.hpp"
 #include "hwsim/config.hpp"
 #include "tensor/ops.hpp"
@@ -94,43 +95,30 @@ heuristicBackend(const ModuleIo &io, bool knnQuery)
 // Compile-state helpers.
 // ---------------------------------------------------------------------
 
-/** The plan under construction: steps plus the arena planner. A buffer
- *  is registered by the step that produces it and its live range is
- *  extended by every later step that reads it. */
+/** The plan under construction: the step IR the optimizer passes will
+ *  rewrite. Buffer live ranges are derived from each step's declared
+ *  read/write sets after the passes ran (planArenaFor), so emission
+ *  only has to keep those sets truthful. */
 struct Build
 {
-    ArenaPlanner planner;
-    std::vector<PlanStep> steps;
+    PlanIR ir;
 
+    /** Register a rows x cols row-major buffer. */
     int32_t
-    nextStep() const
+    make(int64_t rows, int32_t cols)
     {
-        return static_cast<int32_t>(steps.size());
+        return ir.addBuffer(rows, cols);
     }
 
-    /** Register a rows x cols buffer produced by the upcoming step. */
-    int32_t
-    make(int64_t rows, int64_t cols)
+    /** Append a step; the caller fills in desc/fn and reads/writes. */
+    StepIR &
+    emit(StageKind kind, std::string name)
     {
-        return planner.add(rows * cols, nextStep());
-    }
-
-    /** Mark @p id as read by the upcoming step. */
-    void
-    use(int32_t id)
-    {
-        planner.extendLive(id, nextStep());
-    }
-
-    void
-    emit(StageKind kind, std::string name,
-         std::function<void(PlanContext &)> fn)
-    {
-        PlanStep s;
+        StepIR s;
         s.kind = kind;
         s.name = std::move(name);
-        s.fn = std::move(fn);
-        steps.push_back(std::move(s));
+        ir.steps.push_back(std::move(s));
+        return ir.steps.back();
     }
 };
 
@@ -193,8 +181,9 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
     // The interp decoder (and the classification-style head) only feed
     // the final logits outside detection; for detection networks the
     // box head overwrites them, so the plan compiles only the live
-    // output path (the encoder still runs — its shapes feed stage 2's
-    // contract and keep plan/graph behaviour aligned).
+    // output path. The encoder is still emitted — its shapes feed
+    // stage 2's contract — but nothing downstream reads its outputs,
+    // so dead-step elimination drops it from the executed plan.
     bool wantInterp = exec.numInterps() > 0 && !detection;
 
     ExecutionPlan plan;
@@ -269,26 +258,36 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
     // appendRunStages draws every sampler decision in module order
     // before any stage runs; the plan replays the identical stream
     // (only Random sampling consumes draws), so logits match bitwise.
-    b.emit(StageKind::Sample, "net.draws",
-           [draws](PlanContext &ctx) {
-               for (const DrawSpec &d : draws)
-                   ctx.rng_.sampleWithoutReplacementInto(
-                       d.n, d.want, ctx.mods_[d.mod].centroids);
-           });
+    // One all-or-nothing step: either the whole stream replays or —
+    // when no surviving step reads any drawn list (detection after
+    // DCE) — none of it runs.
+    {
+        StepIR &s = b.emit(StageKind::Sample, "net.draws");
+        for (const DrawSpec &d : draws)
+            s.writes.push_back(virtCentroids(d.mod));
+        s.fn = [draws](PlanContext &ctx) {
+            for (const DrawSpec &d : draws)
+                ctx.rng_.sampleWithoutReplacementInto(
+                    d.n, d.want, ctx.mods_[d.mod].centroids);
+        };
+    }
 
     // --- Input materialization. -------------------------------------
     int32_t n0 = cfg.numInputPoints;
     int32_t inBuf = b.make(n0, 3);
-    b.emit(StageKind::Epilogue, "net.input",
-           [inBuf, n0](PlanContext &ctx) {
-               const geom::PointCloud &cloud = *ctx.cloud_;
-               float *dst = ctx.buf(inBuf);
-               for (int32_t i = 0; i < n0; ++i) {
-                   dst[3 * i + 0] = cloud[static_cast<size_t>(i)].x;
-                   dst[3 * i + 1] = cloud[static_cast<size_t>(i)].y;
-                   dst[3 * i + 2] = cloud[static_cast<size_t>(i)].z;
-               }
-           });
+    {
+        StepIR &s = b.emit(StageKind::Epilogue, "net.input");
+        s.writes = {inBuf};
+        s.fn = [inBuf, n0](PlanContext &ctx) {
+            const geom::PointCloud &cloud = *ctx.cloud_;
+            float *dst = ctx.buf(inBuf);
+            for (int32_t i = 0; i < n0; ++i) {
+                dst[3 * i + 0] = cloud[static_cast<size_t>(i)].x;
+                dst[3 * i + 1] = cloud[static_cast<size_t>(i)].y;
+                dst[3 * i + 2] = cloud[static_cast<size_t>(i)].z;
+            }
+        };
+    }
 
     LevelBuf level{inBuf, inBuf, n0, 3};
     std::vector<int32_t> chainBufs{inBuf};
@@ -297,22 +296,22 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
 
     if (wantInterp) {
         plan.levelShapes_.emplace_back(n0, 3);
-        b.use(inBuf);
-        b.emit(StageKind::Epilogue, "net.capture0",
-               [inBuf, n0](PlanContext &ctx) {
-                   const float *src = ctx.buf(inBuf);
-                   ModuleState &lv = ctx.levels_[0];
-                   std::copy(src, src + static_cast<int64_t>(n0) * 3,
-                             lv.coords.data());
-                   std::copy(src, src + static_cast<int64_t>(n0) * 3,
-                             lv.features.data());
-               });
+        StepIR &s = b.emit(StageKind::Epilogue, "net.capture0");
+        s.reads = {inBuf};
+        s.writes = {virtLevel(0)};
+        s.fn = [inBuf, n0](PlanContext &ctx) {
+            const float *src = ctx.buf(inBuf);
+            ModuleState &lv = ctx.levels_[0];
+            std::copy(src, src + static_cast<int64_t>(n0) * 3,
+                      lv.coords.data());
+            std::copy(src, src + static_cast<int64_t>(n0) * 3,
+                      lv.features.data());
+        };
     }
 
     // --- Encoder modules. -------------------------------------------
     for (size_t i = 0; i < exec.numModules(); ++i) {
         const ModuleExecutor &me = exec.module(i);
-        const ModuleExecutor *mePtr = &me;
         const ModuleConfig &mc = me.config();
         const PlanModuleInfo &info = plan.modules_[i];
         const ModuleIo &io = info.io;
@@ -323,28 +322,26 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
         int32_t mIn = io.mIn;
         if (cfg.linkedInputs && chainBufs.size() > 1) {
             inFeat = b.make(level.n, mIn);
-            for (int32_t cb : chainBufs)
-                b.use(cb);
             auto bufs = chainBufs;
             auto dims = chainDims;
             int32_t rows = level.n;
-            b.emit(StageKind::Epilogue, grp + ".input",
-                   [inFeat, bufs, dims, rows, mIn](PlanContext &ctx) {
-                       float *dst = ctx.buf(inFeat);
-                       int32_t off = 0;
-                       for (size_t j = 0; j < bufs.size(); ++j) {
-                           const float *src = ctx.buf(bufs[j]);
-                           int32_t w = dims[j];
-                           for (int32_t r = 0; r < rows; ++r)
-                               std::copy(src + static_cast<int64_t>(r) * w,
-                                         src + static_cast<int64_t>(r) * w +
-                                             w,
-                                         dst + static_cast<int64_t>(r) *
-                                                   mIn +
-                                             off);
-                           off += w;
-                       }
-                   });
+            StepIR &s = b.emit(StageKind::Epilogue, grp + ".input");
+            s.reads = chainBufs;
+            s.writes = {inFeat};
+            s.fn = [inFeat, bufs, dims, rows, mIn](PlanContext &ctx) {
+                float *dst = ctx.buf(inFeat);
+                int32_t off = 0;
+                for (size_t j = 0; j < bufs.size(); ++j) {
+                    const float *src = ctx.buf(bufs[j]);
+                    int32_t w = dims[j];
+                    for (int32_t r = 0; r < rows; ++r)
+                        std::copy(src + static_cast<int64_t>(r) * w,
+                                  src + static_cast<int64_t>(r) * w + w,
+                                  dst + static_cast<int64_t>(r) * mIn +
+                                      off);
+                    off += w;
+                }
+            };
         } else {
             inFeat = cfg.linkedInputs ? chainBufs[0] : level.feat;
         }
@@ -356,42 +353,45 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
             bool fps = mc.sampling == SamplingKind::FarthestPoint;
             bool global = info.global;
             int32_t want = global ? 1 : mc.centroids(nIn);
+            StepIR &s = b.emit(StageKind::Sample, grp + ".sample");
             if (fps)
-                b.use(inCoords);
-            b.emit(StageKind::Sample, grp + ".sample",
-                   [i, global, fps, want, nIn, inCoords](PlanContext &ctx) {
-                       std::vector<int32_t> &cent =
-                           ctx.mods_[i].centroids;
-                       if (global) {
-                           cent.resize(1);
-                           cent[0] = 0;
-                           return;
-                       }
-                       if (want == nIn) {
-                           cent.resize(static_cast<size_t>(nIn));
-                           for (int32_t j = 0; j < nIn; ++j)
-                               cent[static_cast<size_t>(j)] = j;
-                           return;
-                       }
-                       if (fps) {
-                           // FPS goes through the geom API (cloud
-                           // rebuild + fresh result vector), so plans
-                           // over FPS modules allocate per execution —
-                           // outside the zero-allocation contract,
-                           // which covers the paper's optimized
-                           // baseline (random sampling, Sec. VI).
-                           const float *src = ctx.buf(inCoords);
-                           geom::PointCloud cloud;
-                           for (int32_t j = 0; j < nIn; ++j)
-                               cloud.add({src[3 * j], src[3 * j + 1],
-                                          src[3 * j + 2]});
-                           cent = geom::farthestPointSample(cloud, want);
-                       }
-                       // Random picks were drawn by net.draws; both
-                       // paths keep ascending index order (the spatial
-                       // ordering contract of resolveSample).
-                       std::sort(cent.begin(), cent.end());
-                   });
+                s.reads.push_back(inCoords);
+            else if (!global && want != nIn)
+                s.reads.push_back(virtCentroids(i)); // sorts the draws
+            s.writes = {virtCentroids(i)};
+            s.fn = [i, global, fps, want, nIn, inCoords](
+                       PlanContext &ctx) {
+                std::vector<int32_t> &cent = ctx.mods_[i].centroids;
+                if (global) {
+                    cent.resize(1);
+                    cent[0] = 0;
+                    return;
+                }
+                if (want == nIn) {
+                    cent.resize(static_cast<size_t>(nIn));
+                    for (int32_t j = 0; j < nIn; ++j)
+                        cent[static_cast<size_t>(j)] = j;
+                    return;
+                }
+                if (fps) {
+                    // FPS goes through the geom API (cloud rebuild +
+                    // fresh result vector), so plans over FPS modules
+                    // allocate per execution — outside the
+                    // zero-allocation contract, which covers the
+                    // paper's optimized baseline (random sampling,
+                    // Sec. VI).
+                    const float *src = ctx.buf(inCoords);
+                    geom::PointCloud cloud;
+                    for (int32_t j = 0; j < nIn; ++j)
+                        cloud.add({src[3 * j], src[3 * j + 1],
+                                   src[3 * j + 2]});
+                    cent = geom::farthestPointSample(cloud, want);
+                }
+                // Random picks were drawn by net.draws; both paths
+                // keep ascending index order (the spatial ordering
+                // contract of resolveSample).
+                std::sort(cent.begin(), cent.end());
+            };
         }
 
         int32_t nOut = io.nOut;
@@ -403,29 +403,40 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
             // Global module: MLP over all points, one reduction; the
             // output coordinate is the origin.
             int32_t tmp = b.make(nIn, mOut);
-            b.use(inFeat);
-            b.emit(StageKind::Feature, grp + ".feature",
-                   [mePtr, inFeat, tmp, nIn, mIn, mOut](
-                       PlanContext &ctx) {
-                       mePtr->mlp().forwardInto(ctx.buf(inFeat), mIn,
-                                                nIn, ctx.buf(tmp), mOut);
-                   });
+            {
+                StepIR &s = b.emit(StageKind::Feature, grp + ".feature");
+                s.desc.op = OpKind::MlpForward;
+                s.desc.mlp = &me.mlp();
+                s.desc.in = inFeat;
+                s.desc.out = tmp;
+                s.desc.rows = nIn;
+                s.desc.cols = mOut;
+                s.reads = {inFeat};
+                s.writes = {tmp};
+            }
 
             outFeat = b.make(1, mOut);
-            b.use(tmp);
-            b.emit(StageKind::Aggregate, grp + ".reduce",
-                   [tmp, outFeat, nIn, mOut](PlanContext &ctx) {
-                       tensor::maxReduceAllRowsInto(ctx.buf(outFeat),
-                                                    ctx.buf(tmp), mOut,
-                                                    mOut, nIn);
-                   });
+            {
+                StepIR &s =
+                    b.emit(StageKind::Aggregate, grp + ".reduce");
+                s.reads = {tmp};
+                s.writes = {outFeat};
+                s.fn = [tmp, outFeat, nIn, mOut](PlanContext &ctx) {
+                    tensor::maxReduceAllRowsInto(ctx.buf(outFeat),
+                                                 ctx.buf(tmp), mOut,
+                                                 mOut, nIn);
+                };
+            }
 
             outCoords = b.make(1, 3);
-            b.emit(StageKind::Epilogue, grp + ".coords",
-                   [outCoords](PlanContext &ctx) {
-                       float *dst = ctx.buf(outCoords);
-                       std::fill(dst, dst + 3, 0.0f);
-                   });
+            {
+                StepIR &s = b.emit(StageKind::Epilogue, grp + ".coords");
+                s.writes = {outCoords};
+                s.fn = [outCoords](PlanContext &ctx) {
+                    float *dst = ctx.buf(outCoords);
+                    std::fill(dst, dst + 3, 0.0f);
+                };
+            }
         } else {
             // Search: fill the flat NIT with the compile-resolved
             // backend. Brute force has no data-dependent build, so its
@@ -440,11 +451,12 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
             float radius = mc.radius;
             neighbor::Backend kindB = info.backend;
             std::string custom = mc.customBackend;
-            b.use(spaceBuf);
-            b.emit(
-                StageKind::Search, grp + ".search",
-                [i, knnQ, spaceBuf, spaceDim, nIn, nOut, k, radius,
-                 kindB, custom](PlanContext &ctx) {
+            {
+                StepIR &s = b.emit(StageKind::Search, grp + ".search");
+                s.reads = {spaceBuf, virtCentroids(i)};
+                s.writes = {virtNit(i)};
+                s.fn = [i, knnQ, spaceBuf, spaceDim, nIn, nOut, k,
+                        radius, kindB, custom](PlanContext &ctx) {
                     PlanModuleCtx &m = ctx.mods_[i];
                     neighbor::PointsView view(ctx.buf(spaceBuf), nIn,
                                               spaceDim);
@@ -462,10 +474,12 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
                     } else if (kindB == neighbor::Backend::BruteForce) {
                         if (!m.cachedBackend)
                             m.cachedBackend =
-                                neighbor::makeBackend(kindB, view, hints);
+                                neighbor::makeBackend(kindB, view,
+                                                      hints);
                         backend = m.cachedBackend.get();
                     } else {
-                        local = neighbor::makeBackend(kindB, view, hints);
+                        local = neighbor::makeBackend(kindB, view,
+                                                      hints);
                         backend = local.get();
                     }
                     int32_t *flat = m.nitFlat.data();
@@ -487,7 +501,8 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
                                 }
                             }
                         });
-                });
+                };
+            }
 
             bool concat = mc.aggregation ==
                           AggregationKind::ConcatCentroidDifference;
@@ -500,7 +515,6 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
                     // algebra of appendDelayedStages, with the weight
                     // split hoisted out of the serving loop.
                     const nn::Linear &l0 = me.mlp().layer(0);
-                    const nn::Linear *l0p = &l0;
                     int32_t h = l0.outDim();
                     auto wd = std::make_shared<Tensor>(mIn, h);
                     auto wcd = std::make_shared<Tensor>(mIn, h);
@@ -514,106 +528,117 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
 
                     int32_t p = b.make(nIn, h);
                     int32_t q = b.make(nIn, h);
-                    b.use(inFeat);
-                    b.emit(StageKind::Feature, grp + ".feature",
-                           [inFeat, p, q, nIn, mIn, h, wd, wcd,
-                            l0p](PlanContext &ctx) {
-                               tensor::matmulInto(ctx.buf(p), h,
-                                                  ctx.buf(inFeat), mIn,
-                                                  nIn, *wd);
-                               tensor::matmulInto(ctx.buf(q), h,
-                                                  ctx.buf(inFeat), mIn,
-                                                  nIn, *wcd);
-                               if (l0p->hasBias())
-                                   tensor::biasReluBlockInPlace(
-                                       ctx.buf(q), h, nIn, h,
-                                       l0p->bias().row(0), false);
-                           });
+                    {
+                        StepIR &s =
+                            b.emit(StageKind::Feature, grp + ".feature.p");
+                        s.desc.op = OpKind::Matmul;
+                        s.desc.in = inFeat;
+                        s.desc.out = p;
+                        s.desc.rows = nIn;
+                        s.desc.cols = h;
+                        s.desc.wOwn = wd;
+                        s.reads = {inFeat};
+                        s.writes = {p};
+                    }
+                    {
+                        StepIR &s =
+                            b.emit(StageKind::Feature, grp + ".feature.q");
+                        s.desc.op = OpKind::Matmul;
+                        s.desc.in = inFeat;
+                        s.desc.out = q;
+                        s.desc.rows = nIn;
+                        s.desc.cols = h;
+                        s.desc.wOwn = wcd;
+                        s.reads = {inFeat};
+                        s.writes = {q};
+                    }
+                    if (l0.hasBias()) {
+                        StepIR &s = b.emit(StageKind::Feature,
+                                           grp + ".feature.bias");
+                        s.desc.op = OpKind::BiasRelu;
+                        s.desc.out = q;
+                        s.desc.rows = nIn;
+                        s.desc.cols = h;
+                        s.desc.bias = l0.bias().row(0);
+                        s.desc.relu = false;
+                        s.reads = {q}; // in-place update
+                        s.writes = {q};
+                    }
 
                     outFeat = b.make(nOut, mOut);
-                    b.use(p);
-                    b.use(q);
                     bool isRelu =
                         l0.activation() == nn::Activation::Relu;
-                    b.emit(
-                        StageKind::Aggregate, grp + ".aggregate",
-                        [i, p, q, outFeat, nIn, nOut, mOut, k, isRelu](
-                            PlanContext &ctx) {
-                            PlanModuleCtx &m = ctx.mods_[i];
-                            const float *pp = ctx.buf(p);
-                            const float *qq = ctx.buf(q);
-                            float *out = ctx.buf(outFeat);
-                            const int32_t *flat = m.nitFlat.data();
-                            const int32_t *cent = m.centroids.data();
-                            ThreadPool::global().parallelFor(
-                                nOut, /*grain=*/16,
-                                [&](int64_t lo, int64_t hi) {
-                                    for (int64_t c = lo; c < hi; ++c) {
-                                        float *orow =
-                                            out + c * mOut;
-                                        tensor::gatherMaxReduceInto(
-                                            orow, pp, mOut, mOut, nIn,
-                                            flat + c * k, k);
-                                        const float *qr =
-                                            qq +
-                                            static_cast<int64_t>(
-                                                cent[static_cast<
-                                                    size_t>(c)]) *
-                                                mOut;
-                                        for (int32_t d = 0; d < mOut;
-                                             ++d) {
-                                            float v = orow[d] + qr[d];
-                                            if (isRelu)
-                                                v = std::max(0.0f, v);
-                                            orow[d] = v;
-                                        }
-                                    }
-                                });
-                        });
+                    {
+                        StepIR &s = b.emit(StageKind::Aggregate,
+                                           grp + ".aggregate");
+                        s.desc.op = OpKind::AggGatherMax;
+                        s.desc.in = p;
+                        s.desc.out = outFeat;
+                        s.desc.rows = nOut;
+                        s.desc.cols = mOut;
+                        s.desc.mod = i;
+                        s.desc.k = k;
+                        s.desc.srcRows = nIn;
+                        s.reads = {p, virtNit(i)};
+                        s.writes = {outFeat};
+                    }
+                    {
+                        StepIR &s = b.emit(StageKind::Aggregate,
+                                           grp + ".aggregate.add");
+                        s.desc.op = OpKind::AggAddAuxRelu;
+                        s.desc.out = outFeat;
+                        s.desc.aux = q;
+                        s.desc.rows = nOut;
+                        s.desc.cols = mOut;
+                        s.desc.mod = i;
+                        s.desc.relu = isRelu;
+                        s.reads = {outFeat, q, virtCentroids(i)};
+                        s.writes = {outFeat};
+                    }
                 } else {
                     // PFT over raw inputs, fused gather + max-before-
                     // subtract aggregation (paper Fig. 8).
                     int32_t pft = b.make(nIn, mOut);
-                    b.use(inFeat);
-                    b.emit(StageKind::Feature, grp + ".feature",
-                           [mePtr, inFeat, pft, nIn, mIn,
-                            mOut](PlanContext &ctx) {
-                               mePtr->mlp().forwardInto(
-                                   ctx.buf(inFeat), mIn, nIn,
-                                   ctx.buf(pft), mOut);
-                           });
+                    {
+                        StepIR &s =
+                            b.emit(StageKind::Feature, grp + ".feature");
+                        s.desc.op = OpKind::MlpForward;
+                        s.desc.mlp = &me.mlp();
+                        s.desc.in = inFeat;
+                        s.desc.out = pft;
+                        s.desc.rows = nIn;
+                        s.desc.cols = mOut;
+                        s.reads = {inFeat};
+                        s.writes = {pft};
+                    }
 
                     outFeat = b.make(nOut, mOut);
-                    b.use(pft);
-                    b.emit(
-                        StageKind::Aggregate, grp + ".aggregate",
-                        [i, pft, outFeat, nIn, nOut, mOut,
-                         k](PlanContext &ctx) {
-                            PlanModuleCtx &m = ctx.mods_[i];
-                            const float *src = ctx.buf(pft);
-                            float *out = ctx.buf(outFeat);
-                            const int32_t *flat = m.nitFlat.data();
-                            const int32_t *cent = m.centroids.data();
-                            ThreadPool::global().parallelFor(
-                                nOut, /*grain=*/16,
-                                [&](int64_t lo, int64_t hi) {
-                                    for (int64_t c = lo; c < hi; ++c) {
-                                        float *orow = out + c * mOut;
-                                        tensor::gatherMaxReduceInto(
-                                            orow, src, mOut, mOut, nIn,
-                                            flat + c * k, k);
-                                        const float *cf =
-                                            src +
-                                            static_cast<int64_t>(
-                                                cent[static_cast<
-                                                    size_t>(c)]) *
-                                                mOut;
-                                        for (int32_t d = 0; d < mOut;
-                                             ++d)
-                                            orow[d] -= cf[d];
-                                    }
-                                });
-                        });
+                    {
+                        StepIR &s = b.emit(StageKind::Aggregate,
+                                           grp + ".aggregate");
+                        s.desc.op = OpKind::AggGatherMax;
+                        s.desc.in = pft;
+                        s.desc.out = outFeat;
+                        s.desc.rows = nOut;
+                        s.desc.cols = mOut;
+                        s.desc.mod = i;
+                        s.desc.k = k;
+                        s.desc.srcRows = nIn;
+                        s.reads = {pft, virtNit(i)};
+                        s.writes = {outFeat};
+                    }
+                    {
+                        StepIR &s = b.emit(StageKind::Aggregate,
+                                           grp + ".aggregate.sub");
+                        s.desc.op = OpKind::AggSubCentroid;
+                        s.desc.out = outFeat;
+                        s.desc.aux = pft;
+                        s.desc.rows = nOut;
+                        s.desc.cols = mOut;
+                        s.desc.mod = i;
+                        s.reads = {outFeat, pft, virtCentroids(i)};
+                        s.writes = {outFeat};
+                    }
                 }
                 break;
               }
@@ -622,12 +647,14 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
                 int32_t mlpIn = io.mlpInDim;
                 int64_t rows = static_cast<int64_t>(nOut) * k;
                 int32_t batched = b.make(rows, mlpIn);
-                b.use(inFeat);
                 bool cc = concat;
-                b.emit(
-                    StageKind::Aggregate, grp + ".aggregate",
-                    [i, inFeat, batched, nOut, mIn, mlpIn, k,
-                     cc](PlanContext &ctx) {
+                {
+                    StepIR &s =
+                        b.emit(StageKind::Aggregate, grp + ".aggregate");
+                    s.reads = {inFeat, virtNit(i), virtCentroids(i)};
+                    s.writes = {batched};
+                    s.fn = [i, inFeat, batched, nOut, mIn, mlpIn, k,
+                            cc](PlanContext &ctx) {
                         PlanModuleCtx &m = ctx.mods_[i];
                         const float *src = ctx.buf(inFeat);
                         float *dst = ctx.buf(batched);
@@ -666,35 +693,44 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
                                     }
                                 }
                             });
-                    });
+                    };
+                }
 
                 int32_t feat = b.make(rows, mOut);
-                b.use(batched);
-                b.emit(StageKind::Feature, grp + ".feature.mlp",
-                       [mePtr, batched, feat, rows, mlpIn,
-                        mOut](PlanContext &ctx) {
-                           mePtr->mlp().forwardInto(
-                               ctx.buf(batched), mlpIn,
-                               static_cast<int32_t>(rows),
-                               ctx.buf(feat), mOut);
-                       });
+                {
+                    StepIR &s = b.emit(StageKind::Feature,
+                                       grp + ".feature.mlp");
+                    s.desc.op = OpKind::MlpForward;
+                    s.desc.mlp = &me.mlp();
+                    s.desc.in = batched;
+                    s.desc.out = feat;
+                    s.desc.rows = rows;
+                    s.desc.cols = mOut;
+                    s.reads = {batched};
+                    s.writes = {feat};
+                }
 
                 outFeat = b.make(nOut, mOut);
-                b.use(feat);
-                b.emit(StageKind::Feature, grp + ".feature.reduce",
-                       [feat, outFeat, nOut, mOut, k](PlanContext &ctx) {
-                           const float *src = ctx.buf(feat);
-                           float *out = ctx.buf(outFeat);
-                           ThreadPool::global().parallelFor(
-                               nOut, /*grain=*/16,
-                               [&](int64_t lo, int64_t hi) {
-                                   for (int64_t c = lo; c < hi; ++c)
-                                       tensor::maxReduceRowsInto(
-                                           out + c * mOut,
-                                           src + c * k * mOut, mOut,
-                                           mOut, k);
-                               });
-                       });
+                {
+                    StepIR &s = b.emit(StageKind::Feature,
+                                       grp + ".feature.reduce");
+                    s.reads = {feat};
+                    s.writes = {outFeat};
+                    s.fn = [feat, outFeat, nOut, mOut,
+                            k](PlanContext &ctx) {
+                        const float *src = ctx.buf(feat);
+                        float *out = ctx.buf(outFeat);
+                        ThreadPool::global().parallelFor(
+                            nOut, /*grain=*/16,
+                            [&](int64_t lo, int64_t hi) {
+                                for (int64_t c = lo; c < hi; ++c)
+                                    tensor::maxReduceRowsInto(
+                                        out + c * mOut,
+                                        src + c * k * mOut, mOut, mOut,
+                                        k);
+                            });
+                    };
+                }
                 break;
               }
 
@@ -704,25 +740,31 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
                 // rows after aggregation.
                 const nn::Mlp &mlp = me.mlp();
                 const nn::Linear &l0 = mlp.layer(0);
-                const nn::Linear *l0p = &l0;
                 int32_t h1 = l0.outDim();
                 int64_t rows = static_cast<int64_t>(nOut) * k;
 
                 int32_t pft1 = b.make(nIn, h1);
-                b.use(inFeat);
-                b.emit(StageKind::Feature, grp + ".feature",
-                       [inFeat, pft1, nIn, mIn, h1,
-                        l0p](PlanContext &ctx) {
-                           tensor::matmulInto(ctx.buf(pft1), h1,
-                                              ctx.buf(inFeat), mIn, nIn,
-                                              l0p->weight());
-                       });
+                {
+                    StepIR &s =
+                        b.emit(StageKind::Feature, grp + ".feature");
+                    s.desc.op = OpKind::Matmul;
+                    s.desc.in = inFeat;
+                    s.desc.out = pft1;
+                    s.desc.rows = nIn;
+                    s.desc.cols = h1;
+                    s.desc.wBorrow = &l0.weight();
+                    s.reads = {inFeat};
+                    s.writes = {pft1};
+                }
 
                 int32_t batched = b.make(rows, h1);
-                b.use(pft1);
-                b.emit(
-                    StageKind::Aggregate, grp + ".aggregate",
-                    [i, pft1, batched, nOut, h1, k](PlanContext &ctx) {
+                {
+                    StepIR &s =
+                        b.emit(StageKind::Aggregate, grp + ".aggregate");
+                    s.reads = {pft1, virtNit(i), virtCentroids(i)};
+                    s.writes = {batched};
+                    s.fn = [i, pft1, batched, nOut, h1,
+                            k](PlanContext &ctx) {
                         PlanModuleCtx &m = ctx.mods_[i];
                         const float *src = ctx.buf(pft1);
                         float *dst = ctx.buf(batched);
@@ -751,73 +793,86 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
                                     }
                                 }
                             });
-                    });
+                    };
+                }
 
                 // Tail: layer-0 bias/activation in place, then the
                 // remaining layers (if any) onto the grouped rows.
                 size_t numLayers = mlp.numLayers();
+                {
+                    StepIR &s = b.emit(StageKind::Feature,
+                                       grp + ".feature.bias");
+                    s.desc.op = OpKind::BiasRelu;
+                    s.desc.out = batched;
+                    s.desc.rows = rows;
+                    s.desc.cols = h1;
+                    s.desc.bias =
+                        l0.hasBias() ? l0.bias().row(0) : nullptr;
+                    s.desc.relu =
+                        l0.activation() == nn::Activation::Relu;
+                    s.reads = {batched}; // in-place update
+                    s.writes = {batched};
+                }
                 int32_t feat = batched;
                 if (numLayers > 1) {
                     feat = b.make(rows, mOut);
-                    b.use(batched);
-                } else {
-                    b.use(batched);
+                    StepIR &s = b.emit(StageKind::Feature,
+                                       grp + ".feature.tail");
+                    s.desc.op = OpKind::MlpForward;
+                    s.desc.mlp = &me.mlp();
+                    s.desc.in = batched;
+                    s.desc.out = feat;
+                    s.desc.rows = rows;
+                    s.desc.cols = mOut;
+                    s.desc.firstLayer = 1;
+                    s.reads = {batched};
+                    s.writes = {feat};
                 }
-                b.emit(StageKind::Feature, grp + ".feature.tail",
-                       [mePtr, batched, feat, rows, h1, mOut, l0p,
-                        numLayers](PlanContext &ctx) {
-                           float *bt = ctx.buf(batched);
-                           bool relu = l0p->activation() ==
-                                       nn::Activation::Relu;
-                           tensor::biasReluBlockInPlace(
-                               bt, h1, static_cast<int32_t>(rows), h1,
-                               l0p->hasBias() ? l0p->bias().row(0)
-                                              : nullptr,
-                               relu);
-                           if (numLayers > 1)
-                               mePtr->mlp().forwardInto(
-                                   bt, h1, static_cast<int32_t>(rows),
-                                   ctx.buf(feat), mOut,
-                                   /*firstLayer=*/1);
-                       });
 
                 outFeat = b.make(nOut, mOut);
-                b.use(feat);
-                b.emit(StageKind::Feature, grp + ".feature.reduce",
-                       [feat, outFeat, nOut, mOut, k](PlanContext &ctx) {
-                           const float *src = ctx.buf(feat);
-                           float *out = ctx.buf(outFeat);
-                           ThreadPool::global().parallelFor(
-                               nOut, /*grain=*/16,
-                               [&](int64_t lo, int64_t hi) {
-                                   for (int64_t c = lo; c < hi; ++c)
-                                       tensor::maxReduceRowsInto(
-                                           out + c * mOut,
-                                           src + c * k * mOut, mOut,
-                                           mOut, k);
-                               });
-                       });
+                {
+                    StepIR &s = b.emit(StageKind::Feature,
+                                       grp + ".feature.reduce");
+                    s.reads = {feat};
+                    s.writes = {outFeat};
+                    s.fn = [feat, outFeat, nOut, mOut,
+                            k](PlanContext &ctx) {
+                        const float *src = ctx.buf(feat);
+                        float *out = ctx.buf(outFeat);
+                        ThreadPool::global().parallelFor(
+                            nOut, /*grain=*/16,
+                            [&](int64_t lo, int64_t hi) {
+                                for (int64_t c = lo; c < hi; ++c)
+                                    tensor::maxReduceRowsInto(
+                                        out + c * mOut,
+                                        src + c * k * mOut, mOut, mOut,
+                                        k);
+                            });
+                    };
+                }
                 break;
               }
             }
 
             // Output coordinates: the centroids' xyz.
             outCoords = b.make(nOut, 3);
-            b.use(inCoords);
-            b.emit(StageKind::Epilogue, grp + ".coords",
-                   [i, inCoords, outCoords, nOut](PlanContext &ctx) {
-                       const float *src = ctx.buf(inCoords);
-                       float *dst = ctx.buf(outCoords);
-                       const int32_t *cent =
-                           ctx.mods_[i].centroids.data();
-                       for (int32_t c = 0; c < nOut; ++c) {
-                           const float *row =
-                               src + static_cast<int64_t>(
-                                         cent[static_cast<size_t>(c)]) *
-                                         3;
-                           std::copy(row, row + 3, dst + 3 * c);
-                       }
-                   });
+            {
+                StepIR &s = b.emit(StageKind::Epilogue, grp + ".coords");
+                s.reads = {inCoords, virtCentroids(i)};
+                s.writes = {outCoords};
+                s.fn = [i, inCoords, outCoords, nOut](PlanContext &ctx) {
+                    const float *src = ctx.buf(inCoords);
+                    float *dst = ctx.buf(outCoords);
+                    const int32_t *cent = ctx.mods_[i].centroids.data();
+                    for (int32_t c = 0; c < nOut; ++c) {
+                        const float *row =
+                            src + static_cast<int64_t>(
+                                      cent[static_cast<size_t>(c)]) *
+                                      3;
+                        std::copy(row, row + 3, dst + 3 * c);
+                    }
+                };
+            }
         }
 
         // Level / link bookkeeping (mirrors harvestModule).
@@ -836,20 +891,19 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
         if (wantInterp) {
             plan.levelShapes_.emplace_back(nOut, mOut);
             size_t li = i + 1;
-            b.use(outCoords);
-            b.use(outFeat);
-            b.emit(StageKind::Epilogue, grp + ".capture",
-                   [outCoords, outFeat, nOut, mOut,
-                    li](PlanContext &ctx) {
-                       ModuleState &lv = ctx.levels_[li];
-                       const float *cs = ctx.buf(outCoords);
-                       std::copy(cs, cs + static_cast<int64_t>(nOut) * 3,
-                                 lv.coords.data());
-                       const float *fs = ctx.buf(outFeat);
-                       std::copy(fs,
-                                 fs + static_cast<int64_t>(nOut) * mOut,
-                                 lv.features.data());
-                   });
+            StepIR &s = b.emit(StageKind::Epilogue, grp + ".capture");
+            s.reads = {outCoords, outFeat};
+            s.writes = {virtLevel(li)};
+            s.fn = [outCoords, outFeat, nOut, mOut, li](
+                       PlanContext &ctx) {
+                ModuleState &lv = ctx.levels_[li];
+                const float *cs = ctx.buf(outCoords);
+                std::copy(cs, cs + static_cast<int64_t>(nOut) * 3,
+                          lv.coords.data());
+                const float *fs = ctx.buf(outFeat);
+                std::copy(fs, fs + static_cast<int64_t>(nOut) * mOut,
+                          lv.features.data());
+            };
         }
     }
 
@@ -859,93 +913,105 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
         int32_t rows = cfg.numInputPoints;
         int32_t concatDim = exec.concatDim();
         int32_t cat = b.make(rows, concatDim);
-        for (int32_t mb : moduleOutBufs)
-            b.use(mb);
         {
             auto bufs = moduleOutBufs;
             std::vector<int32_t> dims;
             for (const auto &m : cfg.modules)
                 dims.push_back(m.outDim());
-            b.emit(StageKind::Epilogue, "head.concat",
-                   [cat, bufs, dims, rows, concatDim](PlanContext &ctx) {
-                       float *dst = ctx.buf(cat);
-                       int32_t off = 0;
-                       for (size_t j = 0; j < bufs.size(); ++j) {
-                           const float *src = ctx.buf(bufs[j]);
-                           int32_t w = dims[j];
-                           for (int32_t r = 0; r < rows; ++r)
-                               std::copy(
-                                   src + static_cast<int64_t>(r) * w,
-                                   src + static_cast<int64_t>(r) * w + w,
-                                   dst + static_cast<int64_t>(r) *
-                                             concatDim +
-                                       off);
-                           off += w;
-                       }
-                   });
+            StepIR &s = b.emit(StageKind::Epilogue, "head.concat");
+            s.reads = moduleOutBufs;
+            s.writes = {cat};
+            s.fn = [cat, bufs, dims, rows, concatDim](PlanContext &ctx) {
+                float *dst = ctx.buf(cat);
+                int32_t off = 0;
+                for (size_t j = 0; j < bufs.size(); ++j) {
+                    const float *src = ctx.buf(bufs[j]);
+                    int32_t w = dims[j];
+                    for (int32_t r = 0; r < rows; ++r)
+                        std::copy(src + static_cast<int64_t>(r) * w,
+                                  src + static_cast<int64_t>(r) * w + w,
+                                  dst + static_cast<int64_t>(r) *
+                                            concatDim +
+                                      off);
+                    off += w;
+                }
+            };
         }
 
         const nn::Mlp *gmlp = exec.globalMlp();
         int32_t g = gmlp->outDim();
         int32_t gl = b.make(rows, g);
-        b.use(cat);
-        b.emit(StageKind::Feature, "head.global",
-               [gmlp, cat, gl, rows, concatDim, g](PlanContext &ctx) {
-                   gmlp->forwardInto(ctx.buf(cat), concatDim, rows,
-                                     ctx.buf(gl), g);
-               });
+        {
+            StepIR &s = b.emit(StageKind::Feature, "head.global");
+            s.desc.op = OpKind::MlpForward;
+            s.desc.mlp = gmlp;
+            s.desc.in = cat;
+            s.desc.out = gl;
+            s.desc.rows = rows;
+            s.desc.cols = g;
+            s.reads = {cat};
+            s.writes = {gl};
+        }
 
         int32_t pooled = b.make(1, g);
-        b.use(gl);
-        b.emit(StageKind::Feature, "head.pool",
-               [gl, pooled, rows, g](PlanContext &ctx) {
-                   tensor::maxReduceAllRowsInto(ctx.buf(pooled),
-                                                ctx.buf(gl), g, g, rows);
-               });
+        {
+            StepIR &s = b.emit(StageKind::Feature, "head.pool");
+            s.reads = {gl};
+            s.writes = {pooled};
+            s.fn = [gl, pooled, rows, g](PlanContext &ctx) {
+                tensor::maxReduceAllRowsInto(ctx.buf(pooled),
+                                             ctx.buf(gl), g, g, rows);
+            };
+        }
 
         const nn::Mlp *head = &exec.head();
         if (cfg.task == Task::Classification) {
             plan.logitsRows_ = 1;
             plan.logitsCols_ = numClasses;
-            b.use(pooled);
-            b.emit(StageKind::Epilogue, "head.fc",
-                   [head, pooled, g](PlanContext &ctx) {
-                       head->forwardInto(ctx.buf(pooled), g, 1,
-                                         ctx.logits_.data(),
-                                         ctx.logits_.cols());
-                   });
+            StepIR &s = b.emit(StageKind::Epilogue, "head.fc");
+            s.reads = {pooled};
+            s.writes = {kResLogits};
+            s.root = true;
+            s.fn = [head, pooled, g](PlanContext &ctx) {
+                head->forwardInto(ctx.buf(pooled), g, 1,
+                                  ctx.logits_.data(),
+                                  ctx.logits_.cols());
+            };
         } else {
             // Broadcast the pooled vector back onto every point.
             int32_t xh = b.make(rows, concatDim + g);
-            b.use(cat);
-            b.use(pooled);
-            b.emit(StageKind::Epilogue, "head.bcast",
-                   [cat, pooled, xh, rows, concatDim,
-                    g](PlanContext &ctx) {
-                       const float *cs = ctx.buf(cat);
-                       const float *ps = ctx.buf(pooled);
-                       float *dst = ctx.buf(xh);
-                       int32_t w = concatDim + g;
-                       for (int32_t r = 0; r < rows; ++r) {
-                           float *row = dst + static_cast<int64_t>(r) * w;
-                           std::copy(cs + static_cast<int64_t>(r) *
-                                              concatDim,
-                                     cs + static_cast<int64_t>(r) *
-                                              concatDim +
-                                         concatDim,
-                                     row);
-                           std::copy(ps, ps + g, row + concatDim);
-                       }
-                   });
+            {
+                StepIR &s = b.emit(StageKind::Epilogue, "head.bcast");
+                s.reads = {cat, pooled};
+                s.writes = {xh};
+                s.fn = [cat, pooled, xh, rows, concatDim,
+                        g](PlanContext &ctx) {
+                    const float *cs = ctx.buf(cat);
+                    const float *ps = ctx.buf(pooled);
+                    float *dst = ctx.buf(xh);
+                    int32_t w = concatDim + g;
+                    for (int32_t r = 0; r < rows; ++r) {
+                        float *row = dst + static_cast<int64_t>(r) * w;
+                        std::copy(
+                            cs + static_cast<int64_t>(r) * concatDim,
+                            cs + static_cast<int64_t>(r) * concatDim +
+                                concatDim,
+                            row);
+                        std::copy(ps, ps + g, row + concatDim);
+                    }
+                };
+            }
             plan.logitsRows_ = rows;
             plan.logitsCols_ = numClasses;
-            b.use(xh);
-            b.emit(StageKind::Epilogue, "head.fc",
-                   [head, xh, rows, concatDim, g](PlanContext &ctx) {
-                       head->forwardInto(ctx.buf(xh), concatDim + g,
-                                         rows, ctx.logits_.data(),
-                                         ctx.logits_.cols());
-                   });
+            StepIR &s = b.emit(StageKind::Epilogue, "head.fc");
+            s.reads = {xh};
+            s.writes = {kResLogits};
+            s.root = true;
+            s.fn = [head, xh, rows, concatDim, g](PlanContext &ctx) {
+                head->forwardInto(ctx.buf(xh), concatDim + g, rows,
+                                  ctx.logits_.data(),
+                                  ctx.logits_.cols());
+            };
         }
     } else if (wantInterp) {
         // Interpolation decoder: runs through InterpExecutor on the
@@ -955,22 +1021,25 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
         plan.logitsRows_ = cfg.numInputPoints;
         plan.logitsCols_ = numClasses;
         size_t nlev = exec.numModules();
-        b.emit(StageKind::Epilogue, "head.decoder",
-               [ex, nlev](PlanContext &ctx) {
-                   ModuleState cur = ctx.levels_.back();
-                   for (size_t j = 0; j < ex->numInterps(); ++j) {
-                       ModuleResult r = ex->interp(j).run(
-                           ctx.levels_[nlev - 1 - j], cur);
-                       cur = std::move(r.out);
-                   }
-                   Tensor lg = ex->head().forward(cur.features);
-                   MESO_CHECK(lg.rows() == ctx.logits_.rows() &&
-                                  lg.cols() == ctx.logits_.cols(),
-                              "decoder logits shape "
-                                  << lg.shapeStr());
-                   std::copy(lg.data(), lg.data() + lg.numel(),
-                             ctx.logits_.data());
-               });
+        StepIR &s = b.emit(StageKind::Epilogue, "head.decoder");
+        for (size_t li = 0; li <= nlev; ++li)
+            s.reads.push_back(virtLevel(li));
+        s.writes = {kResLogits};
+        s.root = true;
+        s.fn = [ex, nlev](PlanContext &ctx) {
+            ModuleState cur = ctx.levels_.back();
+            for (size_t j = 0; j < ex->numInterps(); ++j) {
+                ModuleResult r =
+                    ex->interp(j).run(ctx.levels_[nlev - 1 - j], cur);
+                cur = std::move(r.out);
+            }
+            Tensor lg = ex->head().forward(cur.features);
+            MESO_CHECK(lg.rows() == ctx.logits_.rows() &&
+                           lg.cols() == ctx.logits_.cols(),
+                       "decoder logits shape " << lg.shapeStr());
+            std::copy(lg.data(), lg.data() + lg.numel(),
+                      ctx.logits_.data());
+        };
     } else if (!detection) {
         const nn::Mlp *head = &exec.head();
         plan.logitsRows_ = level.n;
@@ -978,13 +1047,14 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
         int32_t lastFeat = level.feat;
         int32_t lastN = level.n;
         int32_t lastM = level.m;
-        b.use(lastFeat);
-        b.emit(StageKind::Epilogue, "head.fc",
-               [head, lastFeat, lastN, lastM](PlanContext &ctx) {
-                   head->forwardInto(ctx.buf(lastFeat), lastM, lastN,
-                                     ctx.logits_.data(),
-                                     ctx.logits_.cols());
-               });
+        StepIR &s = b.emit(StageKind::Epilogue, "head.fc");
+        s.reads = {lastFeat};
+        s.writes = {kResLogits};
+        s.root = true;
+        s.fn = [head, lastFeat, lastN, lastM](PlanContext &ctx) {
+            head->forwardInto(ctx.buf(lastFeat), lastM, lastN,
+                              ctx.logits_.data(), ctx.logits_.cols());
+        };
     }
 
     // --- Detection stage 2: global branches over the raw input. ------
@@ -999,45 +1069,77 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
             const std::string &sname = sm->config().name;
             int32_t w = sm->config().outDim();
             int32_t tmp = b.make(n0, w);
-            b.use(inBuf);
-            b.emit(StageKind::Feature, sname + ".feature",
-                   [sm, inBuf, tmp, n0, w](PlanContext &ctx) {
-                       sm->mlp().forwardInto(ctx.buf(inBuf), 3, n0,
-                                             ctx.buf(tmp), w);
-                   });
-            b.use(tmp);
-            b.use(pooled);
-            b.emit(StageKind::Aggregate, sname + ".reduce",
-                   [tmp, pooled, n0, w, off](PlanContext &ctx) {
-                       tensor::maxReduceAllRowsInto(
-                           ctx.buf(pooled) + off, ctx.buf(tmp), w, w,
-                           n0);
-                   });
+            {
+                StepIR &s =
+                    b.emit(StageKind::Feature, sname + ".feature");
+                s.desc.op = OpKind::MlpForward;
+                s.desc.mlp = &sm->mlp();
+                s.desc.in = inBuf;
+                s.desc.out = tmp;
+                s.desc.rows = n0;
+                s.desc.cols = w;
+                s.reads = {inBuf};
+                s.writes = {tmp};
+            }
+            {
+                StepIR &s =
+                    b.emit(StageKind::Aggregate, sname + ".reduce");
+                s.reads = {tmp, pooled}; // writes one slice of pooled
+                s.writes = {pooled};
+                s.fn = [tmp, pooled, n0, w, off](PlanContext &ctx) {
+                    tensor::maxReduceAllRowsInto(ctx.buf(pooled) + off,
+                                                 ctx.buf(tmp), w, w, n0);
+                };
+            }
             off += w;
         }
 
         const nn::Mlp *boxHead = exec.stage2Head();
         plan.logitsRows_ = 1;
         plan.logitsCols_ = cfg.stage2Outputs;
-        b.use(pooled);
-        b.emit(StageKind::Epilogue, "head.box",
-               [boxHead, pooled, d2](PlanContext &ctx) {
-                   boxHead->forwardInto(ctx.buf(pooled), d2, 1,
-                                        ctx.logits_.data(),
-                                        ctx.logits_.cols());
-               });
+        StepIR &s = b.emit(StageKind::Epilogue, "head.box");
+        s.reads = {pooled};
+        s.writes = {kResLogits};
+        s.root = true;
+        s.fn = [boxHead, pooled, d2](PlanContext &ctx) {
+            boxHead->forwardInto(ctx.buf(pooled), d2, 1,
+                                 ctx.logits_.data(),
+                                 ctx.logits_.cols());
+        };
     }
 
-    // --- Freeze: assign arena offsets and seal the plan. -------------
-    plan.stats_.naiveFloats = b.planner.naiveFloats();
-    plan.stats_.arenaFloats = b.planner.plan();
-    plan.stats_.numBuffers = static_cast<int32_t>(b.planner.numBuffers());
-    plan.stats_.numSteps = static_cast<int32_t>(b.steps.size());
-    plan.offsets_.resize(b.planner.numBuffers());
-    for (size_t id = 0; id < b.planner.numBuffers(); ++id)
-        plan.offsets_[id] =
-            b.planner.offset(static_cast<int32_t>(id));
-    plan.steps_ = std::move(b.steps);
+    // --- Optimize: run the pass pipeline over the IR. ----------------
+    {
+        ArenaPlanResult pre = planArenaFor(b.ir);
+        plan.stats_.arenaFloatsPrePass = pre.planner.totalFloats();
+        plan.stats_.numStepsPrePass =
+            static_cast<int32_t>(b.ir.steps.size());
+    }
+    plan.passStats_ =
+        PassManager::defaultPipeline().run(b.ir, opts.passes);
+    for (const PassStat &ps : plan.passStats_) {
+        plan.stats_.stepsRemoved += ps.stepsRemoved;
+        plan.stats_.fusionsApplied += ps.fusionsApplied;
+        plan.stats_.layoutsChanged += ps.layoutsChanged;
+    }
+
+    // --- Freeze: re-plan the arena, bake closures, seal the plan. ----
+    ArenaPlanResult post = planArenaFor(b.ir);
+    plan.stats_.naiveFloats = post.planner.naiveFloats();
+    plan.stats_.arenaFloats = post.planner.totalFloats();
+    plan.stats_.numBuffers =
+        static_cast<int32_t>(post.planner.numBuffers());
+    plan.stats_.numSteps = static_cast<int32_t>(b.ir.steps.size());
+    // Dead buffers (every step touching them was eliminated) keep
+    // offset 0; nothing executes against them.
+    plan.offsets_.assign(b.ir.bufs.size(), 0);
+    for (size_t id = 0; id < b.ir.bufs.size(); ++id)
+        if (post.planId[id] >= 0)
+            plan.offsets_[id] = post.planner.offset(post.planId[id]);
+    plan.bufferShapes_ = b.ir.bufs;
+    plan.steps_.reserve(b.ir.steps.size());
+    for (const StepIR &s : b.ir.steps)
+        plan.steps_.push_back(bakeStep(s, b.ir));
     return plan;
 }
 

@@ -18,10 +18,13 @@
  *  - Memory planning: every intermediate (PFTs, NFM batches, level
  *    features, head buffers) is registered with the ArenaPlanner and
  *    assigned a liveness-aliased arena offset.
- *  - Step compilation: the pipeline bodies are baked into closures over
+ *  - Step compilation: the pipeline bodies are emitted as a step IR
+ *    (step_ir.hpp) with declared read/write sets, optimized by the
+ *    pass pipeline (passes/pass.hpp: dead-step elimination, epilogue
+ *    fusion, PFT layout selection), then baked into closures over
  *    buffer ids and AOT shapes, replaying the exact kernels and RNG
  *    stream of the stage-graph path (bitwise-identical logits; see
- *    tests/test_plan.cpp).
+ *    tests/test_plan.cpp and tests/test_plan_passes.cpp).
  *
  * The executor must outlive the plan (the plan borrows its weights).
  */
@@ -29,6 +32,7 @@
 
 #include "core/network.hpp"
 #include "core/plan/execution_plan.hpp"
+#include "core/plan/passes/pass.hpp"
 
 namespace mesorasi::core::plan {
 
@@ -41,6 +45,10 @@ struct CompileOptions
      * cost model's decisions.
      */
     bool costModelBackendSelection = true;
+
+    /** Optimizer pipeline knobs (enable/disable, numerics opt-in,
+     *  forced PFT layout). */
+    PassOptions passes;
 };
 
 class PlanCompiler

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Mutable step IR the plan optimizer passes rewrite.
+ *
+ * PlanCompiler::compile no longer bakes runtime closures directly:
+ * emission produces StepIR records — each with declared read/write
+ * resource sets and, for the fusible compute ops, a structured OpDesc
+ * instead of an opaque closure. The pass pipeline (core/plan/passes)
+ * rewrites this IR (removing dead steps, folding epilogues into their
+ * producers, choosing PFT layouts), then bakeStep lowers every step to
+ * the PlanStep closure the runtime walks and planArenaFor re-runs the
+ * ArenaPlanner over the surviving sequence.
+ *
+ * Resource space: arena buffer ids are >= 0 and index PlanIR::bufs.
+ * State that lives outside the arena but still carries data between
+ * steps (resolved centroid lists, flat NITs, interp-decoder level
+ * copies, the logits tensor) gets a negative virtual id, so liveness
+ * analysis sees every producer/consumer edge — including the ones the
+ * arena planner does not care about.
+ *
+ * Bitwise contract: baking a step (fused or not) reproduces the exact
+ * per-element operation sequence of the stage-graph path, so any legal
+ * rewrite keeps plan logits byte-identical to the unoptimized plan and
+ * to the per-run reference (asserted in tests/test_plan_passes.cpp).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/plan/arena.hpp"
+#include "core/plan/execution_plan.hpp"
+#include "nn/mlp.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mesorasi::core::plan {
+
+// --- Virtual (non-arena) resources ------------------------------------
+
+constexpr int32_t kResLogits = -1;
+
+/** Resolved centroid index list of encoder module @p mod. */
+inline int32_t
+virtCentroids(size_t mod)
+{
+    return -2 - 3 * static_cast<int32_t>(mod);
+}
+
+/** Flat NIT (nOut x k neighbor ids) of encoder module @p mod. */
+inline int32_t
+virtNit(size_t mod)
+{
+    return -3 - 3 * static_cast<int32_t>(mod);
+}
+
+/** Interp-decoder level copy @p level (ctx.levels_). */
+inline int32_t
+virtLevel(size_t level)
+{
+    return -4 - 3 * static_cast<int32_t>(level);
+}
+
+/** Short printable name of a resource id, for dump/debugging. */
+std::string resourceName(int32_t id);
+
+// --- Structured ops ----------------------------------------------------
+
+/**
+ * Op vocabulary the passes understand. Generic steps carry an opaque
+ * closure (emitted with fixed strides) and are opaque to rewrites
+ * beyond liveness; every other kind is baked from the descriptor AFTER
+ * passes ran, so operand buffers and leading dimensions may be
+ * rewritten until then.
+ */
+enum class OpKind
+{
+    Generic,
+    /** mlp->forwardInto(in, ld(in), rows, out, ld(out), firstLayer). */
+    MlpForward,
+    /** matmulInto(out, ld(out), in, ld(in), rows, weight). */
+    Matmul,
+    /** biasReluBlockInPlace(out, ld(out), rows, cols, bias, relu). */
+    BiasRelu,
+    /** Per-centroid fused gather + column max from @p in into @p out
+     *  over module @p mod's NIT rows. */
+    AggGatherMax,
+    /** out.row(c) -= aux.row(centroid[c]) — the delayed-aggregation
+     *  centroid subtraction (exact past the max). */
+    AggSubCentroid,
+    /** out.row(c) = act(out.row(c) + aux.row(centroid[c])) — the
+     *  EdgeConv split-weight epilogue. */
+    AggAddAuxRelu,
+    /** Layout conversion: copy rows of @p in into @p out with @p out's
+     *  leading dimension (inserted by the PFT layout pass when a
+     *  consumer requires a layout the producer cannot emit). */
+    PackRows,
+};
+
+const char *opKindName(OpKind op);
+
+/** Operands and immediates of one structured op. Unused fields stay at
+ *  their defaults; buffer operands are PlanIR buffer ids. */
+struct OpDesc
+{
+    OpKind op = OpKind::Generic;
+    int32_t in = -1;  ///< input buffer (MlpForward/Matmul/AggGatherMax/PackRows)
+    int32_t out = -1; ///< output buffer (in-place target of epilogues)
+    int32_t aux = -1; ///< per-centroid auxiliary rows (AggSub/AggAdd)
+    int64_t rows = 0; ///< rows processed (output rows)
+    int32_t cols = 0; ///< output columns
+    size_t mod = 0;   ///< module index (Agg* ops: centroids/NIT source)
+    int32_t k = 0;    ///< neighbors per centroid (AggGatherMax)
+    int32_t srcRows = 0; ///< gather-source row bound (AggGatherMax)
+    const nn::Mlp *mlp = nullptr; ///< MlpForward
+    size_t firstLayer = 0;        ///< MlpForward start layer
+    const tensor::Tensor *wBorrow = nullptr; ///< Matmul weight (borrowed)
+    std::shared_ptr<tensor::Tensor> wOwn;    ///< Matmul weight (owned split)
+    const float *bias = nullptr;  ///< BiasRelu row (may be null)
+    bool relu = false;            ///< BiasRelu/AggAddAuxRelu activation
+
+    const tensor::Tensor &
+    weight() const
+    {
+        return wOwn ? *wOwn : *wBorrow;
+    }
+};
+
+// --- Steps and the whole-plan IR ---------------------------------------
+
+/** One step before closure baking. Either desc.op != Generic (plus any
+ *  epilogues the fusion pass folded into @p tail), or a Generic opaque
+ *  closure in @p fn. */
+struct StepIR
+{
+    StageKind kind = StageKind::Epilogue;
+    std::string name;
+    OpDesc desc;
+    std::vector<OpDesc> tail; ///< fused epilogues, applied in order
+    std::function<void(PlanContext &)> fn; ///< Generic steps only
+    std::vector<int32_t> reads;  ///< resources consumed
+    std::vector<int32_t> writes; ///< resources produced/updated
+    bool root = false; ///< observable output (writes logits); DCE keeps it
+    std::string note;  ///< optimizer annotation, carried into the plan
+};
+
+/** The mutable plan under optimization: the step sequence plus the
+ *  size/layout table of every arena buffer. */
+struct PlanIR
+{
+    std::vector<StepIR> steps;
+    std::vector<BufferShape> bufs;
+
+    /** Register a rows x cols row-major buffer; returns its id. */
+    int32_t
+    addBuffer(int64_t rows, int32_t cols)
+    {
+        bufs.push_back(BufferShape{rows, cols, cols});
+        return static_cast<int32_t>(bufs.size()) - 1;
+    }
+};
+
+// --- Lowering ----------------------------------------------------------
+
+/** Lower one IR step to the runtime PlanStep. Strides come from the
+ *  (possibly layout-rewritten) buffer table; recognized (desc, tail)
+ *  combinations bake the existing fused kernels — per-element operation
+ *  order identical to baking the steps separately. */
+PlanStep bakeStep(const StepIR &step, const PlanIR &ir);
+
+/** Liveness-driven arena planning over the (post-pass) step sequence. */
+struct ArenaPlanResult
+{
+    ArenaPlanner planner;       ///< plan() already ran
+    std::vector<int32_t> planId; ///< per-IR-buffer planner id; -1 = dead
+};
+
+/** Re-run the ArenaPlanner over @p ir: every buffer referenced by a
+ *  surviving step is registered with its first/last touching step as
+ *  the live range; buffers no step references are dead (planId -1). */
+ArenaPlanResult planArenaFor(const PlanIR &ir);
+
+} // namespace mesorasi::core::plan

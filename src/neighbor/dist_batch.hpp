@@ -9,7 +9,9 @@
  * coordinates are gathered into a small SoA scratch (per-thread
  * Workspace slot kDistSoA) and the arithmetic runs one SIMD lane per
  * candidate; other dimensionalities (feature-space search) fall back to
- * the scalar PointsView::dist2To loop.
+ * the scalar PointsView::dist2To loop. All candidate access goes
+ * through PointsView::row, so views over padded rows (ld > dim, the
+ * plan optimizer's aligned PFT layout) work unchanged in both paths.
  *
  * Bitwise contract: out[i] is byte-identical to points.dist2To(idx[i],
  * query) in every path — the per-candidate accumulation is dx*dx, then

@@ -17,26 +17,36 @@
 
 namespace mesorasi::neighbor {
 
-/** Row-major view: n points of dim floats each. Does not own storage. */
+/** Row-major view: n points of dim floats each, rows @p ld floats
+ *  apart (ld defaults to dim; larger when the storage carries padded
+ *  rows, e.g. a plan buffer under the optimizer's aligned PFT layout).
+ *  Does not own storage. */
 class PointsView
 {
   public:
     PointsView(const float *data, int32_t n, int32_t dim)
-        : data_(data), n_(n), dim_(dim)
+        : PointsView(data, n, dim, dim)
     {
-        MESO_REQUIRE(n >= 0 && dim > 0, "bad view shape " << n << "x"
-                                                          << dim);
+    }
+
+    PointsView(const float *data, int32_t n, int32_t dim, int32_t ld)
+        : data_(data), n_(n), dim_(dim), ld_(ld)
+    {
+        MESO_REQUIRE(n >= 0 && dim > 0 && ld >= dim,
+                     "bad view shape " << n << "x" << dim << "/ld"
+                                       << ld);
     }
 
     int32_t size() const { return n_; }
     int32_t dim() const { return dim_; }
+    int32_t ld() const { return ld_; }
 
     /** Pointer to the start of row @p i. */
     const float *
     row(int32_t i) const
     {
         MESO_CHECK(i >= 0 && i < n_, "row " << i << " of " << n_);
-        return data_ + static_cast<size_t>(i) * dim_;
+        return data_ + static_cast<size_t>(i) * ld_;
     }
 
     /** Squared Euclidean distance between rows i and j. */
@@ -63,6 +73,7 @@ class PointsView
     const float *data_;
     int32_t n_;
     int32_t dim_;
+    int32_t ld_;
 };
 
 /**
