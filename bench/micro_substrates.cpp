@@ -31,6 +31,7 @@
 #include "core/batch_runner.hpp"
 #include "core/networks.hpp"
 #include "core/plan/plan_compiler.hpp"
+#include "core/plan/serialize.hpp"
 #include "geom/sampling.hpp"
 #include "geom/shapes.hpp"
 #include "hwsim/agg_unit.hpp"
@@ -502,7 +503,7 @@ runModuleOverlapBench(bench::BenchJsonWriter &json)
 
 // ---------------------------------------------------------------------
 // Compile-once plan runtime: per-request stage-graph rebuild vs one
-// compiled ExecutionPlan evaluated over a warm context — the
+// compiled engine evaluated over a warm context — the
 // compile/eval split's cost trajectory (plus the one-off compile).
 // ---------------------------------------------------------------------
 
@@ -526,7 +527,7 @@ runPlanRuntimeBench(bench::BenchJsonWriter &json)
             MESO_CHECK(p.stats().numSteps > 0, "empty plan");
         }));
 
-    core::plan::ExecutionPlan plan = core::plan::PlanCompiler::compile(
+    core::plan::CompiledEngine plan = core::plan::PlanCompiler::compile(
         exec, core::PipelineKind::Delayed);
     auto ctx = plan.makeContext();
     plan.execute(cloud, 7, *ctx); // warm the context
@@ -620,9 +621,9 @@ runPlanOptimizerBench(bench::BenchJsonWriter &json)
         core::plan::CompileOptions off, on;
         off.passes.enable = core::plan::PassOptions::Enable::Off;
         on.passes.enable = core::plan::PassOptions::Enable::On;
-        core::plan::ExecutionPlan planOff =
+        core::plan::CompiledEngine planOff =
             core::plan::PlanCompiler::compile(exec, c.kind, off);
-        core::plan::ExecutionPlan planOn =
+        core::plan::CompiledEngine planOn =
             core::plan::PlanCompiler::compile(exec, c.kind, on);
         auto ctxOff = planOff.makeContext();
         auto ctxOn = planOn.makeContext();
@@ -667,6 +668,98 @@ runPlanOptimizerBench(bench::BenchJsonWriter &json)
                  opt);
     }
     t.print();
+}
+
+// ---------------------------------------------------------------------
+// Engine artifacts: serialize / deserialize cost of one compiled
+// engine, against the recompile it replaces. Loading skips shape
+// inference, backend resolution, the pass pipeline, and arena
+// planning, so a warm artifact cache must be strictly cheaper than
+// compiling from the executor — asserted, not just reported.
+// ---------------------------------------------------------------------
+
+constexpr int kArtifactReps = 9;
+
+void
+runEngineArtifactBench(bench::BenchJsonWriter &json)
+{
+    core::NetworkConfig cfg = core::zoo::pointnetppClassification();
+    core::NetworkExecutor exec(cfg, /*weightSeed=*/1);
+
+    core::plan::CompiledEngine engine = core::plan::PlanCompiler::compile(
+        exec, core::PipelineKind::Delayed);
+    std::vector<uint8_t> bytes = core::plan::saveEngineToBytes(engine);
+
+    std::vector<double> saveMs, loadMs, recompileMs;
+    for (int rep = 0; rep < kArtifactReps; ++rep) {
+        saveMs.push_back(timeMs([&] {
+            auto blob = core::plan::saveEngineToBytes(engine);
+            MESO_CHECK(blob.size() == bytes.size(),
+                       "artifact size changed between saves");
+        }));
+        loadMs.push_back(timeMs([&] {
+            auto e = core::plan::loadEngineFromBytes(bytes.data(),
+                                                     bytes.size());
+            MESO_CHECK(e.stats().numSteps == engine.stats().numSteps,
+                       "loaded engine lost steps");
+        }));
+        recompileMs.push_back(timeMs([&] {
+            // The artifact carries the trained weights, so a serving
+            // process without one rebuilds them too: executor weight
+            // init + compile is the honest no-artifact cold path.
+            core::NetworkExecutor cold(cfg, /*weightSeed=*/1);
+            auto e = core::plan::PlanCompiler::compile(
+                cold, core::PipelineKind::Delayed);
+            MESO_CHECK(e.stats().numSteps > 0, "empty engine");
+        }));
+    }
+
+    double medSave = percentile(saveMs, 50.0);
+    double medLoad = percentile(loadMs, 50.0);
+    double medRecompile = percentile(recompileMs, 50.0);
+    MESO_CHECK(medLoad < medRecompile,
+               "loading an artifact (" << medLoad
+                                       << " ms) is not cheaper than "
+                                          "recompiling ("
+                                       << medRecompile << " ms)");
+
+    Table t("Engine artifacts — " + cfg.name + " (delayed pipeline)",
+            {"Operation", "Median ms", "p90 ms"});
+    t.addRow({"save (serialize)", fmt(medSave, 3),
+              fmt(percentile(saveMs, 90.0), 3)});
+    t.addRow({"load (parse+validate+bake)", fmt(medLoad, 3),
+              fmt(percentile(loadMs, 90.0), 3)});
+    t.addRow({"recompile (init weights + compile)", fmt(medRecompile, 3),
+              fmt(percentile(recompileMs, 90.0), 3)});
+    t.print();
+    std::cout << "artifact " << bytes.size() << " bytes (v"
+              << core::plan::kEngineFormatVersion
+              << "); load is " << fmtX(medLoad > 0.0
+                                           ? medRecompile / medLoad
+                                           : 0.0)
+              << " cheaper than recompiling\n";
+
+    auto params = [&](const std::string &op) {
+        return std::vector<std::pair<std::string, std::string>>{
+            {"network", cfg.name},
+            {"pipeline", "delayed"},
+            {"op", op},
+            {"artifact_bytes", std::to_string(bytes.size())},
+            {"format_version",
+             std::to_string(core::plan::kEngineFormatVersion)},
+            {"simd_width", simdWidthStr()},
+        };
+    };
+    json.add("engine_save", params("save"), saveMs);
+    json.add("engine_load", params("load"), loadMs);
+    json.add("load_vs_recompile",
+             {{"metric", "x"},
+              {"value",
+               fmt(medLoad > 0.0 ? medRecompile / medLoad : 0.0, 3)},
+              {"network", cfg.name},
+              {"artifact_bytes", std::to_string(bytes.size())},
+              {"simd_width", simdWidthStr()}},
+             {});
 }
 
 // ---------------------------------------------------------------------
@@ -769,6 +862,7 @@ main(int argc, char **argv)
     runModuleOverlapBench(json);
     runPlanRuntimeBench(json);
     runPlanOptimizerBench(json);
+    runEngineArtifactBench(json);
     runBatchEngineBench(json);
     if (json.write())
         std::cout << "wrote " << json.path() << "\n";

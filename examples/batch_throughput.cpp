@@ -14,14 +14,19 @@
  * with every registered backend, producing identical predictions.
  *
  * Finally it shows the production serving shape: the network compiled
- * once into a core::plan::ExecutionPlan (AOT shapes, compile-time
+ * once into a core::plan::CompiledEngine (AOT shapes, compile-time
  * backend resolution, liveness-planned arena) and reused across the
  * whole batch and across repetitions — the per-request path does zero
  * graph construction and zero shape inference, with predictions
- * bitwise identical to the rebuild-per-run path.
+ * bitwise identical to the rebuild-per-run path. Set
+ * MESORASI_ENGINE_CACHE=<path> to persist the compiled engine as a
+ * serialized artifact and reload it on later runs instead of
+ * recompiling (loaded engines execute bit-identically).
  */
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "common/table.hpp"
@@ -29,6 +34,7 @@
 #include "core/batch_runner.hpp"
 #include "core/networks.hpp"
 #include "core/plan/plan_compiler.hpp"
+#include "core/plan/serialize.hpp"
 #include "geom/datasets.hpp"
 #include "hwsim/soc.hpp"
 #include "neighbor/search_backend.hpp"
@@ -51,10 +57,10 @@ main(int argc, char **argv)
     // statistics) and exit — the debugging view of the optimizer
     // pipeline's output.
     if (dumpPlan) {
-        core::plan::ExecutionPlan plan =
+        core::plan::CompiledEngine engine =
             core::plan::PlanCompiler::compile(
                 exec, core::PipelineKind::Delayed);
-        plan.dump(std::cout);
+        engine.dump(std::cout);
         return 0;
     }
 
@@ -137,20 +143,35 @@ main(int argc, char **argv)
     }
     b.print();
 
-    // 5. Plan-cached serving loop: compile once, evaluate everywhere.
-    //    One ExecutionPlan (and one warm ContextPool) serves the whole
+    // 5. Engine-cached serving loop: compile once, evaluate everywhere.
+    //    One CompiledEngine (and one warm ContextPool) serves the whole
     //    batch across repetitions; per-request work is a tight step
-    //    walk over preallocated arena memory.
+    //    walk over preallocated arena memory. With
+    //    MESORASI_ENGINE_CACHE=<path> the engine is loaded from a
+    //    previously saved artifact (or compiled and saved on the first
+    //    run) — the loaded engine executes bit-identically.
+    const char *cachePath = std::getenv("MESORASI_ENGINE_CACHE");
     auto c0 = std::chrono::steady_clock::now();
-    core::plan::ExecutionPlan plan = core::plan::PlanCompiler::compile(
-        exec, core::PipelineKind::Delayed);
+    core::plan::CompiledEngine engine = [&] {
+        if (cachePath && std::ifstream(cachePath).good()) {
+            std::cout << "engine cache: loading " << cachePath << "\n";
+            return core::plan::loadEngine(cachePath);
+        }
+        core::plan::CompiledEngine e = core::plan::PlanCompiler::compile(
+            exec, core::PipelineKind::Delayed);
+        if (cachePath) {
+            core::plan::saveEngine(e, cachePath);
+            std::cout << "engine cache: saved " << cachePath << "\n";
+        }
+        return e;
+    }();
     double compileMs = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - c0)
                            .count();
-    core::plan::ContextPool ctxPool(plan);
-    parallel.run(plan, clouds, 7, &ctxPool); // warm the contexts
+    core::plan::ContextPool ctxPool(engine);
+    parallel.run(engine, clouds, 7, &ctxPool); // warm the contexts
 
-    Table p("Plan-cached serving — compile once ("
+    Table p("Engine-cached serving — compile once ("
                 + fmt(compileMs, 2) + " ms), reuse across 3 reps",
             {"Rep", "Rebuild/run wall ms", "Plan wall ms", "Clouds/s",
              "Agreement"});
@@ -158,16 +179,16 @@ main(int argc, char **argv)
         core::BatchResult rebuild =
             parallel.run(clouds, core::PipelineKind::Delayed, 7);
         core::BatchResult served =
-            parallel.run(plan, clouds, 7, &ctxPool);
+            parallel.run(engine, clouds, 7, &ctxPool);
         p.addRow({std::to_string(rep), fmt(rebuild.wallMs, 1),
                   fmt(served.wallMs, 1), fmt(served.throughput(), 1),
                   fmtPct(core::predictionAgreement(rebuild, served))});
     }
     p.print();
 
-    Table m("Compiled plan — AOT shapes and resolved backends",
+    Table m("Compiled engine — AOT shapes and resolved backends",
             {"Module", "NIn", "NOut", "k", "Backend"});
-    for (const auto &info : plan.modules())
+    for (const auto &info : engine.modules())
         m.addRow({info.name, std::to_string(info.io.nIn),
                   std::to_string(info.io.nOut),
                   std::to_string(info.io.k),
@@ -176,10 +197,14 @@ main(int argc, char **argv)
                       ? info.customBackend
                       : neighbor::backendName(info.backend)});
     m.print();
-    std::cout << "arena: " << plan.stats().arenaFloats * 4 / 1024
+    std::cout << "arena: " << engine.stats().arenaFloats * 4 / 1024
               << " KiB liveness-aliased (vs "
-              << plan.stats().naiveFloats * 4 / 1024
-              << " KiB unaliased), " << plan.stats().numBuffers
-              << " buffers, " << plan.stats().numSteps << " steps\n";
+              << engine.stats().naiveFloats * 4 / 1024
+              << " KiB unaliased), " << engine.stats().numBuffers
+              << " buffers, " << engine.stats().numSteps << " steps\n";
+    std::cout << "artifact: "
+              << core::plan::serializedEngineSize(engine)
+              << " bytes (v" << core::plan::kEngineFormatVersion
+              << ")\n";
     return 0;
 }

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Two-process engine-artifact round trip, exercised by CI.
+ *
+ *   engine_roundtrip save <path>     compile engines and save artifacts
+ *   engine_roundtrip verify <path>   (separate process) load each
+ *                                    artifact and assert its logits are
+ *                                    bitwise equal to a fresh compile
+ *
+ * The two modes run in different processes (different ASLR, different
+ * heap state), so agreement proves the artifact alone carries the
+ * program: no pointer, no leftover compile state. Covers all three
+ * pipelines over a PointNet++ classification network; <path> is a
+ * prefix, one artifact is written per pipeline.
+ */
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/networks.hpp"
+#include "core/plan/plan_compiler.hpp"
+#include "core/plan/serialize.hpp"
+#include "geom/datasets.hpp"
+
+using namespace mesorasi;
+
+namespace {
+
+const core::PipelineKind kPipelines[] = {
+    core::PipelineKind::Original,
+    core::PipelineKind::Delayed,
+    core::PipelineKind::LtdDelayed,
+};
+
+std::string
+artifactPath(const std::string &prefix, core::PipelineKind kind)
+{
+    return prefix + "." + core::pipelineName(kind) + ".meso";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3 || (std::strcmp(argv[1], "save") != 0 &&
+                      std::strcmp(argv[1], "verify") != 0)) {
+        std::cerr << "usage: engine_roundtrip save|verify <path-prefix>\n";
+        return 2;
+    }
+    bool saving = std::strcmp(argv[1], "save") == 0;
+    std::string prefix = argv[2];
+
+    core::NetworkConfig cfg = core::zoo::pointnetppClassification();
+    core::NetworkExecutor exec(cfg, /*weightSeed=*/1);
+
+    geom::ModelNetSim sim(23, cfg.numInputPoints);
+    std::vector<geom::PointCloud> clouds;
+    for (int i = 0; i < 4; ++i)
+        clouds.push_back(sim.sample().cloud);
+
+    for (core::PipelineKind kind : kPipelines) {
+        std::string path = artifactPath(prefix, kind);
+        if (saving) {
+            core::plan::CompiledEngine engine =
+                core::plan::PlanCompiler::compile(exec, kind);
+            core::plan::saveEngine(engine, path);
+            std::cout << "saved " << path << " ("
+                      << core::plan::serializedEngineSize(engine)
+                      << " bytes)\n";
+            continue;
+        }
+
+        core::plan::CompiledEngine loaded = core::plan::loadEngine(path);
+        core::plan::CompiledEngine fresh =
+            core::plan::PlanCompiler::compile(exec, kind);
+        auto lctx = loaded.makeContext();
+        auto fctx = fresh.makeContext();
+        for (size_t i = 0; i < clouds.size(); ++i) {
+            uint64_t seed = 7 + static_cast<uint64_t>(i);
+            const tensor::Tensor &lg =
+                loaded.execute(clouds[i], seed, *lctx);
+            const tensor::Tensor &fg =
+                fresh.execute(clouds[i], seed, *fctx);
+            if (lg.rows() != fg.rows() || lg.cols() != fg.cols() ||
+                std::memcmp(lg.data(), fg.data(),
+                            sizeof(float) *
+                                static_cast<size_t>(lg.numel())) != 0) {
+                std::cerr << "FAIL: " << path << " cloud " << i
+                          << ": loaded logits differ from fresh "
+                             "compile\n";
+                return 1;
+            }
+        }
+        std::cout << "verified " << path
+                  << ": loaded == fresh compile, bitwise, over "
+                  << clouds.size() << " clouds\n";
+    }
+    return 0;
+}

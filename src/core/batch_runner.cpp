@@ -156,21 +156,21 @@ BatchRunner::run(const std::vector<geom::PointCloud> &clouds,
 }
 
 BatchResult
-BatchRunner::run(const plan::ExecutionPlan &plan,
+BatchRunner::run(const plan::CompiledEngine &engine,
                  const std::vector<geom::PointCloud> &clouds,
                  uint64_t seedBase, plan::ContextPool *ctxPool) const
 {
     BatchResult out;
-    out.kind = plan.pipeline();
+    out.kind = engine.pipeline();
     out.items.resize(clouds.size());
 
-    plan::ContextPool localPool(plan);
+    plan::ContextPool localPool(engine);
     plan::ContextPool &contexts = ctxPool ? *ctxPool : localPool;
 
     auto runOne = [&](int64_t i) {
         auto t0 = std::chrono::steady_clock::now();
-        std::unique_ptr<plan::PlanContext> ctx = contexts.acquire();
-        const tensor::Tensor &logits = plan.execute(
+        std::unique_ptr<plan::ExecutionContext> ctx = contexts.acquire();
+        const tensor::Tensor &logits = engine.execute(
             clouds[i], seedBase + static_cast<uint64_t>(i), *ctx);
         BatchItemResult &item = out.items[i];
         item.run.logits = logits; // copy out before the ctx is recycled

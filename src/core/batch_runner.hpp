@@ -22,7 +22,7 @@
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "core/network.hpp"
-#include "core/plan/execution_plan.hpp"
+#include "core/plan/engine.hpp"
 
 namespace mesorasi::core {
 
@@ -95,17 +95,19 @@ class BatchRunner
                     PipelineKind kind, uint64_t seedBase = 1) const;
 
     /**
-     * Plan-cached serving loop: evaluate every cloud through one
-     * compiled ExecutionPlan (cloud i with seed @p seedBase + i, the
-     * same seeds as the graph path, so predictions and logits match it
-     * bitwise). The hot path does zero graph construction and zero
-     * shape inference; evaluation contexts come from @p ctxPool when
-     * provided — pass a pool owned by the caller to keep contexts warm
-     * across batches and reps — else from a call-local pool. Items
-     * carry logits and predictions only: the serving path skips
-     * trace/NIT/timeline capture.
+     * Engine-cached serving loop: evaluate every cloud through one
+     * CompiledEngine (cloud i with seed @p seedBase + i, the same seeds
+     * as the graph path, so predictions and logits match it bitwise).
+     * The hot path does zero graph construction and zero shape
+     * inference; evaluation contexts come from @p ctxPool when provided
+     * — pass a pool owned by the caller to keep contexts warm across
+     * batches and reps — else from a call-local pool. Items carry
+     * logits and predictions only: the serving path skips
+     * trace/NIT/timeline capture. The engine may come from
+     * PlanCompiler::compile or from a loaded artifact
+     * (core/plan/serialize.hpp) — both execute identically.
      */
-    BatchResult run(const plan::ExecutionPlan &plan,
+    BatchResult run(const plan::CompiledEngine &engine,
                     const std::vector<geom::PointCloud> &clouds,
                     uint64_t seedBase = 1,
                     plan::ContextPool *ctxPool = nullptr) const;

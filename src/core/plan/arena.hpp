@@ -2,7 +2,7 @@
  * @file
  * Arena memory planning for compiled execution plans.
  *
- * A compiled ExecutionPlan knows every intermediate buffer's size and
+ * A CompiledEngine knows every intermediate buffer's size and
  * lifetime ahead of time (shapes are inferred at compile time and the
  * step sequence is fixed), which is exactly the situation the paper's
  * SoC is in when it sizes its NIT/PFT buffers at configuration time
@@ -80,7 +80,7 @@ class ArenaPlanner
 };
 
 /**
- * The backing storage of one PlanContext: a single flat float buffer
+ * The backing storage of one ExecutionContext: a single flat float buffer
  * sized by the planner. Allocated once when the context is created and
  * never resized, so plan evaluation performs no heap allocation for
  * intermediates.

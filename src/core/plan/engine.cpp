@@ -1,55 +1,120 @@
-#include "core/plan/execution_plan.hpp"
+#include "core/plan/engine.hpp"
 
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
 #include "common/check.hpp"
-#include "core/plan/step_ir.hpp"
+#include "core/plan/serialize.hpp"
 
 namespace mesorasi::core::plan {
 
-PlanContext::PlanContext(const ExecutionPlan &plan)
-    : plan_(&plan), arena_(plan.stats().arenaFloats),
-      logits_(plan.logitsRows(), plan.logitsCols())
+ExecutionContext::ExecutionContext(const CompiledEngine &engine)
+    : engine_(&engine), arena_(engine.stats().arenaFloats),
+      logits_(engine.logitsRows(), engine.logitsCols())
 {
-    mods_.resize(plan.modules().size());
+    mods_.resize(engine.modules().size());
     for (size_t i = 0; i < mods_.size(); ++i) {
-        const PlanModuleInfo &info = plan.modules()[i];
+        const PlanModuleInfo &info = engine.modules()[i];
         mods_[i].centroids.resize(
             static_cast<size_t>(info.global ? 1 : info.io.nOut));
         if (!info.global)
             mods_[i].nitFlat.resize(static_cast<size_t>(info.io.nOut) *
                                     info.io.k);
     }
-    sampleScratch_.reserve(static_cast<size_t>(plan.numInputPoints()));
+    sampleScratch_.reserve(static_cast<size_t>(engine.numInputPoints()));
 }
 
 float *
-PlanContext::buf(int32_t id)
+ExecutionContext::buf(int32_t id)
 {
-    return arena_.at(plan_->offsetOf(id));
+    return arena_.at(engine_->offsetOf(id));
 }
 
 const tensor::Tensor &
-ExecutionPlan::execute(const geom::PointCloud &cloud, uint64_t runSeed,
-                       PlanContext &ctx) const
+CompiledEngine::execute(const geom::PointCloud &cloud, uint64_t runSeed,
+                        ExecutionContext &ctx) const
 {
-    MESO_REQUIRE(ctx.plan_ == this,
-                 "context was built for a different plan");
+    MESO_REQUIRE(ctx.engine_ == this,
+                 "context was built for a different engine");
     MESO_REQUIRE(static_cast<int32_t>(cloud.size()) == numInputPoints_,
-                 "plan expects " << numInputPoints_ << " points, got "
-                                 << cloud.size());
+                 "engine expects " << numInputPoints_ << " points, got "
+                                   << cloud.size());
+    MESO_CHECK(baked_.size() == steps_.size(), "engine was not baked");
     ctx.cloud_ = &cloud;
     ctx.rng_ = Rng(runSeed);
-    for (const auto &step : steps_)
-        step.fn(ctx);
+    for (const auto &fn : baked_)
+        fn(ctx);
     return ctx.logits_;
 }
 
-void
-ExecutionPlan::dump(std::ostream &os) const
+namespace {
+
+/** Compact one-token rendering of a descriptor's immediates. */
+std::string
+describeOp(const OpDesc &d)
 {
-    os << "plan: pipeline=" << pipelineName(kind_) << " input="
+    std::ostringstream os;
+    os << opKindName(d.op);
+    switch (d.op) {
+      case OpKind::RngDraw:
+        os << "(" << d.rows << "/" << d.srcRows << ")";
+        break;
+      case OpKind::ResolveSample:
+        switch (static_cast<SampleMode>(d.mode)) {
+          case SampleMode::Global: os << "(global)"; break;
+          case SampleMode::All: os << "(all)"; break;
+          case SampleMode::Random: os << "(random)"; break;
+          case SampleMode::Fps: os << "(fps)"; break;
+        }
+        break;
+      case OpKind::SearchNit:
+        os << "(" << (d.knn ? "knn" : "ball") << " k=" << d.k << " ";
+        if (!d.custom.empty())
+            os << d.custom;
+        else
+            os << neighbor::backendName(
+                static_cast<neighbor::Backend>(d.backend));
+        os << ")";
+        break;
+      case OpKind::MlpForward:
+        os << "(#" << d.mlpId;
+        if (d.firstLayer > 0)
+            os << " from L" << d.firstLayer;
+        os << ")";
+        break;
+      case OpKind::Matmul:
+        os << "(w" << d.weightId << ")";
+        break;
+      case OpKind::BiasRelu:
+        os << "(b" << d.biasId << (d.relu ? " relu" : "") << ")";
+        break;
+      case OpKind::GroupDiff:
+        if (d.concat)
+            os << "(concat)";
+        break;
+      case OpKind::ReduceMaxAll:
+        if (d.outCol > 0)
+            os << "(@col" << d.outCol << ")";
+        break;
+      case OpKind::Interp3NN:
+        os << "(k=" << d.k << " "
+           << neighbor::backendName(
+                  static_cast<neighbor::Backend>(d.backend))
+           << ")";
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace
+
+void
+CompiledEngine::dump(std::ostream &os) const
+{
+    os << "engine: pipeline=" << pipelineName(kind_) << " input="
        << numInputPoints_ << "pts logits=" << logitsRows_ << "x"
        << logitsCols_ << "\n";
     os << "steps: " << steps_.size();
@@ -73,10 +138,13 @@ ExecutionPlan::dump(std::ostream &os) const
         return s;
     };
     for (size_t i = 0; i < steps_.size(); ++i) {
-        const PlanStep &st = steps_[i];
+        const StepIR &st = steps_[i];
+        std::string op = describeOp(st.desc);
+        for (const OpDesc &t : st.tail)
+            op += "+" + std::string(opKindName(t.op));
         os << "  [" << std::setw(3) << i << "] " << std::left
            << std::setw(10) << stageKindName(st.kind) << std::setw(28)
-           << st.name << std::right;
+           << st.name << std::setw(26) << op << std::right;
         const char *sep = " w:";
         for (int32_t id : st.writes) {
             os << sep << describe(id);
@@ -123,24 +191,18 @@ ExecutionPlan::dump(std::ostream &os) const
                << " layouts=" << p.layoutsChanged;
         os << "\n";
     }
+
+    os << "artifact: " << serializedEngineSize(*this) << " bytes (v"
+       << kEngineFormatVersion << ")\n";
 }
 
-std::unique_ptr<PlanContext>
-ExecutionPlan::makeContext() const
+std::unique_ptr<ExecutionContext>
+CompiledEngine::makeContext() const
 {
-    auto ctx = std::make_unique<PlanContext>(*this);
-    // Interp-decoder networks keep per-level ModuleState copies so the
-    // decoder (which runs through InterpExecutor) sees real tensors.
-    for (const auto &[n, m] : levelShapes_) {
-        ModuleState s;
-        s.coords = tensor::Tensor(n, 3);
-        s.features = tensor::Tensor(n, m);
-        ctx->levels_.push_back(std::move(s));
-    }
-    return ctx;
+    return std::make_unique<ExecutionContext>(*this);
 }
 
-std::unique_ptr<PlanContext>
+std::unique_ptr<ExecutionContext>
 ContextPool::acquire()
 {
     {
@@ -151,15 +213,15 @@ ContextPool::acquire()
             return ctx;
         }
     }
-    return plan_.makeContext();
+    return engine_.makeContext();
 }
 
 void
-ContextPool::release(std::unique_ptr<PlanContext> ctx)
+ContextPool::release(std::unique_ptr<ExecutionContext> ctx)
 {
     if (!ctx)
         return;
-    MESO_REQUIRE(&ctx->plan() == &plan_,
+    MESO_REQUIRE(&ctx->engine() == &engine_,
                  "context returned to the wrong pool");
     std::lock_guard<std::mutex> lock(mutex_);
     free_.push_back(std::move(ctx));

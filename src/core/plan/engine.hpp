@@ -1,0 +1,253 @@
+/**
+ * @file
+ * CompiledEngine / ExecutionContext: the compile-once serving seam.
+ *
+ * Every NetworkExecutor::run rebuilds its stage graph, re-infers
+ * shapes, and re-selects search backends per request. The paper's SoC
+ * does all of that work once, at configuration time, when it sizes the
+ * NIT/PFT buffers for a fixed network (Sec. VI) — and graph compilers
+ * (TVM, MIGraphX, TensorRT) make the same split in software: an
+ * expensive compile producing an immutable program, then a tight
+ * evaluation loop over per-thread mutable state.
+ *
+ * CompiledEngine is the immutable artifact: the descriptor step
+ * program (step_ir.hpp), every tensor shape inferred ahead of time,
+ * every Backend::Auto resolved at compile time against the hwsim
+ * analytic cost model, every intermediate buffer assigned an offset in
+ * a liveness-planned arena, and private copies of all weights and MLPs
+ * — the engine does NOT borrow the NetworkExecutor it was compiled
+ * from and is safe to use after the executor is gone. Because the
+ * program is pure descriptors, an engine round-trips through a
+ * versioned binary artifact (core/plan/serialize.hpp) with bitwise-
+ * identical logits.
+ *
+ * ExecutionContext is the mutable half of one evaluation: arena
+ * storage, RNG replay cursor, resolved centroid/NIT state, backend
+ * scratch, and the logits tensor. One context per concurrent
+ * evaluation; ContextPool recycles warm contexts across requests.
+ * Evaluation walks the baked step closures: no graph construction, no
+ * shape inference, and — for the compiled compute path on the cached
+ * brute-force backend — no heap allocation after the first evaluation
+ * warms the context (asserted with an operator-new hook in
+ * tests/test_plan.cpp). Index-building backends (kdtree, grid) still
+ * allocate their per-request index; their query paths are
+ * allocation-free via the *Into API.
+ *
+ * Results are bitwise identical to the per-run stage-graph path: the
+ * steps run the same kernels in the same accumulation order, sampler
+ * RNG draws replay the exact stream NetworkExecutor::appendRunStages
+ * pre-draws, and all backends agree bitwise on neighbor results
+ * (tests/test_plan.cpp asserts parity across 3 pipelines x 3 backends).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/plan/arena.hpp"
+#include "core/plan/passes/pass.hpp"
+#include "core/plan/step_ir.hpp"
+#include "geom/point_cloud.hpp"
+#include "neighbor/search_backend.hpp"
+#include "nn/mlp.hpp"
+
+namespace mesorasi::core::plan {
+
+class CompiledEngine;
+
+/** AOT-compiled facts about one N-A-F module. */
+struct PlanModuleInfo
+{
+    std::string name;
+    ModuleIo io;             ///< AOT-inferred shapes
+    PipelineKind effective = PipelineKind::Delayed; ///< after Ltd folding
+    bool global = false;     ///< SearchKind::Global (no search/NIT)
+    neighbor::Backend backend = neighbor::Backend::BruteForce; ///< resolved
+    std::string customBackend; ///< registry name; overrides backend
+};
+
+/** Compile-time footprint summary. */
+struct PlanStats
+{
+    int64_t arenaFloats = 0; ///< planned (aliased) arena size
+    int64_t naiveFloats = 0; ///< sum of all buffers without aliasing
+    int32_t numSteps = 0;
+    int32_t numBuffers = 0;
+
+    // Pre-optimizer footprint (equal to the post numbers when the pass
+    // pipeline is disabled via MESORASI_PLAN_PASSES=0 or
+    // CompileOptions).
+    int64_t arenaFloatsPrePass = 0;
+    int32_t numStepsPrePass = 0;
+    // Aggregated over all passes that ran.
+    int32_t stepsRemoved = 0;
+    int32_t fusionsApplied = 0;
+    int32_t layoutsChanged = 0;
+};
+
+/** Per-module mutable evaluation state (reused across executions). */
+struct PlanModuleCtx
+{
+    std::vector<int32_t> centroids; ///< resolved centroid indices
+    std::vector<int32_t> nitFlat;   ///< nOut x k neighbor ids, row-major
+    /** Backend cached across executions. Only backends with no
+     *  data-dependent build (brute force) are cached; index-building
+     *  backends are rebuilt per execution. */
+    std::unique_ptr<neighbor::SearchBackend> cachedBackend;
+};
+
+/**
+ * The mutable half of one evaluation: the arena, reusable index
+ * storage, and the logits output. Create via
+ * CompiledEngine::makeContext and reuse across executions — the first
+ * execution warms every grow-only buffer, after which the compiled
+ * compute path performs no heap allocation. One context per concurrent
+ * evaluation.
+ *
+ * Members are an internal contract between the baked step closures and
+ * the runtime; user code should treat a context as opaque apart from
+ * logits().
+ */
+struct ExecutionContext
+{
+    explicit ExecutionContext(const CompiledEngine &engine);
+
+    /** The engine this context was built for. */
+    const CompiledEngine &engine() const { return *engine_; }
+
+    /** The last execution's logits. */
+    const tensor::Tensor &logits() const { return logits_; }
+
+    /** Arena pointer of engine buffer @p id. */
+    float *buf(int32_t id);
+
+    // --- internal state touched by baked steps ----------------------
+    const CompiledEngine *engine_ = nullptr;
+    Arena arena_;
+    tensor::Tensor logits_;
+    std::vector<PlanModuleCtx> mods_;    ///< encoder modules
+    std::vector<int32_t> sampleScratch_; ///< Fisher-Yates pool
+    const geom::PointCloud *cloud_ = nullptr;
+    Rng rng_{0}; ///< reseeded per execution
+};
+
+class CompiledEngine
+{
+  public:
+    CompiledEngine(CompiledEngine &&) = default;
+    CompiledEngine &operator=(CompiledEngine &&) = default;
+
+    /**
+     * Evaluate one cloud. @p runSeed drives centroid sampling exactly
+     * as NetworkExecutor::run's seed does; identical seeds produce
+     * bitwise-identical logits to the per-run graph path. Returns
+     * @p ctx's logits tensor. Thread-safe across distinct contexts.
+     */
+    const tensor::Tensor &execute(const geom::PointCloud &cloud,
+                                  uint64_t runSeed,
+                                  ExecutionContext &ctx) const;
+
+    /** Build a fresh evaluation context (all storage preallocated to
+     *  the engine's AOT shapes). */
+    std::unique_ptr<ExecutionContext> makeContext() const;
+
+    PipelineKind pipeline() const { return kind_; }
+    int32_t numInputPoints() const { return numInputPoints_; }
+    int32_t logitsRows() const { return logitsRows_; }
+    int32_t logitsCols() const { return logitsCols_; }
+    const PlanStats &stats() const { return stats_; }
+    const std::vector<PlanModuleInfo> &modules() const { return modules_; }
+    /** Detection stage-2 branch infos (empty outside detection). */
+    const std::vector<PlanModuleInfo> &stage2Modules() const
+    { return stage2_; }
+
+    /** The descriptor step program, post-pass. Iterate this to inspect
+     *  the compiled IR (op kinds, operands, fused tails). */
+    const std::vector<StepIR> &steps() const { return steps_; }
+
+    /** Per-pass optimizer statistics, in pipeline order. Skipped
+     *  passes (pipeline disabled, numerics gate) have ran=false. */
+    const std::vector<PassStat> &passStats() const { return passStats_; }
+
+    /** Shapes (incl. chosen leading dimensions) of all arena buffers. */
+    const std::vector<BufferShape> &bufferShapes() const
+    { return bufferShapes_; }
+
+    /** Arena offset of buffer @p id. */
+    int64_t offsetOf(int32_t id) const { return offsets_[id]; }
+
+    /** Engine-owned MLP / weight tables the descriptors index. */
+    const std::vector<nn::Mlp> &mlps() const { return mlps_; }
+    const std::vector<tensor::Tensor> &weights() const { return weights_; }
+
+    /**
+     * Human-readable engine listing: one line per step (stage kind,
+     * name, structured descriptor — op kind, operand buffers with
+     * shapes and arena offsets, resolved backend / draw spec /
+     * immediates — and optimizer annotations), then the arena summary,
+     * resolved backends, per-pass statistics, and the serialized
+     * artifact size. Debugging aid for the optimizer pipeline
+     * (`batch_throughput --dump-plan`).
+     */
+    void dump(std::ostream &os) const;
+
+  private:
+    friend class PlanCompiler;
+    friend class EngineSerializer;
+    CompiledEngine() = default;
+
+    /** Lower every descriptor step to its runtime closure (strides
+     *  frozen from the buffer table). Called once, after the engine is
+     *  sealed — by the compiler and by the artifact loader, so a
+     *  loaded engine executes the identical closures. Defined in
+     *  engine_bake.cpp. */
+    void bake();
+
+    PipelineKind kind_ = PipelineKind::Delayed;
+    int32_t numInputPoints_ = 0;
+    int32_t logitsRows_ = 0;
+    int32_t logitsCols_ = 0;
+    std::vector<PlanModuleInfo> modules_;
+    std::vector<PlanModuleInfo> stage2_;
+    std::vector<int64_t> offsets_; ///< per-buffer arena offsets
+    std::vector<BufferShape> bufferShapes_;
+    std::vector<StepIR> steps_; ///< the (post-pass) descriptor program
+    /** Baked closure per step (parallel to steps_); rebuilt by bake(),
+     *  never serialized. */
+    std::vector<std::function<void(ExecutionContext &)>> baked_;
+    std::vector<PassStat> passStats_;
+    /** Engine-owned parameter tables. Descriptors address them by id,
+     *  so the engine is self-contained (weights are copied out of the
+     *  executor at compile time, or restored from the artifact). */
+    std::vector<nn::Mlp> mlps_;
+    std::vector<tensor::Tensor> weights_;
+    PlanStats stats_;
+};
+
+/**
+ * Thread-safe recycler of warm ExecutionContexts for concurrent
+ * serving (BatchRunner's engine-cached path). acquire() hands out a
+ * free context or builds a new one; release() returns it warm for the
+ * next request.
+ */
+class ContextPool
+{
+  public:
+    explicit ContextPool(const CompiledEngine &engine) : engine_(engine) {}
+
+    std::unique_ptr<ExecutionContext> acquire();
+    void release(std::unique_ptr<ExecutionContext> ctx);
+
+  private:
+    const CompiledEngine &engine_;
+    std::mutex mutex_;
+    std::vector<std::unique_ptr<ExecutionContext>> free_;
+};
+
+} // namespace mesorasi::core::plan

@@ -21,9 +21,11 @@ namespace {
  *
  * Removal is numerics-preserving by construction: the surviving steps
  * run unchanged, and a removed step's outputs were read by nobody.
- * That includes the sampler pre-draw step — it is one all-or-nothing
- * step, so the RNG stream either replays exactly or (when no surviving
- * step reads any drawn centroid list) is skipped entirely.
+ * Sampler draws participate like any other step: each RngDraw reads
+ * and writes the kResRng stream resource, chaining the draws in
+ * emission order, so liveness can only drop a dead *suffix* of the
+ * stream (detection drops all draws with the encoder) — never a middle
+ * draw, which would shift every later draw and break bitwise replay.
  */
 class DeadStepElimination final : public Pass
 {

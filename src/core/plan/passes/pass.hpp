@@ -59,6 +59,18 @@ struct PassOptions
     PftLayout forceLayout = PftLayout::Auto;
 };
 
+/** Per-pass statistics recorded by the optimizer pipeline. */
+struct PassStat
+{
+    std::string pass;
+    /** False when the pass was skipped (e.g. a numerics-changing pass
+     *  without the explicit opt-in). */
+    bool ran = false;
+    int32_t stepsRemoved = 0;
+    int32_t fusionsApplied = 0;
+    int32_t layoutsChanged = 0;
+};
+
 /** Whether the pipeline runs under @p opts (env kill switch applied). */
 bool passesEnabled(const PassOptions &opts);
 
@@ -97,9 +109,10 @@ std::unique_ptr<Pass> makeDeadStepElimination();
 std::unique_ptr<Pass> makeEpilogueFusion();
 
 /** Chooses row-major vs cache-line-aligned PFT layouts from the hwsim
- *  gather profile; inserts PackRows conversion steps only where a
- *  consumer cannot read the producer's layout. Padding is never read,
- *  so the pass is numerics-preserving. */
+ *  gather profile. The IR is descriptor-complete and every baked
+ *  kernel is stride-aware, so the rewrite is always an in-place change
+ *  to the buffer's leading dimension. Padding is never read, so the
+ *  pass is numerics-preserving. */
 std::unique_ptr<Pass> makePftLayoutSelection();
 
 // --- Layout cost model (exposed for tests/benchmarks) ------------------

@@ -17,35 +17,6 @@ alignedLd(int32_t cols)
     return (cols + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
 }
 
-/** All buffer operands of one descriptor op. */
-void
-eachOperand(const OpDesc &d, const std::function<void(int32_t)> &fn)
-{
-    fn(d.in);
-    fn(d.out);
-    fn(d.aux);
-}
-
-bool
-descReferences(const StepIR &s, int32_t buf)
-{
-    bool hit = false;
-    auto check = [&](int32_t id) { hit = hit || id == buf; };
-    eachOperand(s.desc, check);
-    for (const OpDesc &d : s.tail)
-        eachOperand(d, check);
-    return hit;
-}
-
-bool
-touches(const StepIR &s, int32_t buf)
-{
-    auto has = [&](const std::vector<int32_t> &v) {
-        return std::find(v.begin(), v.end(), buf) != v.end();
-    };
-    return has(s.reads) || has(s.writes);
-}
-
 } // namespace
 
 PftLayout
@@ -83,9 +54,9 @@ namespace {
 
 /**
  * Chooses the PFT storage layout per buffer. Candidates are the
- * buffers gathered from by an AggGatherMax consumer — the random-row
- * reads the paper's Aggregation Unit banks its PFT buffer for. When
- * the hwsim gather profile says line-aligned rows save more DRAM
+ * buffers random-row gathered by an AggGatherMax or GroupDiff consumer
+ * — the reads the paper's Aggregation Unit banks its PFT buffer for.
+ * When the hwsim gather profile says line-aligned rows save more DRAM
  * traffic than the padding costs to produce, the buffer's leading
  * dimension is padded to a 64-byte multiple.
  *
@@ -95,12 +66,11 @@ namespace {
  * layout that reordered reductions would have to return true there and
  * would default off.
  *
- * Mechanics: when every step touching the buffer is a descriptor op,
- * the leading dimension changes in place (strides freeze at bake
- * time). Otherwise — some producer/consumer is an opaque Generic
- * closure with its stride already baked — an explicit PackRows
- * conversion step is inserted after the producer and only the
- * descriptor-op gather consumers are rewired to the aligned copy.
+ * Mechanics: the IR is descriptor-complete and every baked kernel
+ * honors each operand's leading dimension (strides freeze from the
+ * buffer table at bake time), so the rewrite is always a one-word
+ * in-place change to the buffer's ld — no conversion steps, no
+ * rewiring.
  */
 class PftLayoutSelection final : public Pass
 {
@@ -121,7 +91,9 @@ class PftLayoutSelection final : public Pass
             prof[b].cols = ir.bufs[b].cols;
         }
         auto addGather = [&](const OpDesc &d) {
-            if (d.op == OpKind::AggGatherMax && d.in >= 0)
+            if ((d.op == OpKind::AggGatherMax ||
+                 d.op == OpKind::GroupDiff) &&
+                d.in >= 0)
                 prof[static_cast<size_t>(d.in)].gatheredRows +=
                     d.rows * d.k;
         };
@@ -131,10 +103,7 @@ class PftLayoutSelection final : public Pass
                 addGather(d);
         }
 
-        // apply() may append aligned-copy buffers; only the buffers
-        // that existed at profile time are candidates.
-        const size_t profiled = ir.bufs.size();
-        for (size_t b = 0; b < profiled; ++b) {
+        for (size_t b = 0; b < ir.bufs.size(); ++b) {
             if (prof[b].gatheredRows == 0)
                 continue;
             if (ir.bufs[b].ld != ir.bufs[b].cols)
@@ -147,99 +116,16 @@ class PftLayoutSelection final : public Pass
                 continue;
             if (alignedLd(ir.bufs[b].cols) == ir.bufs[b].cols)
                 continue;
-            apply(ir, static_cast<int32_t>(b), stat);
+            ir.bufs[b].ld = alignedLd(ir.bufs[b].cols);
+            annotateProducer(ir, static_cast<int32_t>(b),
+                             "layout(" +
+                                 resourceName(static_cast<int32_t>(b)) +
+                                 ")=aligned16");
+            ++stat.layoutsChanged;
         }
     }
 
   private:
-    static void
-    apply(PlanIR &ir, int32_t b, PassStat &stat)
-    {
-        size_t bi = static_cast<size_t>(b);
-        bool allDesc = true;
-        for (const StepIR &s : ir.steps)
-            if (touches(s, b) &&
-                (s.desc.op == OpKind::Generic || !descReferences(s, b)))
-                allDesc = false;
-
-        if (allDesc) {
-            ir.bufs[bi].ld = alignedLd(ir.bufs[bi].cols);
-            annotateProducer(ir, b, "layout(" + resourceName(b) +
-                                        ")=aligned16");
-            ++stat.layoutsChanged;
-            return;
-        }
-
-        // Opaque producer/consumer in the way: materialize an aligned
-        // copy right after the producer and rewire the gather
-        // consumers that are rewritable.
-        size_t prod = ir.steps.size();
-        for (size_t i = 0; i < ir.steps.size(); ++i) {
-            auto &w = ir.steps[i].writes;
-            if (std::find(w.begin(), w.end(), b) != w.end()) {
-                prod = i;
-                break;
-            }
-        }
-        if (prod == ir.steps.size())
-            return; // no producer: leave it alone
-
-        int32_t nb = static_cast<int32_t>(ir.bufs.size());
-        ir.bufs.push_back(BufferShape{ir.bufs[bi].rows,
-                                      ir.bufs[bi].cols,
-                                      alignedLd(ir.bufs[bi].cols)});
-
-        StepIR pack;
-        pack.kind = StageKind::Epilogue;
-        pack.name = "layout.pack." + resourceName(b);
-        pack.desc.op = OpKind::PackRows;
-        pack.desc.in = b;
-        pack.desc.out = nb;
-        pack.desc.rows = ir.bufs[bi].rows;
-        pack.desc.cols = ir.bufs[bi].cols;
-        pack.reads = {b};
-        pack.writes = {nb};
-        pack.note = "layout convert to aligned16";
-        ir.steps.insert(ir.steps.begin() +
-                            static_cast<std::ptrdiff_t>(prod) + 1,
-                        std::move(pack));
-
-        bool rewired = false;
-        for (size_t i = prod + 2; i < ir.steps.size(); ++i) {
-            StepIR &s = ir.steps[i];
-            if (s.desc.op == OpKind::Generic)
-                continue;
-            bool changed = false;
-            auto rewire = [&](OpDesc &d) {
-                if (d.op == OpKind::AggGatherMax && d.in == b) {
-                    d.in = nb;
-                    changed = true;
-                }
-            };
-            rewire(s.desc);
-            for (OpDesc &d : s.tail)
-                rewire(d);
-            if (!changed)
-                continue;
-            rewired = true;
-            if (!descReferences(s, b))
-                std::replace(s.reads.begin(), s.reads.end(), b, nb);
-            else if (std::find(s.reads.begin(), s.reads.end(), nb) ==
-                     s.reads.end())
-                s.reads.push_back(nb);
-            if (s.note.empty())
-                s.note = "gathers aligned copy " + resourceName(nb);
-        }
-        if (!rewired) {
-            // Nobody could be rewired: drop the conversion again.
-            ir.steps.erase(ir.steps.begin() +
-                           static_cast<std::ptrdiff_t>(prod) + 1);
-            ir.bufs.pop_back();
-            return;
-        }
-        ++stat.layoutsChanged;
-    }
-
     static void
     annotateProducer(PlanIR &ir, int32_t b, const std::string &note)
     {

@@ -1,1146 +1,55 @@
+/**
+ * @file
+ * The compile driver: emission (compiler_emit.cpp) produces the
+ * descriptor program, the pass pipeline rewrites it, the arena planner
+ * assigns offsets, and bake (engine_bake.cpp) lowers the surviving
+ * descriptors to closures. Nothing here inspects individual ops — the
+ * IR is descriptor-complete, so the driver is pure plumbing.
+ */
 #include "core/plan/plan_compiler.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <memory>
-#include <utility>
-
-#include "common/check.hpp"
-#include "common/thread_pool.hpp"
 #include "core/plan/step_ir.hpp"
-#include "geom/sampling.hpp"
-#include "hwsim/config.hpp"
-#include "tensor/ops.hpp"
 
 namespace mesorasi::core::plan {
 
-namespace {
-
-using tensor::Tensor;
-
-// ---------------------------------------------------------------------
-// Compile-time backend resolution.
-//
-// The per-run path asks chooseBackend per request; the plan asks the
-// hwsim analytic model once, at compile time. Candidate-visit counts
-// per backend are simple closed forms (exhaustive scan, tree descent
-// with a dimensionality-degraded pruning factor, grid shells) costed
-// with GpuConfig's calibrated per-candidate search costs; index builds
-// are charged per execution because they are data-dependent.
-// ---------------------------------------------------------------------
-
-double
-backendCostMs(neighbor::Backend b, const ModuleIo &io, bool knnQuery)
-{
-    const hwsim::GpuConfig gpu; // calibrated defaults (hwsim/config.hpp)
-    double q = std::max(1, io.nOut);
-    double n = std::max(1, io.nIn);
-    double k = std::max(1, io.k);
-    double dim = std::max(1, io.searchDim);
-    double perElemNs =
-        knnQuery ? gpu.searchKnnNsPerElem : gpu.searchBallNsPerElem;
-    // Distance evaluation scales with dimensionality; the calibrated
-    // constants describe 3-D workloads.
-    double dimScale = dim / 3.0;
-    double log2n = std::log2(n + 1.0);
-
-    double visited = 0.0; // candidates examined per query
-    double buildNs = 0.0; // per-execution index construction
-    switch (b) {
-      case neighbor::Backend::BruteForce:
-        visited = n;
-        break;
-      case neighbor::Backend::KdTree: {
-        // Tree pruning collapses exponentially with dimensionality
-        // (the curse the per-run heuristic encodes as dim > 8).
-        double prune =
-            std::min(n, 4.0 * k * log2n *
-                            std::pow(2.0, std::min(8.0, dim - 3.0)));
-        visited = prune;
-        buildNs = 2.0 * n * log2n * gpu.searchBallNsPerElem;
-        break;
-      }
-      case neighbor::Backend::Grid:
-        if (io.searchDim != 3)
-            return std::numeric_limits<double>::infinity();
-        // Cell ~= radius (ball) or ~ k points (knn): a shell scan
-        // touches a small constant multiple of the group size.
-        visited = std::min(n, (knnQuery ? 16.0 : 8.0) * k);
-        buildNs = 2.0 * n * gpu.searchBallNsPerElem;
-        break;
-      case neighbor::Backend::Auto:
-        MESO_CHECK(false, "cannot cost Backend::Auto");
-    }
-    return (q * visited * dimScale * perElemNs + buildNs) * 1e-6;
-}
-
-/** The per-run chooseBackend heuristic on AOT shapes (the
- *  non-cost-model fallback of CompileOptions). chooseBackend only
- *  reads the view's size/dim and the hints, so a data-less view
- *  carries the shape. */
-neighbor::Backend
-heuristicBackend(const ModuleIo &io, bool knnQuery)
-{
-    neighbor::PointsView shape(nullptr, io.nIn, io.searchDim);
-    neighbor::SearchHints hints;
-    hints.numQueries = io.nOut;
-    hints.k = io.k;
-    if (!knnQuery)
-        hints.radius = 1.0f; // any positive radius marks a ball workload
-    return neighbor::chooseBackend(shape, hints);
-}
-
-// ---------------------------------------------------------------------
-// Compile-state helpers.
-// ---------------------------------------------------------------------
-
-/** The plan under construction: the step IR the optimizer passes will
- *  rewrite. Buffer live ranges are derived from each step's declared
- *  read/write sets after the passes ran (planArenaFor), so emission
- *  only has to keep those sets truthful. */
-struct Build
-{
-    PlanIR ir;
-
-    /** Register a rows x cols row-major buffer. */
-    int32_t
-    make(int64_t rows, int32_t cols)
-    {
-        return ir.addBuffer(rows, cols);
-    }
-
-    /** Append a step; the caller fills in desc/fn and reads/writes. */
-    StepIR &
-    emit(StageKind kind, std::string name)
-    {
-        StepIR s;
-        s.kind = kind;
-        s.name = std::move(name);
-        ir.steps.push_back(std::move(s));
-        return ir.steps.back();
-    }
-};
-
-/** One resolution level flowing between modules. */
-struct LevelBuf
-{
-    int32_t coords = -1; ///< buffer id, n x 3
-    int32_t feat = -1;   ///< buffer id, n x m
-    int32_t n = 0;
-    int32_t m = 0;
-};
-
-/** Pad a flat ball-query NIT row exactly like padBallEntry: an empty
- *  ball is seeded with the centroid, then the first (nearest) member
- *  repeats until the row holds k entries. */
-inline void
-padNitRow(int32_t *row, int32_t count, int32_t k, int32_t centroid)
-{
-    if (count == 0)
-        row[count++] = centroid;
-    for (; count < k; ++count)
-        row[count] = row[0];
-}
-
-} // namespace
-
-double
-PlanCompiler::plannedSearchCostMs(neighbor::Backend backend,
-                                  const ModuleIo &io, bool knnQuery)
-{
-    return backendCostMs(backend, io, knnQuery);
-}
-
-neighbor::Backend
-PlanCompiler::resolveAutoBackend(const ModuleIo &io, bool knnQuery,
-                                 const CompileOptions &opts)
-{
-    if (!opts.costModelBackendSelection)
-        return heuristicBackend(io, knnQuery);
-    neighbor::Backend best = neighbor::Backend::BruteForce;
-    double bestMs = backendCostMs(best, io, knnQuery);
-    for (neighbor::Backend b :
-         {neighbor::Backend::Grid, neighbor::Backend::KdTree}) {
-        double ms = backendCostMs(b, io, knnQuery);
-        if (ms < bestMs) {
-            bestMs = ms;
-            best = b;
-        }
-    }
-    return best;
-}
-
-ExecutionPlan
+CompiledEngine
 PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
                       const CompileOptions &opts)
 {
-    const NetworkConfig &cfg = exec.config();
-    const NetworkExecutor *ex = &exec;
-    bool detection = cfg.task == Task::Detection;
-    // The interp decoder (and the classification-style head) only feed
-    // the final logits outside detection; for detection networks the
-    // box head overwrites them, so the plan compiles only the live
-    // output path. The encoder is still emitted — its shapes feed
-    // stage 2's contract — but nothing downstream reads its outputs,
-    // so dead-step elimination drops it from the executed plan.
-    bool wantInterp = exec.numInterps() > 0 && !detection;
-
-    ExecutionPlan plan;
-    plan.kind_ = kind;
-    plan.numInputPoints_ = cfg.numInputPoints;
-
-    Build b;
-
-    // --- AOT shape walk: modules, backends, sampler-draw specs. -----
-    struct DrawSpec
-    {
-        size_t mod;
-        int32_t n;
-        int32_t want;
-    };
-    std::vector<DrawSpec> draws;
-    int32_t n = cfg.numInputPoints;
-    for (size_t i = 0; i < exec.numModules(); ++i) {
-        const ModuleExecutor &me = exec.module(i);
-        const ModuleConfig &mc = me.config();
-        PlanModuleInfo info;
-        info.name = mc.name;
-        info.io = me.analyticIo(n, exec.moduleInDim(i));
-        info.global = mc.search == SearchKind::Global;
-        info.effective = kind;
-        if (kind == PipelineKind::LtdDelayed &&
-            mc.aggregation == AggregationKind::ConcatCentroidDifference)
-            info.effective = PipelineKind::Delayed;
-        info.customBackend = mc.customBackend;
-        if (!info.global && mc.customBackend.empty()) {
-            info.backend =
-                mc.backend == neighbor::Backend::Auto
-                    ? resolveAutoBackend(info.io,
-                                         mc.search == SearchKind::Knn,
-                                         opts)
-                    : mc.backend;
-        }
-
-        if (!info.global) {
-            int32_t want = mc.centroids(n);
-            MESO_REQUIRE(want <= n, "module '" << mc.name << "': " << want
-                                               << " centroids from " << n
-                                               << " points");
-            MESO_REQUIRE(mc.sampling != SamplingKind::All || want == n,
-                         "module '" << mc.name
-                                    << "': SamplingKind::All keeps all "
-                                    << n << " points but numCentroids="
-                                    << want);
-            if (want != n && mc.sampling == SamplingKind::Random)
-                draws.push_back({i, n, want});
-        }
-        n = info.io.nOut;
-        plan.modules_.push_back(std::move(info));
-    }
-    for (size_t i = 0; i < exec.numStage2Modules(); ++i) {
-        const ModuleExecutor &me = exec.stage2Module(i);
-        // NetworkExecutor's constructor rejects non-Global stage-2
-        // modules; the compiled steps below bake in that semantics
-        // (MLP over all points + one reduction, no sampler draws), so
-        // assert the assumption rather than inherit it silently.
-        MESO_CHECK(me.config().search == SearchKind::Global,
-                   "stage-2 module '" << me.config().name
-                                      << "' is not Global");
-        PlanModuleInfo info;
-        info.name = me.config().name;
-        info.io = me.analyticIo(cfg.numInputPoints, 3);
-        info.global = true;
-        plan.stage2_.push_back(std::move(info));
-    }
-
-    // --- Step 0: replay the pre-draw RNG stream. --------------------
-    // appendRunStages draws every sampler decision in module order
-    // before any stage runs; the plan replays the identical stream
-    // (only Random sampling consumes draws), so logits match bitwise.
-    // One all-or-nothing step: either the whole stream replays or —
-    // when no surviving step reads any drawn list (detection after
-    // DCE) — none of it runs.
-    {
-        StepIR &s = b.emit(StageKind::Sample, "net.draws");
-        for (const DrawSpec &d : draws)
-            s.writes.push_back(virtCentroids(d.mod));
-        s.fn = [draws](PlanContext &ctx) {
-            for (const DrawSpec &d : draws)
-                ctx.rng_.sampleWithoutReplacementInto(
-                    d.n, d.want, ctx.mods_[d.mod].centroids);
-        };
-    }
-
-    // --- Input materialization. -------------------------------------
-    int32_t n0 = cfg.numInputPoints;
-    int32_t inBuf = b.make(n0, 3);
-    {
-        StepIR &s = b.emit(StageKind::Epilogue, "net.input");
-        s.writes = {inBuf};
-        s.fn = [inBuf, n0](PlanContext &ctx) {
-            const geom::PointCloud &cloud = *ctx.cloud_;
-            float *dst = ctx.buf(inBuf);
-            for (int32_t i = 0; i < n0; ++i) {
-                dst[3 * i + 0] = cloud[static_cast<size_t>(i)].x;
-                dst[3 * i + 1] = cloud[static_cast<size_t>(i)].y;
-                dst[3 * i + 2] = cloud[static_cast<size_t>(i)].z;
-            }
-        };
-    }
-
-    LevelBuf level{inBuf, inBuf, n0, 3};
-    std::vector<int32_t> chainBufs{inBuf};
-    std::vector<int32_t> chainDims{3};
-    std::vector<int32_t> moduleOutBufs; // for the concat head
-
-    if (wantInterp) {
-        plan.levelShapes_.emplace_back(n0, 3);
-        StepIR &s = b.emit(StageKind::Epilogue, "net.capture0");
-        s.reads = {inBuf};
-        s.writes = {virtLevel(0)};
-        s.fn = [inBuf, n0](PlanContext &ctx) {
-            const float *src = ctx.buf(inBuf);
-            ModuleState &lv = ctx.levels_[0];
-            std::copy(src, src + static_cast<int64_t>(n0) * 3,
-                      lv.coords.data());
-            std::copy(src, src + static_cast<int64_t>(n0) * 3,
-                      lv.features.data());
-        };
-    }
-
-    // --- Encoder modules. -------------------------------------------
-    for (size_t i = 0; i < exec.numModules(); ++i) {
-        const ModuleExecutor &me = exec.module(i);
-        const ModuleConfig &mc = me.config();
-        const PlanModuleInfo &info = plan.modules_[i];
-        const ModuleIo &io = info.io;
-        const std::string &grp = mc.name;
-
-        // Input assembly: linked networks concatenate the chain.
-        int32_t inFeat;
-        int32_t mIn = io.mIn;
-        if (cfg.linkedInputs && chainBufs.size() > 1) {
-            inFeat = b.make(level.n, mIn);
-            auto bufs = chainBufs;
-            auto dims = chainDims;
-            int32_t rows = level.n;
-            StepIR &s = b.emit(StageKind::Epilogue, grp + ".input");
-            s.reads = chainBufs;
-            s.writes = {inFeat};
-            s.fn = [inFeat, bufs, dims, rows, mIn](PlanContext &ctx) {
-                float *dst = ctx.buf(inFeat);
-                int32_t off = 0;
-                for (size_t j = 0; j < bufs.size(); ++j) {
-                    const float *src = ctx.buf(bufs[j]);
-                    int32_t w = dims[j];
-                    for (int32_t r = 0; r < rows; ++r)
-                        std::copy(src + static_cast<int64_t>(r) * w,
-                                  src + static_cast<int64_t>(r) * w + w,
-                                  dst + static_cast<int64_t>(r) * mIn +
-                                      off);
-                    off += w;
-                }
-            };
-        } else {
-            inFeat = cfg.linkedInputs ? chainBufs[0] : level.feat;
-        }
-        int32_t inCoords = level.coords;
-        int32_t nIn = level.n;
-
-        // Sample: resolve the centroid list exactly like resolveSample.
-        {
-            bool fps = mc.sampling == SamplingKind::FarthestPoint;
-            bool global = info.global;
-            int32_t want = global ? 1 : mc.centroids(nIn);
-            StepIR &s = b.emit(StageKind::Sample, grp + ".sample");
-            if (fps)
-                s.reads.push_back(inCoords);
-            else if (!global && want != nIn)
-                s.reads.push_back(virtCentroids(i)); // sorts the draws
-            s.writes = {virtCentroids(i)};
-            s.fn = [i, global, fps, want, nIn, inCoords](
-                       PlanContext &ctx) {
-                std::vector<int32_t> &cent = ctx.mods_[i].centroids;
-                if (global) {
-                    cent.resize(1);
-                    cent[0] = 0;
-                    return;
-                }
-                if (want == nIn) {
-                    cent.resize(static_cast<size_t>(nIn));
-                    for (int32_t j = 0; j < nIn; ++j)
-                        cent[static_cast<size_t>(j)] = j;
-                    return;
-                }
-                if (fps) {
-                    // FPS goes through the geom API (cloud rebuild +
-                    // fresh result vector), so plans over FPS modules
-                    // allocate per execution — outside the
-                    // zero-allocation contract, which covers the
-                    // paper's optimized baseline (random sampling,
-                    // Sec. VI).
-                    const float *src = ctx.buf(inCoords);
-                    geom::PointCloud cloud;
-                    for (int32_t j = 0; j < nIn; ++j)
-                        cloud.add({src[3 * j], src[3 * j + 1],
-                                   src[3 * j + 2]});
-                    cent = geom::farthestPointSample(cloud, want);
-                }
-                // Random picks were drawn by net.draws; both paths
-                // keep ascending index order (the spatial ordering
-                // contract of resolveSample).
-                std::sort(cent.begin(), cent.end());
-            };
-        }
-
-        int32_t nOut = io.nOut;
-        int32_t mOut = io.mOut;
-        int32_t outFeat = -1;
-        int32_t outCoords = -1;
-
-        if (info.global) {
-            // Global module: MLP over all points, one reduction; the
-            // output coordinate is the origin.
-            int32_t tmp = b.make(nIn, mOut);
-            {
-                StepIR &s = b.emit(StageKind::Feature, grp + ".feature");
-                s.desc.op = OpKind::MlpForward;
-                s.desc.mlp = &me.mlp();
-                s.desc.in = inFeat;
-                s.desc.out = tmp;
-                s.desc.rows = nIn;
-                s.desc.cols = mOut;
-                s.reads = {inFeat};
-                s.writes = {tmp};
-            }
-
-            outFeat = b.make(1, mOut);
-            {
-                StepIR &s =
-                    b.emit(StageKind::Aggregate, grp + ".reduce");
-                s.reads = {tmp};
-                s.writes = {outFeat};
-                s.fn = [tmp, outFeat, nIn, mOut](PlanContext &ctx) {
-                    tensor::maxReduceAllRowsInto(ctx.buf(outFeat),
-                                                 ctx.buf(tmp), mOut,
-                                                 mOut, nIn);
-                };
-            }
-
-            outCoords = b.make(1, 3);
-            {
-                StepIR &s = b.emit(StageKind::Epilogue, grp + ".coords");
-                s.writes = {outCoords};
-                s.fn = [outCoords](PlanContext &ctx) {
-                    float *dst = ctx.buf(outCoords);
-                    std::fill(dst, dst + 3, 0.0f);
-                };
-            }
-        } else {
-            // Search: fill the flat NIT with the compile-resolved
-            // backend. Brute force has no data-dependent build, so its
-            // backend object is cached across executions; index
-            // builders are reconstructed per run over the (stable)
-            // arena span.
-            bool knnQ = mc.search == SearchKind::Knn;
-            bool coordsSpace = mc.space == SearchSpace::Coords;
-            int32_t spaceBuf = coordsSpace ? inCoords : inFeat;
-            int32_t spaceDim = coordsSpace ? 3 : mIn;
-            int32_t k = mc.k;
-            float radius = mc.radius;
-            neighbor::Backend kindB = info.backend;
-            std::string custom = mc.customBackend;
-            {
-                StepIR &s = b.emit(StageKind::Search, grp + ".search");
-                s.reads = {spaceBuf, virtCentroids(i)};
-                s.writes = {virtNit(i)};
-                s.fn = [i, knnQ, spaceBuf, spaceDim, nIn, nOut, k,
-                        radius, kindB, custom](PlanContext &ctx) {
-                    PlanModuleCtx &m = ctx.mods_[i];
-                    neighbor::PointsView view(ctx.buf(spaceBuf), nIn,
-                                              spaceDim);
-                    neighbor::SearchHints hints;
-                    hints.numQueries = nOut;
-                    hints.k = k;
-                    if (!knnQ)
-                        hints.radius = radius;
-                    std::unique_ptr<neighbor::SearchBackend> local;
-                    const neighbor::SearchBackend *backend = nullptr;
-                    if (!custom.empty()) {
-                        local = neighbor::makeBackendByName(custom, view,
-                                                            hints);
-                        backend = local.get();
-                    } else if (kindB == neighbor::Backend::BruteForce) {
-                        if (!m.cachedBackend)
-                            m.cachedBackend =
-                                neighbor::makeBackend(kindB, view,
-                                                      hints);
-                        backend = m.cachedBackend.get();
-                    } else {
-                        local = neighbor::makeBackend(kindB, view,
-                                                      hints);
-                        backend = local.get();
-                    }
-                    int32_t *flat = m.nitFlat.data();
-                    const int32_t *cent = m.centroids.data();
-                    ThreadPool::global().parallelFor(
-                        nOut, /*grain=*/4, [&](int64_t lo, int64_t hi) {
-                            for (int64_t c = lo; c < hi; ++c) {
-                                const float *q = view.row(
-                                    cent[static_cast<size_t>(c)]);
-                                int32_t *row = flat + c * k;
-                                if (knnQ) {
-                                    backend->knnInto(q, k, row);
-                                } else {
-                                    int32_t cnt = backend->radiusInto(
-                                        q, radius, k, row);
-                                    padNitRow(row, cnt, k,
-                                              cent[static_cast<size_t>(
-                                                  c)]);
-                                }
-                            }
-                        });
-                };
-            }
-
-            bool concat = mc.aggregation ==
-                          AggregationKind::ConcatCentroidDifference;
-            switch (info.effective) {
-              case PipelineKind::Delayed: {
-                if (concat) {
-                    // Single-layer EdgeConv, split at compile time:
-                    // P = X W_d and Q = X (W_c - W_d) + b, so the
-                    // aggregate is act(max_j P_j + Q_i) — the exact
-                    // algebra of appendDelayedStages, with the weight
-                    // split hoisted out of the serving loop.
-                    const nn::Linear &l0 = me.mlp().layer(0);
-                    int32_t h = l0.outDim();
-                    auto wd = std::make_shared<Tensor>(mIn, h);
-                    auto wcd = std::make_shared<Tensor>(mIn, h);
-                    for (int32_t r = 0; r < mIn; ++r)
-                        for (int32_t c = 0; c < h; ++c) {
-                            float vc = l0.weight()(r, c);
-                            float vd = l0.weight()(mIn + r, c);
-                            (*wd)(r, c) = vd;
-                            (*wcd)(r, c) = vc - vd;
-                        }
-
-                    int32_t p = b.make(nIn, h);
-                    int32_t q = b.make(nIn, h);
-                    {
-                        StepIR &s =
-                            b.emit(StageKind::Feature, grp + ".feature.p");
-                        s.desc.op = OpKind::Matmul;
-                        s.desc.in = inFeat;
-                        s.desc.out = p;
-                        s.desc.rows = nIn;
-                        s.desc.cols = h;
-                        s.desc.wOwn = wd;
-                        s.reads = {inFeat};
-                        s.writes = {p};
-                    }
-                    {
-                        StepIR &s =
-                            b.emit(StageKind::Feature, grp + ".feature.q");
-                        s.desc.op = OpKind::Matmul;
-                        s.desc.in = inFeat;
-                        s.desc.out = q;
-                        s.desc.rows = nIn;
-                        s.desc.cols = h;
-                        s.desc.wOwn = wcd;
-                        s.reads = {inFeat};
-                        s.writes = {q};
-                    }
-                    if (l0.hasBias()) {
-                        StepIR &s = b.emit(StageKind::Feature,
-                                           grp + ".feature.bias");
-                        s.desc.op = OpKind::BiasRelu;
-                        s.desc.out = q;
-                        s.desc.rows = nIn;
-                        s.desc.cols = h;
-                        s.desc.bias = l0.bias().row(0);
-                        s.desc.relu = false;
-                        s.reads = {q}; // in-place update
-                        s.writes = {q};
-                    }
-
-                    outFeat = b.make(nOut, mOut);
-                    bool isRelu =
-                        l0.activation() == nn::Activation::Relu;
-                    {
-                        StepIR &s = b.emit(StageKind::Aggregate,
-                                           grp + ".aggregate");
-                        s.desc.op = OpKind::AggGatherMax;
-                        s.desc.in = p;
-                        s.desc.out = outFeat;
-                        s.desc.rows = nOut;
-                        s.desc.cols = mOut;
-                        s.desc.mod = i;
-                        s.desc.k = k;
-                        s.desc.srcRows = nIn;
-                        s.reads = {p, virtNit(i)};
-                        s.writes = {outFeat};
-                    }
-                    {
-                        StepIR &s = b.emit(StageKind::Aggregate,
-                                           grp + ".aggregate.add");
-                        s.desc.op = OpKind::AggAddAuxRelu;
-                        s.desc.out = outFeat;
-                        s.desc.aux = q;
-                        s.desc.rows = nOut;
-                        s.desc.cols = mOut;
-                        s.desc.mod = i;
-                        s.desc.relu = isRelu;
-                        s.reads = {outFeat, q, virtCentroids(i)};
-                        s.writes = {outFeat};
-                    }
-                } else {
-                    // PFT over raw inputs, fused gather + max-before-
-                    // subtract aggregation (paper Fig. 8).
-                    int32_t pft = b.make(nIn, mOut);
-                    {
-                        StepIR &s =
-                            b.emit(StageKind::Feature, grp + ".feature");
-                        s.desc.op = OpKind::MlpForward;
-                        s.desc.mlp = &me.mlp();
-                        s.desc.in = inFeat;
-                        s.desc.out = pft;
-                        s.desc.rows = nIn;
-                        s.desc.cols = mOut;
-                        s.reads = {inFeat};
-                        s.writes = {pft};
-                    }
-
-                    outFeat = b.make(nOut, mOut);
-                    {
-                        StepIR &s = b.emit(StageKind::Aggregate,
-                                           grp + ".aggregate");
-                        s.desc.op = OpKind::AggGatherMax;
-                        s.desc.in = pft;
-                        s.desc.out = outFeat;
-                        s.desc.rows = nOut;
-                        s.desc.cols = mOut;
-                        s.desc.mod = i;
-                        s.desc.k = k;
-                        s.desc.srcRows = nIn;
-                        s.reads = {pft, virtNit(i)};
-                        s.writes = {outFeat};
-                    }
-                    {
-                        StepIR &s = b.emit(StageKind::Aggregate,
-                                           grp + ".aggregate.sub");
-                        s.desc.op = OpKind::AggSubCentroid;
-                        s.desc.out = outFeat;
-                        s.desc.aux = pft;
-                        s.desc.rows = nOut;
-                        s.desc.cols = mOut;
-                        s.desc.mod = i;
-                        s.reads = {outFeat, pft, virtCentroids(i)};
-                        s.writes = {outFeat};
-                    }
-                }
-                break;
-              }
-
-              case PipelineKind::Original: {
-                int32_t mlpIn = io.mlpInDim;
-                int64_t rows = static_cast<int64_t>(nOut) * k;
-                int32_t batched = b.make(rows, mlpIn);
-                bool cc = concat;
-                {
-                    StepIR &s =
-                        b.emit(StageKind::Aggregate, grp + ".aggregate");
-                    s.reads = {inFeat, virtNit(i), virtCentroids(i)};
-                    s.writes = {batched};
-                    s.fn = [i, inFeat, batched, nOut, mIn, mlpIn, k,
-                            cc](PlanContext &ctx) {
-                        PlanModuleCtx &m = ctx.mods_[i];
-                        const float *src = ctx.buf(inFeat);
-                        float *dst = ctx.buf(batched);
-                        const int32_t *flat = m.nitFlat.data();
-                        const int32_t *cent = m.centroids.data();
-                        ThreadPool::global().parallelFor(
-                            nOut, /*grain=*/16,
-                            [&](int64_t lo, int64_t hi) {
-                                for (int64_t c = lo; c < hi; ++c) {
-                                    const float *cf =
-                                        src +
-                                        static_cast<int64_t>(
-                                            cent[static_cast<size_t>(
-                                                c)]) *
-                                            mIn;
-                                    for (int32_t j = 0; j < k; ++j) {
-                                        const float *nf =
-                                            src +
-                                            static_cast<int64_t>(
-                                                flat[c * k + j]) *
-                                                mIn;
-                                        float *row =
-                                            dst + (c * k + j) * mlpIn;
-                                        if (cc) {
-                                            for (int32_t d = 0; d < mIn;
-                                                 ++d) {
-                                                row[d] = cf[d];
-                                                row[mIn + d] =
-                                                    nf[d] - cf[d];
-                                            }
-                                        } else {
-                                            for (int32_t d = 0; d < mIn;
-                                                 ++d)
-                                                row[d] = nf[d] - cf[d];
-                                        }
-                                    }
-                                }
-                            });
-                    };
-                }
-
-                int32_t feat = b.make(rows, mOut);
-                {
-                    StepIR &s = b.emit(StageKind::Feature,
-                                       grp + ".feature.mlp");
-                    s.desc.op = OpKind::MlpForward;
-                    s.desc.mlp = &me.mlp();
-                    s.desc.in = batched;
-                    s.desc.out = feat;
-                    s.desc.rows = rows;
-                    s.desc.cols = mOut;
-                    s.reads = {batched};
-                    s.writes = {feat};
-                }
-
-                outFeat = b.make(nOut, mOut);
-                {
-                    StepIR &s = b.emit(StageKind::Feature,
-                                       grp + ".feature.reduce");
-                    s.reads = {feat};
-                    s.writes = {outFeat};
-                    s.fn = [feat, outFeat, nOut, mOut,
-                            k](PlanContext &ctx) {
-                        const float *src = ctx.buf(feat);
-                        float *out = ctx.buf(outFeat);
-                        ThreadPool::global().parallelFor(
-                            nOut, /*grain=*/16,
-                            [&](int64_t lo, int64_t hi) {
-                                for (int64_t c = lo; c < hi; ++c)
-                                    tensor::maxReduceRowsInto(
-                                        out + c * mOut,
-                                        src + c * k * mOut, mOut, mOut,
-                                        k);
-                            });
-                    };
-                }
-                break;
-              }
-
-              case PipelineKind::LtdDelayed: {
-                // Only the first (linear) product is hoisted; bias,
-                // activation, and the remaining layers run on grouped
-                // rows after aggregation.
-                const nn::Mlp &mlp = me.mlp();
-                const nn::Linear &l0 = mlp.layer(0);
-                int32_t h1 = l0.outDim();
-                int64_t rows = static_cast<int64_t>(nOut) * k;
-
-                int32_t pft1 = b.make(nIn, h1);
-                {
-                    StepIR &s =
-                        b.emit(StageKind::Feature, grp + ".feature");
-                    s.desc.op = OpKind::Matmul;
-                    s.desc.in = inFeat;
-                    s.desc.out = pft1;
-                    s.desc.rows = nIn;
-                    s.desc.cols = h1;
-                    s.desc.wBorrow = &l0.weight();
-                    s.reads = {inFeat};
-                    s.writes = {pft1};
-                }
-
-                int32_t batched = b.make(rows, h1);
-                {
-                    StepIR &s =
-                        b.emit(StageKind::Aggregate, grp + ".aggregate");
-                    s.reads = {pft1, virtNit(i), virtCentroids(i)};
-                    s.writes = {batched};
-                    s.fn = [i, pft1, batched, nOut, h1,
-                            k](PlanContext &ctx) {
-                        PlanModuleCtx &m = ctx.mods_[i];
-                        const float *src = ctx.buf(pft1);
-                        float *dst = ctx.buf(batched);
-                        const int32_t *flat = m.nitFlat.data();
-                        const int32_t *cent = m.centroids.data();
-                        ThreadPool::global().parallelFor(
-                            nOut, /*grain=*/16,
-                            [&](int64_t lo, int64_t hi) {
-                                for (int64_t c = lo; c < hi; ++c) {
-                                    const float *cf =
-                                        src +
-                                        static_cast<int64_t>(
-                                            cent[static_cast<size_t>(
-                                                c)]) *
-                                            h1;
-                                    for (int32_t j = 0; j < k; ++j) {
-                                        const float *nf =
-                                            src +
-                                            static_cast<int64_t>(
-                                                flat[c * k + j]) *
-                                                h1;
-                                        float *row =
-                                            dst + (c * k + j) * h1;
-                                        for (int32_t d = 0; d < h1; ++d)
-                                            row[d] = nf[d] - cf[d];
-                                    }
-                                }
-                            });
-                    };
-                }
-
-                // Tail: layer-0 bias/activation in place, then the
-                // remaining layers (if any) onto the grouped rows.
-                size_t numLayers = mlp.numLayers();
-                {
-                    StepIR &s = b.emit(StageKind::Feature,
-                                       grp + ".feature.bias");
-                    s.desc.op = OpKind::BiasRelu;
-                    s.desc.out = batched;
-                    s.desc.rows = rows;
-                    s.desc.cols = h1;
-                    s.desc.bias =
-                        l0.hasBias() ? l0.bias().row(0) : nullptr;
-                    s.desc.relu =
-                        l0.activation() == nn::Activation::Relu;
-                    s.reads = {batched}; // in-place update
-                    s.writes = {batched};
-                }
-                int32_t feat = batched;
-                if (numLayers > 1) {
-                    feat = b.make(rows, mOut);
-                    StepIR &s = b.emit(StageKind::Feature,
-                                       grp + ".feature.tail");
-                    s.desc.op = OpKind::MlpForward;
-                    s.desc.mlp = &me.mlp();
-                    s.desc.in = batched;
-                    s.desc.out = feat;
-                    s.desc.rows = rows;
-                    s.desc.cols = mOut;
-                    s.desc.firstLayer = 1;
-                    s.reads = {batched};
-                    s.writes = {feat};
-                }
-
-                outFeat = b.make(nOut, mOut);
-                {
-                    StepIR &s = b.emit(StageKind::Feature,
-                                       grp + ".feature.reduce");
-                    s.reads = {feat};
-                    s.writes = {outFeat};
-                    s.fn = [feat, outFeat, nOut, mOut,
-                            k](PlanContext &ctx) {
-                        const float *src = ctx.buf(feat);
-                        float *out = ctx.buf(outFeat);
-                        ThreadPool::global().parallelFor(
-                            nOut, /*grain=*/16,
-                            [&](int64_t lo, int64_t hi) {
-                                for (int64_t c = lo; c < hi; ++c)
-                                    tensor::maxReduceRowsInto(
-                                        out + c * mOut,
-                                        src + c * k * mOut, mOut, mOut,
-                                        k);
-                            });
-                    };
-                }
-                break;
-              }
-            }
-
-            // Output coordinates: the centroids' xyz.
-            outCoords = b.make(nOut, 3);
-            {
-                StepIR &s = b.emit(StageKind::Epilogue, grp + ".coords");
-                s.reads = {inCoords, virtCentroids(i)};
-                s.writes = {outCoords};
-                s.fn = [i, inCoords, outCoords, nOut](PlanContext &ctx) {
-                    const float *src = ctx.buf(inCoords);
-                    float *dst = ctx.buf(outCoords);
-                    const int32_t *cent = ctx.mods_[i].centroids.data();
-                    for (int32_t c = 0; c < nOut; ++c) {
-                        const float *row =
-                            src + static_cast<int64_t>(
-                                      cent[static_cast<size_t>(c)]) *
-                                      3;
-                        std::copy(row, row + 3, dst + 3 * c);
-                    }
-                };
-            }
-        }
-
-        // Level / link bookkeeping (mirrors harvestModule).
-        if (cfg.linkedInputs) {
-            if (nOut == level.n) {
-                chainBufs.push_back(outFeat);
-                chainDims.push_back(mOut);
-            } else {
-                chainBufs = {outFeat};
-                chainDims = {mOut};
-            }
-        }
-        moduleOutBufs.push_back(outFeat);
-        level = LevelBuf{outCoords, outFeat, nOut, mOut};
-
-        if (wantInterp) {
-            plan.levelShapes_.emplace_back(nOut, mOut);
-            size_t li = i + 1;
-            StepIR &s = b.emit(StageKind::Epilogue, grp + ".capture");
-            s.reads = {outCoords, outFeat};
-            s.writes = {virtLevel(li)};
-            s.fn = [outCoords, outFeat, nOut, mOut, li](
-                       PlanContext &ctx) {
-                ModuleState &lv = ctx.levels_[li];
-                const float *cs = ctx.buf(outCoords);
-                std::copy(cs, cs + static_cast<int64_t>(nOut) * 3,
-                          lv.coords.data());
-                const float *fs = ctx.buf(outFeat);
-                std::copy(fs, fs + static_cast<int64_t>(nOut) * mOut,
-                          lv.features.data());
-            };
-        }
-    }
-
-    // --- Head. -------------------------------------------------------
-    int32_t numClasses = cfg.numClasses;
-    if (cfg.concatModuleOutputs) {
-        int32_t rows = cfg.numInputPoints;
-        int32_t concatDim = exec.concatDim();
-        int32_t cat = b.make(rows, concatDim);
-        {
-            auto bufs = moduleOutBufs;
-            std::vector<int32_t> dims;
-            for (const auto &m : cfg.modules)
-                dims.push_back(m.outDim());
-            StepIR &s = b.emit(StageKind::Epilogue, "head.concat");
-            s.reads = moduleOutBufs;
-            s.writes = {cat};
-            s.fn = [cat, bufs, dims, rows, concatDim](PlanContext &ctx) {
-                float *dst = ctx.buf(cat);
-                int32_t off = 0;
-                for (size_t j = 0; j < bufs.size(); ++j) {
-                    const float *src = ctx.buf(bufs[j]);
-                    int32_t w = dims[j];
-                    for (int32_t r = 0; r < rows; ++r)
-                        std::copy(src + static_cast<int64_t>(r) * w,
-                                  src + static_cast<int64_t>(r) * w + w,
-                                  dst + static_cast<int64_t>(r) *
-                                            concatDim +
-                                      off);
-                    off += w;
-                }
-            };
-        }
-
-        const nn::Mlp *gmlp = exec.globalMlp();
-        int32_t g = gmlp->outDim();
-        int32_t gl = b.make(rows, g);
-        {
-            StepIR &s = b.emit(StageKind::Feature, "head.global");
-            s.desc.op = OpKind::MlpForward;
-            s.desc.mlp = gmlp;
-            s.desc.in = cat;
-            s.desc.out = gl;
-            s.desc.rows = rows;
-            s.desc.cols = g;
-            s.reads = {cat};
-            s.writes = {gl};
-        }
-
-        int32_t pooled = b.make(1, g);
-        {
-            StepIR &s = b.emit(StageKind::Feature, "head.pool");
-            s.reads = {gl};
-            s.writes = {pooled};
-            s.fn = [gl, pooled, rows, g](PlanContext &ctx) {
-                tensor::maxReduceAllRowsInto(ctx.buf(pooled),
-                                             ctx.buf(gl), g, g, rows);
-            };
-        }
-
-        const nn::Mlp *head = &exec.head();
-        if (cfg.task == Task::Classification) {
-            plan.logitsRows_ = 1;
-            plan.logitsCols_ = numClasses;
-            StepIR &s = b.emit(StageKind::Epilogue, "head.fc");
-            s.reads = {pooled};
-            s.writes = {kResLogits};
-            s.root = true;
-            s.fn = [head, pooled, g](PlanContext &ctx) {
-                head->forwardInto(ctx.buf(pooled), g, 1,
-                                  ctx.logits_.data(),
-                                  ctx.logits_.cols());
-            };
-        } else {
-            // Broadcast the pooled vector back onto every point.
-            int32_t xh = b.make(rows, concatDim + g);
-            {
-                StepIR &s = b.emit(StageKind::Epilogue, "head.bcast");
-                s.reads = {cat, pooled};
-                s.writes = {xh};
-                s.fn = [cat, pooled, xh, rows, concatDim,
-                        g](PlanContext &ctx) {
-                    const float *cs = ctx.buf(cat);
-                    const float *ps = ctx.buf(pooled);
-                    float *dst = ctx.buf(xh);
-                    int32_t w = concatDim + g;
-                    for (int32_t r = 0; r < rows; ++r) {
-                        float *row = dst + static_cast<int64_t>(r) * w;
-                        std::copy(
-                            cs + static_cast<int64_t>(r) * concatDim,
-                            cs + static_cast<int64_t>(r) * concatDim +
-                                concatDim,
-                            row);
-                        std::copy(ps, ps + g, row + concatDim);
-                    }
-                };
-            }
-            plan.logitsRows_ = rows;
-            plan.logitsCols_ = numClasses;
-            StepIR &s = b.emit(StageKind::Epilogue, "head.fc");
-            s.reads = {xh};
-            s.writes = {kResLogits};
-            s.root = true;
-            s.fn = [head, xh, rows, concatDim, g](PlanContext &ctx) {
-                head->forwardInto(ctx.buf(xh), concatDim + g, rows,
-                                  ctx.logits_.data(),
-                                  ctx.logits_.cols());
-            };
-        }
-    } else if (wantInterp) {
-        // Interpolation decoder: runs through InterpExecutor on the
-        // captured level states (identical calls to the graph path;
-        // this branch allocates — it is not part of the zero-allocation
-        // serving contract).
-        plan.logitsRows_ = cfg.numInputPoints;
-        plan.logitsCols_ = numClasses;
-        size_t nlev = exec.numModules();
-        StepIR &s = b.emit(StageKind::Epilogue, "head.decoder");
-        for (size_t li = 0; li <= nlev; ++li)
-            s.reads.push_back(virtLevel(li));
-        s.writes = {kResLogits};
-        s.root = true;
-        s.fn = [ex, nlev](PlanContext &ctx) {
-            ModuleState cur = ctx.levels_.back();
-            for (size_t j = 0; j < ex->numInterps(); ++j) {
-                ModuleResult r =
-                    ex->interp(j).run(ctx.levels_[nlev - 1 - j], cur);
-                cur = std::move(r.out);
-            }
-            Tensor lg = ex->head().forward(cur.features);
-            MESO_CHECK(lg.rows() == ctx.logits_.rows() &&
-                           lg.cols() == ctx.logits_.cols(),
-                       "decoder logits shape " << lg.shapeStr());
-            std::copy(lg.data(), lg.data() + lg.numel(),
-                      ctx.logits_.data());
-        };
-    } else if (!detection) {
-        const nn::Mlp *head = &exec.head();
-        plan.logitsRows_ = level.n;
-        plan.logitsCols_ = numClasses;
-        int32_t lastFeat = level.feat;
-        int32_t lastN = level.n;
-        int32_t lastM = level.m;
-        StepIR &s = b.emit(StageKind::Epilogue, "head.fc");
-        s.reads = {lastFeat};
-        s.writes = {kResLogits};
-        s.root = true;
-        s.fn = [head, lastFeat, lastN, lastM](PlanContext &ctx) {
-            head->forwardInto(ctx.buf(lastFeat), lastM, lastN,
-                              ctx.logits_.data(), ctx.logits_.cols());
-        };
-    }
-
-    // --- Detection stage 2: global branches over the raw input. ------
-    if (detection) {
-        int32_t d2 = 0;
-        for (size_t i = 0; i < exec.numStage2Modules(); ++i)
-            d2 += exec.stage2Module(i).config().outDim();
-        int32_t pooled = b.make(1, d2);
-        int32_t off = 0;
-        for (size_t i = 0; i < exec.numStage2Modules(); ++i) {
-            const ModuleExecutor *sm = &exec.stage2Module(i);
-            const std::string &sname = sm->config().name;
-            int32_t w = sm->config().outDim();
-            int32_t tmp = b.make(n0, w);
-            {
-                StepIR &s =
-                    b.emit(StageKind::Feature, sname + ".feature");
-                s.desc.op = OpKind::MlpForward;
-                s.desc.mlp = &sm->mlp();
-                s.desc.in = inBuf;
-                s.desc.out = tmp;
-                s.desc.rows = n0;
-                s.desc.cols = w;
-                s.reads = {inBuf};
-                s.writes = {tmp};
-            }
-            {
-                StepIR &s =
-                    b.emit(StageKind::Aggregate, sname + ".reduce");
-                s.reads = {tmp, pooled}; // writes one slice of pooled
-                s.writes = {pooled};
-                s.fn = [tmp, pooled, n0, w, off](PlanContext &ctx) {
-                    tensor::maxReduceAllRowsInto(ctx.buf(pooled) + off,
-                                                 ctx.buf(tmp), w, w, n0);
-                };
-            }
-            off += w;
-        }
-
-        const nn::Mlp *boxHead = exec.stage2Head();
-        plan.logitsRows_ = 1;
-        plan.logitsCols_ = cfg.stage2Outputs;
-        StepIR &s = b.emit(StageKind::Epilogue, "head.box");
-        s.reads = {pooled};
-        s.writes = {kResLogits};
-        s.root = true;
-        s.fn = [boxHead, pooled, d2](PlanContext &ctx) {
-            boxHead->forwardInto(ctx.buf(pooled), d2, 1,
-                                 ctx.logits_.data(),
-                                 ctx.logits_.cols());
-        };
-    }
+    CompiledEngine eng;
+    PlanIR ir = emitProgram(exec, kind, opts, eng);
 
     // --- Optimize: run the pass pipeline over the IR. ----------------
     {
-        ArenaPlanResult pre = planArenaFor(b.ir);
-        plan.stats_.arenaFloatsPrePass = pre.planner.totalFloats();
-        plan.stats_.numStepsPrePass =
-            static_cast<int32_t>(b.ir.steps.size());
+        ArenaPlanResult pre = planArenaFor(ir);
+        eng.stats_.arenaFloatsPrePass = pre.planner.totalFloats();
+        eng.stats_.numStepsPrePass =
+            static_cast<int32_t>(ir.steps.size());
     }
-    plan.passStats_ =
-        PassManager::defaultPipeline().run(b.ir, opts.passes);
-    for (const PassStat &ps : plan.passStats_) {
-        plan.stats_.stepsRemoved += ps.stepsRemoved;
-        plan.stats_.fusionsApplied += ps.fusionsApplied;
-        plan.stats_.layoutsChanged += ps.layoutsChanged;
+    eng.passStats_ = PassManager::defaultPipeline().run(ir, opts.passes);
+    for (const PassStat &ps : eng.passStats_) {
+        eng.stats_.stepsRemoved += ps.stepsRemoved;
+        eng.stats_.fusionsApplied += ps.fusionsApplied;
+        eng.stats_.layoutsChanged += ps.layoutsChanged;
     }
 
-    // --- Freeze: re-plan the arena, bake closures, seal the plan. ----
-    ArenaPlanResult post = planArenaFor(b.ir);
-    plan.stats_.naiveFloats = post.planner.naiveFloats();
-    plan.stats_.arenaFloats = post.planner.totalFloats();
-    plan.stats_.numBuffers =
+    // --- Freeze: re-plan the arena, bake closures, seal the engine. --
+    ArenaPlanResult post = planArenaFor(ir);
+    eng.stats_.naiveFloats = post.planner.naiveFloats();
+    eng.stats_.arenaFloats = post.planner.totalFloats();
+    eng.stats_.numBuffers =
         static_cast<int32_t>(post.planner.numBuffers());
-    plan.stats_.numSteps = static_cast<int32_t>(b.ir.steps.size());
+    eng.stats_.numSteps = static_cast<int32_t>(ir.steps.size());
     // Dead buffers (every step touching them was eliminated) keep
     // offset 0; nothing executes against them.
-    plan.offsets_.assign(b.ir.bufs.size(), 0);
-    for (size_t id = 0; id < b.ir.bufs.size(); ++id)
+    eng.offsets_.assign(ir.bufs.size(), 0);
+    for (size_t id = 0; id < ir.bufs.size(); ++id)
         if (post.planId[id] >= 0)
-            plan.offsets_[id] = post.planner.offset(post.planId[id]);
-    plan.bufferShapes_ = b.ir.bufs;
-    plan.steps_.reserve(b.ir.steps.size());
-    for (const StepIR &s : b.ir.steps)
-        plan.steps_.push_back(bakeStep(s, b.ir));
-    return plan;
+            eng.offsets_[id] = post.planner.offset(post.planId[id]);
+    eng.bufferShapes_ = ir.bufs;
+    eng.steps_ = std::move(ir.steps);
+    eng.bake();
+    return eng;
 }
 
 } // namespace mesorasi::core::plan

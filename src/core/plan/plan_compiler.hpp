@@ -1,7 +1,7 @@
 /**
  * @file
  * PlanCompiler: one walk over a NetworkExecutor produces an immutable
- * ExecutionPlan.
+ * CompiledEngine.
  *
  * The compile does, once, everything the per-run path re-does per
  * request:
@@ -15,23 +15,29 @@
  *    model (GpuConfig's calibrated per-candidate costs), instead of the
  *    per-run chooseBackend heuristic. All backends agree bitwise on
  *    results, so resolution never changes outputs — only cost.
- *  - Memory planning: every intermediate (PFTs, NFM batches, level
- *    features, head buffers) is registered with the ArenaPlanner and
- *    assigned a liveness-aliased arena offset.
- *  - Step compilation: the pipeline bodies are emitted as a step IR
- *    (step_ir.hpp) with declared read/write sets, optimized by the
- *    pass pipeline (passes/pass.hpp: dead-step elimination, epilogue
- *    fusion, PFT layout selection), then baked into closures over
- *    buffer ids and AOT shapes, replaying the exact kernels and RNG
+ *    (compiler_resolve.cpp)
+ *  - Step emission: the pipeline bodies are emitted as a
+ *    descriptor-complete step IR (step_ir.hpp) with declared read/write
+ *    sets — every step a structured OpDesc, no opaque closures — and
+ *    the network's weights/MLPs are copied into engine-owned tables the
+ *    descriptors reference by id. (compiler_emit.cpp)
+ *  - Optimization and freezing: the pass pipeline (passes/pass.hpp:
+ *    dead-step elimination, epilogue fusion, PFT layout selection)
+ *    rewrites the IR; every intermediate is then assigned a
+ *    liveness-aliased arena offset and CompiledEngine::bake lowers the
+ *    descriptors to closures, replaying the exact kernels and RNG
  *    stream of the stage-graph path (bitwise-identical logits; see
  *    tests/test_plan.cpp and tests/test_plan_passes.cpp).
+ *    (plan_compiler.cpp)
  *
- * The executor must outlive the plan (the plan borrows its weights).
+ * The engine is self-contained: it owns copies of all parameters, so
+ * the executor may be destroyed after compile — and the engine
+ * round-trips through a serialized artifact (core/plan/serialize.hpp).
  */
 #pragma once
 
 #include "core/network.hpp"
-#include "core/plan/execution_plan.hpp"
+#include "core/plan/engine.hpp"
 #include "core/plan/passes/pass.hpp"
 
 namespace mesorasi::core::plan {
@@ -54,10 +60,10 @@ struct CompileOptions
 class PlanCompiler
 {
   public:
-    /** Compile @p exec under @p kind into an immutable plan. */
-    static ExecutionPlan compile(const NetworkExecutor &exec,
-                                 PipelineKind kind,
-                                 const CompileOptions &opts = {});
+    /** Compile @p exec under @p kind into an immutable engine. */
+    static CompiledEngine compile(const NetworkExecutor &exec,
+                                  PipelineKind kind,
+                                  const CompileOptions &opts = {});
 
     /**
      * Resolve Backend::Auto for one module shape. @p knnQuery
@@ -77,6 +83,16 @@ class PlanCompiler
      */
     static double plannedSearchCostMs(neighbor::Backend backend,
                                       const ModuleIo &io, bool knnQuery);
+
+  private:
+    /** Emit the whole descriptor program and fill @p eng's AOT tables
+     *  (module infos, logits shape, weight/MLP copies). Defined in
+     *  compiler_emit.cpp; the returned IR is what the pass pipeline
+     *  rewrites before the engine is frozen. */
+    static PlanIR emitProgram(const NetworkExecutor &exec,
+                              PipelineKind kind,
+                              const CompileOptions &opts,
+                              CompiledEngine &eng);
 };
 
 } // namespace mesorasi::core::plan

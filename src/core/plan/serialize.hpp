@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Versioned binary engine artifacts: save a CompiledEngine once,
+ * reload it in another process, and execute with bitwise-identical
+ * logits — the software analogue of shipping the configured
+ * accelerator image (NIT/PFT sizing, resolved schedules) instead of
+ * re-deriving it per boot.
+ *
+ * Format: little-endian, magic "MESO" + format version, then every
+ * engine table (modules, buffer shapes, arena offsets, descriptor
+ * steps, pass stats, MLP/weight parameter tables). OpDesc fields are
+ * written as (tag, value) pairs with defaults omitted, so the format
+ * survives adding descriptor fields without a version bump: old tags
+ * keep their meaning, unknown tags are a hard error (they would change
+ * numerics silently).
+ *
+ * Versioning policy: kEngineFormatVersion bumps whenever a change
+ * would make an old reader mis-execute (new op kind, changed field
+ * meaning). Loaders reject any other version — artifacts are a cache,
+ * not an interchange format, and recompiling is always correct.
+ *
+ * Robustness contract: loadEngine never exhibits UB on corrupt input.
+ * Every read is bounds-checked and every decoded structure validated
+ * (buffer ids, table ids, op kinds) before bake(); failures throw
+ * UsageError with a "corrupt engine artifact" message
+ * (tests/test_engine_serialize.cpp feeds truncated and bit-flipped
+ * artifacts under ASan).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan/engine.hpp"
+
+namespace mesorasi::core::plan {
+
+/** Bumped on any change an old reader would mis-execute. */
+constexpr uint32_t kEngineFormatVersion = 1;
+
+/** Serialize @p engine to the versioned binary artifact format. */
+std::vector<uint8_t> saveEngineToBytes(const CompiledEngine &engine);
+
+/** Serialize @p engine to @p path (overwrites). */
+void saveEngine(const CompiledEngine &engine, const std::string &path);
+
+/**
+ * Reconstruct an engine from artifact bytes. The loaded engine bakes
+ * the same closures a fresh compile would, so its logits are bitwise
+ * identical to the compiling process's. Throws UsageError on corrupt,
+ * truncated, or version-mismatched input.
+ */
+CompiledEngine loadEngineFromBytes(const uint8_t *data, size_t size);
+
+/** Load an engine artifact from @p path. */
+CompiledEngine loadEngine(const std::string &path);
+
+/** Size in bytes of @p engine's serialized artifact. */
+int64_t serializedEngineSize(const CompiledEngine &engine);
+
+} // namespace mesorasi::core::plan

@@ -1,11 +1,6 @@
 #include "core/plan/step_ir.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/check.hpp"
-#include "common/thread_pool.hpp"
-#include "tensor/ops.hpp"
 
 namespace mesorasi::core::plan {
 
@@ -16,16 +11,11 @@ resourceName(int32_t id)
         return "b" + std::to_string(id);
     if (id == kResLogits)
         return "logits";
-    int32_t v = -id - 2; // triple-coded virtual resources
-    int32_t idx = v / 3;
-    switch (v % 3) {
-      case 0:
-        return "cent(" + std::to_string(idx) + ")";
-      case 1:
-        return "nit(" + std::to_string(idx) + ")";
-      default:
-        return "level(" + std::to_string(idx) + ")";
-    }
+    if (id == kResRng)
+        return "rng";
+    int32_t v = -id - 3; // pair-coded virtual resources
+    int32_t idx = v / 2;
+    return (v % 2 == 0 ? "cent(" : "nit(") + std::to_string(idx) + ")";
 }
 
 const char *
@@ -48,242 +38,30 @@ opKindName(OpKind op)
         return "add_aux_relu";
       case OpKind::PackRows:
         return "pack_rows";
+      case OpKind::RngDraw:
+        return "rng_draw";
+      case OpKind::MaterializeCloud:
+        return "materialize_cloud";
+      case OpKind::ResolveSample:
+        return "resolve_sample";
+      case OpKind::SearchNit:
+        return "search_nit";
+      case OpKind::GroupDiff:
+        return "group_diff";
+      case OpKind::ReduceMaxRows:
+        return "reduce_max_rows";
+      case OpKind::ReduceMaxAll:
+        return "reduce_max_all";
+      case OpKind::GatherRows:
+        return "gather_rows";
+      case OpKind::FillZero:
+        return "fill_zero";
+      case OpKind::ConcatCols:
+        return "concat_cols";
+      case OpKind::Interp3NN:
+        return "interp_3nn";
     }
     return "?";
-}
-
-namespace {
-
-int64_t
-ldOf(const PlanIR &ir, int32_t id)
-{
-    MESO_CHECK(id >= 0 && id < static_cast<int32_t>(ir.bufs.size()),
-               "bad buffer id " << id);
-    return ir.bufs[static_cast<size_t>(id)].ld;
-}
-
-/** Lower one descriptor op to a closure. Strides are frozen from the
- *  buffer table here, after all layout rewrites. */
-std::function<void(PlanContext &)>
-bakeOne(const OpDesc &d, const PlanIR &ir)
-{
-    switch (d.op) {
-      case OpKind::MlpForward: {
-        const nn::Mlp *mlp = d.mlp;
-        int32_t in = d.in, out = d.out;
-        int64_t ldIn = ldOf(ir, in), ldOut = ldOf(ir, out);
-        int32_t rows = static_cast<int32_t>(d.rows);
-        size_t firstLayer = d.firstLayer;
-        return [=](PlanContext &ctx) {
-            mlp->forwardInto(ctx.buf(in), ldIn, rows, ctx.buf(out),
-                             ldOut, firstLayer);
-        };
-      }
-      case OpKind::Matmul: {
-        auto wOwn = d.wOwn; // keep the split weight alive in the closure
-        const tensor::Tensor *wBorrow = d.wBorrow;
-        int32_t in = d.in, out = d.out;
-        int64_t ldIn = ldOf(ir, in), ldOut = ldOf(ir, out);
-        int32_t rows = static_cast<int32_t>(d.rows);
-        return [=](PlanContext &ctx) {
-            tensor::matmulInto(ctx.buf(out), ldOut, ctx.buf(in), ldIn,
-                               rows, wOwn ? *wOwn : *wBorrow);
-        };
-      }
-      case OpKind::BiasRelu: {
-        int32_t out = d.out;
-        int64_t ldOut = ldOf(ir, out);
-        int32_t rows = static_cast<int32_t>(d.rows), cols = d.cols;
-        const float *bias = d.bias;
-        bool relu = d.relu;
-        return [=](PlanContext &ctx) {
-            tensor::biasReluBlockInPlace(ctx.buf(out), ldOut, rows, cols,
-                                         bias, relu);
-        };
-      }
-      case OpKind::AggGatherMax: {
-        size_t mod = d.mod;
-        int32_t in = d.in, out = d.out;
-        int64_t ldIn = ldOf(ir, in), ldOut = ldOf(ir, out);
-        int64_t rows = d.rows;
-        int32_t cols = d.cols, k = d.k, srcRows = d.srcRows;
-        return [=](PlanContext &ctx) {
-            const float *src = ctx.buf(in);
-            float *o = ctx.buf(out);
-            const int32_t *flat = ctx.mods_[mod].nitFlat.data();
-            ThreadPool::global().parallelFor(
-                rows, /*grain=*/16, [&](int64_t lo, int64_t hi) {
-                    for (int64_t c = lo; c < hi; ++c)
-                        tensor::gatherMaxReduceInto(o + c * ldOut, src,
-                                                    ldIn, cols, srcRows,
-                                                    flat + c * k, k);
-                });
-        };
-      }
-      case OpKind::AggSubCentroid: {
-        size_t mod = d.mod;
-        int32_t out = d.out, aux = d.aux;
-        int64_t ldOut = ldOf(ir, out), ldAux = ldOf(ir, aux);
-        int64_t rows = d.rows;
-        int32_t cols = d.cols;
-        return [=](PlanContext &ctx) {
-            const float *a = ctx.buf(aux);
-            float *o = ctx.buf(out);
-            const int32_t *cent = ctx.mods_[mod].centroids.data();
-            ThreadPool::global().parallelFor(
-                rows, /*grain=*/16, [&](int64_t lo, int64_t hi) {
-                    for (int64_t c = lo; c < hi; ++c) {
-                        float *orow = o + c * ldOut;
-                        const float *cf =
-                            a + static_cast<int64_t>(
-                                    cent[static_cast<size_t>(c)]) *
-                                    ldAux;
-                        for (int32_t e = 0; e < cols; ++e)
-                            orow[e] -= cf[e];
-                    }
-                });
-        };
-      }
-      case OpKind::AggAddAuxRelu: {
-        size_t mod = d.mod;
-        int32_t out = d.out, aux = d.aux;
-        int64_t ldOut = ldOf(ir, out), ldAux = ldOf(ir, aux);
-        int64_t rows = d.rows;
-        int32_t cols = d.cols;
-        bool relu = d.relu;
-        return [=](PlanContext &ctx) {
-            const float *a = ctx.buf(aux);
-            float *o = ctx.buf(out);
-            const int32_t *cent = ctx.mods_[mod].centroids.data();
-            ThreadPool::global().parallelFor(
-                rows, /*grain=*/16, [&](int64_t lo, int64_t hi) {
-                    for (int64_t c = lo; c < hi; ++c) {
-                        float *orow = o + c * ldOut;
-                        const float *qr =
-                            a + static_cast<int64_t>(
-                                    cent[static_cast<size_t>(c)]) *
-                                    ldAux;
-                        for (int32_t e = 0; e < cols; ++e) {
-                            float v = orow[e] + qr[e];
-                            if (relu)
-                                v = std::max(0.0f, v);
-                            orow[e] = v;
-                        }
-                    }
-                });
-        };
-      }
-      case OpKind::PackRows: {
-        int32_t in = d.in, out = d.out;
-        int64_t ldIn = ldOf(ir, in), ldOut = ldOf(ir, out);
-        int64_t rows = d.rows;
-        int32_t cols = d.cols;
-        return [=](PlanContext &ctx) {
-            tensor::copyRowsInto(ctx.buf(out), ldOut, ctx.buf(in), ldIn,
-                                 rows, cols);
-        };
-      }
-      case OpKind::Generic:
-        break;
-    }
-    MESO_CHECK(false, "cannot bake a Generic descriptor");
-    return {};
-}
-
-} // namespace
-
-PlanStep
-bakeStep(const StepIR &s, const PlanIR &ir)
-{
-    PlanStep out;
-    out.kind = s.kind;
-    out.name = s.name;
-    out.reads = s.reads;
-    out.writes = s.writes;
-    out.note = s.note;
-
-    if (s.desc.op == OpKind::Generic) {
-        MESO_CHECK(s.fn && s.tail.empty(),
-                   "generic step '" << s.name
-                                    << "' needs a closure and no tail");
-        out.fn = s.fn;
-        return out;
-    }
-
-    // The per-centroid fused aggregates: gather + max and the epilogue
-    // run in one loop over centroids, so each output row is finished
-    // while cache-hot — exactly the hand-fused kernels this pipeline
-    // replaces. Per-element operation order matches the two-step bake,
-    // so both forms are bitwise identical.
-    if (s.desc.op == OpKind::AggGatherMax && s.tail.size() == 1 &&
-        (s.tail[0].op == OpKind::AggSubCentroid ||
-         s.tail[0].op == OpKind::AggAddAuxRelu)) {
-        const OpDesc &g = s.desc;
-        const OpDesc &e = s.tail[0];
-        MESO_CHECK(e.out == g.out && e.rows == g.rows && e.cols == g.cols,
-                   "fused aggregate shape mismatch in '" << s.name
-                                                         << "'");
-        size_t mod = g.mod;
-        int32_t in = g.in, dst = g.out, aux = e.aux;
-        int64_t ldIn = ldOf(ir, in), ldDst = ldOf(ir, dst),
-                ldAux = ldOf(ir, aux);
-        int64_t rows = g.rows;
-        int32_t cols = g.cols, k = g.k, srcRows = g.srcRows;
-        bool sub = e.op == OpKind::AggSubCentroid;
-        bool relu = e.relu;
-        out.fn = [=](PlanContext &ctx) {
-            PlanModuleCtx &m = ctx.mods_[mod];
-            const float *src = ctx.buf(in);
-            const float *a = ctx.buf(aux);
-            float *o = ctx.buf(dst);
-            const int32_t *flat = m.nitFlat.data();
-            const int32_t *cent = m.centroids.data();
-            ThreadPool::global().parallelFor(
-                rows, /*grain=*/16, [&](int64_t lo, int64_t hi) {
-                    for (int64_t c = lo; c < hi; ++c) {
-                        float *orow = o + c * ldDst;
-                        tensor::gatherMaxReduceInto(orow, src, ldIn,
-                                                    cols, srcRows,
-                                                    flat + c * k, k);
-                        const float *ar =
-                            a + static_cast<int64_t>(
-                                    cent[static_cast<size_t>(c)]) *
-                                    ldAux;
-                        if (sub) {
-                            for (int32_t e2 = 0; e2 < cols; ++e2)
-                                orow[e2] -= ar[e2];
-                        } else {
-                            for (int32_t e2 = 0; e2 < cols; ++e2) {
-                                float v = orow[e2] + ar[e2];
-                                if (relu)
-                                    v = std::max(0.0f, v);
-                                orow[e2] = v;
-                            }
-                        }
-                    }
-                });
-        };
-        return out;
-    }
-
-    // Block-level ops (matmul, bias/relu, MLP tails): the descriptor op
-    // followed by its tail in order IS the fused form — each op sweeps
-    // the whole block, so fusion here saves step dispatch and keeps the
-    // intermediate in a register-blocked hot path, not a loop merge.
-    std::function<void(PlanContext &)> head = bakeOne(s.desc, ir);
-    if (s.tail.empty()) {
-        out.fn = std::move(head);
-        return out;
-    }
-    std::vector<std::function<void(PlanContext &)>> fns;
-    fns.push_back(std::move(head));
-    for (const OpDesc &d : s.tail)
-        fns.push_back(bakeOne(d, ir));
-    out.fn = [fns](PlanContext &ctx) {
-        for (const auto &f : fns)
-            f(ctx);
-    };
-    return out;
 }
 
 ArenaPlanResult

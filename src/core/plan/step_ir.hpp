@@ -1,40 +1,39 @@
 /**
  * @file
- * Mutable step IR the plan optimizer passes rewrite.
+ * Descriptor-complete step IR: the mutable program the plan optimizer
+ * passes rewrite and the serializable body of a CompiledEngine.
  *
- * PlanCompiler::compile no longer bakes runtime closures directly:
- * emission produces StepIR records — each with declared read/write
- * resource sets and, for the fusible compute ops, a structured OpDesc
- * instead of an opaque closure. The pass pipeline (core/plan/passes)
- * rewrites this IR (removing dead steps, folding epilogues into their
- * producers, choosing PFT layouts), then bakeStep lowers every step to
- * the PlanStep closure the runtime walks and planArenaFor re-runs the
- * ArenaPlanner over the surviving sequence.
+ * Every step is a structured OpDesc — there are no opaque closures in
+ * the IR. Emission (compiler_emit.cpp) produces StepIR records with
+ * declared read/write resource sets; the pass pipeline
+ * (core/plan/passes) rewrites them (removing dead steps, folding
+ * epilogues into their producers, choosing PFT layouts); then
+ * CompiledEngine::bake lowers every descriptor to a runtime closure
+ * with strides frozen from the (possibly layout-rewritten) buffer
+ * table. Because the descriptors carry the whole program, the same
+ * bake serves a freshly compiled engine and one loaded from a
+ * serialized artifact (core/plan/serialize.hpp).
  *
  * Resource space: arena buffer ids are >= 0 and index PlanIR::bufs.
  * State that lives outside the arena but still carries data between
- * steps (resolved centroid lists, flat NITs, interp-decoder level
- * copies, the logits tensor) gets a negative virtual id, so liveness
- * analysis sees every producer/consumer edge — including the ones the
- * arena planner does not care about.
+ * steps (the RNG draw stream, resolved centroid lists, flat NITs, the
+ * logits tensor) gets a negative virtual id, so liveness analysis sees
+ * every producer/consumer edge — including the ones the arena planner
+ * does not care about.
  *
  * Bitwise contract: baking a step (fused or not) reproduces the exact
  * per-element operation sequence of the stage-graph path, so any legal
- * rewrite keeps plan logits byte-identical to the unoptimized plan and
- * to the per-run reference (asserted in tests/test_plan_passes.cpp).
+ * rewrite keeps engine logits byte-identical to the unoptimized engine
+ * and to the per-run reference (asserted in tests/test_plan_passes.cpp).
  */
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/plan/arena.hpp"
-#include "core/plan/execution_plan.hpp"
-#include "nn/mlp.hpp"
-#include "tensor/tensor.hpp"
+#include "core/stage_graph.hpp"
 
 namespace mesorasi::core::plan {
 
@@ -42,25 +41,28 @@ namespace mesorasi::core::plan {
 
 constexpr int32_t kResLogits = -1;
 
+/**
+ * The sampler RNG stream. Every RngDraw step reads and writes this
+ * resource, chaining the draws in emission order: dead-step
+ * elimination can drop a dead *suffix* of the stream (detection plans
+ * drop all draws with the encoder), but never a middle draw — removing
+ * one would shift every later draw and break bitwise replay of the
+ * stage-graph path's pre-drawn stream.
+ */
+constexpr int32_t kResRng = -2;
+
 /** Resolved centroid index list of encoder module @p mod. */
 inline int32_t
 virtCentroids(size_t mod)
 {
-    return -2 - 3 * static_cast<int32_t>(mod);
+    return -3 - 2 * static_cast<int32_t>(mod);
 }
 
 /** Flat NIT (nOut x k neighbor ids) of encoder module @p mod. */
 inline int32_t
 virtNit(size_t mod)
 {
-    return -3 - 3 * static_cast<int32_t>(mod);
-}
-
-/** Interp-decoder level copy @p level (ctx.levels_). */
-inline int32_t
-virtLevel(size_t level)
-{
-    return -4 - 3 * static_cast<int32_t>(level);
+    return -4 - 2 * static_cast<int32_t>(mod);
 }
 
 /** Short printable name of a resource id, for dump/debugging. */
@@ -69,20 +71,27 @@ std::string resourceName(int32_t id);
 // --- Structured ops ----------------------------------------------------
 
 /**
- * Op vocabulary the passes understand. Generic steps carry an opaque
- * closure (emitted with fixed strides) and are opaque to rewrites
- * beyond liveness; every other kind is baked from the descriptor AFTER
- * passes ran, so operand buffers and leading dimensions may be
- * rewritten until then.
+ * Op vocabulary. Every step the compiler emits is one of these
+ * descriptors — there is no opaque-closure escape hatch, so the passes
+ * see the whole program and an engine can be serialized and reloaded
+ * byte-exactly. Generic survives only as the invalid/default sentinel:
+ * emitting or baking it is an error (tests iterate compiled IR to
+ * assert none appear).
+ *
+ * Descriptors reference weights and MLPs by id into the engine-owned
+ * tables (CompiledEngine::mlps/weights) — never by pointer — so a
+ * baked engine is self-contained and a loaded one bit-identical.
  */
 enum class OpKind
 {
-    Generic,
-    /** mlp->forwardInto(in, ld(in), rows, out, ld(out), firstLayer). */
+    Generic, ///< invalid sentinel; never emitted, never baked
+    /** mlp(mlpId).forwardInto(in, ld(in), rows, out, ld(out),
+     *  firstLayer). @p out may be kResLogits (writes ctx.logits_). */
     MlpForward,
-    /** matmulInto(out, ld(out), in, ld(in), rows, weight). */
+    /** matmulInto(out, ld(out), in, ld(in), rows, weight(weightId)). */
     Matmul,
-    /** biasReluBlockInPlace(out, ld(out), rows, cols, bias, relu). */
+    /** biasReluBlockInPlace(out, ld(out), rows, cols, bias(biasId),
+     *  relu); biasId < 0 means no bias row. */
     BiasRelu,
     /** Per-centroid fused gather + column max from @p in into @p out
      *  over module @p mod's NIT rows. */
@@ -94,59 +103,120 @@ enum class OpKind
      *  EdgeConv split-weight epilogue. */
     AggAddAuxRelu,
     /** Layout conversion: copy rows of @p in into @p out with @p out's
-     *  leading dimension (inserted by the PFT layout pass when a
-     *  consumer requires a layout the producer cannot emit). */
+     *  leading dimension. */
     PackRows,
+    /** One sampler draw: sampleWithoutReplacementInto(srcRows, rows,
+     *  centroids(mod)). Chained through kResRng (see above). */
+    RngDraw,
+    /** Unpack the input cloud's xyz into arena buffer @p out
+     *  (rows x 3). */
+    MaterializeCloud,
+    /** Resolve module @p mod's centroid list (@p mode — see
+     *  SampleMode): iota, sorted random draws, FPS over @p in coords,
+     *  or the global singleton {0}. */
+    ResolveSample,
+    /** Fill module @p mod's flat NIT: knn/radius queries with the
+     *  compile-resolved @p backend over @p in (srcRows x inCols),
+     *  queried at the module's centroids. */
+    SearchNit,
+    /** Grouped neighbor-difference rows: for centroid c and neighbor j,
+     *  row (c*k+j) of @p out is nf-cf (or [cf | nf-cf] when @p concat)
+     *  gathered from @p in via module @p mod's NIT/centroids. */
+    GroupDiff,
+    /** Per-centroid max over k contiguous rows: out.row(c) =
+     *  colmax(in.rows[c*k .. c*k+k)). */
+    ReduceMaxRows,
+    /** Column max over all @p srcRows rows of @p in, written to
+     *  out.row(0) starting at column @p outCol. */
+    ReduceMaxAll,
+    /** out.row(c) = in.row(centroids(mod)[c]), @p cols floats. */
+    GatherRows,
+    /** Zero @p rows x @p cols of @p out. */
+    FillZero,
+    /** Column concatenation of @p srcs into @p out; a 1-row source is
+     *  broadcast onto every output row. */
+    ConcatCols,
+    /** PointNet++ three-interpolate: inverse-distance-weighted average
+     *  of the k nearest coarse points. in = coarse features
+     *  (srcRows x cols), aux = coarse coords, in2 = fine coords,
+     *  out = rows x cols. Queries the compile-resolved @p backend. */
+    Interp3NN,
 };
 
 const char *opKindName(OpKind op);
 
+/** ResolveSample strategies (OpDesc::mode). */
+enum class SampleMode : int32_t
+{
+    Global = 0, ///< centroid list = {0}
+    All = 1,    ///< iota over all srcRows points
+    Random = 2, ///< sort the RngDraw-produced list ascending
+    Fps = 3,    ///< farthest-point sample over @p in coords, sorted
+};
+
 /** Operands and immediates of one structured op. Unused fields stay at
- *  their defaults; buffer operands are PlanIR buffer ids. */
+ *  their defaults; buffer operands are PlanIR buffer ids (>= 0) or
+ *  virtual resources (< 0). Weights/MLPs are ids into the
+ *  engine-owned tables, so a descriptor is location-independent and
+ *  serializes with a stable tag per field (core/plan/serialize.cpp). */
 struct OpDesc
 {
     OpKind op = OpKind::Generic;
-    int32_t in = -1;  ///< input buffer (MlpForward/Matmul/AggGatherMax/PackRows)
+    int32_t in = -1;  ///< primary input buffer
     int32_t out = -1; ///< output buffer (in-place target of epilogues)
-    int32_t aux = -1; ///< per-centroid auxiliary rows (AggSub/AggAdd)
-    int64_t rows = 0; ///< rows processed (output rows)
+    int32_t aux = -1; ///< auxiliary rows (AggSub/AggAdd/Interp coords)
+    int32_t in2 = -1; ///< secondary input (Interp3NN fine coords)
+    int64_t rows = 0; ///< rows processed (output rows / centroids)
     int32_t cols = 0; ///< output columns
-    size_t mod = 0;   ///< module index (Agg* ops: centroids/NIT source)
-    int32_t k = 0;    ///< neighbors per centroid (AggGatherMax)
-    int32_t srcRows = 0; ///< gather-source row bound (AggGatherMax)
-    const nn::Mlp *mlp = nullptr; ///< MlpForward
-    size_t firstLayer = 0;        ///< MlpForward start layer
-    const tensor::Tensor *wBorrow = nullptr; ///< Matmul weight (borrowed)
-    std::shared_ptr<tensor::Tensor> wOwn;    ///< Matmul weight (owned split)
-    const float *bias = nullptr;  ///< BiasRelu row (may be null)
-    bool relu = false;            ///< BiasRelu/AggAddAuxRelu activation
-
-    const tensor::Tensor &
-    weight() const
-    {
-        return wOwn ? *wOwn : *wBorrow;
-    }
+    int32_t mod = 0;  ///< module index (centroids/NIT source)
+    int32_t k = 0;    ///< neighbors per centroid
+    int32_t srcRows = 0; ///< gather/search-source row bound
+    int32_t inCols = 0;  ///< input width (SearchNit space dim, GroupDiff)
+    int32_t outCol = 0;  ///< ReduceMaxAll output column offset
+    int32_t mlpId = -1;  ///< MlpForward: CompiledEngine MLP table id
+    int32_t weightId = -1; ///< Matmul: weight table id
+    int32_t biasId = -1;   ///< BiasRelu: 1 x cols bias table id; -1 none
+    int32_t firstLayer = 0; ///< MlpForward start layer
+    int32_t mode = 0;       ///< ResolveSample: SampleMode
+    int32_t backend = 0;    ///< neighbor::Backend (SearchNit/Interp3NN)
+    float radius = 0.0f;    ///< ball query radius (SearchNit)
+    bool relu = false;      ///< BiasRelu/AggAddAuxRelu activation
+    bool knn = false;       ///< SearchNit: knn query (else radius)
+    bool concat = false;    ///< GroupDiff: emit [cf | nf-cf]
+    std::string custom;     ///< registered custom backend name
+    std::vector<int32_t> srcs; ///< ConcatCols source buffers
 };
 
 // --- Steps and the whole-plan IR ---------------------------------------
 
-/** One step before closure baking. Either desc.op != Generic (plus any
- *  epilogues the fusion pass folded into @p tail), or a Generic opaque
- *  closure in @p fn. */
+/** One step of the program. The descriptor (plus any epilogues the
+ *  fusion pass folded into @p tail) fully determines the baked
+ *  closure; @p reads/@p writes are the declared resource sets liveness
+ *  analysis and arena planning trust. */
 struct StepIR
 {
     StageKind kind = StageKind::Epilogue;
     std::string name;
     OpDesc desc;
     std::vector<OpDesc> tail; ///< fused epilogues, applied in order
-    std::function<void(PlanContext &)> fn; ///< Generic steps only
     std::vector<int32_t> reads;  ///< resources consumed
     std::vector<int32_t> writes; ///< resources produced/updated
     bool root = false; ///< observable output (writes logits); DCE keeps it
-    std::string note;  ///< optimizer annotation, carried into the plan
+    std::string note;  ///< optimizer annotation, carried into the engine
 };
 
-/** The mutable plan under optimization: the step sequence plus the
+/** Shape of one arena buffer. @p ld is the leading dimension in floats
+ *  (>= cols; larger when the layout pass padded rows to cache lines). */
+struct BufferShape
+{
+    int64_t rows = 0;
+    int32_t cols = 0;
+    int32_t ld = 0;
+
+    int64_t floats() const { return rows * ld; }
+};
+
+/** The mutable program under optimization: the step sequence plus the
  *  size/layout table of every arena buffer. */
 struct PlanIR
 {
@@ -162,18 +232,12 @@ struct PlanIR
     }
 };
 
-// --- Lowering ----------------------------------------------------------
-
-/** Lower one IR step to the runtime PlanStep. Strides come from the
- *  (possibly layout-rewritten) buffer table; recognized (desc, tail)
- *  combinations bake the existing fused kernels — per-element operation
- *  order identical to baking the steps separately. */
-PlanStep bakeStep(const StepIR &step, const PlanIR &ir);
+// --- Arena planning ----------------------------------------------------
 
 /** Liveness-driven arena planning over the (post-pass) step sequence. */
 struct ArenaPlanResult
 {
-    ArenaPlanner planner;       ///< plan() already ran
+    ArenaPlanner planner;        ///< plan() already ran
     std::vector<int32_t> planId; ///< per-IR-buffer planner id; -1 = dead
 };
 

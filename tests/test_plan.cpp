@@ -1,6 +1,6 @@
 /**
  * @file
- * Compiled ExecutionPlan tests:
+ * CompiledEngine tests:
  *
  *  1. Arena planning: overlapping live ranges never share bytes;
  *     disjoint live ranges alias (planned size < naive size).
@@ -258,7 +258,7 @@ checkParity(const NetworkConfig &cfg, PipelineKind kind,
             const std::string &what)
 {
     NetworkExecutor exec(cfg, /*weightSeed=*/3);
-    ExecutionPlan plan = PlanCompiler::compile(exec, kind);
+    CompiledEngine plan = PlanCompiler::compile(exec, kind);
     auto ctx = plan.makeContext();
     PointCloud cloud = cloudFor(cfg);
     PointCloud cloud2 = cloudFor(cfg, 23);
@@ -315,7 +315,7 @@ TEST(ArenaPlanner, DisjointLivesAlias)
 
 // --- Bitwise parity ---------------------------------------------------
 
-TEST(ExecutionPlan, ParityAcrossPipelinesAndBackends)
+TEST(CompiledEngine, ParityAcrossPipelinesAndBackends)
 {
     NetworkConfig base = miniPointNet();
     for (PipelineKind kind :
@@ -333,14 +333,14 @@ TEST(ExecutionPlan, ParityAcrossPipelinesAndBackends)
     }
 }
 
-TEST(ExecutionPlan, ParityAutoBackendCostModel)
+TEST(CompiledEngine, ParityAutoBackendCostModel)
 {
     // Backend::Auto resolves through the hwsim cost model at compile
     // time; whatever it picks must reproduce the per-run path's bits.
     checkParity(miniPointNet(), PipelineKind::Delayed, "auto-resolved");
 }
 
-TEST(ExecutionPlan, ParityLinkedConcatHead)
+TEST(CompiledEngine, ParityLinkedConcatHead)
 {
     NetworkConfig cfg = miniEdgeNet();
     for (PipelineKind kind :
@@ -350,23 +350,23 @@ TEST(ExecutionPlan, ParityLinkedConcatHead)
                     std::string("edge/") + pipelineName(kind));
 }
 
-TEST(ExecutionPlan, ParityInterpDecoder)
+TEST(CompiledEngine, ParityInterpDecoder)
 {
     checkParity(miniSegNet(), PipelineKind::Delayed, "seg");
     checkParity(miniSegNet(), PipelineKind::Original, "seg-orig");
 }
 
-TEST(ExecutionPlan, ParityDetection)
+TEST(CompiledEngine, ParityDetection)
 {
     checkParity(miniDetNet(), PipelineKind::Delayed, "det");
 }
 
-TEST(ExecutionPlan, ParityFullZooNetwork)
+TEST(CompiledEngine, ParityFullZooNetwork)
 {
     // One full-size network from the zoo end to end.
     NetworkConfig cfg = zoo::pointnetppClassification();
     NetworkExecutor exec(cfg, 1);
-    ExecutionPlan plan = PlanCompiler::compile(exec, PipelineKind::Delayed);
+    CompiledEngine plan = PlanCompiler::compile(exec, PipelineKind::Delayed);
     auto ctx = plan.makeContext();
     PointCloud cloud = cloudFor(cfg);
     Tensor ref = exec.run(cloud, PipelineKind::Delayed, 7).logits;
@@ -375,13 +375,49 @@ TEST(ExecutionPlan, ParityFullZooNetwork)
     EXPECT_LT(plan.stats().arenaFloats, plan.stats().naiveFloats);
 }
 
+// --- Descriptor completeness ------------------------------------------
+
+TEST(CompiledEngine, NoGenericStepsAcrossPipelinesAndShapes)
+{
+    // The IR is descriptor-complete: every emitted step is a structured
+    // op the passes (and the serializer) understand. OpKind::Generic is
+    // the invalid sentinel — it must never appear, in head descriptors
+    // or fused tails, with the optimizer on or off (off exposes the raw
+    // emission, including steps DCE would drop).
+    for (const NetworkConfig &cfg : {miniPointNet(), miniEdgeNet(),
+                                     miniSegNet(), miniDetNet()}) {
+        NetworkExecutor exec(cfg, /*weightSeed=*/3);
+        for (PipelineKind kind :
+             {PipelineKind::Original, PipelineKind::Delayed,
+              PipelineKind::LtdDelayed}) {
+            for (auto enable : {PassOptions::Enable::Off,
+                                PassOptions::Enable::On}) {
+                CompileOptions opts;
+                opts.passes.enable = enable;
+                CompiledEngine eng =
+                    PlanCompiler::compile(exec, kind, opts);
+                ASSERT_GT(eng.steps().size(), 0u);
+                for (const StepIR &s : eng.steps()) {
+                    EXPECT_NE(s.desc.op, OpKind::Generic)
+                        << cfg.name << "/" << pipelineName(kind) << ": "
+                        << s.name;
+                    for (const OpDesc &t : s.tail)
+                        EXPECT_NE(t.op, OpKind::Generic)
+                            << cfg.name << "/" << pipelineName(kind)
+                            << ": " << s.name << " (tail)";
+                }
+            }
+        }
+    }
+}
+
 // --- Scheduling / re-entrancy -----------------------------------------
 
-TEST(ExecutionPlan, SerialAndPooledExecutionsMatch)
+TEST(CompiledEngine, SerialAndPooledExecutionsMatch)
 {
     NetworkConfig cfg = miniPointNet();
     NetworkExecutor exec(cfg, 3);
-    ExecutionPlan plan = PlanCompiler::compile(exec, PipelineKind::Delayed);
+    CompiledEngine plan = PlanCompiler::compile(exec, PipelineKind::Delayed);
     PointCloud cloud = cloudFor(cfg);
 
     auto ctxSerial = plan.makeContext();
@@ -395,11 +431,11 @@ TEST(ExecutionPlan, SerialAndPooledExecutionsMatch)
                   "pooled vs serial");
 }
 
-TEST(ExecutionPlan, PlanCachedBatchMatchesGraphBatch)
+TEST(CompiledEngine, PlanCachedBatchMatchesGraphBatch)
 {
     NetworkConfig cfg = miniPointNet();
     NetworkExecutor exec(cfg, 3);
-    ExecutionPlan plan = PlanCompiler::compile(exec, PipelineKind::Delayed);
+    CompiledEngine plan = PlanCompiler::compile(exec, PipelineKind::Delayed);
 
     std::vector<PointCloud> clouds;
     geom::ModelNetSim sim(29, cfg.numInputPoints);
@@ -430,11 +466,11 @@ TEST(ExecutionPlan, PlanCachedBatchMatchesGraphBatch)
     EXPECT_EQ(predictionAgreement(graph, planPar), 1.0);
 }
 
-TEST(ExecutionPlan, ConcurrentContextsAreIndependent)
+TEST(CompiledEngine, ConcurrentContextsAreIndependent)
 {
     NetworkConfig cfg = miniPointNet();
     NetworkExecutor exec(cfg, 3);
-    ExecutionPlan plan = PlanCompiler::compile(exec, PipelineKind::Delayed);
+    CompiledEngine plan = PlanCompiler::compile(exec, PipelineKind::Delayed);
     PointCloud cloud = cloudFor(cfg);
 
     auto ref_ctx = plan.makeContext();
@@ -460,12 +496,12 @@ TEST(ExecutionPlan, ConcurrentContextsAreIndependent)
 
 // --- Zero allocation --------------------------------------------------
 
-TEST(ExecutionPlan, SteadyStateExecutesWithoutHeapAllocation)
+TEST(CompiledEngine, SteadyStateExecutesWithoutHeapAllocation)
 {
     NetworkConfig cfg = miniPointNet();
     cfg.backend = neighbor::Backend::BruteForce; // no per-run index build
     NetworkExecutor exec(cfg, 3);
-    ExecutionPlan plan = PlanCompiler::compile(exec, PipelineKind::Delayed);
+    CompiledEngine plan = PlanCompiler::compile(exec, PipelineKind::Delayed);
     auto ctx = plan.makeContext();
     PointCloud cloud = cloudFor(cfg);
 

@@ -14,13 +14,15 @@
  *     their producers ("+sub"/"+tail" step names, fused notes).
  *  4. PFT layout selection: the hwsim cost model's decision function,
  *     the in-place aligned layout on a width-30 PFT (ld > cols with
- *     unchanged bits), and PackRows insertion when the producer is an
- *     opaque Generic step.
+ *     unchanged bits), and the synthetic-IR proof that the rewrite is
+ *     a one-word ld change — no conversion steps, no new buffers, no
+ *     rewiring (the descriptor-complete IR has no opaque producers).
  *  5. The numerics-changing pass gate (changesNumerics() => skipped
  *     without the explicit opt-in).
- *  6. Satellites: copyRowsInto padding contract, BatchRunner worker
- *     clamping, strided PointsView / dist2Batch parity over padded
- *     rows, ExecutionPlan::dump content.
+ *  6. Satellites: sampler/search DCE liveness (a dead search branch is
+ *     actually eliminated), copyRowsInto padding contract, BatchRunner
+ *     worker clamping, strided PointsView / dist2Batch parity over
+ *     padded rows, CompiledEngine::dump content.
  *
  * Every compile here pins PassOptions::Enable to On or Off explicitly,
  * so the suite is green regardless of the MESORASI_PLAN_PASSES
@@ -228,8 +230,8 @@ checkOptimizedParity(const NetworkConfig &cfg, PipelineKind kind,
                      const CompileOptions &optimized = passesOn())
 {
     NetworkExecutor exec(cfg, /*weightSeed=*/3);
-    ExecutionPlan off = PlanCompiler::compile(exec, kind, passesOff());
-    ExecutionPlan on = PlanCompiler::compile(exec, kind, optimized);
+    CompiledEngine off = PlanCompiler::compile(exec, kind, passesOff());
+    CompiledEngine on = PlanCompiler::compile(exec, kind, optimized);
     auto ctxOff = off.makeContext();
     auto ctxOn = on.makeContext();
     PointCloud cloud = cloudFor(cfg);
@@ -244,9 +246,9 @@ checkOptimizedParity(const NetworkConfig &cfg, PipelineKind kind,
 }
 
 bool
-hasStepNamed(const ExecutionPlan &plan, const std::string &substr)
+hasStepNamed(const CompiledEngine &plan, const std::string &substr)
 {
-    for (const PlanStep &s : plan.steps())
+    for (const StepIR &s : plan.steps())
         if (s.name.find(substr) != std::string::npos)
             return true;
     return false;
@@ -267,9 +269,9 @@ TEST(DeadStepElimination, DetectionDropsEncoderTail)
     cfg.stage2Modules = {miniGlobal("tnet", {8}),
                          miniGlobal("boxnet", {8})};
     NetworkExecutor exec(cfg, 3);
-    ExecutionPlan off =
+    CompiledEngine off =
         PlanCompiler::compile(exec, PipelineKind::Delayed, passesOff());
-    ExecutionPlan on =
+    CompiledEngine on =
         PlanCompiler::compile(exec, PipelineKind::Delayed, passesOn());
 
     EXPECT_LT(on.stats().numSteps, off.stats().numSteps);
@@ -293,14 +295,54 @@ TEST(DeadStepElimination, DetectionDropsEncoderTail)
                   off.execute(cloud, 7, *ctxOff), "det optimized");
 }
 
+TEST(DeadStepElimination, DropsDeadSamplerAndSearchSteps)
+{
+    // Sampler draws, sample resolution, and neighbor searches are
+    // ordinary descriptor steps with declared read/write sets, so they
+    // participate in liveness like any compute step. In the detection
+    // plan the encoder branch that consumes them is dead: the whole
+    // sampler/search chain must vanish with passes on, and exist with
+    // passes off.
+    NetworkExecutor exec(miniDetNet(), 3);
+    CompiledEngine off =
+        PlanCompiler::compile(exec, PipelineKind::Delayed, passesOff());
+    CompiledEngine on =
+        PlanCompiler::compile(exec, PipelineKind::Delayed, passesOn());
+
+    auto countOp = [](const CompiledEngine &e, OpKind k) {
+        int n = 0;
+        for (const StepIR &s : e.steps()) {
+            n += s.desc.op == k ? 1 : 0;
+            for (const OpDesc &t : s.tail)
+                n += t.op == k ? 1 : 0;
+        }
+        return n;
+    };
+    for (OpKind k : {OpKind::RngDraw, OpKind::ResolveSample,
+                     OpKind::SearchNit}) {
+        EXPECT_GT(countOp(off, k), 0)
+            << "unoptimized plan lost op kind " << opKindName(k);
+        EXPECT_EQ(countOp(on, k), 0)
+            << "dead " << opKindName(k) << " survived DCE";
+    }
+
+    // Eliminating the dead search branch leaves the logits bitwise
+    // unchanged.
+    auto ctxOff = off.makeContext();
+    auto ctxOn = on.makeContext();
+    PointCloud cloud = cloudFor(miniDetNet());
+    expectBitwise(on.execute(cloud, 5, *ctxOn),
+                  off.execute(cloud, 5, *ctxOff), "sampler DCE");
+}
+
 TEST(DeadStepElimination, FullZooDetectionShrinks)
 {
     // Compile-only (no execution): the full F-PointNet from the zoo.
     NetworkConfig cfg = zoo::fPointNet();
     NetworkExecutor exec(cfg, 1);
-    ExecutionPlan off =
+    CompiledEngine off =
         PlanCompiler::compile(exec, PipelineKind::Delayed, passesOff());
-    ExecutionPlan on =
+    CompiledEngine on =
         PlanCompiler::compile(exec, PipelineKind::Delayed, passesOn());
     EXPECT_LT(on.stats().numSteps, off.stats().numSteps);
     // F-PointNet's stage-2 feature buffers (1024x512) dominate the
@@ -417,9 +459,9 @@ TEST(EpilogueFusion, FoldsDelayedCentroidSubtract)
 {
     NetworkConfig cfg = miniPointNet();
     NetworkExecutor exec(cfg, 3);
-    ExecutionPlan off =
+    CompiledEngine off =
         PlanCompiler::compile(exec, PipelineKind::Delayed, passesOff());
-    ExecutionPlan on =
+    CompiledEngine on =
         PlanCompiler::compile(exec, PipelineKind::Delayed, passesOn());
 
     // Both delayed encoder modules fuse aggregate + centroid-subtract.
@@ -429,7 +471,7 @@ TEST(EpilogueFusion, FoldsDelayedCentroidSubtract)
     EXPECT_FALSE(hasStepNamed(off, "+sub"));
 
     bool fusedNote = false;
-    for (const PlanStep &s : on.steps())
+    for (const StepIR &s : on.steps())
         fusedNote |= s.note.find("fused") != std::string::npos;
     EXPECT_TRUE(fusedNote);
 }
@@ -440,7 +482,7 @@ TEST(EpilogueFusion, FoldsLtdBiasIntoTail)
     // remaining MLP layers that follow it.
     NetworkConfig cfg = miniPointNet();
     NetworkExecutor exec(cfg, 3);
-    ExecutionPlan on = PlanCompiler::compile(
+    CompiledEngine on = PlanCompiler::compile(
         exec, PipelineKind::LtdDelayed, passesOn());
     EXPECT_GE(on.stats().fusionsApplied, 2);
     EXPECT_TRUE(hasStepNamed(on, "+tail"));
@@ -450,7 +492,7 @@ TEST(EpilogueFusion, FoldsEdgeConvAddEpilogue)
 {
     NetworkConfig cfg = miniEdgeNet();
     NetworkExecutor exec(cfg, 3);
-    ExecutionPlan on =
+    CompiledEngine on =
         PlanCompiler::compile(exec, PipelineKind::Delayed, passesOn());
     EXPECT_GE(on.stats().fusionsApplied, 1);
     EXPECT_TRUE(hasStepNamed(on, "+add"));
@@ -484,7 +526,7 @@ TEST(PftLayoutSelection, AlignsRaggedPftInPlaceBitwise)
     // unchanged (padding is never read).
     NetworkConfig cfg = miniRaggedNet();
     NetworkExecutor exec(cfg, 3);
-    ExecutionPlan on =
+    CompiledEngine on =
         PlanCompiler::compile(exec, PipelineKind::Delayed, passesOn());
     EXPECT_GE(on.stats().layoutsChanged, 1);
     bool padded = false;
@@ -497,25 +539,29 @@ TEST(PftLayoutSelection, AlignsRaggedPftInPlaceBitwise)
     // Forcing row-major keeps every buffer packed.
     CompileOptions rowMajor = passesOn();
     rowMajor.passes.forceLayout = PftLayout::RowMajor;
-    ExecutionPlan rm =
+    CompiledEngine rm =
         PlanCompiler::compile(exec, PipelineKind::Delayed, rowMajor);
     EXPECT_EQ(rm.stats().layoutsChanged, 0);
     for (const BufferShape &bs : rm.bufferShapes())
         EXPECT_EQ(bs.ld, bs.cols);
 }
 
-TEST(PftLayoutSelection, InsertsPackRowsForOpaqueProducer)
+TEST(PftLayoutSelection, RewritesLdInPlaceWithoutNewSteps)
 {
-    // The gathered buffer is written by an opaque Generic step whose
-    // stride is already baked, so the pass must materialize an aligned
-    // copy (PackRows) and rewire the gather consumer to it.
+    // Every producer is a descriptor whose strides freeze from the
+    // buffer table at bake time, so the aligned layout is a one-word
+    // in-place ld change: no conversion steps, no new buffers, no
+    // consumer rewiring.
     PlanIR ir;
     int32_t src = ir.addBuffer(8, 30);
     int32_t out = ir.addBuffer(4, 30);
 
     StepIR produce;
-    produce.name = "opaque.produce";
-    produce.fn = [](PlanContext &) {};
+    produce.name = "m.pft";
+    produce.desc.op = OpKind::MlpForward;
+    produce.desc.out = src;
+    produce.desc.rows = 8;
+    produce.desc.mlpId = 0;
     produce.writes = {src};
     ir.steps.push_back(produce);
 
@@ -534,7 +580,12 @@ TEST(PftLayoutSelection, InsertsPackRowsForOpaqueProducer)
 
     StepIR emit;
     emit.name = "emit";
-    emit.fn = [](PlanContext &) {};
+    emit.desc.op = OpKind::ReduceMaxAll;
+    emit.desc.in = out;
+    emit.desc.out = kResLogits;
+    emit.desc.rows = 1;
+    emit.desc.cols = 30;
+    emit.desc.srcRows = 4;
     emit.reads = {out};
     emit.writes = {kResLogits};
     emit.root = true;
@@ -547,17 +598,17 @@ TEST(PftLayoutSelection, InsertsPackRowsForOpaqueProducer)
     makePftLayoutSelection()->run(ir, opts, stat);
 
     EXPECT_EQ(stat.layoutsChanged, 1);
-    ASSERT_EQ(ir.steps.size(), 4u);
-    EXPECT_NE(ir.steps[1].name.find("layout.pack"), std::string::npos);
-    EXPECT_EQ(ir.steps[1].desc.op, OpKind::PackRows);
-    // A new aligned buffer exists and the gather now reads it.
-    ASSERT_EQ(ir.bufs.size(), 3u);
-    EXPECT_EQ(ir.bufs[2].cols, 30);
-    EXPECT_EQ(ir.bufs[2].ld, 32);
-    EXPECT_EQ(ir.steps[2].desc.in, 2);
-    // The original packed buffer keeps its layout (the opaque producer
-    // still writes it).
-    EXPECT_EQ(ir.bufs[static_cast<size_t>(src)].ld, 30);
+    // In place: same steps, same buffers, same wiring.
+    ASSERT_EQ(ir.steps.size(), 3u);
+    ASSERT_EQ(ir.bufs.size(), 2u);
+    EXPECT_EQ(ir.steps[1].desc.in, src);
+    // The gathered buffer's ld is padded to the line; cols unchanged.
+    EXPECT_EQ(ir.bufs[static_cast<size_t>(src)].cols, 30);
+    EXPECT_EQ(ir.bufs[static_cast<size_t>(src)].ld, 32);
+    // The ungathered output keeps its packed layout.
+    EXPECT_EQ(ir.bufs[static_cast<size_t>(out)].ld, 30);
+    // The producer carries the annotation.
+    EXPECT_NE(ir.steps[0].note.find("aligned16"), std::string::npos);
 }
 
 // --- Numerics-changing pass gate --------------------------------------
@@ -675,20 +726,22 @@ TEST(PlanDump, ListsStepsArenaAndPassStats)
 {
     NetworkConfig cfg = miniPointNet();
     NetworkExecutor exec(cfg, 3);
-    ExecutionPlan on =
+    CompiledEngine on =
         PlanCompiler::compile(exec, PipelineKind::Delayed, passesOn());
     std::ostringstream ss;
     on.dump(ss);
     const std::string s = ss.str();
-    EXPECT_NE(s.find("plan: pipeline=delayed"), std::string::npos) << s;
+    EXPECT_NE(s.find("engine: pipeline=delayed"), std::string::npos)
+        << s;
     EXPECT_NE(s.find("steps: "), std::string::npos);
     EXPECT_NE(s.find("arena: "), std::string::npos);
+    EXPECT_NE(s.find("artifact: "), std::string::npos);
     EXPECT_NE(s.find("passes:"), std::string::npos);
     EXPECT_NE(s.find("dead_step_elim: ran"), std::string::npos);
     EXPECT_NE(s.find("sa1.aggregate+sub"), std::string::npos);
     EXPECT_NE(s.find("fused"), std::string::npos);
 
-    ExecutionPlan off =
+    CompiledEngine off =
         PlanCompiler::compile(exec, PipelineKind::Delayed, passesOff());
     std::ostringstream so;
     off.dump(so);
