@@ -12,11 +12,19 @@
  *     comparable accuracy (the paper's "accuracy loss is recovered by
  *     retraining" mechanism). Full-scale ModelNet40 training is out of
  *     scope without the datasets; see DESIGN.md.
+ *  3. Quantization study — fp32 vs calibrated int8 / packed-int4 PFT
+ *     engines on the delayed pipeline: logits delta (absolute and
+ *     relative to the fp32 logits range) and argmax agreement over a
+ *     batch of clouds.
  */
+#include <algorithm>
 #include <iostream>
+#include <limits>
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
+#include "core/plan/plan_compiler.hpp"
+#include "quant/calibrate.hpp"
 #include "train/mini_net.hpp"
 
 using namespace mesorasi;
@@ -73,6 +81,78 @@ trainingStudy()
     t.print();
 }
 
+void
+quantizationStudy()
+{
+    using core::plan::CompiledEngine;
+    using core::plan::PlanCompiler;
+
+    constexpr int kCalibClouds = 4;
+    constexpr int kEvalClouds = 16;
+
+    Table t("Quantized PFT vs fp32 (delayed pipeline, " +
+                std::to_string(kEvalClouds) + " clouds)",
+            {"Network", "Dtype", "Quant bufs", "max|fp32-quant|",
+             "rel. to range", "argmax agree"});
+    for (const auto &cfg : {core::zoo::pointnetppClassification(),
+                            core::zoo::dgcnnClassification(),
+                            core::zoo::fPointNet()}) {
+        core::NetworkExecutor exec(cfg, /*weightSeed=*/1);
+        CompiledEngine fp32 =
+            PlanCompiler::compile(exec, core::PipelineKind::Delayed);
+
+        std::vector<geom::PointCloud> calib, eval;
+        for (int i = 0; i < kCalibClouds; ++i)
+            calib.push_back(inputFor(cfg, 100 + i));
+        for (int i = 0; i < kEvalClouds; ++i)
+            eval.push_back(inputFor(cfg, 200 + i));
+
+        struct Variant
+        {
+            const char *label;
+            int64_t int4MinRows;
+        };
+        for (const Variant &v :
+             {Variant{"int8", std::numeric_limits<int64_t>::max()},
+              Variant{"int4", 0}}) {
+            CompiledEngine quant = quant::compileQuantizedPft(
+                exec, core::PipelineKind::Delayed, {}, calib,
+                /*seedBase=*/100, v.int4MinRows);
+
+            auto ctxA = fp32.makeContext();
+            auto ctxB = quant.makeContext();
+            float maxDiff = 0.0f, lo = 0.0f, hi = 0.0f;
+            int agree = 0;
+            bool first = true;
+            for (size_t i = 0; i < eval.size(); ++i) {
+                const tensor::Tensor &a =
+                    fp32.execute(eval[i], 7 + i, *ctxA);
+                const tensor::Tensor &b =
+                    quant.execute(eval[i], 7 + i, *ctxB);
+                maxDiff = std::max(maxDiff, a.maxAbsDiff(b));
+                for (int64_t j = 0; j < a.numel(); ++j) {
+                    lo = first ? a.data()[0] : std::min(lo, a.data()[j]);
+                    hi = first ? a.data()[0] : std::max(hi, a.data()[j]);
+                    first = false;
+                }
+                auto argmaxOf = [](const tensor::Tensor &x) {
+                    return std::max_element(x.data(),
+                                            x.data() + x.numel()) -
+                           x.data();
+                };
+                agree += argmaxOf(a) == argmaxOf(b) ? 1 : 0;
+            }
+            float range = hi - lo;
+            t.addRow({shortName(cfg.name), v.label,
+                      std::to_string(quant.stats().buffersQuantized),
+                      fmt(maxDiff, 4),
+                      range > 0 ? fmt(maxDiff / range, 4) : "0",
+                      fmtPct(static_cast<double>(agree) / kEvalClouds)});
+        }
+    }
+    t.print();
+}
+
 } // namespace
 
 int
@@ -95,6 +175,7 @@ main()
 
     approximationStudy();
     trainingStudy();
+    quantizationStudy();
 
     std::cout << "Shape to check: single-MLP-layer networks diverge by\n"
                  "~0 before any retraining; multi-layer ones diverge\n"

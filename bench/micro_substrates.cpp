@@ -244,8 +244,10 @@ BENCHMARK(BM_AuSimulate);
 
 // ---------------------------------------------------------------------
 // Aggregation kernels: allocating gather+reduce vs the fused
-// zero-allocation gatherMaxReduceInto (SIMD and forced-scalar), over a
-// representative PFT. Variants are sampled interleaved (see
+// zero-allocation gatherMaxReduceInto (SIMD and forced-scalar), plus
+// the quantized int8 / packed-int4 gather-max over the same PFT (4x /
+// 8x fewer bytes moved per entry — the aggregation is memory-bound, so
+// bytes_per_entry is the lever). Variants are sampled interleaved (see
 // runInterleaved above).
 // ---------------------------------------------------------------------
 
@@ -266,9 +268,23 @@ runAggKernelBench(bench::BenchJsonWriter &json)
     for (auto &g : groups)
         g = rng.sampleWithoutReplacement(kPftRows, kGroup);
 
+    // Quantized copies of the PFT: the uniform(-1, 1) values calibrate
+    // to maxAbs 1, so the scales are the full int8/int4 grids.
+    const float scaleI8 = 1.0f / 127.0f;
+    const float scaleI4 = 1.0f / 7.0f;
+    std::vector<int8_t> pftI8(size_t(kPftRows) * kPftCols);
+    std::vector<uint8_t> pftI4(size_t(kPftRows) * kPftCols / 2);
+    tensor::quantizeRowsI8(pftI8.data(), kPftCols, pft.data(), kPftCols,
+                           kPftRows, kPftCols, scaleI8);
+    tensor::quantizeRowsI4(pftI4.data(), kPftCols / 2, pft.data(),
+                           kPftCols, kPftRows, kPftCols, scaleI4);
+
     tensor::Tensor outUnfused(kCentroids, kPftCols);
     tensor::Tensor outFused(kCentroids, kPftCols);
     tensor::Tensor outScalar(kCentroids, kPftCols);
+    tensor::Tensor outI8(kCentroids, kPftCols);
+    tensor::Tensor outI8Scalar(kCentroids, kPftCols);
+    tensor::Tensor outI4(kCentroids, kPftCols);
 
     auto samples = runInterleaved(
         kAggReps,
@@ -294,14 +310,48 @@ runAggKernelBench(bench::BenchJsonWriter &json)
                  tensor::gatherMaxReduceInto(outScalar.row(c), pft,
                                              groups[c]);
              simd::setForceScalar(prev);
+         },
+         [&] {
+             for (int32_t c = 0; c < kCentroids; ++c)
+                 tensor::gatherMaxReduceI8Into(
+                     outI8.row(c), pftI8.data(), kPftCols, kPftCols,
+                     kPftRows, groups[c].data(),
+                     static_cast<int32_t>(groups[c].size()), scaleI8);
+         },
+         [&] {
+             bool prev = simd::forceScalar();
+             simd::setForceScalar(true);
+             for (int32_t c = 0; c < kCentroids; ++c)
+                 tensor::gatherMaxReduceI8Into(
+                     outI8Scalar.row(c), pftI8.data(), kPftCols,
+                     kPftCols, kPftRows, groups[c].data(),
+                     static_cast<int32_t>(groups[c].size()), scaleI8);
+             simd::setForceScalar(prev);
+         },
+         [&] {
+             for (int32_t c = 0; c < kCentroids; ++c)
+                 tensor::gatherMaxReduceI4Into(
+                     outI4.row(c), pftI4.data(), kPftCols / 2, kPftCols,
+                     kPftRows, groups[c].data(),
+                     static_cast<int32_t>(groups[c].size()), scaleI4);
          }});
     const auto &unfused = samples[0];
     const auto &fused = samples[1];
     const auto &fusedScalar = samples[2];
+    const auto &int8Samples = samples[3];
+    const auto &int8Scalar = samples[4];
+    const auto &int4Samples = samples[5];
     MESO_CHECK(outFused.maxAbsDiff(outUnfused) == 0.0f,
                "fused aggregation kernel diverged from unfused path");
     MESO_CHECK(outFused.maxAbsDiff(outScalar) == 0.0f,
                "SIMD aggregation kernel diverged from forced-scalar");
+    MESO_CHECK(outI8.maxAbsDiff(outI8Scalar) == 0.0f,
+               "SIMD int8 aggregation diverged from forced-scalar");
+    // The quantized outputs track fp32 within the grid resolution.
+    MESO_CHECK(outI8.maxAbsDiff(outFused) <= scaleI8,
+               "int8 aggregation drifted past one quantization step");
+    MESO_CHECK(outI4.maxAbsDiff(outFused) <= scaleI4,
+               "int4 aggregation drifted past one quantization step");
 
     Table t("Aggregation kernel — " + std::to_string(kCentroids) +
                 " centroids x k=" + std::to_string(kGroup) + " over " +
@@ -315,24 +365,53 @@ runAggKernelBench(bench::BenchJsonWriter &json)
     t.addRow({"gatherMaxReduceInto (forced scalar)",
               fmt(percentile(fusedScalar, 50.0), 3),
               fmt(percentile(fusedScalar, 90.0), 3)});
+    t.addRow({"gatherMaxReduceI8Into (int8)",
+              fmt(percentile(int8Samples, 50.0), 3),
+              fmt(percentile(int8Samples, 90.0), 3)});
+    t.addRow({"gatherMaxReduceI8Into (forced scalar)",
+              fmt(percentile(int8Scalar, 50.0), 3),
+              fmt(percentile(int8Scalar, 90.0), 3)});
+    t.addRow({"gatherMaxReduceI4Into (packed int4)",
+              fmt(percentile(int4Samples, 50.0), 3),
+              fmt(percentile(int4Samples, 90.0), 3)});
     t.print();
+    double medFused = percentile(fused, 50.0);
+    double medI8 = percentile(int8Samples, 50.0);
+    double medI4 = percentile(int4Samples, 50.0);
+    std::cout << "int8 speedup over fp32 fused: "
+              << fmtX(medI8 > 0.0 ? medFused / medI8 : 0.0)
+              << "   int4: "
+              << fmtX(medI4 > 0.0 ? medFused / medI4 : 0.0) << "\n";
 
-    auto params = [&](const std::string &kernel, bool forcedScalar) {
+    auto params = [&](const std::string &kernel, bool forcedScalar,
+                      int32_t bytesPerEntry) {
         return std::vector<std::pair<std::string, std::string>>{
             {"kernel", kernel},
             {"pft_rows", std::to_string(kPftRows)},
             {"pft_cols", std::to_string(kPftCols)},
             {"centroids", std::to_string(kCentroids)},
             {"k", std::to_string(kGroup)},
+            {"bytes_per_entry", std::to_string(bytesPerEntry)},
             {"simd_width", simdWidthStr(forcedScalar)},
         };
     };
-    json.add("agg_kernel_unfused", params("gather_reduce", false),
-             unfused);
-    json.add("agg_kernel_fused", params("gather_max_reduce_into", false),
-             fused);
+    const int32_t bytesF32 = kPftCols * 4;
+    json.add("agg_kernel_unfused",
+             params("gather_reduce", false, bytesF32), unfused);
+    json.add("agg_kernel_fused",
+             params("gather_max_reduce_into", false, bytesF32), fused);
     json.add("agg_kernel_fused_scalar",
-             params("gather_max_reduce_into", true), fusedScalar);
+             params("gather_max_reduce_into", true, bytesF32),
+             fusedScalar);
+    json.add("agg_kernel_int8",
+             params("gather_max_reduce_i8_into", false, kPftCols),
+             int8Samples);
+    json.add("agg_kernel_int8_scalar",
+             params("gather_max_reduce_i8_into", true, kPftCols),
+             int8Scalar);
+    json.add("agg_kernel_int4",
+             params("gather_max_reduce_i4_into", false, kPftCols / 2),
+             int4Samples);
 }
 
 // ---------------------------------------------------------------------

@@ -38,6 +38,7 @@
 #include "geom/datasets.hpp"
 #include "hwsim/soc.hpp"
 #include "neighbor/search_backend.hpp"
+#include "quant/calibrate.hpp"
 
 using namespace mesorasi;
 
@@ -45,22 +46,38 @@ int
 main(int argc, char **argv)
 {
     bool dumpPlan = false;
-    for (int i = 1; i < argc; ++i)
+    bool quantize = false;
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--dump-plan") == 0)
             dumpPlan = true;
+        if (std::strcmp(argv[i], "--quantize") == 0)
+            quantize = true;
+    }
 
     core::NetworkConfig cfg = core::zoo::pointnetppClassification();
     core::NetworkExecutor exec(cfg, /*weightSeed=*/1);
 
-    // --dump-plan: print the optimized step listing (step kinds,
-    // buffer shapes and arena offsets, pass annotations and
-    // statistics) and exit — the debugging view of the optimizer
-    // pipeline's output.
-    if (dumpPlan) {
-        core::plan::CompiledEngine engine =
-            core::plan::PlanCompiler::compile(
+    // --quantize: calibrate over a few representative clouds and
+    // compile the int8-PFT engine instead of the fp32 one (the
+    // TensorRT-style PTQ workflow; see src/quant/calibrate.hpp).
+    auto compileMaybeQuantized = [&] {
+        if (!quantize)
+            return core::plan::PlanCompiler::compile(
                 exec, core::PipelineKind::Delayed);
-        engine.dump(std::cout);
+        geom::ModelNetSim calSim(41, cfg.numInputPoints);
+        std::vector<geom::PointCloud> calClouds;
+        for (int i = 0; i < 4; ++i)
+            calClouds.push_back(calSim.sample().cloud);
+        return quant::compileQuantizedPft(
+            exec, core::PipelineKind::Delayed, {}, calClouds);
+    };
+
+    // --dump-plan: print the optimized step listing (step kinds,
+    // buffer shapes with per-buffer dtype and quantization scale,
+    // arena offsets, pass annotations and statistics) and exit — the
+    // debugging view of the optimizer pipeline's output.
+    if (dumpPlan) {
+        compileMaybeQuantized().dump(std::cout);
         return 0;
     }
 
@@ -157,8 +174,7 @@ main(int argc, char **argv)
             std::cout << "engine cache: loading " << cachePath << "\n";
             return core::plan::loadEngine(cachePath);
         }
-        core::plan::CompiledEngine e = core::plan::PlanCompiler::compile(
-            exec, core::PipelineKind::Delayed);
+        core::plan::CompiledEngine e = compileMaybeQuantized();
         if (cachePath) {
             core::plan::saveEngine(e, cachePath);
             std::cout << "engine cache: saved " << cachePath << "\n";
@@ -206,5 +222,22 @@ main(int argc, char **argv)
               << core::plan::serializedEngineSize(engine)
               << " bytes (v" << core::plan::kEngineFormatVersion
               << ")\n";
+    if (quantize) {
+        // Arena/artifact deltas versus the fp32 engine this run
+        // replaced. The 4x win is the gather traffic (int8 PFT rows);
+        // the arena can grow a little because the fp32 MLP output
+        // stays live as the quantizer's source.
+        core::plan::CompiledEngine fp32 = core::plan::PlanCompiler::compile(
+            exec, core::PipelineKind::Delayed);
+        std::cout << "quantized: " << engine.stats().buffersQuantized
+                  << " PFT buffers (int8); arena "
+                  << engine.stats().arenaFloats * 4 / 1024 << " KiB vs "
+                  << fp32.stats().arenaFloats * 4 / 1024
+                  << " KiB fp32, artifact "
+                  << core::plan::serializedEngineSize(engine)
+                  << " bytes vs "
+                  << core::plan::serializedEngineSize(fp32)
+                  << " bytes fp32\n";
+    }
     return 0;
 }

@@ -213,6 +213,23 @@ maxOrdered(VecF a, VecF b)
 #endif
 }
 
+/** std::min(a, b) per lane, bit-for-bit: keeps `a` unless b < a, so
+ *  NaN in `b` is dropped, NaN in `a` propagates, and a +0/-0 tie keeps
+ *  `a` — the mirror of maxOrdered. On x86 a single MINPS with swapped
+ *  operands: MIN(SRC1, SRC2) returns SRC1 only when SRC1 < SRC2 and
+ *  otherwise SRC2, so MIN(b, a) is exactly (b < a) ? b : a. */
+inline VecF
+minOrdered(VecF a, VecF b)
+{
+#if defined(MESORASI_SIMD_AVX2)
+    return {_mm256_min_ps(b.v, a.v)};
+#elif defined(MESORASI_SIMD_SSE2)
+    return {_mm_min_ps(b.v, a.v)};
+#else
+    return blend(cmpLt(b, a), b, a);
+#endif
+}
+
 /** std::max(0.0f, x) per lane, bit-for-bit: NaN and -0.0 map to +0.0
  *  (MAX(x, 0) keeps x only when x > 0, so every other input — NaN,
  *  -0.0, negatives — yields the +0.0 of the second operand, exactly
@@ -229,6 +246,210 @@ relu(VecF x)
     return blend(cmpLt(z, x), x, z);
 #endif
 }
+
+// ---------------------------------------------------------------------
+// VecB: one register of kWidthB packed bytes — the quantized-PFT
+// datapath (tensor/ops.cpp int8/int4 gather-max kernels). Integer max
+// is exact, associative and commutative, so — unlike the float lanes
+// above — the byte kernels have no NaN/ordering subtleties: any
+// traversal order is bitwise identical to the scalar reference.
+// ---------------------------------------------------------------------
+
+#if defined(MESORASI_SIMD_AVX2)
+
+inline constexpr int kWidthB = 32;
+
+struct VecB
+{
+    __m256i v;
+
+    static VecB load(const void *p)
+    {
+        return {_mm256_loadu_si256(static_cast<const __m256i *>(p))};
+    }
+    static VecB broadcast(int8_t x) { return {_mm256_set1_epi8(x)}; }
+    void store(void *p) const
+    {
+        _mm256_storeu_si256(static_cast<__m256i *>(p), v);
+    }
+};
+
+inline VecB maxI8(VecB a, VecB b) { return {_mm256_max_epi8(a.v, b.v)}; }
+inline VecB andB(VecB a, VecB b) { return {_mm256_and_si256(a.v, b.v)}; }
+inline VecB xorB(VecB a, VecB b) { return {_mm256_xor_si256(a.v, b.v)}; }
+inline VecB subI8(VecB a, VecB b) { return {_mm256_sub_epi8(a.v, b.v)}; }
+
+/** Per-byte logical shift right by 4 (the high-nibble extract). x86 has
+ *  no per-byte shift, so shift 16-bit lanes and mask the bits that
+ *  crossed byte boundaries. */
+inline VecB
+srl4(VecB a)
+{
+    return {_mm256_and_si256(_mm256_srli_epi16(a.v, 4),
+                             _mm256_set1_epi8(0x0F))};
+}
+
+/** Convert kWidth f32 lanes (already clamped into int8 range) to int8
+ *  and store to p[0..kWidth). Rounds to nearest-even via CVTPS2DQ,
+ *  matching the scalar reference's std::nearbyintf under the default
+ *  rounding mode; the saturating packs are exact for pre-clamped
+ *  values. */
+inline void
+cvtF32ToI8(VecF x, int8_t *p)
+{
+    __m256i i = _mm256_cvtps_epi32(x.v);
+    __m128i w = _mm_packs_epi32(_mm256_castsi256_si128(i),
+                                _mm256_extracti128_si256(i, 1));
+    __m128i b = _mm_packs_epi16(w, w);
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(p), b);
+}
+
+#elif defined(MESORASI_SIMD_SSE2)
+
+inline constexpr int kWidthB = 16;
+
+struct VecB
+{
+    __m128i v;
+
+    static VecB load(const void *p)
+    {
+        return {_mm_loadu_si128(static_cast<const __m128i *>(p))};
+    }
+    static VecB broadcast(int8_t x) { return {_mm_set1_epi8(x)}; }
+    void store(void *p) const
+    {
+        _mm_storeu_si128(static_cast<__m128i *>(p), v);
+    }
+};
+
+/** Signed byte max. SSE2 only has the unsigned PMAXUB, so bias both
+ *  operands by 0x80 (flipping the sign bit maps signed order onto
+ *  unsigned order) and bias the result back. */
+inline VecB
+maxI8(VecB a, VecB b)
+{
+    __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+    return {_mm_xor_si128(_mm_max_epu8(_mm_xor_si128(a.v, bias),
+                                       _mm_xor_si128(b.v, bias)),
+                          bias)};
+}
+
+inline VecB andB(VecB a, VecB b) { return {_mm_and_si128(a.v, b.v)}; }
+inline VecB xorB(VecB a, VecB b) { return {_mm_xor_si128(a.v, b.v)}; }
+inline VecB subI8(VecB a, VecB b) { return {_mm_sub_epi8(a.v, b.v)}; }
+
+inline VecB
+srl4(VecB a)
+{
+    return {_mm_and_si128(_mm_srli_epi16(a.v, 4), _mm_set1_epi8(0x0F))};
+}
+
+inline void
+cvtF32ToI8(VecF x, int8_t *p)
+{
+    __m128i i = _mm_cvtps_epi32(x.v);
+    __m128i w = _mm_packs_epi32(i, i);
+    __m128i b = _mm_packs_epi16(w, w);
+    int32_t lo = _mm_cvtsi128_si32(b);
+    __builtin_memcpy(p, &lo, 4);
+}
+
+#elif defined(MESORASI_SIMD_NEON)
+
+inline constexpr int kWidthB = 16;
+
+struct VecB
+{
+    int8x16_t v;
+
+    static VecB load(const void *p)
+    {
+        return {vld1q_s8(static_cast<const int8_t *>(p))};
+    }
+    static VecB broadcast(int8_t x) { return {vdupq_n_s8(x)}; }
+    void store(void *p) const { vst1q_s8(static_cast<int8_t *>(p), v); }
+};
+
+inline VecB maxI8(VecB a, VecB b) { return {vmaxq_s8(a.v, b.v)}; }
+inline VecB andB(VecB a, VecB b) { return {vandq_s8(a.v, b.v)}; }
+inline VecB xorB(VecB a, VecB b) { return {veorq_s8(a.v, b.v)}; }
+inline VecB subI8(VecB a, VecB b) { return {vsubq_s8(a.v, b.v)}; }
+
+inline VecB
+srl4(VecB a)
+{
+    return {vreinterpretq_s8_u8(vshrq_n_u8(vreinterpretq_u8_s8(a.v), 4))};
+}
+
+inline void
+cvtF32ToI8(VecF x, int8_t *p)
+{
+#if defined(__aarch64__)
+    int32x4_t i = vcvtnq_s32_f32(x.v); // round to nearest-even
+#else
+    // ARMv7 NEON has no round-to-nearest convert; match the scalar
+    // reference lane by lane.
+    float lanes[4];
+    vst1q_f32(lanes, x.v);
+    int32x4_t i = {static_cast<int32_t>(__builtin_nearbyintf(lanes[0])),
+                   static_cast<int32_t>(__builtin_nearbyintf(lanes[1])),
+                   static_cast<int32_t>(__builtin_nearbyintf(lanes[2])),
+                   static_cast<int32_t>(__builtin_nearbyintf(lanes[3]))};
+#endif
+    int16x4_t w = vqmovn_s32(i);
+    int8x8_t b = vqmovn_s16(vcombine_s16(w, w));
+    int8_t tmp[8];
+    vst1_s8(tmp, b);
+    __builtin_memcpy(p, tmp, 4);
+}
+
+#else // MESORASI_SIMD_SCALAR
+
+inline constexpr int kWidthB = 1;
+
+struct VecB
+{
+    int8_t v;
+
+    static VecB load(const void *p)
+    {
+        return {*static_cast<const int8_t *>(p)};
+    }
+    static VecB broadcast(int8_t x) { return {x}; }
+    void store(void *p) const { *static_cast<int8_t *>(p) = v; }
+};
+
+inline VecB maxI8(VecB a, VecB b) { return {a.v > b.v ? a.v : b.v}; }
+inline VecB
+andB(VecB a, VecB b)
+{
+    return {static_cast<int8_t>(a.v & b.v)};
+}
+inline VecB
+xorB(VecB a, VecB b)
+{
+    return {static_cast<int8_t>(a.v ^ b.v)};
+}
+inline VecB
+subI8(VecB a, VecB b)
+{
+    return {static_cast<int8_t>(a.v - b.v)};
+}
+inline VecB
+srl4(VecB a)
+{
+    return {static_cast<int8_t>(static_cast<uint8_t>(a.v) >> 4)};
+}
+
+inline void
+cvtF32ToI8(VecF x, int8_t *p)
+{
+    *p = static_cast<int8_t>(
+        static_cast<int32_t>(__builtin_nearbyintf(x.v)));
+}
+
+#endif
 
 /** True when the vector kernels should run: compiled lane width > 1 and
  *  the runtime force-scalar flag is off. Hot kernels test this once per

@@ -48,6 +48,27 @@ CompiledEngine::execute(const geom::PointCloud &cloud, uint64_t runSeed,
     return ctx.logits_;
 }
 
+const tensor::Tensor &
+CompiledEngine::execute(
+    const geom::PointCloud &cloud, uint64_t runSeed,
+    ExecutionContext &ctx,
+    const std::function<void(int32_t)> &afterStep) const
+{
+    MESO_REQUIRE(ctx.engine_ == this,
+                 "context was built for a different engine");
+    MESO_REQUIRE(static_cast<int32_t>(cloud.size()) == numInputPoints_,
+                 "engine expects " << numInputPoints_ << " points, got "
+                                   << cloud.size());
+    MESO_CHECK(baked_.size() == steps_.size(), "engine was not baked");
+    ctx.cloud_ = &cloud;
+    ctx.rng_ = Rng(runSeed);
+    for (size_t i = 0; i < baked_.size(); ++i) {
+        baked_[i](ctx);
+        afterStep(static_cast<int32_t>(i));
+    }
+    return ctx.logits_;
+}
+
 namespace {
 
 /** Compact one-token rendering of a descriptor's immediates. */
@@ -132,6 +153,11 @@ CompiledEngine::dump(std::ostream &os) const
                  std::to_string(bs.cols);
             if (bs.ld != bs.cols)
                 s += "/ld" + std::to_string(bs.ld);
+            if (bs.dtype != DType::F32) {
+                std::ostringstream q;
+                q << ":" << dtypeName(bs.dtype) << " s=" << bs.qscale;
+                s += q.str();
+            }
             s += "@" + std::to_string(offsets_[static_cast<size_t>(id)]) +
                  "]";
         }
@@ -165,7 +191,10 @@ CompiledEngine::dump(std::ostream &os) const
     if (stats_.arenaFloatsPrePass != stats_.arenaFloats)
         os << ", pre-pass " << stats_.arenaFloatsPrePass << " floats";
     os << ", naive " << stats_.naiveFloats << ", buffers "
-       << stats_.numBuffers << "\n";
+       << stats_.numBuffers;
+    if (stats_.buffersQuantized > 0)
+        os << " (" << stats_.buffersQuantized << " quantized)";
+    os << "\n";
 
     os << "modules:\n";
     for (const PlanModuleInfo &m : modules_) {
@@ -188,7 +217,8 @@ CompiledEngine::dump(std::ostream &os) const
         if (p.ran)
             os << " steps_removed=" << p.stepsRemoved
                << " fusions=" << p.fusionsApplied
-               << " layouts=" << p.layoutsChanged;
+               << " layouts=" << p.layoutsChanged
+               << " buffers_quantized=" << p.buffersQuantized;
         os << "\n";
     }
 

@@ -89,6 +89,7 @@ struct PlanStats
     int32_t stepsRemoved = 0;
     int32_t fusionsApplied = 0;
     int32_t layoutsChanged = 0;
+    int32_t buffersQuantized = 0;
 };
 
 /** Per-module mutable evaluation state (reused across executions). */
@@ -152,6 +153,18 @@ class CompiledEngine
     const tensor::Tensor &execute(const geom::PointCloud &cloud,
                                   uint64_t runSeed,
                                   ExecutionContext &ctx) const;
+
+    /**
+     * Instrumented evaluation: @p afterStep is invoked with the step
+     * index right after each baked step runs, while the arena still
+     * holds its outputs. The calibration pass (quant/calibrate.hpp)
+     * uses this to observe gathered-PFT activation ranges; same logits
+     * as the plain overload (the hot path stays callback-free).
+     */
+    const tensor::Tensor &
+    execute(const geom::PointCloud &cloud, uint64_t runSeed,
+            ExecutionContext &ctx,
+            const std::function<void(int32_t)> &afterStep) const;
 
     /** Build a fresh evaluation context (all storage preallocated to
      *  the engine's AOT shapes). */

@@ -29,13 +29,48 @@ namespace mesorasi::core::plan {
 
 namespace {
 
-int64_t
-ldOf(const CompiledEngine &eng, int32_t id)
+const BufferShape &
+shapeOf(const CompiledEngine &eng, int32_t id)
 {
     const auto &bufs = eng.bufferShapes();
     MESO_CHECK(id >= 0 && id < static_cast<int32_t>(bufs.size()),
                "bad buffer id " << id);
-    return bufs[static_cast<size_t>(id)].ld;
+    return bufs[static_cast<size_t>(id)];
+}
+
+int64_t
+ldOf(const CompiledEngine &eng, int32_t id)
+{
+    return shapeOf(eng, id).ld;
+}
+
+/**
+ * Element @p e of a row starting at byte pointer @p row, dequantized
+ * per @p dt. The quantized cases use the exact expression of
+ * tensor::dequantizeRowI8/I4 (scalar, single multiply), so epilogues
+ * reading a quantized aux row match those kernels bitwise in every
+ * SIMD mode.
+ */
+inline float
+rowElem(const uint8_t *row, DType dt, int32_t e, float scale)
+{
+    switch (dt) {
+      case DType::I8:
+        return static_cast<float>(
+                   reinterpret_cast<const int8_t *>(row)[e]) *
+               scale;
+      case DType::I4: {
+        uint8_t b = row[e >> 1];
+        uint8_t n = (e & 1) ? static_cast<uint8_t>(b >> 4)
+                            : static_cast<uint8_t>(b & 0x0F);
+        return static_cast<float>(
+                   static_cast<int8_t>((n ^ 8u) - 8)) *
+               scale;
+      }
+      case DType::F32:
+        break;
+    }
+    return reinterpret_cast<const float *>(row)[e];
 }
 
 /** Pad a flat ball-query NIT row exactly like padBallEntry: an empty
@@ -104,7 +139,11 @@ bakeOne(const OpDesc &d, const CompiledEngine &eng)
       case OpKind::AggGatherMax: {
         size_t mod = static_cast<size_t>(d.mod);
         int32_t in = d.in, out = d.out;
-        int64_t ldIn = ldOf(eng, in), ldOut = ldOf(eng, out);
+        const BufferShape &bi = shapeOf(eng, in);
+        int64_t ldIn = bi.ld, ldOut = ldOf(eng, out);
+        int64_t rowBytesIn = bi.rowBytes();
+        DType dtIn = bi.dtype;
+        float scaleIn = bi.qscale;
         int64_t rows = d.rows;
         int32_t cols = d.cols, k = d.k, srcRows = d.srcRows;
         return [=](ExecutionContext &ctx) {
@@ -113,33 +152,57 @@ bakeOne(const OpDesc &d, const CompiledEngine &eng)
             const int32_t *flat = ctx.mods_[mod].nitFlat.data();
             ThreadPool::global().parallelFor(
                 rows, /*grain=*/16, [&](int64_t lo, int64_t hi) {
-                    for (int64_t c = lo; c < hi; ++c)
-                        tensor::gatherMaxReduceInto(o + c * ldOut, src,
-                                                    ldIn, cols, srcRows,
-                                                    flat + c * k, k);
+                    for (int64_t c = lo; c < hi; ++c) {
+                        switch (dtIn) {
+                          case DType::F32:
+                            tensor::gatherMaxReduceInto(
+                                o + c * ldOut, src, ldIn, cols, srcRows,
+                                flat + c * k, k);
+                            break;
+                          case DType::I8:
+                            tensor::gatherMaxReduceI8Into(
+                                o + c * ldOut,
+                                reinterpret_cast<const int8_t *>(src),
+                                ldIn, cols, srcRows, flat + c * k, k,
+                                scaleIn);
+                            break;
+                          case DType::I4:
+                            tensor::gatherMaxReduceI4Into(
+                                o + c * ldOut,
+                                reinterpret_cast<const uint8_t *>(src),
+                                rowBytesIn, cols, srcRows, flat + c * k,
+                                k, scaleIn);
+                            break;
+                        }
+                    }
                 });
         };
       }
       case OpKind::AggSubCentroid: {
         size_t mod = static_cast<size_t>(d.mod);
         int32_t out = d.out, aux = d.aux;
-        int64_t ldOut = ldOf(eng, out), ldAux = ldOf(eng, aux);
+        const BufferShape &ba = shapeOf(eng, aux);
+        int64_t ldOut = ldOf(eng, out);
+        int64_t rowBytesAux = ba.rowBytes();
+        DType dtAux = ba.dtype;
+        float scaleAux = ba.qscale;
         int64_t rows = d.rows;
         int32_t cols = d.cols;
         return [=](ExecutionContext &ctx) {
-            const float *a = ctx.buf(aux);
+            const uint8_t *a =
+                reinterpret_cast<const uint8_t *>(ctx.buf(aux));
             float *o = ctx.buf(out);
             const int32_t *cent = ctx.mods_[mod].centroids.data();
             ThreadPool::global().parallelFor(
                 rows, /*grain=*/16, [&](int64_t lo, int64_t hi) {
                     for (int64_t c = lo; c < hi; ++c) {
                         float *orow = o + c * ldOut;
-                        const float *cf =
+                        const uint8_t *cf =
                             a + static_cast<int64_t>(
                                     cent[static_cast<size_t>(c)]) *
-                                    ldAux;
+                                    rowBytesAux;
                         for (int32_t e = 0; e < cols; ++e)
-                            orow[e] -= cf[e];
+                            orow[e] -= rowElem(cf, dtAux, e, scaleAux);
                     }
                 });
         };
@@ -147,24 +210,30 @@ bakeOne(const OpDesc &d, const CompiledEngine &eng)
       case OpKind::AggAddAuxRelu: {
         size_t mod = static_cast<size_t>(d.mod);
         int32_t out = d.out, aux = d.aux;
-        int64_t ldOut = ldOf(eng, out), ldAux = ldOf(eng, aux);
+        const BufferShape &ba = shapeOf(eng, aux);
+        int64_t ldOut = ldOf(eng, out);
+        int64_t rowBytesAux = ba.rowBytes();
+        DType dtAux = ba.dtype;
+        float scaleAux = ba.qscale;
         int64_t rows = d.rows;
         int32_t cols = d.cols;
         bool relu = d.relu;
         return [=](ExecutionContext &ctx) {
-            const float *a = ctx.buf(aux);
+            const uint8_t *a =
+                reinterpret_cast<const uint8_t *>(ctx.buf(aux));
             float *o = ctx.buf(out);
             const int32_t *cent = ctx.mods_[mod].centroids.data();
             ThreadPool::global().parallelFor(
                 rows, /*grain=*/16, [&](int64_t lo, int64_t hi) {
                     for (int64_t c = lo; c < hi; ++c) {
                         float *orow = o + c * ldOut;
-                        const float *qr =
+                        const uint8_t *qr =
                             a + static_cast<int64_t>(
                                     cent[static_cast<size_t>(c)]) *
-                                    ldAux;
+                                    rowBytesAux;
                         for (int32_t e = 0; e < cols; ++e) {
-                            float v = orow[e] + qr[e];
+                            float v =
+                                orow[e] + rowElem(qr, dtAux, e, scaleAux);
                             if (relu)
                                 v = std::max(0.0f, v);
                             orow[e] = v;
@@ -491,6 +560,30 @@ bakeOne(const OpDesc &d, const CompiledEngine &eng)
                 });
         };
       }
+      case OpKind::QuantizeRows: {
+        int32_t in = d.in, out = d.out;
+        const BufferShape &bo = shapeOf(eng, out);
+        int64_t ldIn = ldOf(eng, in);
+        int64_t rows = d.rows;
+        int32_t cols = d.cols;
+        float scale = bo.qscale;
+        MESO_CHECK(bo.dtype != DType::F32,
+                   "QuantizeRows output must be quantized");
+        if (bo.dtype == DType::I8) {
+            int64_t ldOut = bo.ld;
+            return [=](ExecutionContext &ctx) {
+                tensor::quantizeRowsI8(
+                    reinterpret_cast<int8_t *>(ctx.buf(out)), ldOut,
+                    ctx.buf(in), ldIn, rows, cols, scale);
+            };
+        }
+        int64_t rowBytesOut = bo.rowBytes();
+        return [=](ExecutionContext &ctx) {
+            tensor::quantizeRowsI4(
+                reinterpret_cast<uint8_t *>(ctx.buf(out)), rowBytesOut,
+                ctx.buf(in), ldIn, rows, cols, scale);
+        };
+      }
       case OpKind::Generic:
         break;
     }
@@ -517,16 +610,61 @@ bakeStep(const StepIR &s, const CompiledEngine &eng)
                                                          << "'");
         size_t mod = static_cast<size_t>(g.mod);
         int32_t in = g.in, dst = g.out, aux = e.aux;
-        int64_t ldIn = ldOf(eng, in), ldDst = ldOf(eng, dst),
-                ldAux = ldOf(eng, aux);
+        const BufferShape &bi = shapeOf(eng, in);
+        const BufferShape &ba = shapeOf(eng, aux);
+        int64_t ldIn = bi.ld, ldDst = ldOf(eng, dst);
         int64_t rows = g.rows;
         int32_t cols = g.cols, k = g.k, srcRows = g.srcRows;
         bool sub = e.op == OpKind::AggSubCentroid;
         bool relu = e.relu;
+        if (bi.dtype == DType::F32 && ba.dtype == DType::F32) {
+            int64_t ldAux = ba.ld;
+            return [=](ExecutionContext &ctx) {
+                PlanModuleCtx &m = ctx.mods_[mod];
+                const float *src = ctx.buf(in);
+                const float *a = ctx.buf(aux);
+                float *o = ctx.buf(dst);
+                const int32_t *flat = m.nitFlat.data();
+                const int32_t *cent = m.centroids.data();
+                ThreadPool::global().parallelFor(
+                    rows, /*grain=*/16, [&](int64_t lo, int64_t hi) {
+                        for (int64_t c = lo; c < hi; ++c) {
+                            float *orow = o + c * ldDst;
+                            tensor::gatherMaxReduceInto(orow, src, ldIn,
+                                                        cols, srcRows,
+                                                        flat + c * k, k);
+                            const float *ar =
+                                a + static_cast<int64_t>(
+                                        cent[static_cast<size_t>(c)]) *
+                                        ldAux;
+                            if (sub) {
+                                for (int32_t e2 = 0; e2 < cols; ++e2)
+                                    orow[e2] -= ar[e2];
+                            } else {
+                                for (int32_t e2 = 0; e2 < cols; ++e2) {
+                                    float v = orow[e2] + ar[e2];
+                                    if (relu)
+                                        v = std::max(0.0f, v);
+                                    orow[e2] = v;
+                                }
+                            }
+                        }
+                    });
+            };
+        }
+        // Quantized variant: the gather-max runs in the integer domain
+        // (one dequantize per output element), and the epilogue
+        // dequantizes the aux row element-wise — same per-element
+        // operation order as the unfused two-step bake, so fused and
+        // unfused quantized plans stay bitwise identical.
+        int64_t rowBytesIn = bi.rowBytes(), rowBytesAux = ba.rowBytes();
+        DType dtIn = bi.dtype, dtAux = ba.dtype;
+        float scaleIn = bi.qscale, scaleAux = ba.qscale;
         return [=](ExecutionContext &ctx) {
             PlanModuleCtx &m = ctx.mods_[mod];
             const float *src = ctx.buf(in);
-            const float *a = ctx.buf(aux);
+            const uint8_t *a =
+                reinterpret_cast<const uint8_t *>(ctx.buf(aux));
             float *o = ctx.buf(dst);
             const int32_t *flat = m.nitFlat.data();
             const int32_t *cent = m.centroids.data();
@@ -534,19 +672,40 @@ bakeStep(const StepIR &s, const CompiledEngine &eng)
                 rows, /*grain=*/16, [&](int64_t lo, int64_t hi) {
                     for (int64_t c = lo; c < hi; ++c) {
                         float *orow = o + c * ldDst;
-                        tensor::gatherMaxReduceInto(orow, src, ldIn,
-                                                    cols, srcRows,
-                                                    flat + c * k, k);
-                        const float *ar =
+                        switch (dtIn) {
+                          case DType::F32:
+                            tensor::gatherMaxReduceInto(
+                                orow, src, ldIn, cols, srcRows,
+                                flat + c * k, k);
+                            break;
+                          case DType::I8:
+                            tensor::gatherMaxReduceI8Into(
+                                orow,
+                                reinterpret_cast<const int8_t *>(src),
+                                ldIn, cols, srcRows, flat + c * k, k,
+                                scaleIn);
+                            break;
+                          case DType::I4:
+                            tensor::gatherMaxReduceI4Into(
+                                orow,
+                                reinterpret_cast<const uint8_t *>(src),
+                                rowBytesIn, cols, srcRows, flat + c * k,
+                                k, scaleIn);
+                            break;
+                        }
+                        const uint8_t *ar =
                             a + static_cast<int64_t>(
                                     cent[static_cast<size_t>(c)]) *
-                                    ldAux;
+                                    rowBytesAux;
                         if (sub) {
                             for (int32_t e2 = 0; e2 < cols; ++e2)
-                                orow[e2] -= ar[e2];
+                                orow[e2] -=
+                                    rowElem(ar, dtAux, e2, scaleAux);
                         } else {
                             for (int32_t e2 = 0; e2 < cols; ++e2) {
-                                float v = orow[e2] + ar[e2];
+                                float v = orow[e2] +
+                                          rowElem(ar, dtAux, e2,
+                                                  scaleAux);
                                 if (relu)
                                     v = std::max(0.0f, v);
                                 orow[e2] = v;

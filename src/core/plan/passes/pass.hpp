@@ -22,6 +22,8 @@
  */
 #pragma once
 
+#include <limits>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,6 +44,22 @@ enum class PftLayout
     AlignedBlocked ///< rows padded to 64-byte lines (ld rounded to 16)
 };
 
+/**
+ * Per-buffer calibration ranges for the quantize_pft pass: the max |x|
+ * observed in each gathered PFT buffer over representative clouds,
+ * keyed by PlanIR buffer id (quant::calibratePft produces one against
+ * the fp32 engine — buffer ids are stable across recompiles of the
+ * same executor/options because passes append buffers, never renumber
+ * them). Empty -> the pass no-ops even when numerics-changing passes
+ * are allowed.
+ */
+struct PftCalibration
+{
+    std::map<int32_t, float> maxAbs;
+
+    bool empty() const { return maxAbs.empty(); }
+};
+
 /** Knobs of one PassManager::run invocation. */
 struct PassOptions
 {
@@ -57,6 +75,12 @@ struct PassOptions
     bool allowNumericsChanging = false;
     /** Override the layout pass's cost-model decision (tests). */
     PftLayout forceLayout = PftLayout::Auto;
+    /** Calibration ranges arming the quantize_pft pass. */
+    PftCalibration quantCalibration;
+    /** Calibrated PFT buffers with at least this many rows store
+     *  packed int4 instead of int8 (default: int8 only — int4 is the
+     *  opt-in second level for the largest tables). */
+    int64_t quantInt4MinRows = std::numeric_limits<int64_t>::max();
 };
 
 /** Per-pass statistics recorded by the optimizer pipeline. */
@@ -69,6 +93,7 @@ struct PassStat
     int32_t stepsRemoved = 0;
     int32_t fusionsApplied = 0;
     int32_t layoutsChanged = 0;
+    int32_t buffersQuantized = 0;
 };
 
 /** Whether the pipeline runs under @p opts (env kill switch applied). */
@@ -115,6 +140,25 @@ std::unique_ptr<Pass> makeEpilogueFusion();
  *  pass is numerics-preserving. */
 std::unique_ptr<Pass> makePftLayoutSelection();
 
+/** Rewrites each calibrated AggGatherMax input PFT to int8 (or packed
+ *  int4) storage: a QuantizeRows step is inserted after the buffer's
+ *  producer and every gather/epilogue consumer is repointed at the
+ *  quantized copy (the f32 original dies immediately, shrinking the
+ *  re-planned arena). Max commutes with the monotone symmetric
+ *  quantizer, so the gather-max runs entirely in the integer domain
+ *  and dequantizes once per output element. changesNumerics() == true:
+ *  gated behind PassOptions::allowNumericsChanging /
+ *  MESORASI_PLAN_NUMERICS_PASSES=1, and armed only by a non-empty
+ *  PassOptions::quantCalibration. */
+std::unique_ptr<Pass> makePftQuantization();
+
+/** Symmetric quantization scale for a buffer with observed range
+ *  max |x| (clamp limit 127 for int8, 7 for int4). A constant-zero
+ *  buffer has no range; any positive scale encodes it exactly, so it
+ *  gets scale 1 (never 0 or NaN). Throws UsageError on a non-finite
+ *  range. */
+float quantScaleFor(float maxAbs, DType dtype);
+
 // --- Layout cost model (exposed for tests/benchmarks) ------------------
 
 /** Gather traffic profile of one PFT buffer. */
@@ -139,7 +183,9 @@ class PassManager
     /** Append @p pass to the pipeline (runs in registration order). */
     void add(std::unique_ptr<Pass> pass);
 
-    /** The shipped pipeline: DCE, epilogue fusion, PFT layout. */
+    /** The shipped pipeline: DCE, epilogue fusion, PFT layout, PFT
+     *  quantization (the last is numerics-changing and so skipped
+     *  without the explicit opt-in). */
     static PassManager defaultPipeline();
 
     /**

@@ -40,10 +40,13 @@ PassManager::defaultPipeline()
 {
     PassManager pm;
     // DCE first so fusion and layout never optimize dead steps; fusion
-    // before layout so the layout pass profiles the final consumers.
+    // before layout so the layout pass profiles the final consumers;
+    // quantization last so the numerics-preserving passes never see
+    // quantized buffers (its int8/int4 buffers keep ld == cols).
     pm.add(makeDeadStepElimination());
     pm.add(makeEpilogueFusion());
     pm.add(makePftLayoutSelection());
+    pm.add(makePftQuantization());
     return pm;
 }
 

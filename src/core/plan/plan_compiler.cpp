@@ -31,6 +31,7 @@ PlanCompiler::compile(const NetworkExecutor &exec, PipelineKind kind,
         eng.stats_.stepsRemoved += ps.stepsRemoved;
         eng.stats_.fusionsApplied += ps.fusionsApplied;
         eng.stats_.layoutsChanged += ps.layoutsChanged;
+        eng.stats_.buffersQuantized += ps.buffersQuantized;
     }
 
     // --- Freeze: re-plan the arena, bake closures, seal the engine. --

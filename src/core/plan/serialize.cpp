@@ -1,5 +1,6 @@
 #include "core/plan/serialize.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 
@@ -10,6 +11,18 @@ namespace mesorasi::core::plan {
 namespace {
 
 constexpr uint32_t kMagic = 0x4F53454Du; // "MESO" little-endian
+
+/**
+ * Optional trailing quantization section ("QNT1" little-endian).
+ * Engines with only f32 buffers write nothing here, so their artifacts
+ * stay byte-identical to the pre-quantization v1 format — and a
+ * pre-quantization reader's "trailing bytes" check doubles as its
+ * (correct) rejection of artifacts it cannot execute. Layout:
+ * u32 magic, u32 entry count, entries {u32 bufId, i32 dtype,
+ * f32 qscale, i32 qzero}, u32 pass-stat count, per-pass i32
+ * buffersQuantized.
+ */
+constexpr uint32_t kQuantMagic = 0x31544E51u;
 
 // OpDesc field tags. Append-only: a tag's type and meaning are frozen
 // forever; new fields get new tags.
@@ -517,6 +530,30 @@ class EngineSerializer
         w.i32(e.stats_.stepsRemoved);
         w.i32(e.stats_.fusionsApplied);
         w.i32(e.stats_.layoutsChanged);
+
+        bool anyQuant = false;
+        for (const BufferShape &b : e.bufferShapes_)
+            anyQuant = anyQuant || b.dtype != DType::F32;
+        if (anyQuant) {
+            w.u32(kQuantMagic);
+            uint32_t n = 0;
+            for (const BufferShape &b : e.bufferShapes_)
+                if (b.dtype != DType::F32)
+                    ++n;
+            w.u32(n);
+            for (size_t i = 0; i < e.bufferShapes_.size(); ++i) {
+                const BufferShape &b = e.bufferShapes_[i];
+                if (b.dtype == DType::F32)
+                    continue;
+                w.u32(static_cast<uint32_t>(i));
+                w.i32(static_cast<int32_t>(b.dtype));
+                w.f32(b.qscale);
+                w.i32(b.qzero);
+            }
+            w.u32(static_cast<uint32_t>(e.passStats_.size()));
+            for (const PassStat &p : e.passStats_)
+                w.i32(p.buffersQuantized);
+        }
         return w.take();
     }
 
@@ -650,6 +687,53 @@ class EngineSerializer
         e.stats_.fusionsApplied = r.i32();
         e.stats_.layoutsChanged = r.i32();
 
+        // Optional quantization section: absent from (and therefore
+        // back-compatible with) pre-quantization fp32 artifacts.
+        if (!r.done()) {
+            uint32_t qmagic = r.u32();
+            MESO_REQUIRE(qmagic == kQuantMagic,
+                         "corrupt engine artifact: bad quant section "
+                         "magic 0x"
+                             << std::hex << qmagic);
+            uint32_t nQuant = r.count(16, "quant entries");
+            for (uint32_t i = 0; i < nQuant; ++i) {
+                uint32_t id = r.u32();
+                int32_t dt = r.i32();
+                float scale = r.f32();
+                int32_t zero = r.i32();
+                MESO_REQUIRE(id < e.bufferShapes_.size(),
+                             "corrupt engine artifact: quant entry for "
+                             "buffer "
+                                 << id << " of "
+                                 << e.bufferShapes_.size());
+                MESO_REQUIRE(
+                    dt == static_cast<int32_t>(DType::I8) ||
+                        dt == static_cast<int32_t>(DType::I4),
+                    "corrupt engine artifact: quant dtype " << dt);
+                MESO_REQUIRE(std::isfinite(scale) && scale > 0.0f,
+                             "corrupt engine artifact: quant scale "
+                                 << scale << " for buffer " << id);
+                MESO_REQUIRE(zero == 0,
+                             "corrupt engine artifact: non-symmetric "
+                             "zero point "
+                                 << zero << " is not supported");
+                BufferShape &b = e.bufferShapes_[id];
+                b.dtype = static_cast<DType>(dt);
+                b.qscale = scale;
+                b.qzero = zero;
+            }
+            uint32_t nQp = r.count(4, "quant pass stats");
+            MESO_REQUIRE(nQp == e.passStats_.size(),
+                         "corrupt engine artifact: "
+                             << nQp << " quant pass stats for "
+                             << e.passStats_.size() << " passes");
+            for (uint32_t i = 0; i < nQp; ++i)
+                e.passStats_[i].buffersQuantized = r.i32();
+        }
+        for (const BufferShape &b : e.bufferShapes_)
+            if (b.dtype != DType::F32)
+                ++e.stats_.buffersQuantized;
+
         MESO_REQUIRE(r.done(),
                      "corrupt engine artifact: " << (size - r.pos())
                                                  << " trailing bytes");
@@ -718,7 +802,7 @@ class EngineSerializer
 
         auto checkDesc = [&](const OpDesc &d, const std::string &step) {
             MESO_REQUIRE(
-                d.op > OpKind::Generic && d.op <= OpKind::Interp3NN,
+                d.op > OpKind::Generic && d.op <= OpKind::QuantizeRows,
                 "corrupt engine artifact: step '"
                     << step << "' op "
                     << static_cast<int32_t>(d.op)
@@ -893,14 +977,71 @@ class EngineSerializer
                     "corrupt engine artifact: step '"
                         << step << "' backend " << d.backend);
                 break;
+              case OpKind::QuantizeRows: {
+                needBuf(d.in, "in", step);
+                needBuf(d.out, "out", step);
+                const BufferShape &bi =
+                    e.bufferShapes_[static_cast<size_t>(d.in)];
+                const BufferShape &bo =
+                    e.bufferShapes_[static_cast<size_t>(d.out)];
+                MESO_REQUIRE(bi.dtype == DType::F32,
+                             "corrupt engine artifact: step '"
+                                 << step
+                                 << "' quantizes a non-f32 buffer");
+                MESO_REQUIRE((bo.dtype == DType::I8 ||
+                              bo.dtype == DType::I4) &&
+                                 std::isfinite(bo.qscale) &&
+                                 bo.qscale > 0.0f,
+                             "corrupt engine artifact: step '"
+                                 << step
+                                 << "' output is not a quantized "
+                                    "buffer with a positive scale");
+                MESO_REQUIRE(bo.dtype != DType::I4 || bo.ld % 2 == 0,
+                             "corrupt engine artifact: step '"
+                                 << step << "' int4 output ld "
+                                 << bo.ld << " is odd");
+                break;
+              }
               case OpKind::Generic:
                 break;
             }
         };
+        // Quantized buffers are legal only where bake dispatches on the
+        // dtype: a QuantizeRows output, a gather-max input, or an
+        // aggregate-epilogue aux. Any other operand reference would
+        // reinterpret packed integers as floats.
+        auto noQuant = [&](int32_t id, const char *what,
+                          const std::string &step) {
+            if (id < 0 || id >= nBufs)
+                return;
+            MESO_REQUIRE(
+                e.bufferShapes_[static_cast<size_t>(id)].dtype ==
+                    DType::F32,
+                "corrupt engine artifact: step '"
+                    << step << "' " << what
+                    << " references quantized buffer " << id
+                    << " outside the quantized kernel set");
+        };
+        auto checkQuantRoles = [&](const OpDesc &d,
+                                   const std::string &step) {
+            if (d.op != OpKind::AggGatherMax)
+                noQuant(d.in, "in", step);
+            if (d.op != OpKind::AggSubCentroid &&
+                d.op != OpKind::AggAddAuxRelu)
+                noQuant(d.aux, "aux", step);
+            if (d.op != OpKind::QuantizeRows)
+                noQuant(d.out, "out", step);
+            noQuant(d.in2, "in2", step);
+            for (int32_t id : d.srcs)
+                noQuant(id, "src", step);
+        };
         for (const StepIR &s : e.steps_) {
             checkDesc(s.desc, s.name);
-            for (const OpDesc &t : s.tail)
+            checkQuantRoles(s.desc, s.name);
+            for (const OpDesc &t : s.tail) {
                 checkDesc(t, s.name);
+                checkQuantRoles(t, s.name);
+            }
         }
     }
 };

@@ -60,6 +60,22 @@ opKindName(OpKind op)
         return "concat_cols";
       case OpKind::Interp3NN:
         return "interp_3nn";
+      case OpKind::QuantizeRows:
+        return "quantize_rows";
+    }
+    return "?";
+}
+
+const char *
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::F32:
+        return "f32";
+      case DType::I8:
+        return "i8";
+      case DType::I4:
+        return "i4";
     }
     return "?";
 }

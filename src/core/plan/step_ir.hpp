@@ -141,6 +141,10 @@ enum class OpKind
      *  (srcRows x cols), aux = coarse coords, in2 = fine coords,
      *  out = rows x cols. Queries the compile-resolved @p backend. */
     Interp3NN,
+    /** Symmetric quantization of @p rows x @p cols of f32 buffer @p in
+     *  into quantized buffer @p out; @p out's BufferShape dtype/qscale
+     *  select int8 or packed int4 (quantize_pft pass). */
+    QuantizeRows,
 };
 
 const char *opKindName(OpKind op);
@@ -205,15 +209,61 @@ struct StepIR
     std::string note;  ///< optimizer annotation, carried into the engine
 };
 
-/** Shape of one arena buffer. @p ld is the leading dimension in floats
- *  (>= cols; larger when the layout pass padded rows to cache lines). */
+/** Element type of an arena buffer. Quantized types are produced only
+ *  by the (numerics-changing, opt-in) quantize_pft pass; everything
+ *  else stays F32. */
+enum class DType : int32_t
+{
+    F32 = 0, ///< 4-byte float rows (the default)
+    I8 = 1,  ///< symmetric int8 rows, dequant = q * qscale
+    I4 = 2,  ///< packed int4: two's-complement nibbles, two per byte
+};
+
+const char *dtypeName(DType t);
+
+/** Shape of one arena buffer. @p ld is the leading dimension in
+ *  elements (>= cols; larger when the layout pass padded rows to cache
+ *  lines, or when an int4 buffer padded its odd column count to a whole
+ *  number of bytes). Quantized buffers carry their symmetric
+ *  quantization parameters here — the descriptor ops stay polymorphic
+ *  over the operand dtype, and bake dispatches on this table. */
 struct BufferShape
 {
     int64_t rows = 0;
     int32_t cols = 0;
     int32_t ld = 0;
+    DType dtype = DType::F32;
+    /** Symmetric scale (x ~ q * qscale); 0 on F32 buffers. */
+    float qscale = 0.0f;
+    /** Zero point — always 0 today (symmetric quantization); carried
+     *  so the serialized form can grow asymmetric schemes. */
+    int32_t qzero = 0;
 
-    int64_t floats() const { return rows * ld; }
+    /** Bytes of one ld-element row (int4 packs two per byte). */
+    int64_t
+    rowBytes() const
+    {
+        switch (dtype) {
+          case DType::I8:
+            return ld;
+          case DType::I4:
+            return ld / 2;
+          case DType::F32:
+            break;
+        }
+        return static_cast<int64_t>(ld) * 4;
+    }
+
+    /** Arena footprint in floats: the arena stays a flat f32 store, so
+     *  quantized buffers round their byte footprint up to whole
+     *  floats (this is where int8 shrinks the plan 4x, int4 8x). */
+    int64_t
+    floats() const
+    {
+        if (dtype == DType::F32)
+            return rows * ld;
+        return (rows * rowBytes() + 3) / 4;
+    }
 };
 
 /** The mutable program under optimization: the step sequence plus the

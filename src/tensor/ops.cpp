@@ -431,6 +431,224 @@ gatherMaxReduceInto(float *dst, const float *src, int64_t stride,
     }
 }
 
+// ---------------------------------------------------------------------
+// Quantized PFT kernels (see ops.hpp for the numerics contract).
+// ---------------------------------------------------------------------
+
+namespace {
+
+using simd::VecB;
+
+/** Sign-extend a two's-complement nibble n in [0, 15] to int8. */
+inline int8_t
+nibbleToI8(uint8_t n)
+{
+    return static_cast<int8_t>((n ^ 8u) - 8);
+}
+
+/** Quantize one row: dst[c] = clamp(nearbyint(src[c] * invScale),
+ *  -lim, lim). The clamp runs in the float domain before conversion —
+ *  scalar std::min(lim, std::max(-lim, t)) and vector
+ *  minOrdered(lim, maxOrdered(-lim, t)) agree bitwise, including
+ *  NaN -> -lim. */
+inline void
+quantizeRowI8(int8_t *dst, const float *src, int32_t cols,
+              float invScale, float lim)
+{
+    int32_t c = 0;
+    if (simd::enabled()) {
+        constexpr int W = simd::kWidth;
+        VecF vinv = VecF::broadcast(invScale);
+        VecF vlo = VecF::broadcast(-lim);
+        VecF vhi = VecF::broadcast(lim);
+        for (; c + W <= cols; c += W) {
+            VecF t = mul(VecF::load(src + c), vinv);
+            t = minOrdered(vhi, maxOrdered(vlo, t));
+            simd::cvtF32ToI8(t, dst + c);
+        }
+    }
+    for (; c < cols; ++c) {
+        float t = src[c] * invScale;
+        t = std::min(lim, std::max(-lim, t));
+        dst[c] = static_cast<int8_t>(
+            static_cast<int32_t>(std::nearbyintf(t)));
+    }
+}
+
+} // namespace
+
+void
+quantizeRowsI8(int8_t *dst, int64_t dstStride, const float *src,
+               int64_t srcStride, int64_t rows, int32_t cols,
+               float scale)
+{
+    MESO_REQUIRE(scale > 0.0f && std::isfinite(scale),
+                 "int8 quantization scale " << scale);
+    MESO_REQUIRE(dstStride >= cols && srcStride >= cols,
+                 "quantizeRowsI8 strides " << dstStride << "/"
+                                           << srcStride << " for "
+                                           << cols << " cols");
+    float invScale = 1.0f / scale;
+    for (int64_t r = 0; r < rows; ++r)
+        quantizeRowI8(dst + r * dstStride, src + r * srcStride, cols,
+                      invScale, 127.0f);
+}
+
+void
+quantizeRowsI4(uint8_t *dst, int64_t dstStrideBytes, const float *src,
+               int64_t srcStride, int64_t rows, int32_t cols,
+               float scale)
+{
+    MESO_REQUIRE(scale > 0.0f && std::isfinite(scale),
+                 "int4 quantization scale " << scale);
+    MESO_REQUIRE(dstStrideBytes >= (cols + 1) / 2 && srcStride >= cols,
+                 "quantizeRowsI4 strides " << dstStrideBytes << "B/"
+                                           << srcStride << " for "
+                                           << cols << " cols");
+    float invScale = 1.0f / scale;
+    // Quantize an even-sized chunk to int8 (shared, parity-tested
+    // kernel), then pack nibble pairs — the float->int conversion
+    // dominates; the integer pack is exact in any form.
+    constexpr int32_t kChunk = 64;
+    int8_t tmp[kChunk + 1];
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *s = src + r * srcStride;
+        uint8_t *d = dst + r * dstStrideBytes;
+        for (int32_t c = 0; c < cols; c += kChunk) {
+            int32_t n = std::min(kChunk, cols - c);
+            quantizeRowI8(tmp, s + c, n, invScale, 7.0f);
+            if (n & 1)
+                tmp[n] = 0; // odd trailing column: high nibble stays 0
+            for (int32_t j = 0; j < n; j += 2)
+                d[(c + j) >> 1] = static_cast<uint8_t>(
+                    (tmp[j] & 0x0F) | ((tmp[j + 1] & 0x0F) << 4));
+        }
+    }
+}
+
+void
+dequantizeRowI8(float *dst, const int8_t *src, int32_t cols, float scale)
+{
+    for (int32_t c = 0; c < cols; ++c)
+        dst[c] = static_cast<float>(src[c]) * scale;
+}
+
+void
+dequantizeRowI4(float *dst, const uint8_t *src, int32_t cols, float scale)
+{
+    for (int32_t c = 0; c < cols; ++c) {
+        uint8_t b = src[c >> 1];
+        uint8_t n = (c & 1) ? static_cast<uint8_t>(b >> 4)
+                            : static_cast<uint8_t>(b & 0x0F);
+        dst[c] = static_cast<float>(nibbleToI8(n)) * scale;
+    }
+}
+
+void
+gatherMaxReduceI8Into(float *dst, const int8_t *src, int64_t stride,
+                      int32_t cols, int32_t srcRows, const int32_t *rows,
+                      int32_t count, float scale)
+{
+    MESO_REQUIRE(count > 0, "gather-reduce over no rows");
+    MESO_REQUIRE(stride >= cols, "gatherMaxReduceI8Into stride "
+                                     << stride << " < " << cols);
+    for (int32_t i = 0; i < count; ++i)
+        MESO_REQUIRE(rows[i] >= 0 && rows[i] < srcRows,
+                     "gather index " << rows[i] << " of " << srcRows);
+    int32_t c = 0;
+    if (simd::enabled()) {
+        // Column tiles held in a register accumulator across the row
+        // loop: int8 max is exact, so the transposed traversal is
+        // bitwise equal to the scalar column loop below. Every int8
+        // value is exactly representable in f32, so the single
+        // dequantize per output element agrees too.
+        constexpr int B = simd::kWidthB;
+        int8_t tmp[simd::kWidthB];
+        for (; c + B <= cols; c += B) {
+            VecB acc = VecB::load(
+                src + static_cast<int64_t>(rows[0]) * stride + c);
+            for (int32_t i = 1; i < count; ++i)
+                acc = maxI8(
+                    acc,
+                    VecB::load(src +
+                               static_cast<int64_t>(rows[i]) * stride +
+                               c));
+            acc.store(tmp);
+            for (int32_t e = 0; e < B; ++e)
+                dst[c + e] = static_cast<float>(tmp[e]) * scale;
+        }
+    }
+    for (; c < cols; ++c) {
+        int8_t m = src[static_cast<int64_t>(rows[0]) * stride + c];
+        for (int32_t i = 1; i < count; ++i)
+            m = std::max(
+                m, src[static_cast<int64_t>(rows[i]) * stride + c]);
+        dst[c] = static_cast<float>(m) * scale;
+    }
+}
+
+void
+gatherMaxReduceI4Into(float *dst, const uint8_t *src, int64_t strideBytes,
+                      int32_t cols, int32_t srcRows, const int32_t *rows,
+                      int32_t count, float scale)
+{
+    MESO_REQUIRE(count > 0, "gather-reduce over no rows");
+    MESO_REQUIRE(strideBytes * 2 >= cols,
+                 "gatherMaxReduceI4Into stride " << strideBytes
+                                                 << "B < " << cols
+                                                 << " cols");
+    for (int32_t i = 0; i < count; ++i)
+        MESO_REQUIRE(rows[i] >= 0 && rows[i] < srcRows,
+                     "gather index " << rows[i] << " of " << srcRows);
+    int32_t cb = 0; // byte column (covers output columns 2cb, 2cb+1)
+    if (simd::enabled()) {
+        // Each loaded byte carries two columns: accumulate low and high
+        // nibble planes separately (sign-extend n via (n ^ 8) - 8 in
+        // the byte domain), dequantize once per output element.
+        constexpr int B = simd::kWidthB;
+        const int32_t fullBytes = cols / 2;
+        VecB mask = VecB::broadcast(0x0F);
+        VecB bias = VecB::broadcast(8);
+        int8_t lo[simd::kWidthB], hi[simd::kWidthB];
+        for (; cb + B <= fullBytes; cb += B) {
+            auto sx = [&](VecB n) { return subI8(xorB(n, bias), bias); };
+            const uint8_t *r0 =
+                src + static_cast<int64_t>(rows[0]) * strideBytes + cb;
+            VecB b0 = VecB::load(r0);
+            VecB accLo = sx(andB(b0, mask));
+            VecB accHi = sx(srl4(b0));
+            for (int32_t i = 1; i < count; ++i) {
+                VecB b = VecB::load(
+                    src + static_cast<int64_t>(rows[i]) * strideBytes +
+                    cb);
+                accLo = maxI8(accLo, sx(andB(b, mask)));
+                accHi = maxI8(accHi, sx(srl4(b)));
+            }
+            accLo.store(lo);
+            accHi.store(hi);
+            for (int32_t e = 0; e < B; ++e) {
+                dst[2 * (cb + e)] = static_cast<float>(lo[e]) * scale;
+                dst[2 * (cb + e) + 1] =
+                    static_cast<float>(hi[e]) * scale;
+            }
+        }
+    }
+    for (int32_t c = 2 * cb; c < cols; ++c) {
+        int32_t byteIdx = c >> 1;
+        auto nib = [&](int32_t row) {
+            uint8_t b =
+                src[static_cast<int64_t>(row) * strideBytes + byteIdx];
+            uint8_t n = (c & 1) ? static_cast<uint8_t>(b >> 4)
+                                : static_cast<uint8_t>(b & 0x0F);
+            return nibbleToI8(n);
+        };
+        int8_t m = nib(rows[0]);
+        for (int32_t i = 1; i < count; ++i)
+            m = std::max(m, nib(rows[i]));
+        dst[c] = static_cast<float>(m) * scale;
+    }
+}
+
 std::vector<int32_t>
 argmaxReduceRows(const Tensor &x)
 {

@@ -130,6 +130,64 @@ void biasReluBlockInPlace(float *dst, int64_t stride, int32_t rows,
                           int32_t cols, const float *bias,
                           bool applyRelu);
 
+// --- Quantized PFT kernels --------------------------------------------
+//
+// The delayed-aggregation gather is memory-bound: the AU streams NIT
+// entries against PFT rows, so PFT bytes-per-entry dominate traffic.
+// These kernels run the gather in symmetric int8 (4x fewer bytes) or
+// packed int4 (8x): max commutes with the monotone affine quantizer
+// q(x) = clamp(round(x / scale)), so the column max is taken in the
+// integer domain and dequantized once per output element. Integer max
+// is exact, so SIMD and forced-scalar paths are bitwise identical
+// (tests/test_quant.cpp memcmp parity); scales are produced by the
+// calibration pass (quant/calibrate.hpp).
+
+/**
+ * Symmetric int8 row quantization: dst[r*dstStride + c] =
+ * clamp(nearbyint(src[r*srcStride + c] / scale), -127, 127). NaN
+ * inputs clamp to -127 in both paths (calibration rejects them
+ * upstream); rounding is nearest-even, matching CVTPS2DQ under the
+ * default rounding mode. Strides are elements.
+ */
+void quantizeRowsI8(int8_t *dst, int64_t dstStride, const float *src,
+                    int64_t srcStride, int64_t rows, int32_t cols,
+                    float scale);
+
+/**
+ * Packed-int4 row quantization: values clamp to [-7, 7] and columns
+ * 2i / 2i+1 land in the low / high nibble of byte i (two's-complement
+ * nibbles). @p dstStrideBytes is the destination row pitch in bytes
+ * (>= ceil(cols/2)); an odd trailing column leaves its high nibble 0.
+ */
+void quantizeRowsI4(uint8_t *dst, int64_t dstStrideBytes,
+                    const float *src, int64_t srcStride, int64_t rows,
+                    int32_t cols, float scale);
+
+/** dst[c] = (float)src[c] * scale — the int8 dequantize epilogue.
+ *  Scalar by design: it runs once per output row and must be
+ *  deterministic across SIMD modes. */
+void dequantizeRowI8(float *dst, const int8_t *src, int32_t cols,
+                     float scale);
+
+/** Packed-int4 twin of dequantizeRowI8 (nibble layout as above). */
+void dequantizeRowI4(float *dst, const uint8_t *src, int32_t cols,
+                     float scale);
+
+/** gatherMaxReduceInto over an int8 source: the column max runs
+ *  entirely in int8 (exact), then each output element dequantizes once:
+ *  dst[c] = (float)max_i src[rows[i]*stride + c] * scale. */
+void gatherMaxReduceI8Into(float *dst, const int8_t *src, int64_t stride,
+                           int32_t cols, int32_t srcRows,
+                           const int32_t *rows, int32_t count,
+                           float scale);
+
+/** Packed-int4 twin: @p strideBytes is the source row pitch in bytes;
+ *  nibbles are unpacked (sign-extended) in the gather inner loop. */
+void gatherMaxReduceI4Into(float *dst, const uint8_t *src,
+                           int64_t strideBytes, int32_t cols,
+                           int32_t srcRows, const int32_t *rows,
+                           int32_t count, float scale);
+
 /** Column-wise argmax over all rows: returns per-column winning row. */
 std::vector<int32_t> argmaxReduceRows(const Tensor &x);
 

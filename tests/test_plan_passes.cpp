@@ -33,6 +33,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -285,8 +286,14 @@ TEST(DeadStepElimination, DetectionDropsEncoderTail)
 
     for (const PassStat &p : off.passStats())
         EXPECT_FALSE(p.ran) << p.pass;
+    // Every numerics-preserving pass runs. quantize_pft is gated
+    // behind the numerics opt-in (and no-ops without a calibration
+    // table), so its ran flag depends on the environment leg — not
+    // asserted here.
     for (const PassStat &p : on.passStats())
-        EXPECT_TRUE(p.ran) << p.pass;
+        if (p.pass != "quantize_pft") {
+            EXPECT_TRUE(p.ran) << p.pass;
+        }
 
     auto ctxOff = off.makeContext();
     auto ctxOn = on.makeContext();
@@ -631,6 +638,9 @@ class CountingNumericsPass final : public Pass
 
 TEST(NumericsGate, ChangingPassSkippedWithoutOptIn)
 {
+    // The env opt-in would arm the gate for the whole process (the CI
+    // quantized leg exports it); this test is about the default.
+    unsetenv("MESORASI_PLAN_NUMERICS_PASSES");
     int runs = 0;
     PassManager pm;
     pm.add(std::make_unique<CountingNumericsPass>(&runs));
