@@ -29,6 +29,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "run_guarded.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/batch_runner.hpp"
@@ -43,7 +44,7 @@
 using namespace mesorasi;
 
 int
-main(int argc, char **argv)
+runDemo(int argc, char **argv)
 {
     bool dumpPlan = false;
     bool quantize = false;
@@ -240,4 +241,11 @@ main(int argc, char **argv)
                   << " bytes fp32\n";
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return mesorasi::examples::runGuarded(
+        [&] { return runDemo(argc, argv); });
 }

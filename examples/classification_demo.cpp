@@ -7,6 +7,7 @@
  */
 #include <iostream>
 
+#include "run_guarded.hpp"
 #include "common/table.hpp"
 #include "core/networks.hpp"
 #include "geom/datasets.hpp"
@@ -53,11 +54,17 @@ demo(const core::NetworkConfig &cfg)
 } // namespace
 
 int
-main()
+runDemo()
 {
     std::cout << "Point-cloud classification demo "
                  "(synthetic ModelNet40-style dataset)\n";
     demo(core::zoo::pointnetppClassification());
     demo(core::zoo::dgcnnClassification());
     return 0;
+}
+
+int
+main()
+{
+    return mesorasi::examples::runGuarded(runDemo);
 }

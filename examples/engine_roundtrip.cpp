@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "run_guarded.hpp"
 #include "core/networks.hpp"
 #include "core/plan/plan_compiler.hpp"
 #include "core/plan/serialize.hpp"
@@ -42,7 +43,7 @@ artifactPath(const std::string &prefix, core::PipelineKind kind)
 } // namespace
 
 int
-main(int argc, char **argv)
+runDemo(int argc, char **argv)
 {
     if (argc != 3 || (std::strcmp(argv[1], "save") != 0 &&
                       std::strcmp(argv[1], "verify") != 0)) {
@@ -98,4 +99,11 @@ main(int argc, char **argv)
                   << clouds.size() << " clouds\n";
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return mesorasi::examples::runGuarded(
+        [&] { return runDemo(argc, argv); });
 }

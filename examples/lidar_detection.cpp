@@ -7,6 +7,7 @@
  */
 #include <iostream>
 
+#include "run_guarded.hpp"
 #include "common/table.hpp"
 #include "core/networks.hpp"
 #include "geom/datasets.hpp"
@@ -15,7 +16,7 @@
 using namespace mesorasi;
 
 int
-main()
+runDemo()
 {
     std::cout << "LiDAR detection demo (synthetic KITTI-style scene + "
                  "F-PointNet)\n";
@@ -71,4 +72,10 @@ main()
     std::cout << "foreground points across frustums: " << fg << " / "
               << frustums.size() * 1024 << "\n";
     return 0;
+}
+
+int
+main()
+{
+    return mesorasi::examples::runGuarded(runDemo);
 }

@@ -17,6 +17,7 @@
 #include <iostream>
 #include <map>
 
+#include "run_guarded.hpp"
 #include "common/table.hpp"
 #include "core/networks.hpp"
 #include "geom/datasets.hpp"
@@ -89,7 +90,7 @@ usage()
 } // namespace
 
 int
-main(int argc, char **argv)
+runDemo(int argc, char **argv)
 {
     std::string network = "pointnet++c";
     std::string system = "hw";
@@ -185,4 +186,11 @@ main(int argc, char **argv)
     }
     t.print();
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return mesorasi::examples::runGuarded(
+        [&] { return runDemo(argc, argv); });
 }

@@ -9,6 +9,7 @@
  */
 #include <iostream>
 
+#include "run_guarded.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
@@ -18,7 +19,7 @@
 using namespace mesorasi;
 
 int
-main()
+runDemo()
 {
     // 1. A point cloud: 1024 points sampled from a torus surface.
     Rng rng(7);
@@ -86,4 +87,10 @@ main()
               << " of rounds serve bank conflicts ("
               << fmtX(stats.slowdownVsIdeal) << " vs ideal)\n";
     return 0;
+}
+
+int
+main()
+{
+    return mesorasi::examples::runGuarded(runDemo);
 }

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared error boundary for the example binaries.
+ *
+ * Every example main runs inside runGuarded, so a failure anywhere in
+ * the library surfaces as a one-line message with its StatusCode name
+ * and a distinct nonzero exit code instead of std::terminate's
+ * backtrace — the behavior a user piping an example into a script
+ * expects.
+ */
+#pragma once
+
+#include <cstdio>
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace mesorasi::examples {
+
+/**
+ * Run @p body (the example's real main), mapping exceptions to exit
+ * codes: 0 from the body on success, 2 for UsageError (bad input /
+ * arguments), 3 for InternalError (library invariant broke), 4 for any
+ * other exception. Messages go to stderr prefixed with the typed
+ * status-code name.
+ */
+template <class Fn>
+int
+runGuarded(Fn &&body)
+{
+    try {
+        return body();
+    } catch (const UsageError &e) {
+        std::fprintf(stderr, "error [%s]: %s\n",
+                     statusCodeName(e.code()), e.what());
+        return 2;
+    } catch (const InternalError &e) {
+        std::fprintf(stderr, "internal error [%s]: %s\n",
+                     statusCodeName(e.code()), e.what());
+        return 3;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "unexpected error: %s\n", e.what());
+        return 4;
+    }
+}
+
+} // namespace mesorasi::examples

@@ -7,6 +7,7 @@
  */
 #include <iostream>
 
+#include "run_guarded.hpp"
 #include "common/table.hpp"
 #include "core/networks.hpp"
 #include "geom/datasets.hpp"
@@ -15,7 +16,7 @@
 using namespace mesorasi;
 
 int
-main()
+runDemo()
 {
     std::cout << "Part-segmentation demo (synthetic ShapeNet-style "
                  "dataset + PointNet++ (s))\n";
@@ -70,4 +71,10 @@ main()
                  "segmentation head per-point: the whole cloud gets a\n"
                  "label, unlike classification's single vector.\n";
     return 0;
+}
+
+int
+main()
+{
+    return mesorasi::examples::runGuarded(runDemo);
 }

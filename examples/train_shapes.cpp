@@ -7,13 +7,14 @@
  */
 #include <iostream>
 
+#include "run_guarded.hpp"
 #include "common/table.hpp"
 #include "train/mini_net.hpp"
 
 using namespace mesorasi;
 
 int
-main()
+runDemo()
 {
     std::cout << "Training demo: 8-class shape classification "
                  "(chance = 12.5%)\n";
@@ -55,4 +56,10 @@ main()
                  "absorbed when the network is trained from scratch\n"
                  "(paper Fig. 16: within -0.9% to +1.2%).\n";
     return 0;
+}
+
+int
+main()
+{
+    return mesorasi::examples::runGuarded(runDemo);
 }

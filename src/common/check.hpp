@@ -7,6 +7,13 @@
  * caused by invalid user input (MESO_REQUIRE, analogous to fatal). Both
  * throw exceptions so tests can assert on failure behaviour instead of
  * aborting the process.
+ *
+ * Every exception carries a StatusCode (common/status.hpp) so callers
+ * can route on the failure class instead of parsing messages: plain
+ * MESO_REQUIRE throws UsageError with StatusCode::InvalidInput, plain
+ * MESO_CHECK throws InternalError with StatusCode::Internal, and the
+ * _C variants attach an explicit code (ShapeMismatch, CorruptArtifact,
+ * PoisonedContext, ...).
  */
 #pragma once
 
@@ -14,45 +21,83 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/status.hpp"
+
 namespace mesorasi {
 
 /** Thrown when an internal invariant is violated (a library bug). */
 class InternalError : public std::logic_error
 {
   public:
-    explicit InternalError(const std::string &msg) : std::logic_error(msg) {}
+    explicit InternalError(const std::string &msg)
+        : std::logic_error(msg) {}
+    InternalError(StatusCode code, const std::string &msg)
+        : std::logic_error(msg), code_(code) {}
+    explicit InternalError(const Status &status)
+        : std::logic_error(status.message()), code_(status.code()) {}
+
+    /** The machine-routable failure class. */
+    StatusCode code() const { return code_; }
+
+  private:
+    StatusCode code_ = StatusCode::Internal;
 };
 
 /** Thrown when user-supplied arguments or configuration are invalid. */
 class UsageError : public std::runtime_error
 {
   public:
-    explicit UsageError(const std::string &msg) : std::runtime_error(msg) {}
+    explicit UsageError(const std::string &msg)
+        : std::runtime_error(msg) {}
+    UsageError(StatusCode code, const std::string &msg)
+        : std::runtime_error(msg), code_(code) {}
+    explicit UsageError(const Status &status)
+        : std::runtime_error(status.message()), code_(status.code()) {}
+
+    /** The machine-routable failure class. */
+    StatusCode code() const { return code_; }
+
+  private:
+    StatusCode code_ = StatusCode::InvalidInput;
 };
 
 namespace detail {
 
 [[noreturn]] inline void
-throwInternal(const char *cond, const char *file, int line,
-              const std::string &msg)
+throwInternal(StatusCode code, const char *cond, const char *file,
+              int line, const std::string &msg)
 {
     std::ostringstream os;
     os << "internal check failed: (" << cond << ") at " << file << ":"
        << line;
     if (!msg.empty())
         os << ": " << msg;
-    throw InternalError(os.str());
+    throw InternalError(code, os.str());
 }
 
 [[noreturn]] inline void
-throwUsage(const char *cond, const char *file, int line,
+throwInternal(const char *cond, const char *file, int line,
+              const std::string &msg)
+{
+    throwInternal(StatusCode::Internal, cond, file, line, msg);
+}
+
+[[noreturn]] inline void
+throwUsage(StatusCode code, const char *cond, const char *file, int line,
            const std::string &msg)
 {
     std::ostringstream os;
     os << "requirement failed: (" << cond << ") at " << file << ":" << line;
     if (!msg.empty())
         os << ": " << msg;
-    throw UsageError(os.str());
+    throw UsageError(code, os.str());
+}
+
+[[noreturn]] inline void
+throwUsage(const char *cond, const char *file, int line,
+           const std::string &msg)
+{
+    throwUsage(StatusCode::InvalidInput, cond, file, line, msg);
 }
 
 } // namespace detail
@@ -68,6 +113,17 @@ throwUsage(const char *cond, const char *file, int line,
         }                                                                   \
     } while (0)
 
+/** MESO_CHECK carrying an explicit StatusCode. */
+#define MESO_CHECK_C(code, cond, ...)                                       \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream meso_os_;                                    \
+            meso_os_ << "" __VA_ARGS__;                                     \
+            ::mesorasi::detail::throwInternal((code), #cond, __FILE__,      \
+                                              __LINE__, meso_os_.str());    \
+        }                                                                   \
+    } while (0)
+
 /** Validate user input; throws UsageError on failure. */
 #define MESO_REQUIRE(cond, ...)                                             \
     do {                                                                    \
@@ -76,6 +132,17 @@ throwUsage(const char *cond, const char *file, int line,
             meso_os_ << "" __VA_ARGS__;                                     \
             ::mesorasi::detail::throwUsage(#cond, __FILE__, __LINE__,       \
                                            meso_os_.str());                 \
+        }                                                                   \
+    } while (0)
+
+/** MESO_REQUIRE carrying an explicit StatusCode. */
+#define MESO_REQUIRE_C(code, cond, ...)                                     \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream meso_os_;                                    \
+            meso_os_ << "" __VA_ARGS__;                                     \
+            ::mesorasi::detail::throwUsage((code), #cond, __FILE__,         \
+                                           __LINE__, meso_os_.str());       \
         }                                                                   \
     } while (0)
 

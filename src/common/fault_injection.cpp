@@ -1,0 +1,224 @@
+#include "common/fault_injection.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace mesorasi::fault {
+
+namespace {
+
+/** splitmix64: the standard seed-scrambling finalizer. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+hashName(const char *name)
+{
+    // FNV-1a over the site name.
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char *p = name; *p; ++p)
+        h = (h ^ static_cast<uint64_t>(*p)) * 0x100000001b3ull;
+    return h;
+}
+
+struct SiteState
+{
+    const char *name;
+    std::atomic<uint64_t> hits{0};
+    /** 1-based hit index that fires; 0 = site not armed. */
+    std::atomic<uint64_t> target{0};
+};
+
+// The fixed site registry. New sites are added here and as a constant
+// in the header; "all" arms every entry.
+SiteState g_sites[] = {
+    {kThreadPoolTask, {}, {}}, {kPlanStepThrow, {}, {}},
+    {kPlanNanPoison, {}, {}},  {kArenaAlloc, {}, {}},
+    {kWorkspaceGrow, {}, {}},  {kArtifactByteFlip, {}, {}},
+};
+constexpr size_t kNumSites = sizeof(g_sites) / sizeof(g_sites[0]);
+
+std::atomic<bool> g_armed{false};
+std::atomic<uint64_t> g_fired{0};
+std::atomic<uint64_t> g_seed{0};
+std::mutex g_mutex; ///< serializes arm()/disarm()
+
+SiteState *
+find(const char *site)
+{
+    for (SiteState &s : g_sites) {
+        // Callers pass the header constants, so pointer equality is
+        // the common case; strcmp covers strings from env/spec text.
+        if (s.name == site || std::strcmp(s.name, site) == 0)
+            return &s;
+    }
+    return nullptr;
+}
+
+/** Seed-derived 1-based firing hit for @p site: small enough that the
+ *  site plausibly fires inside one serving batch, varied enough that a
+ *  seed sweep moves it across items and steps. */
+uint64_t
+derivedHit(uint64_t seed, const char *site)
+{
+    return 1 + mix(seed ^ hashName(site)) % 97;
+}
+
+void
+armLocked(uint64_t seed, const std::string &sites)
+{
+    for (SiteState &s : g_sites) {
+        s.hits.store(0, std::memory_order_relaxed);
+        s.target.store(0, std::memory_order_relaxed);
+    }
+    g_fired.store(0, std::memory_order_relaxed);
+    g_seed.store(seed, std::memory_order_relaxed);
+
+    size_t begin = 0;
+    bool any = false;
+    while (begin <= sites.size()) {
+        size_t end = sites.find(',', begin);
+        if (end == std::string::npos)
+            end = sites.size();
+        std::string tok = sites.substr(begin, end - begin);
+        begin = end + 1;
+        if (tok.empty())
+            continue;
+        if (tok == "all") {
+            for (SiteState &s : g_sites)
+                s.target.store(derivedHit(seed, s.name),
+                               std::memory_order_relaxed);
+            any = true;
+            continue;
+        }
+        uint64_t hit = 0; // 0: derive from the seed
+        size_t at = tok.find('@');
+        std::string name = tok.substr(0, at);
+        if (at != std::string::npos) {
+            char *rest = nullptr;
+            hit = std::strtoull(tok.c_str() + at + 1, &rest, 10);
+            MESO_REQUIRE(rest && *rest == '\0' && hit >= 1,
+                         "fault site spec '" << tok
+                                             << "': hit must be >= 1");
+        }
+        SiteState *s = find(name.c_str());
+        MESO_REQUIRE(s, "unknown fault injection site '" << name << "'");
+        s->target.store(hit ? hit : derivedHit(seed, s->name),
+                        std::memory_order_relaxed);
+        any = true;
+    }
+    g_armed.store(any, std::memory_order_release);
+}
+
+/** One-time env arming: MESORASI_FAULT_SEED + MESORASI_FAULT_SITES.
+ *  Runs at first harness use; programmatic arm()/disarm() overrides. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *sites = std::getenv("MESORASI_FAULT_SITES");
+        if (!sites || !*sites)
+            return;
+        uint64_t seed = 0;
+        if (const char *s = std::getenv("MESORASI_FAULT_SEED"))
+            seed = std::strtoull(s, nullptr, 10);
+        std::lock_guard<std::mutex> lock(g_mutex);
+        armLocked(seed, sites);
+    }
+};
+
+void
+ensureEnvInit()
+{
+    static EnvInit init;
+}
+
+} // namespace
+
+bool
+armed()
+{
+    ensureEnvInit();
+    return g_armed.load(std::memory_order_acquire);
+}
+
+void
+arm(uint64_t seed, const std::string &sites)
+{
+    ensureEnvInit();
+    std::lock_guard<std::mutex> lock(g_mutex);
+    armLocked(seed, sites);
+}
+
+void
+disarm()
+{
+    ensureEnvInit();
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_armed.store(false, std::memory_order_release);
+    for (SiteState &s : g_sites)
+        s.target.store(0, std::memory_order_relaxed);
+}
+
+uint64_t
+firedCount()
+{
+    return g_fired.load(std::memory_order_relaxed);
+}
+
+uint64_t
+hitCount(const char *site)
+{
+    SiteState *s = find(site);
+    MESO_REQUIRE(s, "unknown fault injection site '" << site << "'");
+    return s->hits.load(std::memory_order_relaxed);
+}
+
+bool
+fires(const char *site)
+{
+    if (!armed())
+        return false;
+    SiteState *s = find(site);
+    if (!s)
+        return false;
+    uint64_t target = s->target.load(std::memory_order_relaxed);
+    if (target == 0)
+        return false;
+    uint64_t hit = s->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (hit != target)
+        return false;
+    g_fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+maybeThrow(const char *site, StatusCode code)
+{
+    if (fires(site))
+        throw InternalError(
+            code, std::string("injected fault at '") + site + "' (hit " +
+                      std::to_string(
+                          hitCount(site)) +
+                      ")");
+}
+
+uint64_t
+pick(const char *site, uint64_t n)
+{
+    MESO_REQUIRE(n > 0, "pick over an empty range");
+    return mix(g_seed.load(std::memory_order_relaxed) ^ hashName(site)) %
+           n;
+}
+
+} // namespace mesorasi::fault

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for robustness testing.
+ *
+ * The fault-isolation contract (typed Status per failing batch item,
+ * context poisoning + reset recovery, corrupt-artifact rejection) is
+ * only trustworthy if faults can be produced on demand at the places
+ * real faults occur. This harness compiles in always — the disarmed
+ * fast path is one relaxed atomic load — and plants *named sites* in
+ * the runtime:
+ *
+ *   thread_pool.task    a pool task throws before running its body
+ *   plan.step_throw     CompiledEngine::execute throws before a step
+ *   plan.nan_poison     a step's freshly written output buffer is
+ *                       poisoned with NaNs (surfaces as NumericFault
+ *                       when the poison reaches the logits)
+ *   arena.alloc         Arena construction fails (context creation)
+ *   workspace.grow      a Workspace slot growth fails
+ *   artifact.byte_flip  loadEngine sees one deterministic byte flip
+ *
+ * Arming is deterministic given (seed, site spec): each armed site
+ * fires exactly once, on a specific 1-based hit index — either given
+ * explicitly ("plan.step_throw@7") or derived from the seed, so a CI
+ * sweep over MESORASI_FAULT_SEED explores different firing points
+ * without any randomness at run time. Hit counters are process-global
+ * and atomic; tests re-arm (which resets the counters) to get
+ * reproducible firing regardless of what ran before.
+ *
+ * Env arming (read once at first use): MESORASI_FAULT_SEED=<n> plus
+ * MESORASI_FAULT_SITES=<spec> arm the harness at startup, so example
+ * binaries and serving loops can be fault-tested without recompiling.
+ * Spec: comma-separated site names, each optionally "@<hit>", or
+ * "all" for every known site. Programmatic arm()/disarm() overrides
+ * the env.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace mesorasi::fault {
+
+// Named injection sites. Pass these constants (not ad-hoc strings) to
+// fires()/maybeThrow() so site lookup is a pointer compare.
+inline constexpr const char *kThreadPoolTask = "thread_pool.task";
+inline constexpr const char *kPlanStepThrow = "plan.step_throw";
+inline constexpr const char *kPlanNanPoison = "plan.nan_poison";
+inline constexpr const char *kArenaAlloc = "arena.alloc";
+inline constexpr const char *kWorkspaceGrow = "workspace.grow";
+inline constexpr const char *kArtifactByteFlip = "artifact.byte_flip";
+
+/** True while any site is armed (one relaxed atomic load). */
+bool armed();
+
+/**
+ * Arm the harness: parse @p sites ("all" or comma-separated
+ * "name[@hit]" entries, hit >= 1) and reset every hit counter. Sites
+ * without an explicit hit fire on a seed-derived hit index, so
+ * sweeping @p seed moves the firing points. Throws UsageError
+ * (InvalidInput) on an unknown site name or malformed spec.
+ */
+void arm(uint64_t seed, const std::string &sites);
+
+/** Disarm every site (counters keep their values until the next arm). */
+void disarm();
+
+/** Total faults fired since the last arm(). */
+uint64_t firedCount();
+
+/** Hits recorded at @p site since the last arm(). */
+uint64_t hitCount(const char *site);
+
+/**
+ * Record a hit at @p site and return true iff this hit is the armed
+ * firing point. Returns false when disarmed (and then does not count).
+ */
+bool fires(const char *site);
+
+/** Throw InternalError(@p code, "injected fault at <site>") when
+ *  fires(@p site). The call sites' natural error propagation does the
+ *  rest — that is the point: injected faults take the same unwind
+ *  paths real faults would. */
+void maybeThrow(const char *site, StatusCode code);
+
+/**
+ * Deterministic value in [0, @p n) derived from the armed seed and
+ * @p site (stable across calls; does not advance hit counters). Used
+ * by sites that need a position, e.g. which artifact byte to flip.
+ */
+uint64_t pick(const char *site, uint64_t n);
+
+/** RAII arm()/disarm() for tests. */
+class ScopedArm
+{
+  public:
+    ScopedArm(uint64_t seed, const std::string &sites)
+    {
+        arm(seed, sites);
+    }
+    ~ScopedArm() { disarm(); }
+    ScopedArm(const ScopedArm &) = delete;
+    ScopedArm &operator=(const ScopedArm &) = delete;
+};
+
+} // namespace mesorasi::fault

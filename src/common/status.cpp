@@ -1,0 +1,58 @@
+#include "common/status.hpp"
+
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace mesorasi {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidInput: return "invalid_input";
+      case StatusCode::ShapeMismatch: return "shape_mismatch";
+      case StatusCode::CorruptArtifact: return "corrupt_artifact";
+      case StatusCode::NumericFault: return "numeric_fault";
+      case StatusCode::ExecFault: return "exec_fault";
+      case StatusCode::PoisonedContext: return "poisoned_context";
+      case StatusCode::ResourceExhausted: return "resource_exhausted";
+      case StatusCode::Cancelled: return "cancelled";
+      case StatusCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    std::string s = statusCodeName(code_);
+    if (!message_.empty()) {
+        s += ": ";
+        s += message_;
+    }
+    return s;
+}
+
+Status
+Status::fromCurrentException()
+{
+    try {
+        throw;
+    } catch (const UsageError &e) {
+        return Status(e.code(), e.what());
+    } catch (const InternalError &e) {
+        return Status(e.code(), e.what());
+    } catch (const std::bad_alloc &e) {
+        return Status(StatusCode::ResourceExhausted, e.what());
+    } catch (const std::exception &e) {
+        return Status(StatusCode::ExecFault, e.what());
+    } catch (...) {
+        return Status(StatusCode::ExecFault, "unknown exception");
+    }
+}
+
+} // namespace mesorasi

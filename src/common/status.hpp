@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Typed error taxonomy: StatusCode, Status, and Expected<T>.
+ *
+ * TensorRT-style runtimes treat per-request failure isolation as table
+ * stakes, and isolation needs errors a machine can route on: a batch
+ * loop must distinguish "this cloud was malformed" (report and keep
+ * serving) from "the artifact is corrupt" (refuse to start) from "a
+ * step faulted mid-execution" (poison the context, recycle it). The
+ * string-only exceptions in check.hpp cannot carry that distinction,
+ * so every library error now bears a StatusCode, and the hot serving
+ * paths get a non-throwing seam (Status / Expected<T>) so a failing
+ * request never unwinds through a worker pool.
+ *
+ * Layering: this header is standalone (no check.hpp dependency);
+ * check.hpp includes it to attach codes to UsageError/InternalError.
+ * Status::fromCurrentException — the bridge from the throwing world —
+ * lives in status.cpp for the same reason.
+ */
+#pragma once
+
+#include <cstdint>
+#include <new>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace mesorasi {
+
+/**
+ * Machine-routable failure classes. Every UsageError/InternalError and
+ * every non-ok Status carries exactly one.
+ */
+enum class StatusCode : int32_t
+{
+    Ok = 0,
+    /** Malformed user input: NaN/Inf coordinates, empty cloud, bad
+     *  argument, misconfiguration. Reject the request, keep serving. */
+    InvalidInput,
+    /** Input shape disagrees with the compiled engine (wrong point
+     *  count). A sub-case of InvalidInput worth routing separately:
+     *  it usually means the request was sent to the wrong engine. */
+    ShapeMismatch,
+    /** An engine artifact failed decoding or validation. Recompiling
+     *  from source is always the correct recovery. */
+    CorruptArtifact,
+    /** Non-finite values appeared where finite ones are required
+     *  (poisoned activations, NaN logits). */
+    NumericFault,
+    /** A step or pool task failed mid-execution. */
+    ExecFault,
+    /** Reuse of an ExecutionContext that threw mid-execute without an
+     *  intervening reset() — its arena state is undefined. */
+    PoisonedContext,
+    /** Allocation or capacity failure. */
+    ResourceExhausted,
+    /** Cooperative cancellation (reserved for the serving front door). */
+    Cancelled,
+    /** A library invariant broke (the default InternalError code). */
+    Internal,
+};
+
+/** Short stable name of @p code ("ok", "invalid_input", ...). */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * A code plus a human-readable message; the non-throwing counterpart
+ * of UsageError/InternalError. Default-constructed Status is Ok and
+ * allocates nothing, so returning Status::ok() keeps the
+ * zero-allocation contract of the compiled serving path.
+ */
+class Status
+{
+  public:
+    Status() = default; ///< Ok
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status ok() { return Status(); }
+
+    /**
+     * Describe the in-flight exception as a Status: UsageError and
+     * InternalError keep their codes, std::bad_alloc maps to
+     * ResourceExhausted, anything else to ExecFault. Call from a catch
+     * block only.
+     */
+    static Status fromCurrentException();
+
+    bool isOk() const { return code_ == StatusCode::Ok; }
+    explicit operator bool() const { return isOk(); }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "<code name>: <message>" (or "ok"). */
+    std::string toString() const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/**
+ * Either a value or a non-ok Status — the non-throwing seam for
+ * operations that produce something (tryLoadEngine). Move-only, like
+ * the engine types it wraps; T need not be default-constructible.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    /*implicit*/ Expected(T value) : has_(true)
+    {
+        new (storage_) T(std::move(value));
+    }
+
+    /** @p status must be non-ok; an Ok status here is a caller bug. */
+    /*implicit*/ Expected(Status status)
+        : has_(false), status_(std::move(status))
+    {
+    }
+
+    Expected(Expected &&other) noexcept(
+        std::is_nothrow_move_constructible<T>::value)
+        : has_(other.has_), status_(std::move(other.status_))
+    {
+        if (has_)
+            new (storage_) T(std::move(other.value()));
+    }
+
+    ~Expected()
+    {
+        if (has_)
+            value().~T();
+    }
+
+    Expected(const Expected &) = delete;
+    Expected &operator=(const Expected &) = delete;
+    Expected &operator=(Expected &&) = delete;
+
+    bool hasValue() const { return has_; }
+    explicit operator bool() const { return has_; }
+
+    /** Precondition: hasValue(). */
+    T &value() { return *reinterpret_cast<T *>(storage_); }
+    const T &value() const
+    {
+        return *reinterpret_cast<const T *>(storage_);
+    }
+
+    /** Ok when hasValue(). */
+    const Status &status() const { return status_; }
+
+  private:
+    bool has_ = false;
+    Status status_;
+    alignas(T) unsigned char storage_[sizeof(T)];
+};
+
+} // namespace mesorasi

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <exception>
@@ -10,12 +11,31 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace mesorasi {
 
 namespace {
 
 thread_local bool tls_inside_worker = false;
+
+/** Log a suppressed worker exception's message (fprintf: atomic per
+ *  call, so concurrent workers cannot interleave partial lines). */
+void
+logSuppressed(const std::exception_ptr &err)
+{
+    try {
+        std::rethrow_exception(err);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "[mesorasi] thread pool suppressed worker "
+                     "exception: %s\n",
+                     e.what());
+    } catch (...) {
+        std::fprintf(stderr, "[mesorasi] thread pool suppressed a "
+                             "non-std worker exception\n");
+    }
+}
 
 } // namespace
 
@@ -96,6 +116,9 @@ struct ThreadPool::Impl
     mutable std::mutex mutex;
     std::condition_variable wake;
     bool stopping = false;
+    /** Worker exceptions beyond the first of a parallelFor; see
+     *  ThreadPool::suppressedExceptionCount(). */
+    std::atomic<uint64_t> suppressed{0};
 
     void
     workerLoop()
@@ -184,13 +207,33 @@ ThreadPool::parallelFor(int64_t n, int64_t grain, const RangeFn &fn) const
         for (int64_t c = 0; c < chunks; ++c) {
             int64_t begin = c * per;
             int64_t end = std::min<int64_t>(n, begin + per);
-            impl_->tasks.emplace_back([&fn, &shared, begin, end] {
+            impl_->tasks.emplace_back([this, &fn, &shared, begin, end] {
+                std::exception_ptr err;
                 try {
+                    fault::maybeThrow(fault::kThreadPoolTask,
+                                      StatusCode::ExecFault);
                     fn(begin, end);
                 } catch (...) {
-                    std::lock_guard<std::mutex> g(shared.mutex);
-                    if (!shared.error)
-                        shared.error = std::current_exception();
+                    err = std::current_exception();
+                }
+                if (err) {
+                    bool first;
+                    {
+                        std::lock_guard<std::mutex> g(shared.mutex);
+                        first = !shared.error;
+                        if (first)
+                            shared.error = err;
+                    }
+                    // Only the first exception reaches the caller; the
+                    // rest are counted and logged so multi-chunk
+                    // faults stay diagnosable. Do this before the
+                    // final decrement: once remaining hits 0 the
+                    // caller may destroy `shared`.
+                    if (!first) {
+                        impl_->suppressed.fetch_add(
+                            1, std::memory_order_relaxed);
+                        logSuppressed(err);
+                    }
                 }
                 std::lock_guard<std::mutex> g(shared.mutex);
                 if (--shared.remaining == 0)
@@ -210,6 +253,14 @@ TaskHandle
 ThreadPool::submit(std::function<void()> fn) const
 {
     MESO_REQUIRE(fn, "submit needs a callable task");
+    // Injected admission failure: the pool refuses the task before
+    // anything is queued, so the caller sees a synchronous typed error
+    // and no half-registered task can be lost. A handle is never
+    // created, which is why the site lives here and not in the task
+    // wrapper — a throw after the handle is dropped by a
+    // fire-and-forget caller (the stage scheduler) would strand its
+    // completion accounting forever.
+    fault::maybeThrow(fault::kThreadPoolTask, StatusCode::ExecFault);
     auto state = std::make_shared<TaskHandle::State>();
     state->fn = std::move(fn);
     if (!impl_->workers.empty()) {
@@ -222,6 +273,12 @@ ThreadPool::submit(std::function<void()> fn) const
     }
     // No workers: the task stays with the handle and runs on wait().
     return TaskHandle(state);
+}
+
+uint64_t
+ThreadPool::suppressedExceptionCount() const
+{
+    return impl_->suppressed.load(std::memory_order_relaxed);
 }
 
 ThreadPool &

@@ -119,6 +119,15 @@ class ThreadPool
      */
     TaskHandle submit(std::function<void()> fn) const;
 
+    /**
+     * Worker exceptions suppressed over this pool's lifetime. When
+     * several chunks of one parallelFor throw, only the first
+     * exception is rethrown to the caller; every further one is
+     * counted here and its message logged to stderr, so multi-item
+     * faults stay diagnosable instead of vanishing silently.
+     */
+    uint64_t suppressedExceptionCount() const;
+
     /** Process-wide shared pool, sized by defaultThreads(). */
     static ThreadPool &global();
 

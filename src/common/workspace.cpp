@@ -1,6 +1,7 @@
 #include "common/workspace.hpp"
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace mesorasi {
 
@@ -10,8 +11,13 @@ Workspace::floats(int slot, size_t n)
     MESO_REQUIRE(slot >= 0 && slot < kNumSlots,
                  "workspace slot " << slot << " out of range");
     std::vector<float> &buf = slots_[slot];
-    if (buf.size() < n)
+    if (buf.size() < n) {
+        // Growth is where a real allocator would fail; steady-state
+        // reuse stays injection-free so warmed hot paths are untouched.
+        fault::maybeThrow(fault::kWorkspaceGrow,
+                          StatusCode::ResourceExhausted);
         buf.resize(n);
+    }
     return buf.data();
 }
 

@@ -97,12 +97,28 @@ BatchRunner::run(const std::vector<geom::PointCloud> &clouds,
     out.kind = kind;
     out.items.resize(clouds.size());
 
+    // Ingestion validation up front: a malformed cloud gets a typed
+    // item status and is excluded from execution in every mode, so one
+    // bad request cannot take down the batch.
+    std::vector<bool> accepted(clouds.size(), true);
+    for (size_t i = 0; i < clouds.size(); ++i) {
+        Status s = geom::validatePointCloud(clouds[i]);
+        if (!s.isOk()) {
+            out.items[i].status = std::move(s);
+            accepted[i] = false;
+        }
+    }
+
     auto runOne = [&](int64_t i) {
         auto t0 = std::chrono::steady_clock::now();
         BatchItemResult &item = out.items[i];
-        item.run = exec_.run(clouds[i], kind,
-                             seedBase + static_cast<uint64_t>(i));
-        item.predicted = argmaxFirstRow(item.run.logits);
+        try {
+            item.run = exec_.run(clouds[i], kind,
+                                 seedBase + static_cast<uint64_t>(i));
+            item.predicted = argmaxFirstRow(item.run.logits);
+        } catch (...) {
+            item.status = Status::fromCurrentException();
+        }
         item.latencyMs = msSince(t0);
     };
 
@@ -113,33 +129,42 @@ BatchRunner::run(const std::vector<geom::PointCloud> &clouds,
         // one-thread execution the parallel modes are compared against.
         ThreadPool::ScopedForceInline serial;
         for (int64_t i = 0; i < static_cast<int64_t>(clouds.size()); ++i)
-            runOne(i);
+            if (accepted[i])
+                runOne(i);
     } else {
         const ThreadPool &pool = pool_ ? *pool_ : ThreadPool::global();
         if (pool.size() < 2) {
             // No workers to overlap on; run the clouds back to back.
             for (int64_t i = 0; i < static_cast<int64_t>(clouds.size());
                  ++i)
-                runOne(i);
+                if (accepted[i])
+                    runOne(i);
         } else {
             // One combined stage graph over the whole batch: every
             // cloud's network graph is an independent subgraph, so the
             // scheduler pipelines clouds across each other instead of
-            // pinning one cloud per task.
+            // pinning one cloud per task. (Stages of different clouds
+            // share one schedule, so a mid-stage fault here cannot be
+            // pinned on one item and propagates to the caller; the
+            // engine overload gives full per-item isolation.)
             StageGraph g;
-            std::vector<std::pair<size_t, size_t>> ranges;
-            ranges.reserve(clouds.size());
+            std::vector<std::pair<size_t, size_t>> ranges(
+                clouds.size(), {0, 0});
             for (size_t i = 0; i < clouds.size(); ++i) {
+                if (!accepted[i])
+                    continue;
                 size_t first = static_cast<size_t>(g.size());
                 exec_.appendRunStages(
                     g, clouds[i], kind,
                     seedBase + static_cast<uint64_t>(i),
                     &out.items[i].run, "c" + std::to_string(i));
-                ranges.emplace_back(first, static_cast<size_t>(g.size()));
+                ranges[i] = {first, static_cast<size_t>(g.size())};
             }
             StageTimeline tl = StageScheduler::run(
                 g, pool, SchedulePolicy::Overlapped);
             for (size_t i = 0; i < clouds.size(); ++i) {
+                if (!accepted[i])
+                    continue;
                 BatchItemResult &item = out.items[i];
                 item.run.timeline =
                     tl.slice(ranges[i].first, ranges[i].second);
@@ -169,12 +194,27 @@ BatchRunner::run(const plan::CompiledEngine &engine,
 
     auto runOne = [&](int64_t i) {
         auto t0 = std::chrono::steady_clock::now();
-        std::unique_ptr<plan::ExecutionContext> ctx = contexts.acquire();
-        const tensor::Tensor &logits = engine.execute(
-            clouds[i], seedBase + static_cast<uint64_t>(i), *ctx);
         BatchItemResult &item = out.items[i];
-        item.run.logits = logits; // copy out before the ctx is recycled
-        item.predicted = argmaxFirstRow(logits);
+        // Per-item isolation: every failure (invalid cloud, context
+        // allocation, injected fault, NaN logits) lands in this item's
+        // status; the other items never see it. A fault poisons the
+        // context mid-plan, and release() resets it, so the pool stays
+        // serviceable.
+        std::unique_ptr<plan::ExecutionContext> ctx;
+        try {
+            ctx = contexts.acquire();
+        } catch (...) {
+            item.status = Status::fromCurrentException();
+            item.latencyMs = msSince(t0);
+            return;
+        }
+        item.status = engine.tryExecute(
+            clouds[i], seedBase + static_cast<uint64_t>(i), *ctx);
+        if (item.status.isOk()) {
+            // copy out before the ctx is recycled
+            item.run.logits = ctx->logits();
+            item.predicted = argmaxFirstRow(item.run.logits);
+        }
         contexts.release(std::move(ctx));
         item.latencyMs = msSince(t0);
     };

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "core/network.hpp"
 #include "core/plan/engine.hpp"
@@ -29,6 +30,14 @@ namespace mesorasi::core {
 /** One cloud's outcome within a batch. */
 struct BatchItemResult
 {
+    /**
+     * Per-item outcome: Ok when the cloud was evaluated, else the
+     * typed failure (InvalidInput/ShapeMismatch for a rejected cloud,
+     * ExecFault/NumericFault/... for a mid-plan fault). A failing item
+     * never aborts the batch — the other items complete with results
+     * bitwise identical to a fault-free run.
+     */
+    Status status;
     RunResult run;            ///< full inference result
     /** Wall-clock of this cloud's inference. In the combined-graph
      *  parallel mode this is the cloud's *in-flight* time (first stage
@@ -56,6 +65,17 @@ struct BatchResult
         return wallMs > 0.0
                    ? static_cast<double>(items.size()) * 1000.0 / wallMs
                    : 0.0;
+    }
+
+    /** Items whose status is non-ok. */
+    int32_t
+    numFailed() const
+    {
+        int32_t n = 0;
+        for (const auto &item : items)
+            if (!item.status.isOk())
+                ++n;
+        return n;
     }
 };
 
@@ -90,6 +110,13 @@ class BatchRunner
      * Execute every cloud under @p kind. Cloud i runs with seed
      * @p seedBase + i, so results are independent of scheduling and of
      * the thread count.
+     *
+     * Failure isolation: clouds rejected by ingestion validation and
+     * (in the per-cloud serial modes) clouds whose run throws get a
+     * non-ok item status while the rest of the batch completes. In the
+     * combined-stage-graph parallel mode a mid-stage fault cannot be
+     * attributed to one cloud and still propagates; the engine serving
+     * overload below gives full per-item isolation.
      */
     BatchResult run(const std::vector<geom::PointCloud> &clouds,
                     PipelineKind kind, uint64_t seedBase = 1) const;
@@ -106,6 +133,12 @@ class BatchRunner
      * trace/NIT/timeline capture. The engine may come from
      * PlanCompiler::compile or from a loaded artifact
      * (core/plan/serialize.hpp) — both execute identically.
+     *
+     * Failure isolation: every item runs through tryExecute on its own
+     * context, so one failing cloud (bad input, injected fault, NaN
+     * logits) yields a typed item status while every other item
+     * completes bitwise identical to a fault-free batch; a poisoned
+     * context is reset on release so the pool stays serviceable.
      */
     BatchResult run(const plan::CompiledEngine &engine,
                     const std::vector<geom::PointCloud> &clouds,

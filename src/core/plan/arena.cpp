@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace mesorasi::core::plan {
 
@@ -116,8 +117,17 @@ ArenaPlanner::buffer(int32_t id) const
 }
 
 Arena::Arena(int64_t numFloats)
-    : data_(static_cast<size_t>(numFloats), 0.0f)
 {
+    // The one allocation of a context's lifetime — the place a real
+    // out-of-memory would strike a serving engine building contexts.
+    fault::maybeThrow(fault::kArenaAlloc, StatusCode::ResourceExhausted);
+    data_.assign(static_cast<size_t>(numFloats), 0.0f);
+}
+
+void
+Arena::zeroFill()
+{
+    std::fill(data_.begin(), data_.end(), 0.0f);
 }
 
 } // namespace mesorasi::core::plan

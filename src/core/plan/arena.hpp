@@ -95,6 +95,10 @@ class Arena
 
     int64_t size() const { return static_cast<int64_t>(data_.size()); }
 
+    /** Restore the freshly-constructed all-zeros state (context
+     *  recovery: ExecutionContext::reset). */
+    void zeroFill();
+
   private:
     std::vector<float> data_;
 };

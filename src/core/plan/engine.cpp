@@ -1,10 +1,14 @@
 #include "core/plan/engine.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 #include "core/plan/serialize.hpp"
 
 namespace mesorasi::core::plan {
@@ -31,21 +35,110 @@ ExecutionContext::buf(int32_t id)
     return arena_.at(engine_->offsetOf(id));
 }
 
+void
+ExecutionContext::reset()
+{
+    arena_.zeroFill();
+    logits_.fill(0.0f);
+    for (PlanModuleCtx &m : mods_) {
+        std::fill(m.centroids.begin(), m.centroids.end(), 0);
+        std::fill(m.nitFlat.begin(), m.nitFlat.end(), 0);
+        // Brute-force backend caches only borrow engine state, but
+        // dropping them keeps "fresh context" literal; the next
+        // execution rebuilds (and re-warms) them.
+        m.cachedBackend.reset();
+    }
+    sampleScratch_.clear();
+    cloud_ = nullptr;
+    rng_ = Rng(0);
+    poisoned_ = false;
+    poisonMessage_.clear();
+}
+
+namespace {
+
+/** NaN-poison the first writable F32 float of step @p i — the
+ *  fault-injection site plan.nan_poison. Prefers the step's first F32
+ *  arena write; falls back to logits when the step writes no arena
+ *  buffer (e.g. the final logits-producing step). */
+void
+poisonStepOutput(const CompiledEngine &eng, const StepIR &step,
+                 ExecutionContext &ctx)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    for (int32_t id : step.writes) {
+        if (id >= 0 &&
+            id < static_cast<int32_t>(eng.bufferShapes().size()) &&
+            eng.bufferShapes()[static_cast<size_t>(id)].dtype ==
+                DType::F32) {
+            ctx.buf(id)[0] = nan;
+            return;
+        }
+    }
+    ctx.logits_.data()[0] = nan;
+}
+
+} // namespace
+
+const tensor::Tensor &
+CompiledEngine::executeImpl(
+    const geom::PointCloud &cloud, uint64_t runSeed,
+    ExecutionContext &ctx,
+    const std::function<void(int32_t)> *afterStep) const
+{
+    // Rejections below happen before any step touches context state,
+    // so none of them poison the context.
+    MESO_REQUIRE_C(StatusCode::PoisonedContext, !ctx.poisoned_,
+                   "context is poisoned by a previous failure ("
+                       << ctx.poisonMessage_
+                       << "); call reset() before reuse");
+    MESO_REQUIRE(ctx.engine_ == this,
+                 "context was built for a different engine");
+    MESO_CHECK(baked_.size() == steps_.size(), "engine was not baked");
+    {
+        Status s = validate(cloud);
+        if (!s.isOk())
+            throw UsageError(s);
+    }
+    ctx.cloud_ = &cloud;
+    ctx.rng_ = Rng(runSeed);
+    try {
+        for (size_t i = 0; i < baked_.size(); ++i) {
+            fault::maybeThrow(fault::kPlanStepThrow,
+                              StatusCode::ExecFault);
+            baked_[i](ctx);
+            if (fault::fires(fault::kPlanNanPoison))
+                poisonStepOutput(*this, steps_[i], ctx);
+            if (afterStep)
+                (*afterStep)(static_cast<int32_t>(i));
+        }
+        // Numeric back door: a plan that ran to completion but emitted
+        // non-finite logits failed, it just failed quietly. Surface it
+        // as a typed NumericFault (the scan is tiny — rows x cols — and
+        // allocation-free).
+        const float *lg = ctx.logits_.data();
+        const size_t n = static_cast<size_t>(ctx.logits_.rows()) *
+                         static_cast<size_t>(ctx.logits_.cols());
+        for (size_t i = 0; i < n; ++i) {
+            MESO_CHECK_C(StatusCode::NumericFault, std::isfinite(lg[i]),
+                         "non-finite logit at flat index "
+                             << i << " (" << lg[i] << ")");
+        }
+    } catch (...) {
+        // Mid-plan failure: arena and module state are indeterminate.
+        // Poison the context so reuse without reset() is rejected.
+        ctx.poisoned_ = true;
+        ctx.poisonMessage_ = Status::fromCurrentException().toString();
+        throw;
+    }
+    return ctx.logits_;
+}
+
 const tensor::Tensor &
 CompiledEngine::execute(const geom::PointCloud &cloud, uint64_t runSeed,
                         ExecutionContext &ctx) const
 {
-    MESO_REQUIRE(ctx.engine_ == this,
-                 "context was built for a different engine");
-    MESO_REQUIRE(static_cast<int32_t>(cloud.size()) == numInputPoints_,
-                 "engine expects " << numInputPoints_ << " points, got "
-                                   << cloud.size());
-    MESO_CHECK(baked_.size() == steps_.size(), "engine was not baked");
-    ctx.cloud_ = &cloud;
-    ctx.rng_ = Rng(runSeed);
-    for (const auto &fn : baked_)
-        fn(ctx);
-    return ctx.logits_;
+    return executeImpl(cloud, runSeed, ctx, nullptr);
 }
 
 const tensor::Tensor &
@@ -54,19 +147,34 @@ CompiledEngine::execute(
     ExecutionContext &ctx,
     const std::function<void(int32_t)> &afterStep) const
 {
-    MESO_REQUIRE(ctx.engine_ == this,
-                 "context was built for a different engine");
-    MESO_REQUIRE(static_cast<int32_t>(cloud.size()) == numInputPoints_,
-                 "engine expects " << numInputPoints_ << " points, got "
-                                   << cloud.size());
-    MESO_CHECK(baked_.size() == steps_.size(), "engine was not baked");
-    ctx.cloud_ = &cloud;
-    ctx.rng_ = Rng(runSeed);
-    for (size_t i = 0; i < baked_.size(); ++i) {
-        baked_[i](ctx);
-        afterStep(static_cast<int32_t>(i));
+    return executeImpl(cloud, runSeed, ctx, &afterStep);
+}
+
+Status
+CompiledEngine::validate(const geom::PointCloud &cloud) const
+{
+    Status s = geom::validatePointCloud(cloud);
+    if (!s.isOk())
+        return s;
+    if (static_cast<int32_t>(cloud.size()) != numInputPoints_) {
+        std::ostringstream os;
+        os << "engine expects " << numInputPoints_ << " points, got "
+           << cloud.size();
+        return Status(StatusCode::ShapeMismatch, os.str());
     }
-    return ctx.logits_;
+    return Status();
+}
+
+Status
+CompiledEngine::tryExecute(const geom::PointCloud &cloud,
+                           uint64_t runSeed, ExecutionContext &ctx) const
+{
+    try {
+        executeImpl(cloud, runSeed, ctx, nullptr);
+        return Status();
+    } catch (...) {
+        return Status::fromCurrentException();
+    }
 }
 
 namespace {
@@ -253,6 +361,11 @@ ContextPool::release(std::unique_ptr<ExecutionContext> ctx)
         return;
     MESO_REQUIRE(&ctx->engine() == &engine_,
                  "context returned to the wrong pool");
+    // Never recycle a poisoned context as-is: the next acquirer would
+    // be rejected through no fault of its own. Reset restores the
+    // serviceable (fresh) state while keeping warmed capacities.
+    if (ctx->poisoned())
+        ctx->reset();
     std::lock_guard<std::mutex> lock(mutex_);
     free_.push_back(std::move(ctx));
 }

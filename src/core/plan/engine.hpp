@@ -128,6 +128,27 @@ struct ExecutionContext
     /** Arena pointer of engine buffer @p id. */
     float *buf(int32_t id);
 
+    /**
+     * True after an execution threw mid-plan: arena/module state is
+     * indeterminate and further execute() calls are rejected with
+     * StatusCode::PoisonedContext until reset() runs. Input-validation
+     * failures (bad cloud, wrong engine) do NOT poison — they are
+     * rejected before any step touches context state.
+     */
+    bool poisoned() const { return poisoned_; }
+
+    /** Rendered Status of the failure that poisoned this context. */
+    const std::string &poisonMessage() const { return poisonMessage_; }
+
+    /**
+     * Restore the context to its freshly-constructed state — arena and
+     * logits zeroed, per-module neighbor state cleared, cached backend
+     * scratch dropped, poison flag lifted — while keeping warmed
+     * capacities. After reset() the context produces bitwise-identical
+     * results to a brand-new context.
+     */
+    void reset();
+
     // --- internal state touched by baked steps ----------------------
     const CompiledEngine *engine_ = nullptr;
     Arena arena_;
@@ -136,6 +157,8 @@ struct ExecutionContext
     std::vector<int32_t> sampleScratch_; ///< Fisher-Yates pool
     const geom::PointCloud *cloud_ = nullptr;
     Rng rng_{0}; ///< reseeded per execution
+    bool poisoned_ = false;
+    std::string poisonMessage_;
 };
 
 class CompiledEngine
@@ -165,6 +188,27 @@ class CompiledEngine
     execute(const geom::PointCloud &cloud, uint64_t runSeed,
             ExecutionContext &ctx,
             const std::function<void(int32_t)> &afterStep) const;
+
+    /**
+     * Input front door: is @p cloud one this engine can evaluate?
+     * Returns InvalidInput for an empty cloud or non-finite/absurd
+     * coordinates, ShapeMismatch when the point count differs from
+     * numInputPoints(), Ok otherwise. execute() calls this itself and
+     * throws UsageError carrying the same code; callers that prefer
+     * not to pay exception unwinding on bad requests call it directly.
+     * Allocation-free on the Ok path.
+     */
+    Status validate(const geom::PointCloud &cloud) const;
+
+    /**
+     * Non-throwing execute for hot serving paths: every failure —
+     * invalid input, poisoned context, mid-plan fault, non-finite
+     * logits — comes back as a typed Status instead of unwinding
+     * through the caller. On Ok the result is in ctx.logits(), bitwise
+     * identical to execute().
+     */
+    Status tryExecute(const geom::PointCloud &cloud, uint64_t runSeed,
+                      ExecutionContext &ctx) const;
 
     /** Build a fresh evaluation context (all storage preallocated to
      *  the engine's AOT shapes). */
@@ -215,6 +259,15 @@ class CompiledEngine
     friend class EngineSerializer;
     CompiledEngine() = default;
 
+    /** Shared body of both execute overloads: validation, the step
+     *  loop (with fault-injection sites), the logits finite check, and
+     *  context poisoning on mid-plan failure. @p afterStep is null on
+     *  the hot path so no std::function is ever constructed there. */
+    const tensor::Tensor &
+    executeImpl(const geom::PointCloud &cloud, uint64_t runSeed,
+                ExecutionContext &ctx,
+                const std::function<void(int32_t)> *afterStep) const;
+
     /** Lower every descriptor step to its runtime closure (strides
      *  frozen from the buffer table). Called once, after the engine is
      *  sealed — by the compiler and by the artifact loader, so a
@@ -247,7 +300,8 @@ class CompiledEngine
  * Thread-safe recycler of warm ExecutionContexts for concurrent
  * serving (BatchRunner's engine-cached path). acquire() hands out a
  * free context or builds a new one; release() returns it warm for the
- * next request.
+ * next request — poisoned contexts are reset() on the way in, so the
+ * pool never hands out a context that rejects execution.
  */
 class ContextPool
 {

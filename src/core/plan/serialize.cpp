@@ -5,6 +5,13 @@
 #include <fstream>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
+
+/** Every corrupt-input rejection in this file throws the same typed
+ *  code; a local alias keeps the ~50 call sites readable. */
+#define MESO_REQUIRE_ARTIFACT(cond, ...)                                  \
+    MESO_REQUIRE_C(::mesorasi::StatusCode::CorruptArtifact, cond,         \
+                   __VA_ARGS__)
 
 namespace mesorasi::core::plan {
 
@@ -173,7 +180,7 @@ class Reader
     count(size_t elemBytes, const char *what)
     {
         uint32_t n = u32();
-        MESO_REQUIRE(static_cast<uint64_t>(n) * elemBytes <=
+        MESO_REQUIRE_ARTIFACT(static_cast<uint64_t>(n) * elemBytes <=
                          size_ - pos_,
                      "corrupt engine artifact: " << what << " count " << n
                                                  << " exceeds remaining "
@@ -196,11 +203,11 @@ class Reader
     {
         int32_t rows = i32();
         int32_t cols = i32();
-        MESO_REQUIRE(rows >= 0 && cols >= 0,
+        MESO_REQUIRE_ARTIFACT(rows >= 0 && cols >= 0,
                      "corrupt engine artifact: " << what << " shape "
                                                  << rows << "x" << cols);
         uint64_t n = static_cast<uint64_t>(rows) * cols;
-        MESO_REQUIRE(n * sizeof(float) <= size_ - pos_,
+        MESO_REQUIRE_ARTIFACT(n * sizeof(float) <= size_ - pos_,
                      "corrupt engine artifact: " << what << " data "
                                                  << rows << "x" << cols
                                                  << " exceeds remaining "
@@ -218,7 +225,7 @@ class Reader
     void
     need(size_t n, const char *what)
     {
-        MESO_REQUIRE(n <= size_ - pos_,
+        MESO_REQUIRE_ARTIFACT(n <= size_ - pos_,
                      "corrupt engine artifact: truncated reading "
                          << what << " at byte " << pos_);
     }
@@ -374,7 +381,7 @@ readDesc(Reader &r)
             d.srcs = r.vecI32("desc srcs");
             break;
           default:
-            MESO_REQUIRE(false, "corrupt engine artifact: unknown "
+            MESO_REQUIRE_ARTIFACT(false, "corrupt engine artifact: unknown "
                                 "descriptor tag "
                                     << static_cast<int>(tag)
                                     << " at byte " << r.pos());
@@ -416,18 +423,18 @@ readModuleInfo(Reader &r)
     m.io.mlpWidths = r.vecI32("module mlp widths");
     m.io.mlpInDim = r.i32();
     int32_t eff = r.i32();
-    MESO_REQUIRE(eff >= 0 &&
+    MESO_REQUIRE_ARTIFACT(eff >= 0 &&
                      eff <= static_cast<int32_t>(PipelineKind::LtdDelayed),
                  "corrupt engine artifact: bad pipeline kind " << eff);
     m.effective = static_cast<PipelineKind>(eff);
     m.global = r.u8() != 0;
     int32_t b = r.i32();
-    MESO_REQUIRE(b >= 0 &&
+    MESO_REQUIRE_ARTIFACT(b >= 0 &&
                      b <= static_cast<int32_t>(neighbor::Backend::KdTree),
                  "corrupt engine artifact: bad backend " << b);
     m.backend = static_cast<neighbor::Backend>(b);
     m.customBackend = r.str();
-    MESO_REQUIRE(m.io.nIn >= 0 && m.io.nOut >= 0 && m.io.k >= 0 &&
+    MESO_REQUIRE_ARTIFACT(m.io.nIn >= 0 && m.io.nOut >= 0 && m.io.k >= 0 &&
                      m.io.mIn >= 0 && m.io.mOut >= 0,
                  "corrupt engine artifact: negative module shape in '"
                      << m.name << "'");
@@ -562,13 +569,30 @@ class EngineSerializer
     {
         MESO_REQUIRE(data != nullptr || size == 0,
                      "null engine artifact buffer");
+        try {
+            return loadImpl(data, size);
+        } catch (const UsageError &e) {
+            if (e.code() == StatusCode::CorruptArtifact)
+                throw;
+            // Decoded tables can trip checks deeper in the library
+            // (e.g. nn::Mlp layer chaining on a mangled shape). During
+            // a load every such failure IS corruption; re-tag so
+            // callers can route on one code.
+            throw UsageError(StatusCode::CorruptArtifact, e.what());
+        }
+    }
+
+  private:
+    static CompiledEngine
+    loadImpl(const uint8_t *data, size_t size)
+    {
         Reader r(data, size);
         uint32_t magic = r.u32();
-        MESO_REQUIRE(magic == kMagic,
+        MESO_REQUIRE_ARTIFACT(magic == kMagic,
                      "corrupt engine artifact: bad magic 0x" << std::hex
                                                              << magic);
         uint32_t version = r.u32();
-        MESO_REQUIRE(version == kEngineFormatVersion,
+        MESO_REQUIRE_ARTIFACT(version == kEngineFormatVersion,
                      "engine artifact format v"
                          << version << " is not supported (this build "
                          << "reads v" << kEngineFormatVersion
@@ -576,7 +600,7 @@ class EngineSerializer
 
         CompiledEngine e;
         int32_t kind = r.i32();
-        MESO_REQUIRE(kind >= 0 &&
+        MESO_REQUIRE_ARTIFACT(kind >= 0 &&
                          kind <= static_cast<int32_t>(
                                      PipelineKind::LtdDelayed),
                      "corrupt engine artifact: bad pipeline kind "
@@ -585,7 +609,7 @@ class EngineSerializer
         e.numInputPoints_ = r.i32();
         e.logitsRows_ = r.i32();
         e.logitsCols_ = r.i32();
-        MESO_REQUIRE(e.numInputPoints_ > 0 && e.logitsRows_ >= 0 &&
+        MESO_REQUIRE_ARTIFACT(e.numInputPoints_ > 0 && e.logitsRows_ >= 0 &&
                          e.logitsCols_ >= 0,
                      "corrupt engine artifact: bad engine dims");
 
@@ -602,7 +626,13 @@ class EngineSerializer
             b.rows = r.i64();
             b.cols = r.i32();
             b.ld = r.i32();
-            MESO_REQUIRE(b.rows >= 0 && b.cols >= 0 && b.ld >= b.cols,
+            // The magnitude bound keeps every later extent product
+            // (rows * ld in floats(), rows * k in validate) far from
+            // int64 overflow on fuzzed bytes; real engines are bounded
+            // by the 2^32-float arena anyway.
+            MESO_REQUIRE_ARTIFACT(b.rows >= 0 && b.cols >= 0 &&
+                             b.ld >= b.cols &&
+                             b.rows <= (int64_t{1} << 31),
                          "corrupt engine artifact: bad shape for buffer "
                              << i);
             e.bufferShapes_.push_back(b);
@@ -615,7 +645,7 @@ class EngineSerializer
         for (uint32_t i = 0; i < nSteps; ++i) {
             StepIR s;
             int32_t sk = r.i32();
-            MESO_REQUIRE(sk >= 0 &&
+            MESO_REQUIRE_ARTIFACT(sk >= 0 &&
                              sk <= static_cast<int32_t>(
                                        StageKind::Epilogue),
                          "corrupt engine artifact: bad stage kind "
@@ -650,7 +680,7 @@ class EngineSerializer
             uint32_t nLayers = r.count(1, "mlp layers");
             for (uint32_t l = 0; l < nLayers; ++l) {
                 int32_t act = r.i32();
-                MESO_REQUIRE(act >= 0 &&
+                MESO_REQUIRE_ARTIFACT(act >= 0 &&
                                  act <= static_cast<int32_t>(
                                             nn::Activation::Relu),
                              "corrupt engine artifact: bad activation "
@@ -660,7 +690,7 @@ class EngineSerializer
                 tensor::Tensor bias;
                 if (hasBias) {
                     bias = r.tensor("layer bias");
-                    MESO_REQUIRE(bias.rows() == 1 &&
+                    MESO_REQUIRE_ARTIFACT(bias.rows() == 1 &&
                                      bias.cols() == weight.cols(),
                                  "corrupt engine artifact: bias shape "
                                      << bias.shapeStr()
@@ -691,7 +721,7 @@ class EngineSerializer
         // back-compatible with) pre-quantization fp32 artifacts.
         if (!r.done()) {
             uint32_t qmagic = r.u32();
-            MESO_REQUIRE(qmagic == kQuantMagic,
+            MESO_REQUIRE_ARTIFACT(qmagic == kQuantMagic,
                          "corrupt engine artifact: bad quant section "
                          "magic 0x"
                              << std::hex << qmagic);
@@ -701,19 +731,19 @@ class EngineSerializer
                 int32_t dt = r.i32();
                 float scale = r.f32();
                 int32_t zero = r.i32();
-                MESO_REQUIRE(id < e.bufferShapes_.size(),
+                MESO_REQUIRE_ARTIFACT(id < e.bufferShapes_.size(),
                              "corrupt engine artifact: quant entry for "
                              "buffer "
                                  << id << " of "
                                  << e.bufferShapes_.size());
-                MESO_REQUIRE(
+                MESO_REQUIRE_ARTIFACT(
                     dt == static_cast<int32_t>(DType::I8) ||
                         dt == static_cast<int32_t>(DType::I4),
                     "corrupt engine artifact: quant dtype " << dt);
-                MESO_REQUIRE(std::isfinite(scale) && scale > 0.0f,
+                MESO_REQUIRE_ARTIFACT(std::isfinite(scale) && scale > 0.0f,
                              "corrupt engine artifact: quant scale "
                                  << scale << " for buffer " << id);
-                MESO_REQUIRE(zero == 0,
+                MESO_REQUIRE_ARTIFACT(zero == 0,
                              "corrupt engine artifact: non-symmetric "
                              "zero point "
                                  << zero << " is not supported");
@@ -723,7 +753,7 @@ class EngineSerializer
                 b.qzero = zero;
             }
             uint32_t nQp = r.count(4, "quant pass stats");
-            MESO_REQUIRE(nQp == e.passStats_.size(),
+            MESO_REQUIRE_ARTIFACT(nQp == e.passStats_.size(),
                          "corrupt engine artifact: "
                              << nQp << " quant pass stats for "
                              << e.passStats_.size() << " passes");
@@ -734,7 +764,7 @@ class EngineSerializer
             if (b.dtype != DType::F32)
                 ++e.stats_.buffersQuantized;
 
-        MESO_REQUIRE(r.done(),
+        MESO_REQUIRE_ARTIFACT(r.done(),
                      "corrupt engine artifact: " << (size - r.pos())
                                                  << " trailing bytes");
         validate(e);
@@ -750,11 +780,11 @@ class EngineSerializer
     validate(const CompiledEngine &e)
     {
         int32_t nBufs = static_cast<int32_t>(e.bufferShapes_.size());
-        MESO_REQUIRE(e.offsets_.size() == e.bufferShapes_.size(),
+        MESO_REQUIRE_ARTIFACT(e.offsets_.size() == e.bufferShapes_.size(),
                      "corrupt engine artifact: " << e.offsets_.size()
                                                  << " offsets for "
                                                  << nBufs << " buffers");
-        MESO_REQUIRE(e.stats_.arenaFloats >= 0 &&
+        MESO_REQUIRE_ARTIFACT(e.stats_.arenaFloats >= 0 &&
                          e.stats_.arenaFloats <=
                              (int64_t{1} << 32),
                      "corrupt engine artifact: arena size "
@@ -762,7 +792,7 @@ class EngineSerializer
 
         auto needBuf = [&](int32_t id, const char *what,
                            const std::string &step) {
-            MESO_REQUIRE(id >= 0 && id < nBufs,
+            MESO_REQUIRE_ARTIFACT(id >= 0 && id < nBufs,
                          "corrupt engine artifact: step '"
                              << step << "' " << what << " buffer " << id
                              << " out of range (" << nBufs
@@ -770,17 +800,20 @@ class EngineSerializer
             const BufferShape &b =
                 e.bufferShapes_[static_cast<size_t>(id)];
             int64_t off = e.offsets_[static_cast<size_t>(id)];
-            MESO_REQUIRE(off >= 0 &&
-                             off + b.floats() <= e.stats_.arenaFloats,
+            // Compare without forming off + floats(): either addend
+            // may be huge on corrupt input and the sum could overflow.
+            MESO_REQUIRE_ARTIFACT(off >= 0 &&
+                             off <= e.stats_.arenaFloats &&
+                             b.floats() <= e.stats_.arenaFloats - off,
                          "corrupt engine artifact: buffer "
-                             << id << " extent [" << off << ", "
-                             << off + b.floats()
+                             << id << " extent [" << off << ", +"
+                             << b.floats()
                              << ") outside arena of "
                              << e.stats_.arenaFloats << " floats");
         };
         int32_t nModules = static_cast<int32_t>(e.modules_.size());
         auto needMod = [&](int32_t mod, const std::string &step) {
-            MESO_REQUIRE(mod >= 0 && mod < nModules,
+            MESO_REQUIRE_ARTIFACT(mod >= 0 && mod < nModules,
                          "corrupt engine artifact: step '"
                              << step << "' module " << mod
                              << " out of range (" << nModules
@@ -801,22 +834,24 @@ class EngineSerializer
         };
 
         auto checkDesc = [&](const OpDesc &d, const std::string &step) {
-            MESO_REQUIRE(
+            MESO_REQUIRE_ARTIFACT(
                 d.op > OpKind::Generic && d.op <= OpKind::QuantizeRows,
                 "corrupt engine artifact: step '"
                     << step << "' op "
                     << static_cast<int32_t>(d.op)
                     << " is not a valid kind");
-            MESO_REQUIRE(d.rows >= 0 && d.cols >= 0 && d.k >= 0 &&
-                             d.srcRows >= 0 && d.outCol >= 0,
+            MESO_REQUIRE_ARTIFACT(d.rows >= 0 && d.cols >= 0 && d.k >= 0 &&
+                             d.srcRows >= 0 && d.outCol >= 0 &&
+                             d.rows <= (int64_t{1} << 31) &&
+                             d.srcRows <= (int64_t{1} << 31),
                          "corrupt engine artifact: step '"
-                             << step << "' negative extent");
+                             << step << "' bad extent");
             switch (d.op) {
               case OpKind::MlpForward: {
                 needBuf(d.in, "in", step);
                 if (d.out != kResLogits)
                     needBuf(d.out, "out", step);
-                MESO_REQUIRE(
+                MESO_REQUIRE_ARTIFACT(
                     d.mlpId >= 0 &&
                         d.mlpId <
                             static_cast<int32_t>(e.mlps_.size()),
@@ -824,7 +859,7 @@ class EngineSerializer
                         << step << "' mlp id " << d.mlpId);
                 const nn::Mlp &m =
                     e.mlps_[static_cast<size_t>(d.mlpId)];
-                MESO_REQUIRE(d.firstLayer >= 0 &&
+                MESO_REQUIRE_ARTIFACT(d.firstLayer >= 0 &&
                                  d.firstLayer <=
                                      static_cast<int32_t>(
                                          m.numLayers()),
@@ -837,7 +872,7 @@ class EngineSerializer
               case OpKind::Matmul:
                 needBuf(d.in, "in", step);
                 needBuf(d.out, "out", step);
-                MESO_REQUIRE(
+                MESO_REQUIRE_ARTIFACT(
                     d.weightId >= 0 &&
                         d.weightId <
                             static_cast<int32_t>(e.weights_.size()),
@@ -847,12 +882,12 @@ class EngineSerializer
               case OpKind::BiasRelu:
                 needBuf(d.out, "out", step);
                 if (d.biasId >= 0) {
-                    MESO_REQUIRE(
+                    MESO_REQUIRE_ARTIFACT(
                         d.biasId <
                             static_cast<int32_t>(e.weights_.size()),
                         "corrupt engine artifact: step '"
                             << step << "' bias id " << d.biasId);
-                    MESO_REQUIRE(
+                    MESO_REQUIRE_ARTIFACT(
                         e.weights_[static_cast<size_t>(d.biasId)]
                                 .numel() >= d.cols,
                         "corrupt engine artifact: step '"
@@ -864,7 +899,7 @@ class EngineSerializer
                 needBuf(d.in, "in", step);
                 needBuf(d.out, "out", step);
                 needMod(d.mod, step);
-                MESO_REQUIRE(d.rows <= centCap(d.mod) &&
+                MESO_REQUIRE_ARTIFACT(d.rows <= centCap(d.mod) &&
                                  d.rows * d.k <= nitCap(d.mod),
                              "corrupt engine artifact: step '"
                                  << step
@@ -875,7 +910,7 @@ class EngineSerializer
                 needBuf(d.out, "out", step);
                 needBuf(d.aux, "aux", step);
                 needMod(d.mod, step);
-                MESO_REQUIRE(d.rows <= centCap(d.mod),
+                MESO_REQUIRE_ARTIFACT(d.rows <= centCap(d.mod),
                              "corrupt engine artifact: step '"
                                  << step
                                  << "' rows exceed centroid list");
@@ -886,7 +921,7 @@ class EngineSerializer
                 break;
               case OpKind::RngDraw:
                 needMod(d.mod, step);
-                MESO_REQUIRE(d.rows <= d.srcRows,
+                MESO_REQUIRE_ARTIFACT(d.rows <= d.srcRows,
                              "corrupt engine artifact: step '"
                                  << step << "' draws " << d.rows
                                  << " of " << d.srcRows);
@@ -896,7 +931,7 @@ class EngineSerializer
                 break;
               case OpKind::ResolveSample:
                 needMod(d.mod, step);
-                MESO_REQUIRE(
+                MESO_REQUIRE_ARTIFACT(
                     d.mode >= 0 &&
                         d.mode <=
                             static_cast<int32_t>(SampleMode::Fps),
@@ -908,13 +943,13 @@ class EngineSerializer
               case OpKind::SearchNit:
                 needBuf(d.in, "in", step);
                 needMod(d.mod, step);
-                MESO_REQUIRE(d.k > 0 && d.inCols > 0 &&
+                MESO_REQUIRE_ARTIFACT(d.k > 0 && d.inCols > 0 &&
                                  d.rows <= centCap(d.mod) &&
                                  d.rows * d.k <= nitCap(d.mod),
                              "corrupt engine artifact: step '"
                                  << step
                                  << "' search exceeds module NIT");
-                MESO_REQUIRE(
+                MESO_REQUIRE_ARTIFACT(
                     d.backend >= 0 &&
                         d.backend <= static_cast<int32_t>(
                                          neighbor::Backend::KdTree),
@@ -925,7 +960,7 @@ class EngineSerializer
                 needBuf(d.in, "in", step);
                 needBuf(d.out, "out", step);
                 needMod(d.mod, step);
-                MESO_REQUIRE(d.rows <= centCap(d.mod) &&
+                MESO_REQUIRE_ARTIFACT(d.rows <= centCap(d.mod) &&
                                  d.rows * d.k <= nitCap(d.mod),
                              "corrupt engine artifact: step '"
                                  << step
@@ -934,14 +969,14 @@ class EngineSerializer
               case OpKind::ReduceMaxRows:
                 needBuf(d.in, "in", step);
                 needBuf(d.out, "out", step);
-                MESO_REQUIRE(d.k > 0,
+                MESO_REQUIRE_ARTIFACT(d.k > 0,
                              "corrupt engine artifact: step '"
                                  << step << "' zero group size");
                 break;
               case OpKind::ReduceMaxAll:
                 needBuf(d.in, "in", step);
                 needBuf(d.out, "out", step);
-                MESO_REQUIRE(d.srcRows > 0,
+                MESO_REQUIRE_ARTIFACT(d.srcRows > 0,
                              "corrupt engine artifact: step '"
                                  << step << "' empty reduction");
                 break;
@@ -949,7 +984,7 @@ class EngineSerializer
                 needBuf(d.in, "in", step);
                 needBuf(d.out, "out", step);
                 needMod(d.mod, step);
-                MESO_REQUIRE(d.rows <= centCap(d.mod),
+                MESO_REQUIRE_ARTIFACT(d.rows <= centCap(d.mod),
                              "corrupt engine artifact: step '"
                                  << step
                                  << "' rows exceed centroid list");
@@ -967,10 +1002,10 @@ class EngineSerializer
                 needBuf(d.aux, "aux", step);
                 needBuf(d.in2, "in2", step);
                 needBuf(d.out, "out", step);
-                MESO_REQUIRE(d.k > 0 && d.srcRows > 0,
+                MESO_REQUIRE_ARTIFACT(d.k > 0 && d.srcRows > 0,
                              "corrupt engine artifact: step '"
                                  << step << "' empty interpolation");
-                MESO_REQUIRE(
+                MESO_REQUIRE_ARTIFACT(
                     d.backend >= 0 &&
                         d.backend <= static_cast<int32_t>(
                                          neighbor::Backend::KdTree),
@@ -984,11 +1019,11 @@ class EngineSerializer
                     e.bufferShapes_[static_cast<size_t>(d.in)];
                 const BufferShape &bo =
                     e.bufferShapes_[static_cast<size_t>(d.out)];
-                MESO_REQUIRE(bi.dtype == DType::F32,
+                MESO_REQUIRE_ARTIFACT(bi.dtype == DType::F32,
                              "corrupt engine artifact: step '"
                                  << step
                                  << "' quantizes a non-f32 buffer");
-                MESO_REQUIRE((bo.dtype == DType::I8 ||
+                MESO_REQUIRE_ARTIFACT((bo.dtype == DType::I8 ||
                               bo.dtype == DType::I4) &&
                                  std::isfinite(bo.qscale) &&
                                  bo.qscale > 0.0f,
@@ -996,7 +1031,7 @@ class EngineSerializer
                                  << step
                                  << "' output is not a quantized "
                                     "buffer with a positive scale");
-                MESO_REQUIRE(bo.dtype != DType::I4 || bo.ld % 2 == 0,
+                MESO_REQUIRE_ARTIFACT(bo.dtype != DType::I4 || bo.ld % 2 == 0,
                              "corrupt engine artifact: step '"
                                  << step << "' int4 output ld "
                                  << bo.ld << " is odd");
@@ -1014,7 +1049,7 @@ class EngineSerializer
                           const std::string &step) {
             if (id < 0 || id >= nBufs)
                 return;
-            MESO_REQUIRE(
+            MESO_REQUIRE_ARTIFACT(
                 e.bufferShapes_[static_cast<size_t>(id)].dtype ==
                     DType::F32,
                 "corrupt engine artifact: step '"
@@ -1068,7 +1103,28 @@ saveEngine(const CompiledEngine &engine, const std::string &path)
 CompiledEngine
 loadEngineFromBytes(const uint8_t *data, size_t size)
 {
+    // Fault-injection site: flip one seed-chosen bit of the artifact
+    // before parsing, exercising the corrupt-input rejection path end
+    // to end (the flip may also land in weight data and load cleanly —
+    // the fuzz harness accepts both outcomes).
+    if (size > 0 && fault::fires(fault::kArtifactByteFlip)) {
+        std::vector<uint8_t> mangled(data, data + size);
+        uint64_t bit = fault::pick(fault::kArtifactByteFlip,
+                                   static_cast<uint64_t>(size) * 8);
+        mangled[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        return EngineSerializer::load(mangled.data(), mangled.size());
+    }
     return EngineSerializer::load(data, size);
+}
+
+Expected<CompiledEngine>
+tryLoadEngineFromBytes(const uint8_t *data, size_t size)
+{
+    try {
+        return Expected<CompiledEngine>(loadEngineFromBytes(data, size));
+    } catch (...) {
+        return Expected<CompiledEngine>(Status::fromCurrentException());
+    }
 }
 
 CompiledEngine
@@ -1083,7 +1139,17 @@ loadEngine(const std::string &path)
     in.read(reinterpret_cast<char *>(bytes.data()), size);
     MESO_REQUIRE(in.good(), "failed reading engine artifact '" << path
                                                                << "'");
-    return EngineSerializer::load(bytes.data(), bytes.size());
+    return loadEngineFromBytes(bytes.data(), bytes.size());
+}
+
+Expected<CompiledEngine>
+tryLoadEngine(const std::string &path)
+{
+    try {
+        return Expected<CompiledEngine>(loadEngine(path));
+    } catch (...) {
+        return Expected<CompiledEngine>(Status::fromCurrentException());
+    }
 }
 
 int64_t

@@ -48,13 +48,25 @@ void saveEngine(const CompiledEngine &engine, const std::string &path);
 /**
  * Reconstruct an engine from artifact bytes. The loaded engine bakes
  * the same closures a fresh compile would, so its logits are bitwise
- * identical to the compiling process's. Throws UsageError on corrupt,
- * truncated, or version-mismatched input.
+ * identical to the compiling process's. Throws UsageError carrying
+ * StatusCode::CorruptArtifact on corrupt, truncated, or version-
+ * mismatched input.
  */
 CompiledEngine loadEngineFromBytes(const uint8_t *data, size_t size);
 
 /** Load an engine artifact from @p path. */
 CompiledEngine loadEngine(const std::string &path);
+
+/**
+ * Non-throwing loaders for serving bring-up: a corrupt or unreadable
+ * artifact comes back as a typed Status (CorruptArtifact for decode/
+ * validation failures, InvalidInput for unreadable paths) instead of
+ * unwinding — a server can fall back to recompiling without a
+ * try/catch at every call site.
+ */
+Expected<CompiledEngine> tryLoadEngineFromBytes(const uint8_t *data,
+                                                size_t size);
+Expected<CompiledEngine> tryLoadEngine(const std::string &path);
 
 /** Size in bytes of @p engine's serialized artifact. */
 int64_t serializedEngineSize(const CompiledEngine &engine);

@@ -66,8 +66,18 @@ struct OverlappedRun
     void
     launch(const std::vector<StageId> &ids)
     {
-        for (StageId id : ids)
-            pool.submit([this, id] { execute(id); });
+        for (StageId id : ids) {
+            // If the pool refuses the task (admission failure), degrade
+            // to running the stage on this thread: slower, but the
+            // dependency accounting still happens and the schedule
+            // completes instead of deadlocking on a stage that will
+            // never run.
+            try {
+                pool.submit([this, id] { execute(id); });
+            } catch (...) {
+                execute(id);
+            }
+        }
     }
 
     void

@@ -26,6 +26,24 @@ openIn(const std::string &path)
     return is;
 }
 
+/**
+ * Ingestion check for freshly parsed clouds: non-finite or absurd
+ * coordinates are rejected at the door with a typed InvalidInput
+ * instead of flowing into neighbor queries. An empty stream still
+ * yields an empty cloud (callers that require points say so via
+ * CompiledEngine::validate / validatePointCloud themselves).
+ */
+PointCloud
+checkedIngest(PointCloud cloud)
+{
+    if (!cloud.empty()) {
+        Status s = validatePointCloud(cloud);
+        if (!s.isOk())
+            throw UsageError(s);
+    }
+    return cloud;
+}
+
 } // namespace
 
 void
@@ -71,7 +89,7 @@ readXyz(std::istream &is)
         else
             cloud.add({x, y, z});
     }
-    return cloud;
+    return checkedIngest(std::move(cloud));
 }
 
 PointCloud
@@ -156,7 +174,7 @@ readPly(std::istream &is)
             cloud.add({x, y, z});
         }
     }
-    return cloud;
+    return checkedIngest(std::move(cloud));
 }
 
 PointCloud

@@ -1,6 +1,8 @@
 #include "geom/point_cloud.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 #include "common/check.hpp"
 
@@ -114,6 +116,34 @@ PointCloud::select(const std::vector<int32_t> &indices) const
             out.add(points_[i]);
     }
     return out;
+}
+
+Status
+validatePointCloud(const PointCloud &cloud)
+{
+    if (cloud.empty())
+        return Status(StatusCode::InvalidInput, "empty point cloud");
+    const std::vector<Point3> &pts = cloud.points();
+    for (size_t i = 0; i < pts.size(); ++i) {
+        const Point3 &p = pts[i];
+        if (!std::isfinite(p.x) || !std::isfinite(p.y) ||
+            !std::isfinite(p.z)) {
+            std::ostringstream os;
+            os << "point " << i << " has a non-finite coordinate ("
+               << p.x << ", " << p.y << ", " << p.z << ")";
+            return Status(StatusCode::InvalidInput, os.str());
+        }
+        if (std::fabs(p.x) > kMaxCoordinateMagnitude ||
+            std::fabs(p.y) > kMaxCoordinateMagnitude ||
+            std::fabs(p.z) > kMaxCoordinateMagnitude) {
+            std::ostringstream os;
+            os << "point " << i << " coordinate magnitude exceeds "
+               << kMaxCoordinateMagnitude << " (" << p.x << ", " << p.y
+               << ", " << p.z << ")";
+            return Status(StatusCode::InvalidInput, os.str());
+        }
+    }
+    return Status();
 }
 
 void

@@ -9,9 +9,19 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "geom/point.hpp"
 
 namespace mesorasi::geom {
+
+/**
+ * Largest coordinate magnitude accepted by validatePointCloud. Real
+ * LiDAR/depth-sensor clouds live within a few hundred meters of the
+ * origin; anything near float-overflow territory is corrupt input that
+ * would silently break squared-distance math downstream (x*x overflows
+ * to Inf around 2e19).
+ */
+inline constexpr float kMaxCoordinateMagnitude = 1.0e9f;
 
 /** Axis-aligned bounding box in 3-D. */
 struct Aabb
@@ -91,5 +101,14 @@ class PointCloud
     std::vector<Point3> points_;
     std::vector<int32_t> labels_;
 };
+
+/**
+ * Ingestion front door: reject clouds no inference pipeline should ever
+ * see. Returns InvalidInput for an empty cloud, a NaN/Inf coordinate,
+ * or a coordinate beyond kMaxCoordinateMagnitude; Ok otherwise. Never
+ * throws and allocates only on failure (the message), so serving paths
+ * can call it per-request.
+ */
+Status validatePointCloud(const PointCloud &cloud);
 
 } // namespace mesorasi::geom

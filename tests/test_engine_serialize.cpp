@@ -31,11 +31,13 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "core/networks.hpp"
 #include "core/plan/plan_compiler.hpp"
 #include "core/plan/serialize.hpp"
 #include "core/plan/step_ir.hpp"
 #include "geom/datasets.hpp"
+#include "quant/calibrate.hpp"
 
 namespace mesorasi::core::plan {
 namespace {
@@ -231,8 +233,9 @@ checkRoundTrip(const NetworkConfig &cfg, PipelineKind kind,
 }
 
 /** Attempt a load of deliberately mangled bytes: the only acceptable
- *  outcomes are UsageError, InternalError, or a successfully decoded
- *  engine (never executed). Anything else — another exception type or
+ *  outcomes are UsageError carrying StatusCode::CorruptArtifact,
+ *  InternalError, or a successfully decoded engine (never executed).
+ *  Anything else — another exception type, an untyped rejection, or
  *  memory badness under the sanitizers — fails the test. */
 void
 loadMangled(const std::vector<uint8_t> &bytes, const std::string &what)
@@ -240,7 +243,9 @@ loadMangled(const std::vector<uint8_t> &bytes, const std::string &what)
     try {
         CompiledEngine e = loadEngineFromBytes(bytes.data(), bytes.size());
         (void)e; // decoded + validated + baked, but never executed
-    } catch (const UsageError &) {
+    } catch (const UsageError &e) {
+        EXPECT_EQ(e.code(), StatusCode::CorruptArtifact)
+            << what << ": untyped rejection: " << e.what();
     } catch (const InternalError &) {
     } catch (...) {
         FAIL() << what << ": unexpected exception type escaped load";
@@ -448,6 +453,69 @@ TEST(EngineSerialize, ByteFlipSweepNeverUB)
         m[i] ^= 0x01;
         loadMangled(m, "xor 0x01 at " + std::to_string(i));
     }
+}
+
+TEST(EngineSerialize, SeededFuzzFlipsNeverCrashAndStayTyped)
+{
+    // Deterministic fuzz over an artifact WITH a QNT1 quant section,
+    // so the quant-entry decoding and the quantized-role validation
+    // are in the blast radius too. Each round flips 1-4 seed-chosen
+    // bits anywhere in the artifact; the only acceptable outcomes are
+    // a clean decode or a typed CorruptArtifact rejection. The seed is
+    // fixed so a CI failure reproduces locally.
+    NetworkConfig cfg = tinyNet();
+    NetworkExecutor exec(cfg, 3);
+    std::vector<PointCloud> calib = {cloudFor(cfg, 5), cloudFor(cfg, 6)};
+    CompiledEngine eng = quant::compileQuantizedPft(
+        exec, PipelineKind::Delayed,
+        withPasses(PassOptions::Enable::On), calib, /*seedBase=*/1);
+    ASSERT_GT(eng.stats().buffersQuantized, 0)
+        << "fuzz corpus lost its quant section";
+    const std::vector<uint8_t> good = saveEngineToBytes(eng);
+
+    Rng rng(20260808);
+    for (int round = 0; round < 1000; ++round) {
+        std::vector<uint8_t> m = good;
+        int64_t flips = rng.uniformInt(1, 4);
+        for (int64_t f = 0; f < flips; ++f) {
+            size_t at = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(m.size()) - 1));
+            m[at] ^= static_cast<uint8_t>(1u << rng.uniformInt(0, 7));
+        }
+        loadMangled(m, "fuzz round " + std::to_string(round));
+        if (::testing::Test::HasFailure())
+            break; // first failing round pinpoints the repro
+    }
+}
+
+TEST(EngineSerialize, TryLoadReturnsTypedStatusInsteadOfThrowing)
+{
+    NetworkExecutor exec(tinyNet(), 3);
+    CompiledEngine eng = PlanCompiler::compile(
+        exec, PipelineKind::Delayed, withPasses(PassOptions::Enable::On));
+    std::vector<uint8_t> bytes = saveEngineToBytes(eng);
+
+    Expected<CompiledEngine> ok =
+        tryLoadEngineFromBytes(bytes.data(), bytes.size());
+    ASSERT_TRUE(ok.hasValue()) << ok.status().toString();
+    PointCloud cloud = cloudFor(tinyNet());
+    auto ctx = ok.value().makeContext();
+    expectBitwise(ok.value().execute(cloud, 1, *ctx),
+                  exec.run(cloud, PipelineKind::Delayed, 1).logits,
+                  "tryLoad engine parity");
+
+    bytes[0] ^= 0xFF; // break the magic
+    Expected<CompiledEngine> bad =
+        tryLoadEngineFromBytes(bytes.data(), bytes.size());
+    ASSERT_FALSE(bad.hasValue());
+    EXPECT_EQ(bad.status().code(), StatusCode::CorruptArtifact)
+        << bad.status().toString();
+
+    Expected<CompiledEngine> missing =
+        tryLoadEngine("/nonexistent/engine.meso");
+    ASSERT_FALSE(missing.hasValue());
+    EXPECT_EQ(missing.status().code(), StatusCode::InvalidInput)
+        << missing.status().toString();
 }
 
 } // namespace

@@ -121,6 +121,40 @@ TEST(Submit, DroppedHandleStillExecutes)
                             [&] { return ran; }));
 }
 
+TEST(ParallelFor, CountsSuppressedExceptionsBeyondTheFirst)
+{
+    // When several chunks of one parallelFor throw, exactly one
+    // exception reaches the caller; the rest must be accounted for —
+    // not silently dropped (they were, before the counter existed).
+    ThreadPool pool(4);
+    ASSERT_EQ(pool.suppressedExceptionCount(), 0u);
+
+    std::atomic<int> started{0};
+    int64_t n = static_cast<int64_t>(pool.size()) * 4;
+    try {
+        pool.parallelFor(n, /*grain=*/1, [&](int64_t, int64_t) {
+            started.fetch_add(1);
+            throw UsageError("chunk failure");
+        });
+        FAIL() << "parallelFor swallowed every exception";
+    } catch (const UsageError &) {
+    }
+    // Every chunk that ran threw; all but the rethrown first are
+    // suppressed-and-counted. At least one chunk ran.
+    EXPECT_EQ(pool.suppressedExceptionCount(),
+              static_cast<uint64_t>(started.load()) - 1);
+
+    // A clean loop afterwards leaves the count untouched.
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(n, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+    EXPECT_EQ(pool.suppressedExceptionCount(),
+              static_cast<uint64_t>(started.load()) - 1);
+}
+
 TEST(Submit, EmptyHandleRejectsWait)
 {
     TaskHandle h;
