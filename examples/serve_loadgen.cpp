@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Poisson open-loop load generator for the ServingEngine.
+ *
+ * Closed-loop benchmarks (issue a request, wait, issue the next) hide
+ * queueing: the generator slows down exactly when the server does, so
+ * reported latency stays flat right up to collapse. This generator is
+ * *open-loop* — arrivals follow a Poisson process whose rate does not
+ * depend on completions, the arrival model of independent clients —
+ * so when offered load exceeds capacity, queues grow and tail latency
+ * shows it honestly.
+ *
+ * For each offered-QPS point in the sweep it reports sustained QPS,
+ * p50/p99/p99.9 latency (from the allocation-free log-bucketed
+ * LatencyHistogram), the dynamic batch-size distribution, and the
+ * error/rejection rates, then appends a record to
+ * BENCH_serving_qps.json so the serving trajectory is tracked across
+ * PRs. Before writing results it MESO_CHECKs, on a sample of served
+ * requests, that the logits the serving path returned are bitwise
+ * identical to a direct CompiledEngine::execute with the same seed —
+ * the reproducibility contract under real concurrency.
+ *
+ * Run with MESORASI_FAULT_SEED=<n> for a fault soak: the typed-fault
+ * sites are armed (fresh per sweep point, seed + point index) for the
+ * serving window, so injected faults surface as typed per-ticket
+ * errors (counted in the error rate) while the engine keeps serving.
+ * The harness is disarmed before the bitwise verification pass, so a
+ * check failure there always means the reproducibility contract broke
+ * — non-faulted requests must stay bitwise clean under soak.
+ *
+ * Flags: --qps <a,b,c> offered-load sweep (default 25,100,400)
+ *        --duration-ms <n> per sweep point (default 2000)
+ *        --shards / --threads-per-shard / --max-batch / --max-wait-us
+ *        --seed <n> request seed base (default 7)
+ */
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "run_guarded.hpp"
+#include "bench_common.hpp"
+#include "common/check.hpp"
+#include "common/fault_injection.hpp"
+#include "common/latency_histogram.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/networks.hpp"
+#include "core/plan/plan_compiler.hpp"
+#include "geom/datasets.hpp"
+#include "serve/serving_engine.hpp"
+
+using namespace mesorasi;
+
+namespace {
+
+struct Args
+{
+    std::vector<double> qpsSweep{25.0, 100.0, 400.0};
+    int64_t durationMs = 2000;
+    int32_t shards = 2;
+    int32_t threadsPerShard = 2;
+    int32_t maxBatch = 8;
+    int64_t maxWaitUs = 200;
+    uint64_t seedBase = 7;
+};
+
+std::vector<double>
+parseQpsList(const char *arg)
+{
+    std::vector<double> out;
+    std::string s(arg);
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        double q = std::atof(s.substr(pos, comma - pos).c_str());
+        MESO_REQUIRE(q > 0.0, "--qps entries must be > 0, got " << q);
+        out.push_back(q);
+        pos = comma + 1;
+    }
+    MESO_REQUIRE(!out.empty(), "--qps list is empty");
+    return out;
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    auto next = [&](int &i) -> const char * {
+        MESO_REQUIRE(i + 1 < argc, "flag " << argv[i]
+                                           << " needs a value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--qps") == 0)
+            a.qpsSweep = parseQpsList(next(i));
+        else if (std::strcmp(argv[i], "--duration-ms") == 0)
+            a.durationMs = std::atoll(next(i));
+        else if (std::strcmp(argv[i], "--shards") == 0)
+            a.shards = std::atoi(next(i));
+        else if (std::strcmp(argv[i], "--threads-per-shard") == 0)
+            a.threadsPerShard = std::atoi(next(i));
+        else if (std::strcmp(argv[i], "--max-batch") == 0)
+            a.maxBatch = std::atoi(next(i));
+        else if (std::strcmp(argv[i], "--max-wait-us") == 0)
+            a.maxWaitUs = std::atoll(next(i));
+        else if (std::strcmp(argv[i], "--seed") == 0)
+            a.seedBase = static_cast<uint64_t>(std::atoll(next(i)));
+        else
+            MESO_REQUIRE(false, "unknown flag " << argv[i]);
+    }
+    MESO_REQUIRE(a.durationMs > 0, "--duration-ms must be > 0");
+    return a;
+}
+
+struct PointReport
+{
+    double offeredQps = 0.0;
+    double sustainedQps = 0.0;
+    uint64_t submitted = 0;
+    uint64_t ok = 0;
+    uint64_t failed = 0;   ///< typed execute failures (fault soak)
+    uint64_t rejected = 0; ///< queue-full backpressure
+    double p50Ms = 0.0, p99Ms = 0.0, p999Ms = 0.0;
+    double meanBatch = 0.0;
+    Histogram batchSizes;
+    std::vector<double> latenciesMs; ///< per-request, for the BENCH json
+};
+
+/**
+ * One sweep point: offer Poisson arrivals at @p qps for durationMs,
+ * drain, verify a sample bitwise against direct execution, report.
+ */
+PointReport
+runPoint(const core::plan::CompiledEngine &engine,
+         const std::vector<geom::PointCloud> &clouds, const Args &args,
+         double qps, const uint64_t *faultSeed)
+{
+    // Fault soak: arm the typed-fault sites fresh for this point (each
+    // fires exactly once per arm, at a hit derived from the seed), so
+    // the injected faults land inside the serving window below.
+    // plan.nan_poison stays unarmed: a mid-plan NaN can wash out
+    // through max-pooling into finite-but-wrong logits with an Ok
+    // status, which would trip the bitwise sample check below without
+    // any serving bug.
+    if (faultSeed)
+        fault::arm(*faultSeed,
+                   std::string(fault::kThreadPoolTask) + "," +
+                       fault::kPlanStepThrow + "," + fault::kArenaAlloc +
+                       "," + fault::kWorkspaceGrow);
+    serve::ServingOptions opts;
+    opts.maxBatch = args.maxBatch;
+    opts.maxWaitUs = args.maxWaitUs;
+    opts.numShards = args.shards;
+    opts.threadsPerShard = args.threadsPerShard;
+    opts.queueCapacity = 256;
+    serve::ServingEngine server(engine, opts);
+
+    // Pre-size everything the submit loop touches: the steady-state
+    // path does no generator-side allocation (ticket bookkeeping is
+    // index assignment into reserved storage).
+    const size_t expected =
+        static_cast<size_t>(qps * static_cast<double>(args.durationMs) /
+                            1000.0 * 2.0) +
+        64;
+    std::vector<serve::Ticket> tickets;
+    tickets.reserve(expected);
+
+    Rng rng(args.seedBase ^ 0x9e3779b97f4a7c15ull);
+    std::exponential_distribution<double> interArrival(qps);
+
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point t0 = Clock::now();
+    const Clock::time_point tEnd =
+        t0 + std::chrono::milliseconds(args.durationMs);
+    Clock::time_point nextArrival = t0;
+    uint64_t i = 0;
+    while (Clock::now() < tEnd) {
+        // Open loop: the next arrival time never waits on completions.
+        // When the server falls behind we submit immediately (the
+        // backlog is the point), otherwise sleep until the arrival.
+        if (nextArrival > Clock::now())
+            std::this_thread::sleep_until(nextArrival);
+        tickets.push_back(server.submit(clouds[i % clouds.size()],
+                                        args.seedBase + i));
+        ++i;
+        nextArrival += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(interArrival(rng.engine())));
+    }
+
+    for (const serve::Ticket &t : tickets)
+        t.wait();
+    const double wallS =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    server.shutdown();
+    // Verification below must run fault-free: a bitwise mismatch there
+    // is a real contract violation, never a re-injected fault.
+    if (faultSeed)
+        fault::disarm();
+
+    PointReport rep;
+    rep.offeredQps = qps;
+    rep.submitted = tickets.size();
+    LatencyHistogram hist;
+    for (const serve::Ticket &t : tickets) {
+        if (t.status().isOk()) {
+            ++rep.ok;
+            hist.record(t.latencyMs() * 1000.0);
+            rep.latenciesMs.push_back(t.latencyMs());
+        } else if (t.status().code() == StatusCode::ResourceExhausted) {
+            ++rep.rejected;
+        } else {
+            ++rep.failed;
+        }
+    }
+    rep.sustainedQps = static_cast<double>(rep.ok) / wallS;
+    rep.p50Ms = hist.percentileUs(0.50) / 1000.0;
+    rep.p99Ms = hist.percentileUs(0.99) / 1000.0;
+    rep.p999Ms = hist.percentileUs(0.999) / 1000.0;
+    serve::ServingStats stats = server.stats();
+    rep.meanBatch = stats.meanBatchSize();
+    rep.batchSizes = stats.batchSizes;
+
+    // Reproducibility gate: a sample of served requests must be
+    // bitwise identical to a direct CompiledEngine::execute with the
+    // same (cloud, seed) on a fresh context — no matter which shard or
+    // batch served them, and regardless of any fault soak around them.
+    std::unique_ptr<core::plan::ExecutionContext> ctx =
+        engine.makeContext();
+    const size_t stride = std::max<size_t>(1, tickets.size() / 16);
+    size_t checked = 0;
+    for (size_t j = 0; j < tickets.size(); j += stride) {
+        const serve::Ticket &t = tickets[j];
+        if (!t.status().isOk())
+            continue;
+        const tensor::Tensor &direct = engine.execute(
+            clouds[j % clouds.size()], args.seedBase + j, *ctx);
+        const tensor::Tensor &served = t.logits();
+        MESO_CHECK(direct.rows() == served.rows() &&
+                       direct.cols() == served.cols(),
+                   "served logits shape diverged from direct execute");
+        MESO_CHECK(std::memcmp(direct.data(), served.data(),
+                               static_cast<size_t>(direct.rows()) *
+                                   static_cast<size_t>(direct.cols()) *
+                                   sizeof(float)) == 0,
+                   "served logits not bitwise identical to direct "
+                   "execute (seed "
+                       << args.seedBase + j << ")");
+        ++checked;
+    }
+    MESO_CHECK(rep.ok == 0 || checked > 0,
+               "bitwise sample selected no served requests");
+    std::cout << "  [qps " << qps << "] bitwise check: " << checked
+              << " served requests identical to direct execute\n";
+    return rep;
+}
+
+} // namespace
+
+int
+runDemo(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+
+    const char *faultSeedEnv = std::getenv("MESORASI_FAULT_SEED");
+    uint64_t faultSeedBase = 0;
+    if (faultSeedEnv) {
+        faultSeedBase = std::strtoull(faultSeedEnv, nullptr, 10);
+        std::cout << "fault soak armed: MESORASI_FAULT_SEED="
+                  << faultSeedBase
+                  << " (all sites, re-armed per sweep point)\n";
+    }
+
+    core::NetworkConfig cfg = core::zoo::pointnetppClassification();
+    core::NetworkExecutor exec(cfg, /*weightSeed=*/1);
+    core::plan::CompiledEngine engine =
+        core::plan::PlanCompiler::compile(exec,
+                                          core::PipelineKind::Delayed);
+
+    geom::ModelNetSim sim(17, cfg.numInputPoints);
+    std::vector<geom::PointCloud> clouds;
+    for (int i = 0; i < 16; ++i)
+        clouds.push_back(sim.sample().cloud);
+
+    std::cout << "serving " << cfg.name << " on " << args.shards
+              << " shard(s) x " << args.threadsPerShard
+              << " worker(s), max_batch " << args.maxBatch
+              << ", max_wait " << args.maxWaitUs << " us\n";
+
+    bench::BenchJsonWriter json("serving_qps");
+    Table t("Open-loop Poisson sweep — " +
+                std::to_string(args.durationMs) + " ms per point",
+            {"Offered QPS", "Sustained QPS", "p50 ms", "p99 ms",
+             "p99.9 ms", "Mean batch", "Err rate", "Rejected"});
+    for (size_t p = 0; p < args.qpsSweep.size(); ++p) {
+        const double qps = args.qpsSweep[p];
+        const uint64_t pointFaultSeed =
+            faultSeedBase + static_cast<uint64_t>(p);
+        PointReport rep =
+            runPoint(engine, clouds, args, qps,
+                     faultSeedEnv ? &pointFaultSeed : nullptr);
+        const double errRate =
+            rep.submitted > 0
+                ? static_cast<double>(rep.failed + rep.rejected) /
+                      static_cast<double>(rep.submitted)
+                : 0.0;
+        t.addRow({fmt(rep.offeredQps, 0), fmt(rep.sustainedQps, 1),
+                  fmt(rep.p50Ms, 2), fmt(rep.p99Ms, 2),
+                  fmt(rep.p999Ms, 2), fmt(rep.meanBatch, 2),
+                  fmtPct(errRate), std::to_string(rep.rejected)});
+
+        std::string batchDist;
+        for (const auto &[size, count] : rep.batchSizes.entries())
+            batchDist += (batchDist.empty() ? "" : " ") +
+                         std::to_string(size) + ":" +
+                         std::to_string(count);
+        std::cout << "  [qps " << qps
+                  << "] batch-size distribution: " << batchDist << "\n";
+
+        // Keep the committed json bounded: subsample the per-request
+        // latencies evenly (median/p90 are derived from the samples).
+        std::vector<double> samples;
+        const size_t maxSamples = 256;
+        const size_t n = rep.latenciesMs.size();
+        const size_t step = std::max<size_t>(1, n / maxSamples);
+        for (size_t j = 0; j < n; j += step)
+            samples.push_back(rep.latenciesMs[j]);
+        if (samples.empty())
+            samples.push_back(0.0);
+        json.add(
+            "qps" + fmt(qps, 0),
+            {{"offered_qps", fmt(qps, 0)},
+             {"sustained_qps", fmt(rep.sustainedQps, 2)},
+             {"p50_ms", fmt(rep.p50Ms, 3)},
+             {"p99_ms", fmt(rep.p99Ms, 3)},
+             {"p999_ms", fmt(rep.p999Ms, 3)},
+             {"mean_batch", fmt(rep.meanBatch, 2)},
+             {"error_rate", fmt(errRate, 4)},
+             {"rejected", std::to_string(rep.rejected)},
+             {"shards", std::to_string(args.shards)},
+             {"threads_per_shard", std::to_string(args.threadsPerShard)},
+             {"max_batch", std::to_string(args.maxBatch)},
+             {"max_wait_us", std::to_string(args.maxWaitUs)},
+             {"fault_seed",
+              faultSeedEnv ? std::to_string(pointFaultSeed) : "off"}},
+            samples);
+    }
+    t.print();
+    json.write();
+    std::cout << "wrote " << json.path() << "\n";
+    return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return mesorasi::examples::runGuarded(
+        [&] { return runDemo(argc, argv); });
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Bounded multi-producer / multi-consumer queue with batch draining.
+ *
+ * The serving front door needs two properties a plain mutex+deque does
+ * not give it: a hard capacity bound whose overflow is visible to the
+ * producer *synchronously* (admission control returns a typed
+ * backpressure Status instead of buffering unboundedly), and a consumer
+ * drain that coalesces requests into batches under a latency target —
+ * a pop that waits for the first item, then keeps collecting until
+ * either the batch is full or a deadline measured from that first item
+ * expires, whichever trips first.
+ *
+ * Storage is a fixed ring buffer sized once at construction, so the
+ * steady-state path moves items in and out without touching the heap.
+ * close() makes every subsequent tryPush fail with Closed while
+ * consumers keep draining what is already queued — the shutdown
+ * contract of serve::ServingEngine (in-flight tickets are served, new
+ * submissions are cancelled).
+ */
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mesorasi {
+
+/** Producer-side outcome of a non-blocking push. */
+enum class QueuePush
+{
+    Ok,     ///< item enqueued
+    Full,   ///< capacity reached — apply backpressure
+    Closed, ///< queue closed — reject permanently
+};
+
+/**
+ * Bounded MPMC queue. T must be default-constructible and movable
+ * (slots of the pre-sized ring are default-constructed once).
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : ring_(capacity)
+    {
+        MESO_REQUIRE(capacity > 0, "queue capacity must be positive");
+    }
+
+    size_t capacity() const { return ring_.size(); }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return count_;
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    /** Non-blocking enqueue; never waits for space. */
+    QueuePush
+    tryPush(T &&item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return QueuePush::Closed;
+            if (count_ == ring_.size())
+                return QueuePush::Full;
+            ring_[(head_ + count_) % ring_.size()] = std::move(item);
+            ++count_;
+        }
+        notEmpty_.notify_one();
+        return QueuePush::Ok;
+    }
+
+    /** Non-blocking single pop: false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (count_ == 0)
+            return false;
+        out = std::move(ring_[head_]);
+        popLocked();
+        return true;
+    }
+
+    /**
+     * Drain one batch into @p out (cleared first): blocks until an
+     * item arrives (or the queue closes), then keeps collecting until
+     * @p maxBatch items are gathered or @p maxWaitUs microseconds have
+     * passed since the first item was taken — whichever trips first.
+     * maxWaitUs <= 0 is greedy: take whatever is queued right now, no
+     * deadline wait. Returns the number of items delivered; 0 means
+     * closed-and-drained (the consumer should exit).
+     */
+    size_t
+    popBatch(std::vector<T> &out, size_t maxBatch, int64_t maxWaitUs)
+    {
+        MESO_REQUIRE(maxBatch > 0, "popBatch needs a positive maxBatch");
+        out.clear();
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock, [&] { return count_ > 0 || closed_; });
+        if (count_ == 0)
+            return 0; // closed and fully drained
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(maxWaitUs);
+        for (;;) {
+            while (count_ > 0 && out.size() < maxBatch) {
+                out.push_back(std::move(ring_[head_]));
+                popLocked();
+            }
+            if (out.size() >= maxBatch || maxWaitUs <= 0 || closed_)
+                break;
+            // Batch still open: linger for stragglers until the
+            // deadline measured from the first pop.
+            if (notEmpty_.wait_until(lock, deadline, [&] {
+                    return count_ > 0 || closed_;
+                })) {
+                if (count_ == 0)
+                    break; // closed
+                continue;
+            }
+            break; // deadline tripped
+        }
+        return out.size();
+    }
+
+    /**
+     * Stop admitting: every later tryPush returns Closed; consumers
+     * drain the remainder, then popBatch returns 0. Idempotent.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+    }
+
+  private:
+    void
+    popLocked()
+    {
+        ring_[head_] = T(); // drop the moved-from payload eagerly
+        head_ = (head_ + 1) % ring_.size();
+        --count_;
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::vector<T> ring_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace mesorasi

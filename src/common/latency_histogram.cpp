@@ -1,0 +1,110 @@
+#include "common/latency_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mesorasi {
+
+int32_t
+LatencyHistogram::bucketIndex(double us) noexcept
+{
+    if (!(us >= 1.0)) // also catches NaN
+        return 0;
+    int exp = 0;
+    double mant = std::frexp(us, &exp); // us = mant * 2^exp, mant in [0.5, 1)
+    int32_t octave = exp - 1;           // [1, 2) -> octave 0
+    if (octave >= kOctaves)
+        return kNumBuckets - 1;
+    // mant*2 is in [1, 2); its fractional part selects the sub-bucket.
+    int32_t sub = static_cast<int32_t>((mant * 2.0 - 1.0) * kSubBuckets);
+    sub = std::min(sub, kSubBuckets - 1);
+    return octave * kSubBuckets + sub;
+}
+
+std::pair<double, double>
+LatencyHistogram::bucketBounds(int32_t idx)
+{
+    int32_t octave = idx / kSubBuckets;
+    int32_t sub = idx % kSubBuckets;
+    double base = std::ldexp(1.0, octave); // 2^octave
+    double lo = base * (1.0 + static_cast<double>(sub) / kSubBuckets);
+    double hi = base * (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
+    return {lo, hi};
+}
+
+void
+LatencyHistogram::record(double us) noexcept
+{
+    if (std::isnan(us))
+        us = 0.0;
+    ++counts_[static_cast<size_t>(bucketIndex(us))];
+    if (count_ == 0) {
+        minUs_ = maxUs_ = us;
+    } else {
+        minUs_ = std::min(minUs_, us);
+        maxUs_ = std::max(maxUs_, us);
+    }
+    ++count_;
+    sumUs_ += us;
+}
+
+double
+LatencyHistogram::percentileUs(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the target observation (1-based, ceil like HdrHistogram).
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    rank = std::max<uint64_t>(rank, 1);
+    uint64_t seen = 0;
+    for (int32_t i = 0; i < kNumBuckets; ++i) {
+        uint64_t c = counts_[static_cast<size_t>(i)];
+        if (c == 0)
+            continue;
+        if (seen + c >= rank) {
+            auto [lo, hi] = bucketBounds(i);
+            // Interpolate linearly within the bucket by rank.
+            double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(c);
+            double v = lo + (hi - lo) * frac;
+            return std::clamp(v, minUs_, maxUs_);
+        }
+        seen += c;
+    }
+    return maxUs_;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (int32_t i = 0; i < kNumBuckets; ++i)
+        counts_[static_cast<size_t>(i)] +=
+            other.counts_[static_cast<size_t>(i)];
+    if (count_ == 0) {
+        minUs_ = other.minUs_;
+        maxUs_ = other.maxUs_;
+    } else {
+        minUs_ = std::min(minUs_, other.minUs_);
+        maxUs_ = std::max(maxUs_, other.maxUs_);
+    }
+    count_ += other.count_;
+    sumUs_ += other.sumUs_;
+}
+
+std::vector<std::pair<double, uint64_t>>
+LatencyHistogram::buckets() const
+{
+    std::vector<std::pair<double, uint64_t>> out;
+    for (int32_t i = 0; i < kNumBuckets; ++i) {
+        uint64_t c = counts_[static_cast<size_t>(i)];
+        if (c != 0)
+            out.emplace_back(bucketBounds(i).first, c);
+    }
+    return out;
+}
+
+} // namespace mesorasi

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Log-bucketed latency histogram for the serving hot path.
+ *
+ * An open-loop load generator needs tail percentiles (p99, p999) over
+ * hundreds of thousands of requests without paying a per-request heap
+ * allocation or an O(n log n) sort at harvest time. LatencyHistogram is
+ * the standard HdrHistogram-style answer shrunk to this repo's needs: a
+ * fixed array of geometrically spaced buckets — 32 sub-buckets per
+ * power of two, so any recorded value lands in a bucket whose bounds
+ * are within ~2.2% of it — covering 1 µs to ~4.3e9 µs (over an hour).
+ * record() is branch-light, allocation-free, and noexcept; percentiles
+ * interpolate inside the winning bucket and are clamped to the exact
+ * observed min/max, so p0/p100 are exact.
+ *
+ * The histogram is single-writer by design (no atomics): each serving
+ * shard / load-generator thread records into its own instance and the
+ * harvester combines them with merge().
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mesorasi {
+
+class LatencyHistogram
+{
+  public:
+    /** Sub-buckets per octave (power of two): 1 << kSubBucketBits. */
+    static constexpr int32_t kSubBucketBits = 5;
+    static constexpr int32_t kSubBuckets = 1 << kSubBucketBits;
+    /** Octaves covered: values in [1, 2^kOctaves) µs are bucketed
+     *  exactly; everything outside clamps to the edge buckets. */
+    static constexpr int32_t kOctaves = 32;
+    static constexpr int32_t kNumBuckets = kOctaves * kSubBuckets;
+
+    /** Record one latency in microseconds. Values below 1 µs land in
+     *  the first bucket, values beyond the range in the last; the
+     *  exact value still feeds min/max/mean. */
+    void record(double us) noexcept;
+
+    uint64_t count() const { return count_; }
+    double minUs() const { return count_ ? minUs_ : 0.0; }
+    double maxUs() const { return count_ ? maxUs_ : 0.0; }
+    double meanUs() const
+    {
+        return count_ ? sumUs_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /**
+     * Latency at quantile @p q in [0, 1] (0.99 = p99), interpolated
+     * within the winning bucket and clamped to the observed [min, max].
+     * Bucket resolution bounds the error at ~2.2% of the true value.
+     * Returns 0 when empty.
+     */
+    double percentileUs(double q) const;
+
+    /** Fold @p other into this histogram (exact: bucket-wise sum). */
+    void merge(const LatencyHistogram &other);
+
+    /** Non-empty buckets as (lower bound µs, count), ascending. */
+    std::vector<std::pair<double, uint64_t>> buckets() const;
+
+  private:
+    static int32_t bucketIndex(double us) noexcept;
+    /** [lower, upper) bounds of bucket @p idx in µs. */
+    static std::pair<double, double> bucketBounds(int32_t idx);
+
+    std::array<uint64_t, kNumBuckets> counts_{};
+    uint64_t count_ = 0;
+    double sumUs_ = 0.0;
+    double minUs_ = 0.0;
+    double maxUs_ = 0.0;
+};
+
+} // namespace mesorasi

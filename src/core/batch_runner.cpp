@@ -143,10 +143,12 @@ BatchRunner::run(const std::vector<geom::PointCloud> &clouds,
             // One combined stage graph over the whole batch: every
             // cloud's network graph is an independent subgraph, so the
             // scheduler pipelines clouds across each other instead of
-            // pinning one cloud per task. (Stages of different clouds
-            // share one schedule, so a mid-stage fault here cannot be
-            // pinned on one item and propagates to the caller; the
-            // engine overload gives full per-item isolation.)
+            // pinning one cloud per task. The isolated schedule keeps
+            // per-item fault containment: a stage exception cancels
+            // only that cloud's downstream stages, lands in that item's
+            // typed status, and every other cloud completes bitwise
+            // identical to a fault-free run — matching the engine
+            // overload's isolation contract.
             StageGraph g;
             std::vector<std::pair<size_t, size_t>> ranges(
                 clouds.size(), {0, 0});
@@ -160,17 +162,26 @@ BatchRunner::run(const std::vector<geom::PointCloud> &clouds,
                     &out.items[i].run, "c" + std::to_string(i));
                 ranges[i] = {first, static_cast<size_t>(g.size())};
             }
-            StageTimeline tl = StageScheduler::run(
+            IsolatedRunResult isolated = StageScheduler::runIsolated(
                 g, pool, SchedulePolicy::Overlapped);
             for (size_t i = 0; i < clouds.size(); ++i) {
                 if (!accepted[i])
                     continue;
                 BatchItemResult &item = out.items[i];
-                item.run.timeline =
-                    tl.slice(ranges[i].first, ranges[i].second);
+                item.run.timeline = isolated.timeline.slice(
+                    ranges[i].first, ranges[i].second);
                 // A cloud's latency is its time in flight: first stage
                 // start to last stage end within the shared schedule.
                 item.latencyMs = item.run.timeline.wallMs;
+                if (std::exception_ptr err = isolated.firstErrorIn(
+                        ranges[i].first, ranges[i].second)) {
+                    try {
+                        std::rethrow_exception(err);
+                    } catch (...) {
+                        item.status = Status::fromCurrentException();
+                    }
+                    continue;
+                }
                 item.predicted = argmaxFirstRow(item.run.logits);
             }
         }

@@ -111,12 +111,14 @@ class BatchRunner
      * @p seedBase + i, so results are independent of scheduling and of
      * the thread count.
      *
-     * Failure isolation: clouds rejected by ingestion validation and
-     * (in the per-cloud serial modes) clouds whose run throws get a
-     * non-ok item status while the rest of the batch completes. In the
-     * combined-stage-graph parallel mode a mid-stage fault cannot be
-     * attributed to one cloud and still propagates; the engine serving
-     * overload below gives full per-item isolation.
+     * Failure isolation: clouds rejected by ingestion validation get a
+     * non-ok item status up front; a cloud whose execution throws gets
+     * a typed item status in every mode — the serial modes catch per
+     * cloud, and the combined-stage-graph parallel mode runs a
+     * fault-isolating schedule (StageScheduler::runIsolated) where a
+     * stage exception cancels only that cloud's downstream stages and
+     * is routed into that item's status. The rest of the batch
+     * completes bitwise identical to a fault-free run.
      */
     BatchResult run(const std::vector<geom::PointCloud> &clouds,
                     PipelineKind kind, uint64_t seedBase = 1) const;

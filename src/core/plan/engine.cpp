@@ -341,17 +341,81 @@ CompiledEngine::makeContext() const
 }
 
 std::unique_ptr<ExecutionContext>
+ContextPool::takeFreeOrReserve(bool &build)
+{
+    build = false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+        auto ctx = std::move(free_.back());
+        free_.pop_back();
+        return ctx;
+    }
+    if (capacity_ == 0 || created_ < capacity_) {
+        // Reserve the slot before building so concurrent acquirers
+        // cannot overshoot the bound while makeContext runs unlocked.
+        ++created_;
+        build = true;
+    }
+    return nullptr;
+}
+
+std::unique_ptr<ExecutionContext>
+ContextPool::buildReserved()
+{
+    try {
+        return engine_.makeContext();
+    } catch (...) {
+        // Construction failed (allocation, injected arena fault): give
+        // the reserved slot back so the pool's capacity is not leaked.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --created_;
+        }
+        available_.notify_one();
+        throw;
+    }
+}
+
+std::unique_ptr<ExecutionContext>
 ContextPool::acquire()
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!free_.empty()) {
-            auto ctx = std::move(free_.back());
-            free_.pop_back();
+    for (;;) {
+        bool build = false;
+        if (auto ctx = takeFreeOrReserve(build))
             return ctx;
-        }
+        if (build)
+            return buildReserved();
+        // Bounded pool fully checked out: wait for a release.
+        std::unique_lock<std::mutex> lock(mutex_);
+        available_.wait(lock, [&] {
+            return !free_.empty() || created_ < capacity_;
+        });
     }
-    return engine_.makeContext();
+}
+
+std::unique_ptr<ExecutionContext>
+ContextPool::tryAcquire()
+{
+    bool build = false;
+    if (auto ctx = takeFreeOrReserve(build))
+        return ctx;
+    if (build)
+        return buildReserved();
+    return nullptr;
+}
+
+int32_t
+ContextPool::created() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return created_;
+}
+
+int32_t
+ContextPool::outstanding() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return created_ - static_cast<int32_t>(free_.size());
 }
 
 void
@@ -366,8 +430,11 @@ ContextPool::release(std::unique_ptr<ExecutionContext> ctx)
     // serviceable (fresh) state while keeping warmed capacities.
     if (ctx->poisoned())
         ctx->reset();
-    std::lock_guard<std::mutex> lock(mutex_);
-    free_.push_back(std::move(ctx));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        free_.push_back(std::move(ctx));
+    }
+    available_.notify_one();
 }
 
 } // namespace mesorasi::core::plan

@@ -41,6 +41,7 @@
  */
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -298,23 +299,67 @@ class CompiledEngine
 
 /**
  * Thread-safe recycler of warm ExecutionContexts for concurrent
- * serving (BatchRunner's engine-cached path). acquire() hands out a
- * free context or builds a new one; release() returns it warm for the
- * next request — poisoned contexts are reset() on the way in, so the
- * pool never hands out a context that rejects execution.
+ * serving (BatchRunner's engine-cached path, the serve::ServingEngine
+ * shards). acquire() hands out a free context or builds a new one;
+ * release() returns it warm for the next request — poisoned contexts
+ * are reset() on the way in, so the pool never hands out a context
+ * that rejects execution.
+ *
+ * A pool may be capacity-bounded: contexts are arena-sized allocations
+ * (hundreds of KiB to MiB each), so an unbounded pool under load turns
+ * admission pressure into memory growth. With capacity > 0 at most
+ * that many contexts ever exist at once: tryAcquire() is the
+ * non-blocking admission-control probe (nullptr when every context is
+ * checked out), acquire() blocks until a context is released. A
+ * bounded pool requires every acquired context to come back through
+ * release() — destroying one elsewhere leaks its capacity slot.
  */
 class ContextPool
 {
   public:
-    explicit ContextPool(const CompiledEngine &engine) : engine_(engine) {}
+    /** @param capacity max live contexts; 0 = unbounded (grow on
+     *  demand, the historical behavior). */
+    explicit ContextPool(const CompiledEngine &engine,
+                         int32_t capacity = 0)
+        : engine_(engine), capacity_(capacity)
+    {
+    }
 
+    /** A warm or fresh context; with a bounded pool, blocks until one
+     *  is available. */
     std::unique_ptr<ExecutionContext> acquire();
+
+    /**
+     * Non-blocking acquire: a warm context if one is free, a fresh one
+     * if the pool may still grow, else nullptr (bounded pool fully
+     * checked out — the caller applies backpressure instead of
+     * queueing on the pool).
+     */
+    std::unique_ptr<ExecutionContext> tryAcquire();
+
     void release(std::unique_ptr<ExecutionContext> ctx);
 
+    int32_t capacity() const { return capacity_; }
+
+    /** Contexts built by this pool so far (free + checked out). */
+    int32_t created() const;
+
+    /** Contexts currently checked out. */
+    int32_t outstanding() const;
+
   private:
+    /** Pop a free context or reserve a creation slot. Returns the
+     *  context, (nullptr, build=true) when the caller must build one,
+     *  or (nullptr, build=false) when the bounded pool is exhausted. */
+    std::unique_ptr<ExecutionContext> takeFreeOrReserve(bool &build);
+    std::unique_ptr<ExecutionContext> buildReserved();
+
     const CompiledEngine &engine_;
-    std::mutex mutex_;
+    int32_t capacity_ = 0;
+    mutable std::mutex mutex_;
+    std::condition_variable available_;
     std::vector<std::unique_ptr<ExecutionContext>> free_;
+    int32_t created_ = 0;
 };
 
 } // namespace mesorasi::core::plan

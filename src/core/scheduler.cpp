@@ -34,23 +34,33 @@ struct OverlappedRun
 {
     const StageGraph &graph;
     const ThreadPool &pool;
+    /** Fault-isolating mode: a stage error cancels only its transitive
+     *  dependents (recorded per stage in stageErrors) instead of
+     *  halting the whole schedule. */
+    const bool isolate;
 
     std::mutex mutex;
     std::condition_variable done;
     std::vector<int32_t> remainingDeps;
     std::vector<std::vector<StageId>> dependents;
     std::vector<StageTiming> timings;
+    /** Per-stage outcome (isolate mode only): the stage's own
+     *  exception, or the root cause it was cancelled for. */
+    std::vector<std::exception_ptr> stageErrors;
     Clock::time_point t0;
     int32_t finished = 0;
     int32_t inflight = 0;
     std::exception_ptr error;
 
-    explicit OverlappedRun(const StageGraph &g, const ThreadPool &p)
-        : graph(g), pool(p)
+    explicit OverlappedRun(const StageGraph &g, const ThreadPool &p,
+                           bool isolateFaults = false)
+        : graph(g), pool(p), isolate(isolateFaults)
     {
         size_t n = static_cast<size_t>(g.size());
         remainingDeps.resize(n, 0);
         dependents.resize(n);
+        if (isolate)
+            stageErrors.resize(n);
         timings.reserve(n);
         for (StageId id = 0; id < g.size(); ++id) {
             timings.push_back(timingOf(g.stage(id)));
@@ -85,12 +95,23 @@ struct OverlappedRun
     {
         const Stage &stage = graph.stage(id);
         StageTiming &timing = timings[static_cast<size_t>(id)];
+        // In isolate mode a stage whose dependency failed is cancelled:
+        // its fn never runs, only the dependency accounting happens.
+        // The taint was written under the mutex by the failing
+        // dependency before this stage became ready.
+        std::exception_ptr taint;
+        if (isolate) {
+            std::lock_guard<std::mutex> lock(mutex);
+            taint = stageErrors[static_cast<size_t>(id)];
+        }
         timing.startMs = msSince(t0);
         std::exception_ptr err;
-        try {
-            stage.fn();
-        } catch (...) {
-            err = std::current_exception();
+        if (!taint) {
+            try {
+                stage.fn();
+            } catch (...) {
+                err = std::current_exception();
+            }
         }
         timing.endMs = msSince(t0);
 
@@ -100,12 +121,30 @@ struct OverlappedRun
             std::lock_guard<std::mutex> lock(mutex);
             ++finished;
             --inflight;
-            if (err && !error)
-                error = err;
-            if (!error) {
-                for (StageId d : dependents[static_cast<size_t>(id)])
+            if (isolate) {
+                // Record this stage's failure (its own throw, or the
+                // inherited cancellation cause) and taint dependents
+                // with the root cause — first cause wins, so diamond
+                // dependents report the fault that actually cancelled
+                // them. Scheduling continues for everything else.
+                if (err)
+                    stageErrors[static_cast<size_t>(id)] = err;
+                std::exception_ptr cause =
+                    stageErrors[static_cast<size_t>(id)];
+                for (StageId d : dependents[static_cast<size_t>(id)]) {
+                    if (cause && !stageErrors[static_cast<size_t>(d)])
+                        stageErrors[static_cast<size_t>(d)] = cause;
                     if (--remainingDeps[static_cast<size_t>(d)] == 0)
                         ready.push_back(d);
+                }
+            } else {
+                if (err && !error)
+                    error = err;
+                if (!error) {
+                    for (StageId d : dependents[static_cast<size_t>(id)])
+                        if (--remainingDeps[static_cast<size_t>(d)] == 0)
+                            ready.push_back(d);
+                }
             }
             inflight += static_cast<int32_t>(ready.size());
             terminal = finished == graph.size() ||
@@ -196,6 +235,54 @@ StageScheduler::run(const StageGraph &graph, const ThreadPool &pool,
         return runSequential(graph);
     OverlappedRun run(graph, pool);
     return run.runToCompletion();
+}
+
+IsolatedRunResult
+StageScheduler::runIsolated(const StageGraph &graph,
+                            const ThreadPool &pool, SchedulePolicy policy)
+{
+    IsolatedRunResult out;
+    if (graph.empty())
+        return out;
+    if (policy == SchedulePolicy::Auto)
+        policy = pool.size() >= 2 && !ThreadPool::insideWorker()
+                     ? SchedulePolicy::Overlapped
+                     : SchedulePolicy::Sequential;
+    if (policy == SchedulePolicy::Sequential || pool.size() < 2) {
+        // Sequential isolated walk: taint propagates along declared
+        // dependencies in insertion order (a valid topological order by
+        // StageGraph construction), so the cancellation set is
+        // identical to the overlapped schedule's.
+        size_t n = static_cast<size_t>(graph.size());
+        out.errors.resize(n);
+        out.timeline.stages.reserve(n);
+        Clock::time_point t0 = Clock::now();
+        for (StageId id = 0; id < graph.size(); ++id) {
+            const Stage &stage = graph.stage(id);
+            std::exception_ptr &slot =
+                out.errors[static_cast<size_t>(id)];
+            for (StageId d : stage.deps)
+                if (out.errors[static_cast<size_t>(d)] && !slot)
+                    slot = out.errors[static_cast<size_t>(d)];
+            StageTiming t = timingOf(stage);
+            t.startMs = msSince(t0);
+            if (!slot) {
+                try {
+                    stage.fn();
+                } catch (...) {
+                    slot = std::current_exception();
+                }
+            }
+            t.endMs = msSince(t0);
+            out.timeline.stages.push_back(std::move(t));
+        }
+        out.timeline.wallMs = msSince(t0);
+        return out;
+    }
+    OverlappedRun run(graph, pool, /*isolateFaults=*/true);
+    out.timeline = run.runToCompletion();
+    out.errors = std::move(run.stageErrors);
+    return out;
 }
 
 } // namespace mesorasi::core

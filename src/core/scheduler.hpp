@@ -12,6 +12,9 @@
  */
 #pragma once
 
+#include <exception>
+#include <vector>
+
 #include "common/thread_pool.hpp"
 #include "core/stage_graph.hpp"
 
@@ -40,6 +43,40 @@ enum class SchedulePolicy
 /** Human-readable policy name. */
 const char *schedulePolicyName(SchedulePolicy policy);
 
+/**
+ * Outcome of a fault-isolating schedule (StageScheduler::runIsolated).
+ * errors is parallel to the graph's stage ids: null for a stage that
+ * ran clean, the stage's own exception when it threw, and — for a
+ * stage skipped because something upstream of it failed — the root
+ * cause's exception, so every stage of a failed dependency subtree
+ * reports the same fault and callers can attribute it per domain
+ * (BatchRunner: per cloud).
+ */
+struct IsolatedRunResult
+{
+    StageTimeline timeline;
+    std::vector<std::exception_ptr> errors;
+
+    bool
+    anyFailed() const
+    {
+        for (const auto &e : errors)
+            if (e)
+                return true;
+        return false;
+    }
+
+    /** First error among stages [first, last), or null. */
+    std::exception_ptr
+    firstErrorIn(size_t first, size_t last) const
+    {
+        for (size_t i = first; i < last && i < errors.size(); ++i)
+            if (errors[i])
+                return errors[i];
+        return nullptr;
+    }
+};
+
 class StageScheduler
 {
   public:
@@ -51,6 +88,19 @@ class StageScheduler
     static StageTimeline run(const StageGraph &graph,
                              const ThreadPool &pool,
                              SchedulePolicy policy = SchedulePolicy::Auto);
+
+    /**
+     * Fault-isolating execution: a stage exception cancels only the
+     * failed stage's transitive dependents (they are skipped, with
+     * zero-length timings) — every stage not downstream of a failure
+     * still runs, bitwise identical to a fault-free schedule. Nothing
+     * is thrown; per-stage outcomes come back in the result. This is
+     * how a batch of independent per-cloud subgraphs keeps serving
+     * the healthy clouds when one cloud's stage faults.
+     */
+    static IsolatedRunResult
+    runIsolated(const StageGraph &graph, const ThreadPool &pool,
+                SchedulePolicy policy = SchedulePolicy::Auto);
 
     /** Sequential walk in insertion order on the calling thread. */
     static StageTimeline runSequential(const StageGraph &graph);

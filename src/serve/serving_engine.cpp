@@ -1,0 +1,353 @@
+#include "serve/serving_engine.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mesorasi::serve {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- Ticket
+
+bool
+Ticket::ready() const
+{
+    MESO_REQUIRE(state_, "ready() on an empty Ticket");
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+}
+
+void
+Ticket::wait() const
+{
+    MESO_REQUIRE(state_, "wait() on an empty Ticket");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+const Status &
+Ticket::status() const
+{
+    MESO_REQUIRE(state_, "status() on an empty Ticket");
+    std::lock_guard<std::mutex> lock(state_->mu);
+    MESO_REQUIRE(state_->done, "status() before the ticket completed");
+    return state_->status;
+}
+
+const tensor::Tensor &
+Ticket::logits() const
+{
+    MESO_REQUIRE(state_, "logits() on an empty Ticket");
+    std::lock_guard<std::mutex> lock(state_->mu);
+    MESO_REQUIRE(state_->done && state_->status.isOk(),
+                 "logits() on a ticket that is not complete-and-ok");
+    return state_->logits;
+}
+
+double
+Ticket::latencyMs() const
+{
+    MESO_REQUIRE(state_, "latencyMs() on an empty Ticket");
+    std::lock_guard<std::mutex> lock(state_->mu);
+    MESO_REQUIRE(state_->done, "latencyMs() before completion");
+    return state_->latencyMs;
+}
+
+int32_t
+Ticket::batchSize() const
+{
+    MESO_REQUIRE(state_, "batchSize() on an empty Ticket");
+    std::lock_guard<std::mutex> lock(state_->mu);
+    MESO_REQUIRE(state_->done, "batchSize() before completion");
+    return state_->batchSize;
+}
+
+int32_t
+Ticket::shard() const
+{
+    MESO_REQUIRE(state_, "shard() on an empty Ticket");
+    std::lock_guard<std::mutex> lock(state_->mu);
+    MESO_REQUIRE(state_->done, "shard() before completion");
+    return state_->shard;
+}
+
+uint64_t
+Ticket::seed() const
+{
+    MESO_REQUIRE(state_, "seed() on an empty Ticket");
+    return state_->seed;
+}
+
+// ----------------------------------------------------------------- Shard
+
+ServingEngine::Shard::Shard(const core::plan::CompiledEngine &engine,
+                            int32_t queueCapacity, int32_t poolCapacity,
+                            int32_t shardIndex)
+    : index(shardIndex),
+      queue(static_cast<size_t>(queueCapacity)),
+      pool(engine, poolCapacity)
+{
+}
+
+// ---------------------------------------------------------- ServingEngine
+
+ServingEngine::ServingEngine(const core::plan::CompiledEngine &engine,
+                             ServingOptions opts)
+    : engine_(engine), opts_(opts)
+{
+    MESO_REQUIRE(opts_.maxBatch >= 1,
+                 "maxBatch must be >= 1, got " << opts_.maxBatch);
+    MESO_REQUIRE(opts_.maxWaitUs >= 0,
+                 "maxWaitUs must be >= 0, got " << opts_.maxWaitUs);
+    MESO_REQUIRE(opts_.queueCapacity >= 1,
+                 "queueCapacity must be >= 1, got "
+                     << opts_.queueCapacity);
+    MESO_REQUIRE(opts_.numShards >= 1,
+                 "numShards must be >= 1, got " << opts_.numShards);
+    MESO_REQUIRE(opts_.threadsPerShard >= 1,
+                 "threadsPerShard must be >= 1, got "
+                     << opts_.threadsPerShard);
+    MESO_REQUIRE(opts_.contextsPerShard >= 0,
+                 "contextsPerShard must be >= 0, got "
+                     << opts_.contextsPerShard);
+    if (opts_.contextsPerShard == 0)
+        opts_.contextsPerShard = opts_.threadsPerShard;
+
+    paused_ = opts_.startPaused;
+
+    shards_.reserve(static_cast<size_t>(opts_.numShards));
+    for (int32_t s = 0; s < opts_.numShards; ++s) {
+        auto shard = std::make_unique<Shard>(
+            engine_, opts_.queueCapacity, opts_.contextsPerShard, s);
+        shard->batchSizeCounts.assign(
+            static_cast<size_t>(opts_.maxBatch) + 1, 0);
+        shards_.push_back(std::move(shard));
+    }
+    // Start the drain workers only after every shard exists (a worker
+    // touches nothing but its own shard, but keep construction simple).
+    for (auto &shard : shards_) {
+        shard->workers.reserve(
+            static_cast<size_t>(opts_.threadsPerShard));
+        for (int32_t t = 0; t < opts_.threadsPerShard; ++t)
+            shard->workers.emplace_back(
+                [this, sh = shard.get()] { workerLoop(*sh); });
+    }
+}
+
+ServingEngine::~ServingEngine() { shutdown(); }
+
+void
+ServingEngine::completeNow(
+    const std::shared_ptr<detail::TicketState> &state, Status status)
+{
+    {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->status = std::move(status);
+        state->latencyMs = msSince(state->submitted);
+        state->batchSize = 1;
+        state->done = true;
+    }
+    state->cv.notify_all();
+}
+
+Ticket
+ServingEngine::submit(const geom::PointCloud &cloud, uint64_t seed)
+{
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    auto state = std::make_shared<detail::TicketState>();
+    state->seed = seed;
+    state->submitted = std::chrono::steady_clock::now();
+    Ticket ticket{state};
+
+    if (stopping_.load(std::memory_order_acquire)) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        completeNow(state, Status(StatusCode::Cancelled,
+                                  "serving engine is shut down"));
+        return ticket;
+    }
+
+    Request req;
+    req.cloud = &cloud;
+    req.seed = seed;
+    req.state = state;
+
+    const size_t shardIdx = static_cast<size_t>(
+        nextShard_.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<uint64_t>(shards_.size()));
+    switch (shards_[shardIdx]->queue.tryPush(std::move(req))) {
+      case QueuePush::Ok:
+        return ticket;
+      case QueuePush::Full:
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        completeNow(state,
+                    Status(StatusCode::ResourceExhausted,
+                           "admission queue full on shard " +
+                               std::to_string(shardIdx) + " (capacity " +
+                               std::to_string(opts_.queueCapacity) +
+                               ")"));
+        return ticket;
+      case QueuePush::Closed:
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        completeNow(state, Status(StatusCode::Cancelled,
+                                  "serving engine is shutting down"));
+        return ticket;
+    }
+    completeNow(state, Status(StatusCode::Internal,
+                              "unreachable admission outcome"));
+    return ticket;
+}
+
+void
+ServingEngine::pause()
+{
+    std::lock_guard<std::mutex> lock(pauseMu_);
+    paused_ = true;
+}
+
+void
+ServingEngine::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(pauseMu_);
+        paused_ = false;
+    }
+    pauseCv_.notify_all();
+}
+
+void
+ServingEngine::waitWhileParked()
+{
+    std::unique_lock<std::mutex> lock(pauseMu_);
+    pauseCv_.wait(lock, [&] {
+        // Shutdown overrides pause: the drain must complete.
+        return !paused_ || stopping_.load(std::memory_order_acquire);
+    });
+}
+
+void
+ServingEngine::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(shutdownMu_);
+        if (shutdownDone_.load(std::memory_order_acquire))
+            return;
+        stopping_.store(true, std::memory_order_release);
+        resume(); // parked workers must wake to drain
+        for (auto &shard : shards_)
+            shard->queue.close();
+        for (auto &shard : shards_)
+            for (std::thread &worker : shard->workers)
+                worker.join();
+        shutdownDone_.store(true, std::memory_order_release);
+    }
+}
+
+void
+ServingEngine::workerLoop(Shard &shard)
+{
+    std::vector<Request> batch;
+    batch.reserve(static_cast<size_t>(opts_.maxBatch));
+    for (;;) {
+        waitWhileParked();
+        size_t n = shard.queue.popBatch(
+            batch, static_cast<size_t>(opts_.maxBatch), opts_.maxWaitUs);
+        if (n == 0)
+            return; // queue closed and drained
+        serveBatch(shard, batch);
+    }
+}
+
+void
+ServingEngine::serveBatch(Shard &shard, std::vector<Request> &batch)
+{
+    // One context serves the whole batch — the checkout is amortized
+    // across the coalesced requests, which is the point of batching.
+    // Context acquisition can itself fault (arena allocation on first
+    // build); that failure is typed onto every ticket of this batch and
+    // the worker keeps serving.
+    std::unique_ptr<core::plan::ExecutionContext> ctx;
+    Status acquireStatus;
+    try {
+        ctx = shard.pool.acquire();
+    } catch (...) {
+        acquireStatus = Status::fromCurrentException();
+    }
+
+    const int32_t size = static_cast<int32_t>(batch.size());
+    // Record the batch before completing its tickets, so a caller that
+    // waited on every ticket observes stats() that already include the
+    // batches those tickets rode in.
+    shard.batches.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(shard.statsMu);
+        shard.batchSizeCounts[static_cast<size_t>(size)] += 1;
+    }
+    for (Request &req : batch) {
+        Status st;
+        if (!ctx) {
+            st = acquireStatus;
+        } else {
+            st = engine_.tryExecute(*req.cloud, req.seed, *ctx);
+            // A fault mid-plan poisons the context; reset it in place
+            // so the rest of the batch still runs (and runs clean —
+            // reset restores the pristine pre-run state, which the
+            // bitwise tests assert under fault soak).
+            if (!st.isOk() && ctx->poisoned())
+                ctx->reset();
+        }
+        if (st.isOk())
+            shard.served.fetch_add(1, std::memory_order_relaxed);
+        else
+            shard.failed.fetch_add(1, std::memory_order_relaxed);
+
+        detail::TicketState &state = *req.state;
+        {
+            std::lock_guard<std::mutex> lock(state.mu);
+            state.status = std::move(st);
+            if (state.status.isOk())
+                state.logits = ctx->logits(); // copy before recycling
+            state.batchSize = size;
+            state.shard = shard.index;
+            state.latencyMs = msSince(state.submitted);
+            state.done = true;
+        }
+        state.cv.notify_all();
+        req.state.reset(); // drop our ref before the next pop reuses req
+    }
+    if (ctx)
+        shard.pool.release(std::move(ctx));
+}
+
+ServingStats
+ServingEngine::stats() const
+{
+    ServingStats out;
+    out.submitted = submitted_.load(std::memory_order_relaxed);
+    out.rejected = rejected_.load(std::memory_order_relaxed);
+    out.cancelled = cancelled_.load(std::memory_order_relaxed);
+    out.numShards = static_cast<int32_t>(shards_.size());
+    for (const auto &shard : shards_) {
+        out.served += shard->served.load(std::memory_order_relaxed);
+        out.failed += shard->failed.load(std::memory_order_relaxed);
+        out.batches += shard->batches.load(std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(shard->statsMu);
+        for (size_t b = 1; b < shard->batchSizeCounts.size(); ++b)
+            if (shard->batchSizeCounts[b] > 0)
+                out.batchSizes.add(static_cast<int64_t>(b),
+                                   shard->batchSizeCounts[b]);
+    }
+    return out;
+}
+
+} // namespace mesorasi::serve

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * ServingEngine: the async front door over a CompiledEngine.
+ *
+ * Everything below this layer already has the TensorRT-style
+ * compile-once shape — an immutable CompiledEngine, cheap per-thread
+ * ExecutionContexts, typed per-request Status, auto-resetting
+ * ContextPool — but batches still had to be formed by the caller.
+ * ServingEngine closes that gap: callers submit *individual* point
+ * clouds and get back a future-like Ticket; the engine coalesces
+ * queued requests into dynamic batches under a latency target and
+ * dispatches them to sharded worker groups.
+ *
+ * Admission:  submit() is non-blocking. A request lands on one shard's
+ *             bounded queue (round-robin); when that queue is full the
+ *             ticket completes immediately with
+ *             StatusCode::ResourceExhausted — synchronous, typed
+ *             backpressure instead of unbounded buffering. After
+ *             shutdown() submissions complete with
+ *             StatusCode::Cancelled.
+ * Batching:   each shard's workers drain their queue in batches closed
+ *             by whichever knob trips first: maxBatch requests
+ *             gathered, or maxWaitUs microseconds elapsed since the
+ *             batch's first request was taken. maxWaitUs = 0 is
+ *             latency-greedy (serve whatever is queued, never linger);
+ *             larger values trade tail latency for fewer, fuller
+ *             batches that amortize context checkout and keep a warm
+ *             arena streaming.
+ * Sharding:   a shard is a worker group with its own queue and its own
+ *             capacity-bounded ContextPool. Contexts are created by
+ *             the shard's workers on first use and recycled only
+ *             within the shard, so arena pages stay pinned to the
+ *             worker group that first touched them (the NUMA-friendly
+ *             layout; one memory domain per shard) and throughput
+ *             scales by adding shards instead of contending on one
+ *             pool.
+ * Numerics:   a request is executed as engine.tryExecute(cloud, seed,
+ *             ctx) with the seed the caller passed to submit(), and
+ *             every RNG decision derives from that seed alone — so a
+ *             cloud's logits are bitwise identical to a direct
+ *             CompiledEngine::execute with the same seed, regardless
+ *             of which shard, batch, batch position, or recycled
+ *             context served it (asserted across knob sweeps in
+ *             tests/test_serving.cpp).
+ * Faults:     the PR 9 contract holds end to end: a failing request
+ *             (bad input, injected fault, NaN logits) completes its
+ *             ticket with a typed Status, a poisoned context is reset
+ *             in place and keeps serving the rest of its batch, and
+ *             the engine keeps accepting traffic.
+ * Shutdown:   shutdown() (also run by the destructor) closes
+ *             admission, drains every queued request — in-flight
+ *             tickets complete with real results — then joins the
+ *             workers.
+ *
+ * Lifetime: the caller keeps the CompiledEngine and every submitted
+ * cloud alive until the corresponding tickets complete (the serving
+ * layer never copies request payloads; the RPC layer above owns them).
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "core/plan/engine.hpp"
+#include "geom/point_cloud.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mesorasi::serve {
+
+/** Front-door knobs. Defaults favor latency on small machines. */
+struct ServingOptions
+{
+    /** Batch closes when this many requests are gathered... */
+    int32_t maxBatch = 8;
+    /** ...or when this many µs passed since the batch's first request
+     *  was taken from the queue — whichever trips first. 0 = greedy. */
+    int64_t maxWaitUs = 200;
+    /** Admission bound per shard; a full queue rejects with
+     *  ResourceExhausted (typed backpressure). */
+    int32_t queueCapacity = 256;
+    /** Worker groups, each with its own queue + ContextPool. */
+    int32_t numShards = 1;
+    /** Drain workers per shard. */
+    int32_t threadsPerShard = 1;
+    /** ContextPool bound per shard; 0 = threadsPerShard (each worker
+     *  can always hold a context, memory stays capped). */
+    int32_t contextsPerShard = 0;
+    /** Start with the workers parked (tests: fill queues
+     *  deterministically, then resume()). */
+    bool startPaused = false;
+};
+
+namespace detail {
+
+/** Shared completion state behind one Ticket. */
+struct TicketState
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    tensor::Tensor logits;
+    uint64_t seed = 0;
+    int32_t batchSize = 0; ///< size of the batch that served it
+    int32_t shard = -1;    ///< shard that served it (-1: never queued)
+    std::chrono::steady_clock::time_point submitted;
+    double latencyMs = 0.0; ///< submit() to completion
+};
+
+} // namespace detail
+
+/**
+ * Future-like handle to one submitted request. Carries the typed
+ * Status and (on success) the logits. Copyable and cheap to move;
+ * safe to wait on from any thread.
+ */
+class Ticket
+{
+  public:
+    Ticket() = default;
+
+    bool valid() const { return state_ != nullptr; }
+
+    /** True once the request completed (served, failed, or rejected). */
+    bool ready() const;
+
+    /** Block until completion. */
+    void wait() const;
+
+    /** Typed outcome. Precondition: ready(). */
+    const Status &status() const;
+
+    /** Served logits. Precondition: ready() and status().isOk(). */
+    const tensor::Tensor &logits() const;
+
+    /** submit()-to-completion wall time. Precondition: ready(). */
+    double latencyMs() const;
+
+    /** Size of the dynamic batch this request was served in (1 for a
+     *  rejected/cancelled request). Precondition: ready(). */
+    int32_t batchSize() const;
+
+    /** Shard that served the request; -1 when it never reached a
+     *  queue (rejected, cancelled). Precondition: ready(). */
+    int32_t shard() const;
+
+    uint64_t seed() const;
+
+  private:
+    friend class ServingEngine;
+    explicit Ticket(std::shared_ptr<detail::TicketState> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<detail::TicketState> state_;
+};
+
+/** Aggregate counters since construction (stats() snapshot). */
+struct ServingStats
+{
+    uint64_t submitted = 0; ///< every submit() call
+    uint64_t served = 0;    ///< completed Ok
+    uint64_t failed = 0;    ///< completed with a non-ok execute Status
+    uint64_t rejected = 0;  ///< queue-full backpressure
+    uint64_t cancelled = 0; ///< submitted after shutdown
+    uint64_t batches = 0;   ///< dynamic batches dispatched
+    Histogram batchSizes;   ///< key = batch size, count = batches
+    int32_t numShards = 0;
+
+    double
+    meanBatchSize() const
+    {
+        return batches > 0 ? static_cast<double>(served + failed) /
+                                 static_cast<double>(batches)
+                           : 0.0;
+    }
+};
+
+class ServingEngine
+{
+  public:
+    /** @p engine must outlive this object. Workers start immediately
+     *  (parked when opts.startPaused). */
+    explicit ServingEngine(const core::plan::CompiledEngine &engine,
+                           ServingOptions opts = {});
+
+    /** shutdown()s: drains queued requests, joins the workers. */
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /**
+     * Non-blocking admission. @p cloud must stay alive until the
+     * ticket completes; @p seed fixes the request's sampling stream
+     * (the bitwise contract above). The returned ticket is already
+     * complete when the request was rejected (queue full →
+     * ResourceExhausted) or refused (after shutdown → Cancelled).
+     */
+    Ticket submit(const geom::PointCloud &cloud, uint64_t seed);
+
+    /**
+     * Park the workers before their next batch pop (a worker already
+     * blocked popping finishes that batch first). Queues keep
+     * admitting up to capacity while paused.
+     */
+    void pause();
+
+    /** Unpark the workers. */
+    void resume();
+
+    /**
+     * Stop admitting (later submits complete Cancelled), serve every
+     * request already queued, join the workers. Idempotent;
+     * resume()s parked workers so the drain always completes.
+     */
+    void shutdown();
+
+    bool stopped() const
+    {
+        return stopping_.load(std::memory_order_acquire);
+    }
+
+    /** Counter snapshot (cheap; taken without stopping traffic). */
+    ServingStats stats() const;
+
+    const ServingOptions &options() const { return opts_; }
+
+    const core::plan::CompiledEngine &engine() const { return engine_; }
+
+  private:
+    /** One queued request. The cloud is borrowed from the caller. */
+    struct Request
+    {
+        const geom::PointCloud *cloud = nullptr;
+        uint64_t seed = 0;
+        std::shared_ptr<detail::TicketState> state;
+    };
+
+    /** One worker group: queue + context pool + drain threads. */
+    struct Shard
+    {
+        Shard(const core::plan::CompiledEngine &engine,
+              int32_t queueCapacity, int32_t poolCapacity,
+              int32_t index);
+
+        int32_t index;
+        BoundedQueue<Request> queue;
+        core::plan::ContextPool pool;
+        std::vector<std::thread> workers;
+        std::atomic<uint64_t> served{0};
+        std::atomic<uint64_t> failed{0};
+        std::atomic<uint64_t> batches{0};
+        std::mutex statsMu;
+        std::vector<uint64_t> batchSizeCounts; ///< index = batch size
+    };
+
+    void workerLoop(Shard &shard);
+    void serveBatch(Shard &shard, std::vector<Request> &batch);
+    void waitWhileParked();
+    static void completeNow(const std::shared_ptr<detail::TicketState> &,
+                            Status status);
+
+    const core::plan::CompiledEngine &engine_;
+    ServingOptions opts_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<uint64_t> nextShard_{0};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shutdownDone_{false};
+    std::mutex shutdownMu_;
+
+    std::mutex pauseMu_;
+    std::condition_variable pauseCv_;
+    bool paused_ = false;
+
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> cancelled_{0};
+};
+
+} // namespace mesorasi::serve
